@@ -1,0 +1,48 @@
+// Command f77gen emits workload programs: either a named program from
+// the paper's synthesized benchmark suite, or a random valid F77s
+// program from the seeded generator (the same one the property tests
+// and benchmark sweeps use).
+//
+// Usage:
+//
+//	f77gen -suite ocean           # synthesize a suite program
+//	f77gen -seed 42 -procs 8      # random program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/suite"
+)
+
+func main() {
+	var (
+		suiteName = flag.String("suite", "", "emit a named suite program (one of: "+fmt.Sprint(suite.Names())+")")
+		seed      = flag.Int64("seed", 1, "random generator seed")
+		procs     = flag.Int("procs", 4, "number of procedures besides MAIN")
+		stmts     = flag.Int("stmts", 8, "approximate statements per procedure")
+		globals   = flag.Int("globals", 2, "number of COMMON integers")
+		reads     = flag.Bool("reads", false, "include READ statements (runtime inputs)")
+	)
+	flag.Parse()
+
+	if *suiteName != "" {
+		spec, ok := suite.ByName(*suiteName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "f77gen: unknown suite program %q\n", *suiteName)
+			os.Exit(2)
+		}
+		fmt.Print(suite.Source(spec))
+		return
+	}
+	fmt.Print(gen.Program(gen.Config{
+		Seed:         *seed,
+		NumProcs:     *procs,
+		StmtsPerProc: *stmts,
+		Globals:      *globals,
+		WithReads:    *reads,
+	}))
+}

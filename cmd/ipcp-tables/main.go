@@ -1,0 +1,81 @@
+// Command ipcp-tables regenerates the paper's exhibits — Figure 1 and
+// Tables 1–3 — over the synthesized benchmark suite.
+//
+// Usage:
+//
+//	ipcp-tables             # everything
+//	ipcp-tables -figure1
+//	ipcp-tables -table1 -table3
+//	ipcp-tables -dump ocean # print a suite program's source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/suite"
+)
+
+func main() {
+	var (
+		fig1  = flag.Bool("figure1", false, "print Figure 1 (the lattice)")
+		t1    = flag.Bool("table1", false, "print Table 1 (program characteristics)")
+		t2    = flag.Bool("table2", false, "print Table 2 (jump function comparison)")
+		t3    = flag.Bool("table3", false, "print Table 3 (technique comparison)")
+		dump  = flag.String("dump", "", "print the synthesized source of one suite program")
+		check = flag.Bool("check", false, "verify the paper's qualitative claims against fresh tables")
+		csv   = flag.String("csv", "", "emit a table as CSV: table2|table3")
+	)
+	flag.Parse()
+
+	if *dump != "" {
+		spec, ok := suite.ByName(*dump)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ipcp-tables: unknown program %q (have %v)\n", *dump, suite.Names())
+			os.Exit(2)
+		}
+		fmt.Print(suite.Source(spec))
+		return
+	}
+
+	if *check {
+		if err := report.Check(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ipcp-tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *csv != "" {
+		var err error
+		switch *csv {
+		case "table2":
+			err = report.Table2CSV(os.Stdout)
+		case "table3":
+			err = report.Table3CSV(os.Stdout)
+		default:
+			err = fmt.Errorf("unknown -csv table %q", *csv)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipcp-tables:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	any := *fig1 || *t1 || *t2 || *t3
+	run := func(on bool, f func() error) {
+		if !any || on {
+			if err := f(); err != nil {
+				fmt.Fprintln(os.Stderr, "ipcp-tables:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	run(*fig1, func() error { return report.Figure1(os.Stdout) })
+	run(*t1, func() error { return report.Table1(os.Stdout) })
+	run(*t2, func() error { return report.Table2(os.Stdout) })
+	run(*t3, func() error { return report.Table3(os.Stdout) })
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTablesCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ipcp-tables")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestTablesFigure1(t *testing.T) {
+	bin := buildTablesCLI(t)
+	out, err := exec.Command(bin, "-figure1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Figure 1") || !strings.Contains(string(out), "⊥") {
+		t.Errorf("figure output:\n%s", out)
+	}
+}
+
+func TestTablesTable1(t *testing.T) {
+	bin := buildTablesCLI(t)
+	out, err := exec.Command(bin, "-table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, prog := range []string{"adm", "ocean", "trfd"} {
+		if !strings.Contains(string(out), prog) {
+			t.Errorf("Table 1 missing %s:\n%s", prog, out)
+		}
+	}
+}
+
+func TestTablesDump(t *testing.T) {
+	bin := buildTablesCLI(t)
+	out, err := exec.Command(bin, "-dump", "trfd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PROGRAM MAIN") {
+		t.Errorf("dump output:\n%s", out)
+	}
+	if err := exec.Command(bin, "-dump", "bogus").Run(); err == nil {
+		t.Error("unknown dump target should fail")
+	}
+}
+
+func TestF77GenCLI(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "f77gen")
+	out, err := exec.Command("go", "build", "-o", bin, "../f77gen").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build f77gen: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "-seed", "3", "-procs", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PROGRAM MAIN") {
+		t.Errorf("f77gen output:\n%s", out)
+	}
+	out2, _ := exec.Command(bin, "-seed", "3", "-procs", "2").CombinedOutput()
+	if string(out) != string(out2) {
+		t.Error("f77gen must be deterministic")
+	}
+	out3, err := exec.Command(bin, "-suite", "trfd").CombinedOutput()
+	if err != nil || !strings.Contains(string(out3), "PROGRAM MAIN") {
+		t.Errorf("f77gen -suite: %v\n%s", err, out3)
+	}
+}
+
+func TestTablesCheckAndCSV(t *testing.T) {
+	bin := buildTablesCLI(t)
+	out, err := exec.Command(bin, "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "all reproduction claims hold") {
+		t.Errorf("check output:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-csv", "table3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-csv: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "program,poly_nomod") {
+		t.Errorf("csv output:\n%s", out)
+	}
+	if err := exec.Command(bin, "-csv", "bogus").Run(); err == nil {
+		t.Error("unknown csv table should fail")
+	}
+}

@@ -1,0 +1,145 @@
+// Command ipcp runs interprocedural constant propagation over an F77s
+// source file and reports the CONSTANTS sets, the substitution count,
+// and (optionally) the transformed source.
+//
+// Usage:
+//
+//	ipcp [flags] file.f
+//	ipcp [flags] -            # read program from stdin
+//
+// Flags select the paper's experimental axes:
+//
+//	-jf literal|intra|passthrough|polynomial   forward jump function
+//	-mod=false                                  disable MOD information
+//	-ret=false                                  disable return jump functions
+//	-complete                                   iterate with dead code elimination
+//	-solver worklist|binding                    propagation algorithm
+//	-transform                                  print the transformed source
+//	-stats                                      print solver statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/ipcp"
+)
+
+func main() {
+	var (
+		jf        = flag.String("jf", "passthrough", "jump function: literal|intra|passthrough|polynomial")
+		useMod    = flag.Bool("mod", true, "use interprocedural MOD information")
+		useRet    = flag.Bool("ret", true, "use return jump functions")
+		fullSubst = flag.Bool("fullsubst", false, "keep symbolic return jump function results (extension)")
+		complete  = flag.Bool("complete", false, "iterate propagation with dead code elimination")
+		gated     = flag.Bool("gated", false, "gated-SSA jump functions (subsumes -complete in one round; extension)")
+		doClone   = flag.Bool("clone", false, "procedure cloning guided by constants (extension)")
+		solver    = flag.String("solver", "worklist", "solver: worklist|binding")
+		transform = flag.Bool("transform", false, "print the transformed source")
+		jumps     = flag.Bool("jumps", false, "print the constructed jump functions")
+		stats     = flag.Bool("stats", false, "print solver statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ipcp [flags] file.f  (use - for stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	name := flag.Arg(0)
+	var src []byte
+	var err error
+	if name == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		name = "<stdin>"
+	} else {
+		src, err = os.ReadFile(name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipcp:", err)
+		os.Exit(1)
+	}
+
+	cfg := ipcp.Config{UseMOD: *useMod, UseReturnJFs: *useRet, FullSubstitution: *fullSubst, Complete: *complete, Gated: *gated}
+	switch *jf {
+	case "literal":
+		cfg.Kind = ipcp.Literal
+	case "intra":
+		cfg.Kind = ipcp.Intraprocedural
+	case "passthrough":
+		cfg.Kind = ipcp.PassThrough
+	case "polynomial":
+		cfg.Kind = ipcp.Polynomial
+	default:
+		fmt.Fprintf(os.Stderr, "ipcp: unknown jump function %q\n", *jf)
+		os.Exit(2)
+	}
+	switch *solver {
+	case "worklist":
+		cfg.Solver = ipcp.Worklist
+	case "binding":
+		cfg.Solver = ipcp.BindingGraph
+	default:
+		fmt.Fprintf(os.Stderr, "ipcp: unknown solver %q\n", *solver)
+		os.Exit(2)
+	}
+
+	var res *ipcp.Result
+	var cloneInfo *ipcp.CloneInfo
+	if *doClone {
+		res, cloneInfo, err = ipcp.AnalyzeWithCloning(name, string(src), cfg, 3)
+	} else {
+		res, err = ipcp.Analyze(name, string(src), cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, w)
+	}
+	if cloneInfo != nil {
+		for _, c := range cloneInfo.Cloned {
+			fmt.Printf("cloned: %s\n", c)
+		}
+	}
+
+	if *transform {
+		fmt.Print(res.TransformedSource())
+		return
+	}
+	if *jumps {
+		for _, line := range res.JumpFunctions() {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	fmt.Printf("configuration: %s jump functions, MOD=%v, return JFs=%v, complete=%v\n",
+		cfg.Kind, cfg.UseMOD, cfg.UseReturnJFs, cfg.Complete)
+	total := 0
+	for _, proc := range res.Procedures() {
+		ks := res.ConstantsOf(proc)
+		if len(ks) == 0 {
+			continue
+		}
+		fmt.Printf("CONSTANTS(%s):", proc)
+		for _, k := range ks {
+			tag := ""
+			if k.IsGlobal {
+				tag = fmt.Sprintf(" [/%s/]", k.Block)
+			}
+			fmt.Printf(" (%s, %d)%s", k.Name, k.Value, tag)
+			total++
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d constant parameter/global entries; %d uses substitutable\n",
+		total, res.SubstitutionCount())
+	if *stats {
+		jfe, low, rounds := res.Stats()
+		fmt.Printf("stats: %d jump function evaluations, %d lattice lowerings, %d round(s)\n", jfe, low, rounds)
+	}
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the ipcp binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ipcp")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const demoProgram = `PROGRAM MAIN
+INTEGER N
+CALL SETUP(N)
+CALL WORK(N)
+END
+SUBROUTINE SETUP(K)
+INTEGER K
+K = 100
+END
+SUBROUTINE WORK(M)
+INTEGER M
+PRINT *, M
+END
+`
+
+func TestCLIAnalyze(t *testing.T) {
+	bin := buildCLI(t)
+	file := filepath.Join(t.TempDir(), "demo.f")
+	if err := os.WriteFile(file, []byte(demoProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-stats", file).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ipcp: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "CONSTANTS(WORK): (M, 100)") {
+		t.Errorf("missing CONSTANTS line:\n%s", s)
+	}
+	if !strings.Contains(s, "stats:") {
+		t.Errorf("missing stats line:\n%s", s)
+	}
+}
+
+func TestCLIStdinAndTransform(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-transform", "-")
+	cmd.Stdin = strings.NewReader(demoProgram)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ipcp -transform: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PRINT *, 100") {
+		t.Errorf("transform did not substitute:\n%s", out)
+	}
+}
+
+func TestCLIJumpFunctionFlag(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-jf", "literal", "-")
+	cmd.Stdin = strings.NewReader(demoProgram)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ipcp -jf literal: %v\n%s", err, out)
+	}
+	// SETUP's out-parameter constant needs return jump functions; WORK's
+	// constant arrives through the actual N which is not a literal.
+	if strings.Contains(string(out), "CONSTANTS(WORK)") {
+		t.Errorf("literal jump function should miss WORK's constant:\n%s", out)
+	}
+}
+
+func TestCLICloneFlag(t *testing.T) {
+	bin := buildCLI(t)
+	src := `PROGRAM MAIN
+CALL S(1)
+CALL S(2)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	cmd := exec.Command(bin, "-clone", "-")
+	cmd.Stdin = strings.NewReader(src)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ipcp -clone: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "cloned: S →") {
+		t.Errorf("missing clone report:\n%s", out)
+	}
+	if !strings.Contains(string(out), "CONSTANTS(S_1)") {
+		t.Errorf("missing clone constants:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildCLI(t)
+
+	// Bad flag value.
+	cmd := exec.Command(bin, "-jf", "bogus", "-")
+	cmd.Stdin = strings.NewReader(demoProgram)
+	if err := cmd.Run(); err == nil {
+		t.Error("bad -jf value should fail")
+	}
+
+	// Invalid program.
+	cmd = exec.Command(bin, "-")
+	cmd.Stdin = strings.NewReader("PROGRAM P\nCALL NOPE(1)\nEND\n")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Error("invalid program should fail")
+	}
+	if !strings.Contains(string(out), "undefined procedure") {
+		t.Errorf("missing diagnostic:\n%s", out)
+	}
+
+	// Missing file.
+	if err := exec.Command(bin, "/nonexistent/x.f").Run(); err == nil {
+		t.Error("missing file should fail")
+	}
+
+	// No arguments.
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Error("no arguments should fail")
+	}
+}
+
+func TestCLIJumpDump(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "-jumps", "-")
+	cmd.Stdin = strings.NewReader(demoProgram)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ipcp -jumps: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "site MAIN→SETUP@0") {
+		t.Errorf("missing site line:\n%s", s)
+	}
+	if !strings.Contains(s, "returns SETUP: R[K]=100") {
+		t.Errorf("missing return jump function:\n%s", s)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Interprocedural Constant Propagation"
+// (Callahan, Cooper, Kennedy, Torczon; SIGPLAN 1986) together with the
+// empirical study of its jump function implementations (Grove, Torczon;
+// PLDI 1993).
+//
+// The public API lives in repro/ipcp; the command-line tools are
+// cmd/ipcp (the analyzer), cmd/ipcp-tables (regenerates the paper's
+// tables and figure), and cmd/f77gen (workload generation). See
+// README.md for an overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package repro

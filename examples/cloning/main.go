@@ -1,0 +1,109 @@
+// Procedure cloning guided by interprocedural constants.
+//
+// When a procedure is called with *different* constants at different
+// sites, the lattice meet loses them (c₁ ∧ c₂ = ⊥). Metzger & Stroud
+// (and Cooper, Hall & Kennedy) showed that cloning the procedure per
+// constant context recovers them: each clone's CONSTANTS set holds its
+// own site's values. This example performs exactly that experiment:
+//
+//  1. analyze: the shared callee has no entry constants;
+//
+//  2. clone the callee per call site (a textual transformation);
+//
+//  3. re-analyze: every clone now has constants, and the substitution
+//     count rises.
+//
+//     go run ./examples/cloning
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/ipcp"
+)
+
+const program = `PROGRAM MAIN
+CALL SOLVE(8)
+CALL SOLVE(512)
+END
+
+SUBROUTINE SOLVE(N)
+INTEGER N, I, S
+S = 0
+DO I = 1, N
+  S = S + I*N
+ENDDO
+IF (N .LT. 16) THEN
+  PRINT *, 'small solve', S
+ELSE
+  PRINT *, 'large solve', S
+ENDIF
+END
+`
+
+func main() {
+	fmt.Println("== before cloning ==")
+	res, err := ipcp.Analyze("solve.f", program, ipcp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks := res.ConstantsOf("SOLVE")
+	fmt.Printf("  CONSTANTS(SOLVE) = %v  (8 ∧ 512 = ⊥: the meet destroys both)\n", ks)
+	fmt.Printf("  substitutable uses: %d\n", res.SubstitutionCount())
+
+	// Clone SOLVE per call site. A production implementation would work
+	// on the call graph; for the demonstration a textual clone is
+	// enough.
+	cloned := strings.Replace(program, "CALL SOLVE(8)", "CALL SOLVE1(8)", 1)
+	cloned = strings.Replace(cloned, "CALL SOLVE(512)", "CALL SOLVE2(512)", 1)
+	body := program[strings.Index(program, "SUBROUTINE SOLVE"):]
+	clone1 := strings.Replace(body, "SUBROUTINE SOLVE(N)", "SUBROUTINE SOLVE1(N)", 1)
+	clone2 := strings.Replace(body, "SUBROUTINE SOLVE(N)", "SUBROUTINE SOLVE2(N)", 1)
+	cloned = cloned[:strings.Index(cloned, "SUBROUTINE SOLVE")] + clone1 + "\n" + clone2
+
+	fmt.Println("\n== after cloning (SOLVE → SOLVE1, SOLVE2) ==")
+	res2, err := ipcp.Analyze("solve-cloned.f", cloned, ipcp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, proc := range []string{"SOLVE1", "SOLVE2"} {
+		fmt.Printf("  CONSTANTS(%s) = %v\n", proc, res2.ConstantsOf(proc))
+	}
+	fmt.Printf("  substitutable uses: %d (was %d)\n", res2.SubstitutionCount(), res.SubstitutionCount())
+
+	// With complete propagation the constant branch predicates fold,
+	// specializing each clone's control flow.
+	cfg := ipcp.DefaultConfig()
+	cfg.Kind = ipcp.Polynomial
+	cfg.Complete = true
+	res3, err := ipcp.Analyze("solve-cloned.f", cloned, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith complete propagation the clones' IF (N .LT. 16) tests fold: %d uses\n",
+		res3.SubstitutionCount())
+
+	// Behaviour is unchanged throughout.
+	before, _ := ipcp.Run("a.f", program, nil)
+	after, _ := ipcp.Run("b.f", cloned, nil)
+	if before != after {
+		log.Fatalf("cloning changed behaviour!\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	fmt.Println("cloned program output verified identical to the original.")
+
+	// The library automates all of the above: AnalyzeWithCloning
+	// partitions call sites by the constants they deliver, clones, and
+	// re-analyzes until nothing more pays off.
+	fmt.Println("\n== automated: ipcp.AnalyzeWithCloning ==")
+	auto, info, err := ipcp.AnalyzeWithCloning("solve.f", program, ipcp.DefaultConfig(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range info.Cloned {
+		fmt.Printf("  cloned: %s\n", c)
+	}
+	fmt.Printf("  substitutable uses: %d (rounds: %d, clones: %d)\n",
+		auto.SubstitutionCount(), info.Rounds, info.Created)
+}

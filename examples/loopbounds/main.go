@@ -1,0 +1,130 @@
+// Loop bounds for automatic parallelization.
+//
+// The paper's introduction motivates interprocedural constants with
+// parallelizing compilers: "interprocedural constants are often used as
+// loop bounds. … knowing their values allows the compiler to make
+// informed decisions about the profitability of parallel execution."
+// (Eigenmann & Blume.)
+//
+// This example runs the analyzer over a solver whose mesh dimensions
+// are configured in the main program, then reports, for every DO loop
+// in the program, whether its trip count became a compile-time constant
+// — and what a parallelizer would decide.
+//
+//	go run ./examples/loopbounds
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/ipcp"
+)
+
+const program = `PROGRAM MAIN
+INTEGER NX, NY
+COMMON /MESH/ NXG, NYG
+NX = 512
+NY = 8
+NXG = NX
+NYG = NY
+CALL RELAX(NX, NY)
+CALL EDGE(NY)
+END
+
+SUBROUTINE RELAX(N, M)
+INTEGER N, M, I, J, NXG, NYG
+REAL U(100000)
+COMMON /MESH/ NXG, NYG
+DO I = 2, N - 1
+  DO J = 2, M - 1
+    U(I*M + J) = 0.25 * (U((I-1)*M + J) + U((I+1)*M + J))
+  ENDDO
+ENDDO
+END
+
+SUBROUTINE EDGE(M)
+INTEGER M, J, K
+REAL B(1000)
+READ *, K
+DO J = 1, M
+  B(J) = B(J) + K
+ENDDO
+DO J = 1, K
+  B(J) = B(J) * 2.0
+ENDDO
+END
+`
+
+func main() {
+	res, err := ipcp.Analyze("mesh.f", program, ipcp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Re-parse the transformed source: loop bounds that the analyzer
+	// proved constant are now literals.
+	transformed := res.TransformedSource()
+	var diags source.ErrorList
+	f := parser.ParseSource("mesh-opt.f", transformed, &diags)
+	if diags.HasErrors() {
+		log.Fatal(diags.Error())
+	}
+
+	fmt.Println("== parallelizability report ==")
+	for _, unit := range f.Units {
+		ast.WalkStmts(unit.Body, func(s ast.Stmt) bool {
+			loop, ok := s.(*ast.DoStmt)
+			if !ok {
+				return true
+			}
+			from, okF := constOf(loop.From)
+			to, okT := constOf(loop.To)
+			fmt.Printf("  %s: DO %s = %s, %s",
+				unit.Name, loop.Var, ast.ExprString(loop.From), ast.ExprString(loop.To))
+			if okF && okT {
+				trips := to - from + 1
+				if trips < 0 {
+					trips = 0
+				}
+				verdict := "parallelize (enough iterations to amortize fork/join)"
+				if trips < 16 {
+					verdict = "keep sequential (too few iterations)"
+				}
+				fmt.Printf("  → trip count %d: %s\n", trips, verdict)
+			} else {
+				fmt.Printf("  → trip count unknown at compile time: emit runtime test\n")
+			}
+			return true
+		})
+	}
+
+	fmt.Println("\nThe RELAX bounds come from constants that crossed two call")
+	fmt.Println("boundaries (MAIN → RELAX); the EDGE bound crossed one; EDGE's")
+	fmt.Println("body also reads K at run time, which stays unknown — exactly")
+	fmt.Println("the conservative behaviour the framework guarantees.")
+}
+
+func constOf(e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.Binary:
+		l, okL := constOf(x.X)
+		r, okR := constOf(x.Y)
+		if okL && okR {
+			switch x.Op {
+			case ast.OpAdd:
+				return l + r, true
+			case ast.OpSub:
+				return l - r, true
+			case ast.OpMul:
+				return l * r, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,75 @@
+// Quickstart: analyze a small F77s program, print its CONSTANTS sets,
+// and show the transformed source with the constants substituted.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/ipcp"
+)
+
+const program = `PROGRAM MAIN
+INTEGER N
+COMMON /CFG/ NX
+NX = 64
+CALL SETUP(N)
+CALL WORK(N)
+END
+
+SUBROUTINE SETUP(K)
+INTEGER K
+K = 100
+END
+
+SUBROUTINE WORK(M)
+INTEGER M, NX, I, S
+COMMON /CFG/ NX
+S = 0
+DO I = 1, M
+  S = S + NX
+ENDDO
+PRINT *, S
+END
+`
+
+func main() {
+	res, err := ipcp.Analyze("quickstart.f", program, ipcp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CONSTANTS sets (pass-through jump functions + MOD + return JFs) ==")
+	for _, proc := range res.Procedures() {
+		ks := res.ConstantsOf(proc)
+		if len(ks) == 0 {
+			continue
+		}
+		fmt.Printf("  CONSTANTS(%s) =", proc)
+		for _, k := range ks {
+			fmt.Printf(" (%s, %d)", k.Name, k.Value)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%d constant uses are substitutable.\n", res.SubstitutionCount())
+
+	fmt.Println("\n== transformed source ==")
+	fmt.Println(res.TransformedSource())
+
+	// The interpreter shows behaviour is unchanged.
+	before, err := ipcp.Run("before.f", program, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := ipcp.Run("after.f", res.TransformedSource(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output before: %safter substitution: %s", before, after)
+	if before == after {
+		fmt.Println("(identical, as it must be)")
+	}
+}

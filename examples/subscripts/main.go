@@ -1,0 +1,178 @@
+// Linearizing array subscripts for dependence analysis.
+//
+// Shen, Li & Yew found that about half of the "nonlinear" array
+// subscripts in FORTRAN libraries become linear once interprocedural
+// constants are known — and most dependence tests give up on nonlinear
+// subscripts entirely. This example reproduces that measurement in
+// miniature: it classifies every array subscript as linear or nonlinear
+// (in the loop induction variables), before and after interprocedural
+// constant propagation.
+//
+//	go run ./examples/subscripts
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/ipcp"
+)
+
+// The classic pattern: a linearized 2-D array indexed A(I*LDA + J)
+// where LDA arrives through two call boundaries. Until LDA is known the
+// subscript is a product of two variables — nonlinear.
+const program = `PROGRAM MAIN
+COMMON /SHAPE/ LDA
+LDA = 100
+CALL PASS1
+END
+
+SUBROUTINE PASS1()
+INTEGER LDA
+COMMON /SHAPE/ LDA
+CALL KERNEL(LDA)
+END
+
+SUBROUTINE KERNEL(N)
+INTEGER N, I, J, K
+REAL A(10000), B(10000)
+READ *, K
+DO I = 1, 10
+  DO J = 1, 10
+    A(I*N + J) = B(J*N + I) + 1.0
+    B(I*K + J) = A(I*N + J)
+  ENDDO
+ENDDO
+END
+`
+
+func main() {
+	fmt.Println("== subscript linearity before propagation ==")
+	report(program)
+
+	res, err := ipcp.Analyze("kernel.f", program, ipcp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== subscript linearity after interprocedural constant propagation ==")
+	report(res.TransformedSource())
+
+	fmt.Println("\nLDA reached KERNEL through two call-graph edges (a pass-through")
+	fmt.Println("jump function at PASS1's call site), so I*N + J became I*100 + J —")
+	fmt.Println("linear in the induction variables. K is read at run time, so")
+	fmt.Println("I*K + J stays nonlinear: the dependence test must stay conservative.")
+}
+
+// report parses the program and classifies each array subscript.
+func report(src string) {
+	var diags source.ErrorList
+	f := parser.ParseSource("x.f", src, &diags)
+	if diags.HasErrors() {
+		log.Fatal(diags.Error())
+	}
+	linear, nonlinear := 0, 0
+	for _, unit := range f.Units {
+		// Induction variables: every DO variable in the unit.
+		ivs := map[string]bool{}
+		ast.WalkStmts(unit.Body, func(s ast.Stmt) bool {
+			if d, ok := s.(*ast.DoStmt); ok {
+				ivs[d.Var] = true
+			}
+			return true
+		})
+		ast.WalkStmts(unit.Body, func(s ast.Stmt) bool {
+			for _, e := range ast.ExprsOf(s) {
+				ast.WalkExpr(e, func(x ast.Expr) bool {
+					ap, ok := x.(*ast.Apply)
+					if !ok || len(ap.Args) == 0 {
+						return true
+					}
+					for _, sub := range ap.Args {
+						if !isArraySubscriptCandidate(sub) {
+							continue
+						}
+						kind := "linear"
+						if !isLinear(sub, ivs) {
+							kind = "NONLINEAR"
+							nonlinear++
+						} else {
+							linear++
+						}
+						fmt.Printf("  %-8s %s(%s)  [%s]\n", unit.Name, ap.Name, ast.ExprString(sub), kind)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	fmt.Printf("  => %d linear, %d nonlinear\n", linear, nonlinear)
+}
+
+// isArraySubscriptCandidate skips trivial subscripts to keep the report
+// readable.
+func isArraySubscriptCandidate(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.IntLit, *ast.Ident:
+		return false
+	}
+	return true
+}
+
+// isLinear reports whether the subscript is a linear form over the
+// induction variables: no product/quotient/power of two expressions
+// that both involve induction variables or unknowns.
+func isLinear(e ast.Expr, ivs map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return true
+	case *ast.Ident:
+		return true
+	case *ast.Unary:
+		return isLinear(x.X, ivs)
+	case *ast.Binary:
+		switch x.Op {
+		case ast.OpAdd, ast.OpSub:
+			return isLinear(x.X, ivs) && isLinear(x.Y, ivs)
+		case ast.OpMul:
+			// A product is linear only if one side is a compile-time
+			// constant.
+			_, lc := constExpr(x.X)
+			_, rc := constExpr(x.Y)
+			return (lc && isLinear(x.Y, ivs)) || (rc && isLinear(x.X, ivs))
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func constExpr(e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.Unary:
+		if x.Op == ast.OpNeg {
+			if v, ok := constExpr(x.X); ok {
+				return -v, true
+			}
+		}
+	case *ast.Binary:
+		l, okL := constExpr(x.X)
+		r, okR := constExpr(x.Y)
+		if okL && okR {
+			switch x.Op {
+			case ast.OpAdd:
+				return l + r, true
+			case ast.OpSub:
+				return l - r, true
+			case ast.OpMul:
+				return l * r, true
+			}
+		}
+	}
+	return 0, false
+}

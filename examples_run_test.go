@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes each example binary end to end — the
+// examples are user-facing documentation, so they must keep working.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four binaries")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"CONSTANTS(WORK)", "(identical, as it must be)"}},
+		{"./examples/loopbounds", []string{"trip count 510", "runtime test"}},
+		{"./examples/cloning", []string{"SOLVE_1", "verified identical"}},
+		{"./examples/subscripts", []string{"3 linear, 1 nonlinear"}},
+	}
+	for _, c := range cases {
+		out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", c.dir, err, out)
+		}
+		for _, want := range c.want {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("%s: output missing %q:\n%s", c.dir, want, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+)
+
+func pos() source.Position { return source.Position{Line: 1, Col: 1} }
+
+func TestOpProperties(t *testing.T) {
+	if !OpEq.IsRelational() || OpAdd.IsRelational() {
+		t.Error("IsRelational wrong")
+	}
+	if !OpAnd.IsLogical() || OpLt.IsLogical() {
+		t.Error("IsLogical wrong")
+	}
+	if !OpPow.IsArith() || OpOr.IsArith() {
+		t.Error("IsArith wrong")
+	}
+	if OpMul.String() != "*" || OpNot.String() != ".NOT." {
+		t.Error("Op.String wrong")
+	}
+}
+
+func TestUnitKindString(t *testing.T) {
+	if ProgramUnit.String() != "PROGRAM" || SubroutineUnit.String() != "SUBROUTINE" || FunctionUnit.String() != "FUNCTION" {
+		t.Error("UnitKind.String wrong")
+	}
+}
+
+func TestBaseTypeString(t *testing.T) {
+	if TypeInteger.String() != "INTEGER" || TypeNone.String() != "<none>" {
+		t.Error("BaseType.String wrong")
+	}
+}
+
+func TestWalkExpr(t *testing.T) {
+	// MOD(A+1, B)*2
+	e := &Binary{Op: OpMul,
+		X: &Apply{Name: "MOD", Args: []Expr{
+			&Binary{Op: OpAdd, X: &Ident{Name: "A"}, Y: &IntLit{Value: 1}},
+			&Ident{Name: "B"},
+		}},
+		Y: &IntLit{Value: 2},
+	}
+	var names []string
+	var lits int
+	WalkExpr(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *Ident:
+			names = append(names, n.Name)
+		case *IntLit:
+			lits++
+		}
+		return true
+	})
+	if len(names) != 2 || lits != 2 {
+		t.Errorf("walk found names=%v lits=%d", names, lits)
+	}
+
+	// Pruning: don't descend into Apply.
+	count := 0
+	WalkExpr(e, func(x Expr) bool {
+		count++
+		_, isApply := x.(*Apply)
+		return !isApply
+	})
+	if count != 3 { // Binary, Apply, IntLit(2)
+		t.Errorf("pruned walk visited %d nodes, want 3", count)
+	}
+}
+
+func TestWalkStmts(t *testing.T) {
+	inner := &AssignStmt{Lhs: &Ident{Name: "X"}, Rhs: &IntLit{Value: 1}}
+	loop := &DoStmt{Var: "I", From: &IntLit{Value: 1}, To: &IntLit{Value: 10},
+		Body: []Stmt{inner}}
+	ifs := &IfStmt{Cond: &LogLit{Value: true},
+		Then:    []Stmt{loop},
+		ElseIfs: []*ElseIfClause{{Cond: &LogLit{}, Body: []Stmt{&ContinueStmt{}}}},
+		Else:    []Stmt{&ReturnStmt{}},
+	}
+	var kindsSeen []string
+	WalkStmts([]Stmt{ifs}, func(s Stmt) bool {
+		switch s.(type) {
+		case *IfStmt:
+			kindsSeen = append(kindsSeen, "if")
+		case *DoStmt:
+			kindsSeen = append(kindsSeen, "do")
+		case *AssignStmt:
+			kindsSeen = append(kindsSeen, "assign")
+		case *ContinueStmt:
+			kindsSeen = append(kindsSeen, "continue")
+		case *ReturnStmt:
+			kindsSeen = append(kindsSeen, "return")
+		}
+		return true
+	})
+	want := "if do assign continue return"
+	if got := strings.Join(kindsSeen, " "); got != want {
+		t.Errorf("walk order = %q, want %q", got, want)
+	}
+}
+
+func TestExprsOf(t *testing.T) {
+	d := &DoStmt{From: &IntLit{Value: 1}, To: &IntLit{Value: 2}, Step: &IntLit{Value: 3}}
+	if got := len(ExprsOf(d)); got != 3 {
+		t.Errorf("DoStmt exprs = %d, want 3", got)
+	}
+	d.Step = nil
+	if got := len(ExprsOf(d)); got != 2 {
+		t.Errorf("DoStmt exprs without step = %d, want 2", got)
+	}
+	c := &CallStmt{Args: []Expr{&IntLit{}, &IntLit{}}}
+	if got := len(ExprsOf(c)); got != 2 {
+		t.Errorf("CallStmt exprs = %d", got)
+	}
+	if ExprsOf(&ReturnStmt{}) != nil {
+		t.Error("ReturnStmt should have no exprs")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&IntLit{Value: 42}, "42"},
+		{&RealLit{Value: 1.5, Text: "1.5"}, "1.5"},
+		{&RealLit{Value: 2.5}, "2.5"},
+		{&LogLit{Value: true}, ".TRUE."},
+		{&LogLit{Value: false}, ".FALSE."},
+		{&StrLit{Value: "a'b"}, "'a''b'"},
+		{&Ident{Name: "X"}, "X"},
+		{&Unary{Op: OpNeg, X: &Ident{Name: "A"}}, "-A"},
+		{&Unary{Op: OpNot, X: &Ident{Name: "L"}}, ".NOT. L"},
+		{&Binary{Op: OpAdd, X: &Ident{Name: "A"}, Y: &IntLit{Value: 1}}, "A + 1"},
+		{&Binary{Op: OpMul,
+			X: &Binary{Op: OpAdd, X: &Ident{Name: "A"}, Y: &Ident{Name: "B"}},
+			Y: &Ident{Name: "C"}}, "(A + B)*C"},
+		{&Binary{Op: OpSub,
+			X: &Ident{Name: "A"},
+			Y: &Binary{Op: OpSub, X: &Ident{Name: "B"}, Y: &Ident{Name: "C"}}}, "A - (B - C)"},
+		{&Apply{Name: "MOD", Args: []Expr{&Ident{Name: "I"}, &IntLit{Value: 2}}}, "MOD(I, 2)"},
+		{&Binary{Op: OpLe, X: &Ident{Name: "I"}, Y: &Ident{Name: "N"}}, "I .LE. N"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	s := &AssignStmt{Lhs: &Ident{Name: "X"}, Rhs: &IntLit{Value: 1}}
+	s.SetLabel("10")
+	if got := StmtString(s); got != "  10 X = 1" {
+		t.Errorf("StmtString = %q", got)
+	}
+	g := &GotoStmt{Target: "20"}
+	if got := strings.TrimSpace(StmtString(g)); got != "GOTO 20" {
+		t.Errorf("goto = %q", got)
+	}
+}
+
+func TestWriteLogicalIf(t *testing.T) {
+	s := &IfStmt{Cond: &Binary{Op: OpEq, X: &Ident{Name: "I"}, Y: &IntLit{Value: 0}},
+		Then:    []Stmt{&GotoStmt{Target: "10"}},
+		Logical: true}
+	got := strings.TrimSpace(StmtString(s))
+	if got != "IF (I .EQ. 0) GOTO 10" {
+		t.Errorf("logical IF = %q", got)
+	}
+}
+
+func TestFilePosEmpty(t *testing.T) {
+	f := &File{Source: source.NewFile("x.f", "")}
+	if p := f.Pos(); p.Line != 1 {
+		t.Errorf("empty file pos = %v", p)
+	}
+}

@@ -1,0 +1,169 @@
+// Package callgraph builds the program call graph G used by the
+// interprocedural phases: one node per procedure, one edge per call
+// site. It also computes Tarjan SCCs so the bottom-up (return jump
+// function) and top-down (forward jump function) passes can walk the
+// condensation in topological order; procedures in non-trivial SCCs are
+// (mutually) recursive and are summarized conservatively.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/sem"
+)
+
+// Node is one procedure in the call graph.
+type Node struct {
+	Proc *sem.Procedure
+	CFG  *cfg.Graph
+	// Out lists this procedure's call sites (in CFG order).
+	Out []*cfg.CallSite
+	// In lists the sites that call this procedure.
+	In []*cfg.CallSite
+	// SCC is the Tarjan component index; components are numbered in
+	// reverse topological order (callees before callers).
+	SCC int
+	// Recursive marks nodes in a non-trivial SCC or with a self loop.
+	Recursive bool
+}
+
+// Graph is the program call graph.
+type Graph struct {
+	Prog  *sem.Program
+	Nodes map[string]*Node
+	// Order lists nodes in source order.
+	Order []*Node
+	// NumSCCs is the number of strongly connected components.
+	NumSCCs int
+}
+
+// Build constructs CFGs for every procedure and the call graph over
+// them.
+func Build(prog *sem.Program) *Graph {
+	g := &Graph{Prog: prog, Nodes: make(map[string]*Node)}
+	for _, p := range prog.Order {
+		n := &Node{Proc: p, CFG: cfg.Build(prog, p)}
+		n.Out = n.CFG.Sites
+		g.Nodes[p.Name] = n
+		g.Order = append(g.Order, n)
+	}
+	for _, n := range g.Order {
+		for _, site := range n.Out {
+			if callee, ok := g.Nodes[site.Callee]; ok {
+				callee.In = append(callee.In, site)
+			}
+		}
+	}
+	g.computeSCCs()
+	return g
+}
+
+// Callee resolves a site's target node.
+func (g *Graph) Callee(site *cfg.CallSite) *Node { return g.Nodes[site.Callee] }
+
+// computeSCCs runs Tarjan's algorithm. Component numbering follows the
+// order components are completed, which for Tarjan is reverse
+// topological: if p calls q (and they are in different components),
+// SCC(q) < SCC(p).
+func (g *Graph) computeSCCs() {
+	index := make(map[*Node]int)
+	low := make(map[*Node]int)
+	onStack := make(map[*Node]bool)
+	var stack []*Node
+	next := 0
+
+	var strongConnect func(n *Node)
+	strongConnect = func(n *Node) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+
+		for _, site := range n.Out {
+			m := g.Nodes[site.Callee]
+			if m == nil {
+				continue
+			}
+			if _, seen := index[m]; !seen {
+				strongConnect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] {
+				if index[m] < low[n] {
+					low[n] = index[m]
+				}
+			}
+		}
+
+		if low[n] == index[n] {
+			var comp []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				m.SCC = g.NumSCCs
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, m := range comp {
+					m.Recursive = true
+				}
+			}
+			g.NumSCCs++
+		}
+	}
+
+	for _, n := range g.Order {
+		if _, seen := index[n]; !seen {
+			strongConnect(n)
+		}
+	}
+
+	// Self-recursion.
+	for _, n := range g.Order {
+		for _, site := range n.Out {
+			if site.Callee == n.Proc.Name {
+				n.Recursive = true
+			}
+		}
+	}
+}
+
+// BottomUp returns nodes ordered callees-first (ascending SCC number,
+// stable within a component).
+func (g *Graph) BottomUp() []*Node {
+	out := make([]*Node, len(g.Order))
+	copy(out, g.Order)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SCC < out[j].SCC })
+	return out
+}
+
+// TopDown returns nodes ordered callers-first.
+func (g *Graph) TopDown() []*Node {
+	out := g.BottomUp()
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// String renders the call graph edges for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Order {
+		targets := make([]string, len(n.Out))
+		for i, s := range n.Out {
+			targets[i] = s.Callee
+		}
+		fmt.Fprintf(&b, "%s (scc %d) -> [%s]\n", n.Proc.Name, n.SCC, strings.Join(targets, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", diags.Error())
+	}
+	return Build(prog)
+}
+
+const chainSrc = `PROGRAM MAIN
+CALL A(1)
+CALL B(2)
+END
+SUBROUTINE A(X)
+INTEGER X
+CALL B(X)
+END
+SUBROUTINE B(Y)
+INTEGER Y
+Y = F(Y)
+END
+INTEGER FUNCTION F(Z)
+INTEGER Z
+F = Z + 1
+END
+`
+
+func TestEdges(t *testing.T) {
+	g := build(t, chainSrc)
+	if len(g.Order) != 4 {
+		t.Fatalf("nodes = %d", len(g.Order))
+	}
+	main := g.Nodes["MAIN"]
+	if len(main.Out) != 2 {
+		t.Errorf("MAIN out = %d", len(main.Out))
+	}
+	b := g.Nodes["B"]
+	if len(b.In) != 2 { // from MAIN and A
+		t.Errorf("B in = %d", len(b.In))
+	}
+	f := g.Nodes["F"]
+	if len(f.In) != 1 || !f.In[0].IsFunction {
+		t.Errorf("F in = %+v", f.In)
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	g := build(t, chainSrc)
+	pos := make(map[string]int)
+	for i, n := range g.BottomUp() {
+		pos[n.Proc.Name] = i
+	}
+	// Callees must come before callers.
+	if !(pos["F"] < pos["B"] && pos["B"] < pos["A"] && pos["A"] < pos["MAIN"]) {
+		t.Errorf("bottom-up order wrong: %v", pos)
+	}
+	top := g.TopDown()
+	if top[0].Proc.Name != "MAIN" {
+		t.Errorf("top-down should start at MAIN, got %s", top[0].Proc.Name)
+	}
+}
+
+func TestRecursionDetection(t *testing.T) {
+	g := build(t, `PROGRAM MAIN
+CALL R(3)
+CALL S(1)
+END
+SUBROUTINE R(N)
+INTEGER N
+IF (N .GT. 0) CALL R(N - 1)
+END
+SUBROUTINE S(X)
+INTEGER X
+CALL T(X)
+END
+SUBROUTINE T(X)
+INTEGER X
+IF (X .GT. 0) CALL S(X - 1)
+END
+`)
+	if !g.Nodes["R"].Recursive {
+		t.Error("self-recursive R not detected")
+	}
+	if !g.Nodes["S"].Recursive || !g.Nodes["T"].Recursive {
+		t.Error("mutual recursion S↔T not detected")
+	}
+	if g.Nodes["MAIN"].Recursive {
+		t.Error("MAIN wrongly marked recursive")
+	}
+	if g.Nodes["S"].SCC != g.Nodes["T"].SCC {
+		t.Error("S and T should share an SCC")
+	}
+	if g.Nodes["MAIN"].SCC <= g.Nodes["S"].SCC {
+		t.Error("caller SCC should be numbered after callee SCC")
+	}
+}
+
+func TestNoCallsGraph(t *testing.T) {
+	g := build(t, "PROGRAM MAIN\nI = 1\nEND\n")
+	if len(g.Order) != 1 || len(g.Nodes["MAIN"].Out) != 0 {
+		t.Error("trivial graph wrong")
+	}
+	if g.NumSCCs != 1 {
+		t.Errorf("NumSCCs = %d", g.NumSCCs)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := build(t, chainSrc)
+	s := g.String()
+	if !strings.Contains(s, "MAIN") || !strings.Contains(s, "-> [B F]") && !strings.Contains(s, "-> [F]") {
+		t.Errorf("String output:\n%s", s)
+	}
+}
+
+func TestCalleeResolution(t *testing.T) {
+	g := build(t, chainSrc)
+	for _, n := range g.Order {
+		for _, site := range n.Out {
+			callee := g.Callee(site)
+			if callee == nil {
+				t.Errorf("unresolved callee for %v", site)
+				continue
+			}
+			if callee.Proc.Name != site.Callee {
+				t.Errorf("callee mismatch: %s vs %s", callee.Proc.Name, site.Callee)
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsAcyclic: the generator promises an acyclic call
+// graph; the SCC computation must agree (a cross-check of both).
+func TestGeneratedProgramsAcyclic(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		src := gen.Program(gen.Config{Seed: seed, NumProcs: 6})
+		var diags source.ErrorList
+		f := parser.ParseSource("gen.f", src, &diags)
+		prog := sem.Analyze(f, &diags)
+		if diags.HasErrors() {
+			t.Fatal(diags.Error())
+		}
+		g := Build(prog)
+		for _, n := range g.Order {
+			if n.Recursive {
+				t.Fatalf("seed %d: generated program has recursion at %s", seed, n.Proc.Name)
+			}
+		}
+		if g.NumSCCs != len(g.Order) {
+			t.Fatalf("seed %d: SCC count %d != node count %d", seed, g.NumSCCs, len(g.Order))
+		}
+		// Bottom-up order respects edges.
+		pos := map[string]int{}
+		for i, n := range g.BottomUp() {
+			pos[n.Proc.Name] = i
+		}
+		for _, n := range g.Order {
+			for _, site := range n.Out {
+				if pos[site.Callee] >= pos[n.Proc.Name] {
+					t.Fatalf("seed %d: callee %s not before caller %s", seed, site.Callee, n.Proc.Name)
+				}
+			}
+		}
+	}
+}

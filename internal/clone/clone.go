@@ -1,0 +1,319 @@
+// Package clone implements goal-directed procedure cloning guided by
+// interprocedural constants, after Cooper–Hall–Kennedy and the CONVEX
+// Application Compiler experience reported by Metzger & Stroud (both
+// cited by the paper as the main consumers of CONSTANTS sets).
+//
+// The lattice meet destroys constants when different call sites deliver
+// different values: c₁ ∧ c₂ = ⊥. Cloning partitions a procedure's call
+// sites by the constant vector they deliver and creates one copy per
+// partition, so each copy's CONSTANTS set keeps its own sites' values.
+// Growth is bounded by per-procedure and total clone budgets.
+package clone
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/lattice"
+	"repro/internal/sem"
+	"repro/internal/symbolic"
+)
+
+// Options bounds code growth.
+type Options struct {
+	// MaxClonesPerProc caps the partitions per procedure (default 4).
+	MaxClonesPerProc int
+	// MaxTotalClones caps program growth (default 32).
+	MaxTotalClones int
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxClonesPerProc <= 0 {
+		o.MaxClonesPerProc = 4
+	}
+	if o.MaxTotalClones <= 0 {
+		o.MaxTotalClones = 32
+	}
+}
+
+// Decision records the cloning of one procedure.
+type Decision struct {
+	Proc   string
+	Clones []string // new procedure names, one per call-site partition
+	// Vectors holds the constant vector of each partition, aligned with
+	// Clones (for reporting).
+	Vectors []string
+}
+
+// Report summarizes one cloning pass.
+type Report struct {
+	Decisions []Decision
+	Created   int
+}
+
+// Plan decides which procedures to clone under the given analysis. For
+// each eligible procedure (non-recursive, not the main program), live
+// call sites are grouped by the vector of constant values their jump
+// functions deliver under the callers' final VAL sets; cloning pays off
+// when at least two groups exist and some group holds a constant the
+// merged solution lost.
+func Plan(a *core.Analysis, opts Options) []Decision {
+	opts.setDefaults()
+	prog := a.Prog
+
+	// Collect, per callee, the live sites and their constant vectors.
+	type siteVec struct {
+		origin ast.Node
+		key    string
+	}
+	groups := make(map[*sem.Procedure][]siteVec)
+	for _, caller := range prog.Order {
+		pf := a.Funcs.Procs[caller]
+		if pf == nil {
+			continue
+		}
+		env := valEnv(a, caller)
+		for _, sf := range pf.Sites {
+			if sf.Dead || sf.Site.Origin == nil {
+				continue
+			}
+			callee := sf.Callee
+			if callee.Unit.Kind == ast.ProgramUnit {
+				continue
+			}
+			groups[callee] = append(groups[callee], siteVec{
+				origin: sf.Site.Origin,
+				key:    vectorKey(a, sf.Formals, env),
+			})
+		}
+	}
+
+	var decisions []Decision
+	total := 0
+	for _, callee := range prog.Order {
+		sites := groups[callee]
+		if len(sites) < 2 {
+			continue
+		}
+		if node := a.Graph.Nodes[callee.Name]; node == nil || node.Recursive {
+			continue
+		}
+		// Partition by vector.
+		parts := make(map[string][]ast.Node)
+		var order []string
+		for _, sv := range sites {
+			if _, seen := parts[sv.key]; !seen {
+				order = append(order, sv.key)
+			}
+			parts[sv.key] = append(parts[sv.key], sv.origin)
+		}
+		if len(parts) < 2 || len(parts) > opts.MaxClonesPerProc {
+			continue
+		}
+		if !cloningPays(a, callee, order) {
+			continue
+		}
+		if total+len(parts) > opts.MaxTotalClones {
+			break
+		}
+		d := Decision{Proc: callee.Name}
+		for gi, key := range order {
+			d.Clones = append(d.Clones, cloneName(prog, callee.Name, gi+1))
+			d.Vectors = append(d.Vectors, key)
+		}
+		total += len(parts)
+		decisions = append(decisions, d)
+	}
+	sort.Slice(decisions, func(i, j int) bool { return decisions[i].Proc < decisions[j].Proc })
+	return decisions
+}
+
+// Apply performs one cloning pass over the file, returning the
+// transformed source text and the report. The input AST is not
+// modified. Callers typically re-analyze the result (and may iterate;
+// see ipcp.AnalyzeWithCloning).
+func Apply(a *core.Analysis, f *ast.File, opts Options) (string, *Report) {
+	opts.setDefaults()
+	decisions := Plan(a, opts)
+	report := &Report{Decisions: decisions}
+	if len(decisions) == 0 {
+		return ast.FileString(f), report
+	}
+
+	// Recompute the partitions with origins (Plan discards them) and
+	// build the origin → clone-name map.
+	renames := make(map[ast.Node]string)
+	cloneOf := make(map[string][]string) // proc → clone names
+	for _, d := range decisions {
+		cloneOf[d.Proc] = d.Clones
+	}
+	for _, caller := range a.Prog.Order {
+		pf := a.Funcs.Procs[caller]
+		if pf == nil {
+			continue
+		}
+		env := valEnv(a, caller)
+		// Group this caller's sites by callee+vector using the same key
+		// computation as Plan, then assign clone names in first-seen
+		// order per callee (consistent with Plan's ordering).
+		for _, sf := range pf.Sites {
+			if sf.Dead || sf.Site.Origin == nil {
+				continue
+			}
+			d := findDecision(decisions, sf.Callee.Name)
+			if d == nil {
+				continue
+			}
+			key := vectorKey(a, sf.Formals, env)
+			for gi, vec := range d.Vectors {
+				if vec == key {
+					renames[sf.Site.Origin] = d.Clones[gi]
+					break
+				}
+			}
+		}
+	}
+
+	// Mutate origins, print, restore.
+	var undo []func()
+	for origin, name := range renames {
+		switch n := origin.(type) {
+		case *ast.CallStmt:
+			old := n.Name
+			n.Name = name
+			undo = append(undo, func() { n.Name = old })
+		case *ast.Apply:
+			old := n.Name
+			n.Name = name
+			undo = append(undo, func() { n.Name = old })
+		}
+	}
+
+	var out strings.Builder
+	for i, u := range f.Units {
+		if i > 0 {
+			out.WriteString("\n")
+		}
+		printUnit(&out, u)
+		for _, cn := range cloneOf[u.Name] {
+			cu := ast.CloneUnit(u)
+			cu.Name = cn
+			if cu.Kind == ast.FunctionUnit {
+				renameResultVar(cu, u.Name, cn)
+			}
+			out.WriteString("\n")
+			printUnit(&out, cu)
+			report.Created++
+		}
+	}
+
+	for _, fn := range undo {
+		fn()
+	}
+	return out.String(), report
+}
+
+// renameResultVar rewrites references to a function's own name (its
+// result variable) inside a clone's body.
+func renameResultVar(u *ast.Unit, from, to string) {
+	rename := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			if id, ok := x.(*ast.Ident); ok && id.Name == from {
+				id.Name = to
+			}
+			return true
+		})
+	}
+	ast.WalkStmts(u.Body, func(s ast.Stmt) bool {
+		for _, e := range ast.ExprsOf(s) {
+			rename(e)
+		}
+		return true
+	})
+}
+
+func printUnit(w *strings.Builder, u *ast.Unit) {
+	tmp := &ast.File{Units: []*ast.Unit{u}}
+	_ = ast.WriteFile(w, tmp)
+}
+
+func findDecision(ds []Decision, proc string) *Decision {
+	for i := range ds {
+		if ds[i].Proc == proc {
+			return &ds[i]
+		}
+	}
+	return nil
+}
+
+// valEnv builds the jump-function evaluation environment from the
+// caller's final VAL set.
+func valEnv(a *core.Analysis, caller *sem.Procedure) symbolic.Env {
+	return func(leaf *symbolic.Expr) lattice.Value {
+		switch leaf.Op {
+		case symbolic.OpParam:
+			return a.Vals.Formal(caller, leaf.Param.FormalIndex)
+		case symbolic.OpGlobal:
+			return a.Vals.Global(caller, leaf.Global)
+		}
+		return lattice.BottomValue()
+	}
+}
+
+// vectorKey renders the constant vector a site delivers, e.g. "8,⊥,3".
+func vectorKey(a *core.Analysis, formals []*symbolic.Expr, env symbolic.Env) string {
+	parts := make([]string, len(formals))
+	for i, jf := range formals {
+		if jf == nil {
+			parts[i] = "⊥"
+			continue
+		}
+		v := symbolic.Eval(jf, env)
+		if c, ok := v.IsConst(); ok {
+			parts[i] = fmt.Sprintf("%d", c)
+		} else {
+			parts[i] = "⊥"
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// cloningPays reports whether some partition delivers a constant that
+// the merged VAL solution lost (i.e. the groups actually disagree on a
+// constant position).
+func cloningPays(a *core.Analysis, callee *sem.Procedure, keys []string) bool {
+	if len(keys) < 2 {
+		return false
+	}
+	n := len(callee.Formals)
+	for i := 0; i < n; i++ {
+		if _, merged := a.Vals.Formal(callee, i).IsConst(); merged {
+			continue // already constant without cloning
+		}
+		constSeen := false
+		for _, k := range keys {
+			parts := strings.Split(k, ",")
+			if i < len(parts) && parts[i] != "⊥" {
+				constSeen = true
+			}
+		}
+		if constSeen {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneName generates a fresh procedure name.
+func cloneName(prog *sem.Program, base string, i int) string {
+	name := fmt.Sprintf("%s_%d", base, i)
+	for j := 0; ; j++ {
+		if _, taken := prog.Procs[name]; !taken {
+			return name
+		}
+		name = fmt.Sprintf("%s_%d_%d", base, i, j)
+	}
+}

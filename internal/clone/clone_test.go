@@ -1,0 +1,209 @@
+package clone
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/jump"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func analyze(t *testing.T, src string) (*core.Analysis, *ast.File, *sem.Program) {
+	t.Helper()
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", diags.Error())
+	}
+	cfg := core.Config{Jump: jump.Config{Kind: jump.PassThrough, UseMOD: true, UseReturnJFs: true}}
+	return core.AnalyzeProgram(prog, cfg), f, prog
+}
+
+const conflicted = `PROGRAM MAIN
+CALL SOLVE(8)
+CALL SOLVE(512)
+CALL SOLVE(8)
+CALL UNI(3)
+CALL UNI(3)
+END
+SUBROUTINE SOLVE(N)
+INTEGER N, S
+S = N * 2
+PRINT *, S
+END
+SUBROUTINE UNI(K)
+INTEGER K
+PRINT *, K
+END
+`
+
+func TestPlanFindsConflictedProcedure(t *testing.T) {
+	a, _, _ := analyze(t, conflicted)
+	ds := Plan(a, Options{})
+	if len(ds) != 1 || ds[0].Proc != "SOLVE" {
+		t.Fatalf("decisions = %+v", ds)
+	}
+	if len(ds[0].Clones) != 2 {
+		t.Errorf("clones = %v (two distinct vectors: 8 and 512)", ds[0].Clones)
+	}
+	// UNI receives the same constant everywhere: no cloning needed.
+	for _, d := range ds {
+		if d.Proc == "UNI" {
+			t.Error("UNI should not be cloned")
+		}
+	}
+}
+
+func TestApplyProducesValidProgramWithRecoveredConstants(t *testing.T) {
+	a, f, _ := analyze(t, conflicted)
+	out, report := Apply(a, f, Options{})
+	if report.Created != 2 {
+		t.Fatalf("created = %d, want 2", report.Created)
+	}
+	if !strings.Contains(out, "SUBROUTINE SOLVE_1") || !strings.Contains(out, "SUBROUTINE SOLVE_2") {
+		t.Fatalf("clones missing:\n%s", out)
+	}
+
+	// The original AST must be unchanged.
+	if !strings.Contains(ast.FileString(f), "CALL SOLVE(8)") {
+		t.Error("input AST was mutated")
+	}
+
+	// Re-analyze the cloned program: each clone has its constant.
+	a2, _, prog2 := analyze(t, out)
+	c1 := a2.Constants(prog2.Procs["SOLVE_1"])
+	c2 := a2.Constants(prog2.Procs["SOLVE_2"])
+	if len(c1) != 1 || len(c2) != 1 {
+		t.Fatalf("clone constants: %v / %v", c1, c2)
+	}
+	vals := map[int64]bool{c1[0].Value: true, c2[0].Value: true}
+	if !vals[8] || !vals[512] {
+		t.Errorf("clone constants = %v / %v, want 8 and 512", c1, c2)
+	}
+}
+
+func TestCloningPreservesBehaviour(t *testing.T) {
+	a, f, prog := analyze(t, conflicted)
+	out, _ := Apply(a, f, Options{})
+
+	before, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags source.ErrorList
+	f2 := parser.ParseSource("c.f", out, &diags)
+	prog2 := sem.Analyze(f2, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("cloned program invalid:\n%s", diags.Error())
+	}
+	after, err := interp.Run(prog2, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Output != after.Output {
+		t.Errorf("cloning changed behaviour:\n%q vs %q", before.Output, after.Output)
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	// Five distinct constants: exceeds MaxClonesPerProc (default 4).
+	src := `PROGRAM MAIN
+CALL S(1)
+CALL S(2)
+CALL S(3)
+CALL S(4)
+CALL S(5)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	a, _, _ := analyze(t, src)
+	if ds := Plan(a, Options{}); len(ds) != 0 {
+		t.Errorf("over-budget procedure should not be cloned: %+v", ds)
+	}
+	if ds := Plan(a, Options{MaxClonesPerProc: 5}); len(ds) != 1 {
+		t.Errorf("raised budget should allow cloning: %+v", ds)
+	}
+	if ds := Plan(a, Options{MaxClonesPerProc: 5, MaxTotalClones: 3}); len(ds) != 0 {
+		t.Errorf("total budget should stop cloning: %+v", ds)
+	}
+}
+
+func TestFunctionCallSitesCloned(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER A, B
+A = F(10)
+B = F(20)
+PRINT *, A + B
+END
+INTEGER FUNCTION F(N)
+INTEGER N
+F = N + 1
+END
+`
+	a, f, _ := analyze(t, src)
+	out, report := Apply(a, f, Options{})
+	if report.Created != 2 {
+		t.Fatalf("created = %d\n%s", report.Created, out)
+	}
+	if !strings.Contains(out, "F_1(10)") && !strings.Contains(out, "F_1(20)") {
+		t.Errorf("function reference not retargeted:\n%s", out)
+	}
+	// Behaviour preserved.
+	var diags source.ErrorList
+	f2 := parser.ParseSource("c.f", out, &diags)
+	prog2 := sem.Analyze(f2, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("invalid:\n%s", diags.Error())
+	}
+	res, err := interp.Run(prog2, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(res.Output) != "32" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestRecursiveProceduresNotCloned(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL R(1, 3)
+CALL R(2, 3)
+END
+SUBROUTINE R(C, N)
+INTEGER C, N
+IF (N .GT. 0) CALL R(C, N - 1)
+END
+`
+	a, _, _ := analyze(t, src)
+	if ds := Plan(a, Options{}); len(ds) != 0 {
+		t.Errorf("recursive procedure should not be cloned: %+v", ds)
+	}
+}
+
+func TestNoCloningWhenNothingToGain(t *testing.T) {
+	// Sites differ but neither delivers a constant.
+	src := `PROGRAM MAIN
+INTEGER X, Y
+READ *, X, Y
+CALL S(X)
+CALL S(Y)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	a, _, _ := analyze(t, src)
+	if ds := Plan(a, Options{}); len(ds) != 0 {
+		t.Errorf("no constants, no cloning: %+v", ds)
+	}
+}

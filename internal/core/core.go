@@ -1,0 +1,437 @@
+// Package core is the interprocedural constant propagation driver — the
+// paper's primary contribution. It wires the pipeline together:
+//
+//  1. return jump functions, bottom-up over the call graph (§4.1);
+//  2. forward jump functions per call site (§3.1);
+//  3. interprocedural propagation of VAL sets around the call graph,
+//     with a choice of solvers: the simple iterative worklist scheme the
+//     paper used, or the binding-graph scheme of Callahan–Cooper–
+//     Kennedy–Torczon 1986 that achieves the O(Σ cost(J)) bound;
+//  4. recording CONSTANTS(p) and (optionally) substituting the
+//     constants into the program text.
+//
+// The "complete propagation" mode (Table 3) iterates: propagate, use
+// the discovered constants to prove branches dead, rebuild jump
+// functions on the pruned program, and propagate again from scratch,
+// until the solution stabilizes.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/callgraph"
+	"repro/internal/dce"
+	"repro/internal/jump"
+	"repro/internal/lattice"
+	"repro/internal/modref"
+	"repro/internal/sem"
+	"repro/internal/ssa"
+	"repro/internal/subst"
+	"repro/internal/symbolic"
+)
+
+// SolverKind selects the interprocedural propagation algorithm.
+type SolverKind int
+
+const (
+	// SolverWorklist is the simple iterative scheme used in the paper's
+	// experiments ("a simple worklist iterative scheme").
+	SolverWorklist SolverKind = iota
+	// SolverBinding models the 1986 paper's binding-graph computation:
+	// jump functions are re-evaluated only when a value in their support
+	// actually lowers.
+	SolverBinding
+)
+
+func (s SolverKind) String() string {
+	if s == SolverBinding {
+		return "binding-graph"
+	}
+	return "worklist"
+}
+
+// Config selects an experimental configuration.
+type Config struct {
+	Jump jump.Config
+	// Complete iterates propagation with dead-code elimination
+	// (Table 3's "Complete Propagation").
+	Complete bool
+	// MaxRounds bounds complete-propagation iterations (safety net; the
+	// paper observed a single extra round sufficed).
+	MaxRounds int
+	Solver    SolverKind
+}
+
+// DefaultConfig is pass-through + MOD + return jump functions — the
+// configuration the paper recommends as most cost-effective.
+func DefaultConfig() Config {
+	return Config{Jump: jump.DefaultConfig(), MaxRounds: 4}
+}
+
+// Constant is one (name, value) pair of a CONSTANTS(p) set.
+type Constant struct {
+	Proc        *sem.Procedure
+	Name        string
+	FormalIndex int            // -1 for globals
+	Global      *sem.GlobalVar // nil for formals
+	Value       int64
+	// Referenced reports whether p actually reads the value (REF/GREF).
+	// Metzger & Stroud observed that procedures often have constant
+	// COMMON variables that are "known but irrelevant — that is, they
+	// are not referenced inside the procedure"; this flag is how the
+	// substitution metric factors them out.
+	Referenced bool
+}
+
+func (c Constant) String() string { return fmt.Sprintf("(%s, %d)", c.Name, c.Value) }
+
+// Stats counts solver work for the cost comparisons of §3.1.5.
+type Stats struct {
+	// JFEvaluations counts forward jump function evaluations during
+	// propagation.
+	JFEvaluations int
+	// Lowerings counts lattice value changes.
+	Lowerings int
+	// Rounds is the number of complete-propagation rounds executed.
+	Rounds int
+	// DeadInstrs is the dead code found by the final round (complete
+	// propagation only).
+	DeadInstrs int
+}
+
+// Analysis is the result of interprocedural constant propagation.
+type Analysis struct {
+	Config Config
+	Prog   *sem.Program
+	Graph  *callgraph.Graph
+	Mod    *modref.Info
+	Funcs  *jump.Functions
+	Vals   *Values
+	Stats  Stats
+
+	builder *symbolic.Builder
+}
+
+// AnalyzeProgram runs the full interprocedural analysis over an
+// analyzed program.
+func AnalyzeProgram(prog *sem.Program, cfgg Config) *Analysis {
+	if cfgg.MaxRounds <= 0 {
+		cfgg.MaxRounds = 4
+	}
+	a := &Analysis{
+		Config:  cfgg,
+		Prog:    prog,
+		Graph:   callgraph.Build(prog),
+		Mod:     nil,
+		builder: symbolic.NewBuilder(),
+	}
+	a.Mod = modref.Compute(a.Graph)
+
+	init := DataInits(prog)
+
+	var entry jump.EntryEnv
+	prune := false
+	var prev *Values
+	for round := 0; ; round++ {
+		jc := cfgg.Jump
+		jc.Prune = prune
+		a.Funcs = jump.Build(a.Graph, a.Mod, a.builder, jc, entry)
+		a.Vals = a.solve(init)
+		a.Stats.Rounds = round + 1
+		if !cfgg.Complete || round+1 >= cfgg.MaxRounds {
+			break
+		}
+		if prev != nil && a.Vals.Equal(prev) {
+			break
+		}
+		prev = a.Vals
+		entry = a.Vals.EntryEnv
+		prune = true
+	}
+
+	if cfgg.Complete {
+		a.Stats.DeadInstrs = a.countDeadInstrs()
+	}
+	return a
+}
+
+func (a *Analysis) solve(init map[*sem.GlobalVar]lattice.Value) *Values {
+	switch a.Config.Solver {
+	case SolverBinding:
+		return a.solveBinding(init)
+	default:
+		return a.solveWorklist(init)
+	}
+}
+
+func (a *Analysis) countDeadInstrs() int {
+	var results []*dce.Result
+	for _, pf := range a.Funcs.Procs {
+		results = append(results, dce.Analyze(pf.SSA, pf.Intra))
+	}
+	return dce.TotalDeadInstrs(results)
+}
+
+// Constants returns CONSTANTS(p): the formals and globals proven
+// constant on every entry to p. ⊤ values (procedure never called) are
+// not reported.
+func (a *Analysis) Constants(p *sem.Procedure) []Constant {
+	var out []Constant
+	for i, f := range p.Formals {
+		if f.IsArray || f.Type != ast.TypeInteger {
+			continue
+		}
+		if c, ok := a.Vals.Formal(p, i).IsConst(); ok {
+			out = append(out, Constant{Proc: p, Name: f.Name, FormalIndex: i, Value: c,
+				Referenced: a.Mod.Ref(p, i)})
+		}
+	}
+	for _, g := range a.Prog.Globals() {
+		if g.IsArray || g.Type != ast.TypeInteger {
+			continue
+		}
+		if c, ok := a.Vals.Global(p, g).IsConst(); ok {
+			out = append(out, Constant{Proc: p, Name: g.Name, FormalIndex: -1, Global: g, Value: c,
+				Referenced: a.Mod.GRef(p, g)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllConstants returns the CONSTANTS sets of every procedure, in source
+// order.
+func (a *Analysis) AllConstants() map[*sem.Procedure][]Constant {
+	m := make(map[*sem.Procedure][]Constant)
+	for _, p := range a.Prog.Order {
+		m[p] = a.Constants(p)
+	}
+	return m
+}
+
+// Substitute counts (and records) the constants the analyzer would
+// substitute into the program text — the paper's reported metric.
+func (a *Analysis) Substitute() *subst.Result {
+	opts := subst.Options{
+		UseMOD:           a.Config.Jump.UseMOD,
+		UseReturnJFs:     a.Config.Jump.UseReturnJFs,
+		Returns:          a.Funcs.Returns,
+		FullSubstitution: a.Config.Jump.FullSubstitution,
+		Gated:            a.Config.Jump.Gated,
+		Prune:            a.Config.Complete,
+		Entry:            a.Vals.EntryEnv,
+		Builder:          a.builder,
+	}
+	return subst.Run(a.Graph, a.Mod, opts)
+}
+
+// TransformedSource returns the program text with every substituted use
+// replaced by its constant (the analyzer's optional output).
+func (a *Analysis) TransformedSource(f *ast.File) string {
+	res := a.Substitute()
+	var b strings.Builder
+	_ = ast.WriteFileSubst(&b, f, res.Replacements)
+	return b.String()
+}
+
+// IntraproceduralCount is the Table 3 baseline: purely intraprocedural
+// constant propagation (no values cross call boundaries) with MOD
+// information.
+func IntraproceduralCount(prog *sem.Program) *subst.Result {
+	cg := callgraph.Build(prog)
+	mod := modref.Compute(cg)
+	return subst.Run(cg, mod, subst.Options{UseMOD: true})
+}
+
+// DataInits scans all DATA statements for load-time initializations of
+// COMMON globals; they form the initial environment of the main
+// program.
+func DataInits(prog *sem.Program) map[*sem.GlobalVar]lattice.Value {
+	out := make(map[*sem.GlobalVar]lattice.Value)
+	for _, p := range prog.Order {
+		for _, d := range p.Unit.Decls {
+			dd, ok := d.(*ast.DataDecl)
+			if !ok {
+				continue
+			}
+			for i, name := range dd.Names {
+				if i >= len(dd.Values) {
+					break
+				}
+				s := p.Lookup(name)
+				if s == nil || s.Kind != sem.SymCommon || s.IsArray || s.Global.Type != ast.TypeInteger {
+					continue
+				}
+				v := constOfLiteral(dd.Values[i])
+				if cur, seen := out[s.Global]; seen {
+					out[s.Global] = lattice.Meet(cur, v)
+				} else {
+					out[s.Global] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func constOfLiteral(e ast.Expr) lattice.Value {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return lattice.ConstValue(x.Value)
+	case *ast.Unary:
+		if x.Op == ast.OpNeg {
+			if lit, ok := x.X.(*ast.IntLit); ok {
+				return lattice.ConstValue(-lit.Value)
+			}
+		}
+	}
+	return lattice.BottomValue()
+}
+
+// ---------------------------------------------------------------------
+// VAL sets
+
+// Values holds VAL(p) for every procedure: one lattice value per formal
+// parameter and per (procedure, global) pair.
+type Values struct {
+	prog    *sem.Program
+	formals map[*sem.Procedure][]lattice.Value
+	globals map[*sem.Procedure]map[*sem.GlobalVar]lattice.Value
+}
+
+// NewValues returns the all-⊤ initial VAL sets.
+func NewValues(prog *sem.Program) *Values {
+	v := &Values{
+		prog:    prog,
+		formals: make(map[*sem.Procedure][]lattice.Value),
+		globals: make(map[*sem.Procedure]map[*sem.GlobalVar]lattice.Value),
+	}
+	for _, p := range prog.Order {
+		v.formals[p] = make([]lattice.Value, len(p.Formals))
+		gm := make(map[*sem.GlobalVar]lattice.Value)
+		for _, g := range prog.Globals() {
+			gm[g] = lattice.TopValue()
+		}
+		v.globals[p] = gm
+	}
+	return v
+}
+
+// Formal returns VAL(p)[formal i].
+func (v *Values) Formal(p *sem.Procedure, i int) lattice.Value {
+	fs := v.formals[p]
+	if i < 0 || i >= len(fs) {
+		return lattice.BottomValue()
+	}
+	return fs[i]
+}
+
+// Global returns VAL(p)[g].
+func (v *Values) Global(p *sem.Procedure, g *sem.GlobalVar) lattice.Value {
+	return v.globals[p][g]
+}
+
+// LowerFormal meets a new value into VAL(p)[i], reporting change.
+func (v *Values) LowerFormal(p *sem.Procedure, i int, nv lattice.Value) bool {
+	fs := v.formals[p]
+	if i < 0 || i >= len(fs) {
+		return false
+	}
+	m := lattice.Meet(fs[i], nv)
+	if m == fs[i] {
+		return false
+	}
+	fs[i] = m
+	return true
+}
+
+// LowerGlobal meets a new value into VAL(p)[g], reporting change.
+func (v *Values) LowerGlobal(p *sem.Procedure, g *sem.GlobalVar, nv lattice.Value) bool {
+	m := lattice.Meet(v.globals[p][g], nv)
+	if m == v.globals[p][g] {
+		return false
+	}
+	v.globals[p][g] = m
+	return true
+}
+
+// Equal reports whether two VAL solutions coincide.
+func (v *Values) Equal(o *Values) bool {
+	for p, fs := range v.formals {
+		ofs := o.formals[p]
+		if len(fs) != len(ofs) {
+			return false
+		}
+		for i := range fs {
+			if fs[i] != ofs[i] {
+				return false
+			}
+		}
+		for g, val := range v.globals[p] {
+			if o.globals[p][g] != val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EntryEnv adapts VAL(p) to the intra engine's entry environment: only
+// constants are included.
+func (v *Values) EntryEnv(p *sem.Procedure) map[ssa.Var]int64 {
+	env := make(map[ssa.Var]int64)
+	for i, f := range p.Formals {
+		if c, ok := v.Formal(p, i).IsConst(); ok {
+			env[ssa.VarOf(f)] = c
+		}
+	}
+	for g, val := range v.globals[p] {
+		if c, ok := val.IsConst(); ok {
+			env[ssa.GlobalVar(g)] = c
+		}
+	}
+	return env
+}
+
+// envFor builds the jump-function evaluation environment from VAL(p).
+func (v *Values) envFor(p *sem.Procedure) symbolic.Env {
+	return func(leaf *symbolic.Expr) lattice.Value {
+		switch leaf.Op {
+		case symbolic.OpParam:
+			// The leaf's symbol belongs to p (the caller).
+			return v.Formal(p, leaf.Param.FormalIndex)
+		case symbolic.OpGlobal:
+			return v.Global(p, leaf.Global)
+		}
+		return lattice.BottomValue()
+	}
+}
+
+// String renders the non-⊤ values for debugging.
+func (v *Values) String() string {
+	var b strings.Builder
+	for _, p := range v.prog.Order {
+		fmt.Fprintf(&b, "%s:", p.Name)
+		for i, f := range p.Formals {
+			fmt.Fprintf(&b, " %s=%s", f.Name, v.Formal(p, i))
+		}
+		var keys []string
+		gm := v.globals[p]
+		for g := range gm {
+			keys = append(keys, g.Key())
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for g, val := range gm {
+				if g.Key() == k && !val.IsTop() {
+					fmt.Fprintf(&b, " %s=%s", k, val)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

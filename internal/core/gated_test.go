@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/jump"
+	"repro/internal/lattice"
+)
+
+// TestGatedSubsumesCompletePropagation reproduces the paper's §4.2
+// claim: "An analyzer based on gated single-assignment form would never
+// consider the dead assignments that we found in the complete
+// propagations. This would let the standard polynomial jump function
+// produce the results seen with complete propagation."
+func TestGatedSubsumesCompletePropagation(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER N
+N = 1
+CALL S(N)
+END
+SUBROUTINE S(K)
+INTEGER K, M
+IF (K .EQ. 1) THEN
+  M = 5
+ELSE
+  M = 6
+ENDIF
+CALL T(M)
+END
+SUBROUTINE T(J)
+INTEGER J
+PRINT *, J
+END
+`
+	gated := Config{Jump: jump.Config{Kind: jump.Polynomial, UseMOD: true, UseReturnJFs: true, Gated: true}}
+	a := analyzeSrc(t, src, gated)
+	wantConst(t, formalVal(a, "T", 0), 5, "gated: T.J")
+	if a.Stats.Rounds != 1 {
+		t.Errorf("gated mode should need a single round, took %d", a.Stats.Rounds)
+	}
+
+	// And it matches the iterated complete propagation's solution.
+	complete := Config{Jump: jump.Config{Kind: jump.Polynomial, UseMOD: true, UseReturnJFs: true}, Complete: true}
+	ac := analyzeSrc(t, src, complete)
+	for _, p := range a.Prog.Order {
+		pc := ac.Prog.Procs[p.Name]
+		for fi := range p.Formals {
+			if a.Vals.Formal(p, fi) != ac.Vals.Formal(pc, fi) {
+				t.Errorf("gated vs complete differ on %s formal %d: %v vs %v",
+					p.Name, fi, a.Vals.Formal(p, fi), ac.Vals.Formal(pc, fi))
+			}
+		}
+	}
+}
+
+// TestGammaMergesDistinctValuesSoundly: when the predicate stays
+// unknown the gamma meets both arms (⊥ for distinct constants).
+func TestGammaUnknownPredicate(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER N
+READ *, N
+CALL S(N)
+END
+SUBROUTINE S(K)
+INTEGER K, M
+IF (K .EQ. 1) THEN
+  M = 5
+ELSE
+  M = 6
+ENDIF
+CALL T(M)
+END
+SUBROUTINE T(J)
+INTEGER J
+PRINT *, J
+END
+`
+	gated := Config{Jump: jump.Config{Kind: jump.Polynomial, UseMOD: true, UseReturnJFs: true, Gated: true}}
+	a := analyzeSrc(t, src, gated)
+	wantBottom(t, formalVal(a, "T", 0), "gated with unknown predicate: T.J")
+}
+
+// TestGammaEmptyArm: an if-then without else (one arm is the fall
+// through from the conditional itself).
+func TestGammaEmptyArm(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER N
+N = 3
+CALL S(N)
+END
+SUBROUTINE S(K)
+INTEGER K, M
+M = 10
+IF (K .GT. 2) THEN
+  M = 20
+ENDIF
+CALL T(M)
+END
+SUBROUTINE T(J)
+INTEGER J
+PRINT *, J
+END
+`
+	gated := Config{Jump: jump.Config{Kind: jump.Polynomial, UseMOD: true, UseReturnJFs: true, Gated: true}}
+	a := analyzeSrc(t, src, gated)
+	wantConst(t, formalVal(a, "T", 0), 20, "gated empty-arm: T.J (K=3 > 2)")
+}
+
+// TestGammaThroughReturnJF: gated return jump functions carry the
+// conditional structure back to the caller.
+func TestGammaThroughReturnJF(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER R
+CALL PICK(R, 1)
+CALL USE(R)
+END
+SUBROUTINE PICK(OUT, SEL)
+INTEGER OUT, SEL
+IF (SEL .EQ. 1) THEN
+  OUT = 111
+ELSE
+  OUT = 222
+ENDIF
+END
+SUBROUTINE USE(V)
+INTEGER V
+PRINT *, V
+END
+`
+	plain := Config{Jump: jump.Config{Kind: jump.Polynomial, UseMOD: true, UseReturnJFs: true}}
+	a := analyzeSrc(t, src, plain)
+	wantBottom(t, formalVal(a, "USE", 0), "plain: USE.V")
+
+	gated := plain
+	gated.Jump.Gated = true
+	a = analyzeSrc(t, src, gated)
+	wantConst(t, formalVal(a, "USE", 0), 111, "gated RJF: USE.V")
+}
+
+// TestGatedMonotoneVsPlain: gated never loses constants relative to
+// plain polynomial, on random programs.
+func TestGatedMonotoneVsPlain(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		prog, src := genProgram(t, gen.Config{Seed: int64(seed*41 + 7)})
+		jc := jump.Config{Kind: jump.Polynomial, UseMOD: true, UseReturnJFs: true}
+		plain := AnalyzeProgram(prog, Config{Jump: jc})
+		jc.Gated = true
+		gated := AnalyzeProgram(prog, Config{Jump: jc})
+		for _, p := range prog.Order {
+			for fi := range p.Formals {
+				if !lattice.Leq(plain.Vals.Formal(p, fi), gated.Vals.Formal(p, fi)) {
+					t.Fatalf("seed %d: gated lost a constant on %s formal %d: %v vs %v\n%s",
+						seed, p.Name, fi, plain.Vals.Formal(p, fi), gated.Vals.Formal(p, fi), src)
+				}
+			}
+		}
+	}
+}

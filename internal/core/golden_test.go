@@ -1,0 +1,100 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/jump"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// renderAnalysis formats an analysis deterministically for golden
+// comparison: CONSTANTS per procedure under four configurations, plus
+// substitution counts.
+func renderAnalysis(prog *sem.Program) string {
+	var b strings.Builder
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"literal", Config{Jump: jump.Config{Kind: jump.Literal, UseMOD: true, UseReturnJFs: true}}},
+		{"pass-through", Config{Jump: jump.Config{Kind: jump.PassThrough, UseMOD: true, UseReturnJFs: true}}},
+		{"pass-through/no-RJF", Config{Jump: jump.Config{Kind: jump.PassThrough, UseMOD: true}}},
+		{"polynomial/no-MOD", Config{Jump: jump.Config{Kind: jump.Polynomial, UseReturnJFs: true}}},
+	}
+	for _, c := range configs {
+		a := AnalyzeProgram(prog, c.cfg)
+		fmt.Fprintf(&b, "== %s ==\n", c.name)
+		for _, p := range prog.Order {
+			ks := a.Constants(p)
+			if len(ks) == 0 {
+				continue
+			}
+			parts := make([]string, len(ks))
+			for i, k := range ks {
+				ref := ""
+				if !k.Referenced {
+					ref = " [irrelevant]"
+				}
+				parts[i] = fmt.Sprintf("(%s, %d)%s", k.Name, k.Value, ref)
+			}
+			sort.Strings(parts)
+			fmt.Fprintf(&b, "CONSTANTS(%s): %s\n", p.Name, strings.Join(parts, " "))
+		}
+		fmt.Fprintf(&b, "substitutable uses: %d\n\n", a.Substitute().Total)
+	}
+	return b.String()
+}
+
+func TestGoldenPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.f")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs: %v", err)
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".f")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var diags source.ErrorList
+			f := parser.ParseSource(file, string(src), &diags)
+			prog := sem.Analyze(f, &diags)
+			if diags.HasErrors() {
+				t.Fatalf("front-end errors:\n%s", diags.Error())
+			}
+
+			// Every curated program must execute cleanly.
+			if _, err := interp.Run(prog, interp.Options{Input: []int64{1, 2, 3}}); err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+
+			got := renderAnalysis(prog)
+			goldenPath := strings.TrimSuffix(file, ".f") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}

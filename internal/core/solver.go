@@ -1,0 +1,217 @@
+package core
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/sem"
+	"repro/internal/symbolic"
+)
+
+// evalJF evaluates a forward jump function under the caller's VAL set.
+// A nil jump function is the constant-⊥ function.
+func (a *Analysis) evalJF(jf *symbolic.Expr, env symbolic.Env) lattice.Value {
+	a.Stats.JFEvaluations++
+	if jf == nil {
+		return lattice.BottomValue()
+	}
+	return symbolic.Eval(jf, env)
+}
+
+// seed installs the main program's initial environment: formals are
+// nonexistent, and each global starts at its DATA-statement value (or ⊥
+// for uninitialized storage).
+func (a *Analysis) seed(vals *Values, init map[*sem.GlobalVar]lattice.Value) {
+	main := a.Prog.Main
+	if main == nil {
+		return
+	}
+	for _, g := range a.Prog.Globals() {
+		v, ok := init[g]
+		if !ok {
+			v = lattice.BottomValue()
+		}
+		if vals.LowerGlobal(main, g, v) {
+			a.Stats.Lowerings++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Worklist solver (the paper's §4.1 third phase)
+
+// solveWorklist iterates procedure-at-a-time: when VAL(p) changes, all
+// call sites in p are re-evaluated. Simple and, as the paper notes for
+// its own implementation, "even with this less efficient solver, the
+// problems converged quickly".
+func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value) *Values {
+	vals := NewValues(a.Prog)
+	a.seed(vals, init)
+
+	inWork := make(map[*sem.Procedure]bool)
+	var work []*sem.Procedure
+	push := func(p *sem.Procedure) {
+		if !inWork[p] {
+			inWork[p] = true
+			work = append(work, p)
+		}
+	}
+	// Every procedure is processed at least once so that sites with
+	// constant jump functions fire even if the caller's VAL never
+	// lowers.
+	for _, p := range a.Prog.Order {
+		push(p)
+	}
+
+	for len(work) > 0 {
+		p := work[0]
+		work = work[1:]
+		inWork[p] = false
+
+		pf := a.Funcs.Procs[p]
+		if pf == nil {
+			continue
+		}
+		env := vals.envFor(p)
+		for _, site := range pf.Sites {
+			if site.Dead {
+				continue // unreachable call: contributes ⊤ (nothing)
+			}
+			q := site.Callee
+			for j, jf := range site.Formals {
+				v := a.evalJF(jf, env)
+				if vals.LowerFormal(q, j, v) {
+					a.Stats.Lowerings++
+					push(q)
+				}
+			}
+			for _, g := range a.Prog.Globals() {
+				v := a.evalJF(site.Globals[g], env)
+				if vals.LowerGlobal(q, g, v) {
+					a.Stats.Lowerings++
+					push(q)
+				}
+			}
+		}
+	}
+	return vals
+}
+
+// ---------------------------------------------------------------------
+// Binding-graph solver (Callahan–Cooper–Kennedy–Torczon 1986)
+
+// slotKey identifies one lattice cell: a (procedure, formal) or
+// (procedure, global) pair — a node of the binding graph.
+type slotKey struct {
+	proc   *sem.Procedure
+	formal int // -1 for globals
+	glob   *sem.GlobalVar
+}
+
+// jfInstance is one jump function edge: evaluating caller VAL values
+// feeds the target slot.
+type jfInstance struct {
+	caller *sem.Procedure
+	expr   *symbolic.Expr // nil = constant ⊥
+	target slotKey
+}
+
+// solveBinding builds the binding graph — an edge from each slot in a
+// jump function's support to the slot the function feeds — and
+// re-evaluates a jump function only when a slot in its support lowers.
+// With the shallow lattice (each slot lowers at most twice) the total
+// work is O(Σ_s Σ_y cost(J_s^y) · |support(J_s^y)|), and O(Σ cost) for
+// the pass-through family whose supports have at most one element —
+// the bounds of §3.1.5.
+func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value) *Values {
+	vals := NewValues(a.Prog)
+
+	// Collect jump function instances and the dependence index.
+	var instances []jfInstance
+	deps := make(map[slotKey][]int) // slot → instance indices to re-evaluate
+	for _, p := range a.Prog.Order {
+		pf := a.Funcs.Procs[p]
+		if pf == nil {
+			continue
+		}
+		for _, site := range pf.Sites {
+			if site.Dead {
+				continue // unreachable call: contributes ⊤ (nothing)
+			}
+			addInstance := func(expr *symbolic.Expr, target slotKey) {
+				idx := len(instances)
+				instances = append(instances, jfInstance{caller: p, expr: expr, target: target})
+				if expr != nil {
+					for _, leaf := range expr.Support() {
+						k := leafSlot(p, leaf)
+						deps[k] = append(deps[k], idx)
+					}
+				}
+			}
+			for j := range site.Formals {
+				addInstance(site.Formals[j], slotKey{proc: site.Callee, formal: j})
+			}
+			for _, g := range a.Prog.Globals() {
+				addInstance(site.Globals[g], slotKey{proc: site.Callee, formal: -1, glob: g})
+			}
+		}
+	}
+
+	// Worklist of lowered slots.
+	var work []slotKey
+	inWork := make(map[slotKey]bool)
+	lower := func(k slotKey, v lattice.Value) {
+		var changed bool
+		if k.formal >= 0 {
+			changed = vals.LowerFormal(k.proc, k.formal, v)
+		} else {
+			changed = vals.LowerGlobal(k.proc, k.glob, v)
+		}
+		if changed {
+			a.Stats.Lowerings++
+			if !inWork[k] {
+				inWork[k] = true
+				work = append(work, k)
+			}
+		}
+	}
+
+	// Seed: main's globals.
+	if main := a.Prog.Main; main != nil {
+		for _, g := range a.Prog.Globals() {
+			v, ok := init[g]
+			if !ok {
+				v = lattice.BottomValue()
+			}
+			lower(slotKey{proc: main, formal: -1, glob: g}, v)
+		}
+	}
+
+	evalInstance := func(inst jfInstance) {
+		lower(inst.target, a.evalJF(inst.expr, vals.envFor(inst.caller)))
+	}
+
+	// Initial evaluation of every jump function (support values may be
+	// ⊤; constants and ⊥ propagate immediately).
+	for _, inst := range instances {
+		evalInstance(inst)
+	}
+
+	for len(work) > 0 {
+		k := work[0]
+		work = work[1:]
+		inWork[k] = false
+		for _, idx := range deps[k] {
+			evalInstance(instances[idx])
+		}
+	}
+	return vals
+}
+
+func leafSlot(p *sem.Procedure, leaf *symbolic.Expr) slotKey {
+	switch leaf.Op {
+	case symbolic.OpParam:
+		return slotKey{proc: p, formal: leaf.Param.FormalIndex}
+	case symbolic.OpGlobal:
+		return slotKey{proc: p, formal: -1, glob: leaf.Global}
+	}
+	return slotKey{proc: p, formal: -1}
+}

@@ -1,0 +1,60 @@
+! A miniature Gaussian-elimination kernel in F77s: arrays, nested
+! loops, a function, and interprocedural constants for the system size.
+PROGRAM MAIN
+COMMON /DIMS/ NSYS
+COMMON /MAT/ A(100), B(10), X(10)
+REAL A, B, X
+NSYS = 4
+CALL BUILD
+CALL ELIM
+CALL BACKSUB
+END
+
+SUBROUTINE BUILD()
+INTEGER I, J
+COMMON /DIMS/ N
+COMMON /MAT/ A(100), B(10), X(10)
+REAL A, B, X
+DO I = 1, N
+  DO J = 1, N
+    A((I-1)*N + J) = 1.0 / (I + J - 1)
+  ENDDO
+  B(I) = I
+ENDDO
+END
+
+SUBROUTINE ELIM()
+INTEGER I, J, K
+COMMON /DIMS/ N
+COMMON /MAT/ A(100), B(10), X(10)
+REAL A, B, X, F
+DO K = 1, N - 1
+  DO I = K + 1, N
+    F = A((I-1)*N + K) / A((K-1)*N + K)
+    DO J = K, N
+      A((I-1)*N + J) = A((I-1)*N + J) - F*A((K-1)*N + J)
+    ENDDO
+    B(I) = B(I) - F*B(K)
+  ENDDO
+ENDDO
+END
+
+SUBROUTINE BACKSUB()
+INTEGER I, J
+COMMON /DIMS/ N
+COMMON /MAT/ A(100), B(10), X(10)
+REAL A, B, X, S
+DO I = N, 1, -1
+  S = B(I)
+  DO J = I + 1, N
+    S = S - A((I-1)*N + J)*X(J)
+  ENDDO
+  X(I) = S / A((I-1)*N + I)
+ENDDO
+PRINT *, IDXOF(N)
+END
+
+INTEGER FUNCTION IDXOF(N)
+INTEGER N
+IDXOF = N*N
+END

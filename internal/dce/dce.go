@@ -1,0 +1,64 @@
+// Package dce implements dead-code detection driven by constant
+// conditions, the ingredient of the paper's "complete propagation"
+// (Table 3, column 3): after an interprocedural propagation round, the
+// discovered constants can prove branches dead; removing them can
+// eliminate conflicting definitions and expose additional constants, so
+// jump functions are rebuilt on the pruned program and propagation runs
+// again from scratch.
+package dce
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/intra"
+	"repro/internal/ssa"
+)
+
+// Result summarizes dead code found in one procedure.
+type Result struct {
+	Proc *ssa.Func
+	// DeadBlocks lists basic blocks that can never execute under the
+	// analyzed entry environment.
+	DeadBlocks []*cfg.Block
+	// DeadInstrs counts instructions inside dead blocks.
+	DeadInstrs int
+	// FoldedBranches counts conditional terminators whose condition is
+	// a known constant (one successor edge is dead).
+	FoldedBranches int
+}
+
+// Found reports whether any dead code was detected.
+func (r *Result) Found() bool { return len(r.DeadBlocks) > 0 || r.FoldedBranches > 0 }
+
+// Analyze inspects a pruned intra result for dead code. The result is
+// meaningful only when the analysis ran with Prune enabled.
+func Analyze(fn *ssa.Func, r *intra.Result) *Result {
+	out := &Result{Proc: fn}
+	for _, blk := range fn.Graph.Blocks {
+		if blk == fn.Graph.Exit {
+			continue
+		}
+		if !r.ExecBlock[blk] {
+			out.DeadBlocks = append(out.DeadBlocks, blk)
+			out.DeadInstrs += len(blk.Instrs)
+			continue
+		}
+		if blk.Term.Kind == cfg.TermCond {
+			live0 := r.EdgeExecutable(blk, 0)
+			live1 := r.EdgeExecutable(blk, 1)
+			if live0 != live1 {
+				out.FoldedBranches++
+			}
+		}
+	}
+	return out
+}
+
+// TotalDeadInstrs sums dead instructions across procedures; the
+// complete-propagation loop uses it as its progress measure.
+func TotalDeadInstrs(results []*Result) int {
+	n := 0
+	for _, r := range results {
+		n += r.DeadInstrs
+	}
+	return n
+}

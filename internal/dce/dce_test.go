@@ -1,0 +1,153 @@
+package dce
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/dom"
+	"repro/internal/intra"
+	"repro/internal/modref"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/ssa"
+)
+
+func analyzeProc(t *testing.T, src, name string, prune bool, entry map[ssa.Var]int64) (*ssa.Func, *intra.Result, *sem.Program) {
+	t.Helper()
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", diags.Error())
+	}
+	cg := callgraph.Build(prog)
+	mod := modref.Compute(cg)
+	n := cg.Nodes[name]
+	dt := dom.Compute(n.CFG)
+	fn := ssa.Build(n.CFG, dt, ssa.Options{Kills: mod.Kills, Globals: prog.Globals()})
+	res := intra.Analyze(fn, intra.Options{Prune: prune, Entry: entry})
+	return fn, res, prog
+}
+
+func TestDeadBranchDetected(t *testing.T) {
+	src := `PROGRAM P
+INTEGER K, M
+K = 1
+IF (K .EQ. 2) THEN
+  M = 7
+  M = M + 1
+ELSE
+  M = 9
+ENDIF
+PRINT *, M
+END
+`
+	fn, res, _ := analyzeProc(t, src, "P", true, nil)
+	r := Analyze(fn, res)
+	if !r.Found() {
+		t.Fatal("expected dead code")
+	}
+	if len(r.DeadBlocks) == 0 || r.DeadInstrs != 2 {
+		t.Errorf("dead blocks = %d, dead instrs = %d (want 2)", len(r.DeadBlocks), r.DeadInstrs)
+	}
+	if r.FoldedBranches != 1 {
+		t.Errorf("folded branches = %d, want 1", r.FoldedBranches)
+	}
+}
+
+func TestNoDeadCodeWithoutPruning(t *testing.T) {
+	src := `PROGRAM P
+INTEGER K, M
+K = 1
+IF (K .EQ. 2) THEN
+  M = 7
+ELSE
+  M = 9
+ENDIF
+PRINT *, M
+END
+`
+	fn, res, _ := analyzeProc(t, src, "P", false, nil)
+	r := Analyze(fn, res)
+	if r.Found() {
+		t.Errorf("without pruning nothing should be dead: %+v", r)
+	}
+}
+
+func TestEntryEnvironmentDrivesDCE(t *testing.T) {
+	// The branch depends on the formal; only with an interprocedural
+	// entry constant does the arm die.
+	src := `PROGRAM MAIN
+CALL S(1)
+END
+SUBROUTINE S(K)
+INTEGER K, M
+IF (K .EQ. 1) THEN
+  M = 5
+ELSE
+  M = 6
+ENDIF
+PRINT *, M
+END
+`
+	fn, res, _ := analyzeProc(t, src, "S", true, nil)
+	if Analyze(fn, res).Found() {
+		t.Error("without entry env the branch must stay live")
+	}
+
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	cg := callgraph.Build(prog)
+	mod := modref.Compute(cg)
+	n := cg.Nodes["S"]
+	dt := dom.Compute(n.CFG)
+	fn2 := ssa.Build(n.CFG, dt, ssa.Options{Kills: mod.Kills, Globals: prog.Globals()})
+	s := prog.Procs["S"]
+	res2 := intra.Analyze(fn2, intra.Options{
+		Prune: true,
+		Entry: map[ssa.Var]int64{ssa.VarOf(s.Formals[0]): 1},
+	})
+	r := Analyze(fn2, res2)
+	if !r.Found() || r.DeadInstrs != 1 {
+		t.Errorf("with K=1 the else arm should die: %+v", r)
+	}
+}
+
+func TestTotalDeadInstrs(t *testing.T) {
+	src := `PROGRAM P
+INTEGER K, M
+K = 1
+IF (K .EQ. 2) THEN
+  M = 7
+ENDIF
+END
+`
+	fn, res, _ := analyzeProc(t, src, "P", true, nil)
+	r := Analyze(fn, res)
+	if got := TotalDeadInstrs([]*Result{r, r}); got != 2*r.DeadInstrs {
+		t.Errorf("TotalDeadInstrs = %d", got)
+	}
+	if TotalDeadInstrs(nil) != 0 {
+		t.Error("empty total should be 0")
+	}
+}
+
+func TestGotoUnreachableCodeIsPrunedByCFGNotDCE(t *testing.T) {
+	// Statically unreachable code never reaches the analyzer (the CFG
+	// builder drops it), so DCE reports nothing extra.
+	src := `PROGRAM P
+INTEGER I
+I = 1
+GOTO 10
+I = 2
+10 PRINT *, I
+END
+`
+	fn, res, _ := analyzeProc(t, src, "P", true, nil)
+	r := Analyze(fn, res)
+	if r.Found() {
+		t.Errorf("statically unreachable code should already be gone: %+v", r)
+	}
+}

@@ -1,0 +1,155 @@
+// Package dom computes dominator trees and dominance frontiers for CFGs
+// using the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+// Dominance Algorithm"). The dominance frontier drives SSA phi
+// placement (Cytron et al.).
+package dom
+
+import (
+	"repro/internal/cfg"
+)
+
+// Tree holds dominance information for one CFG.
+type Tree struct {
+	Graph *cfg.Graph
+	// Idom maps a block ID to its immediate dominator (nil for entry and
+	// for blocks unreachable from entry).
+	Idom []*cfg.Block
+	// Children is the dominator tree: Children[b] lists blocks whose
+	// immediate dominator is b.
+	Children [][]*cfg.Block
+	// Frontier[b] is the dominance frontier of block b.
+	Frontier [][]*cfg.Block
+	// RPO lists reachable blocks in reverse postorder.
+	RPO []*cfg.Block
+	// rpoNum[b.ID] is b's index in RPO (-1 if unreachable).
+	rpoNum []int
+}
+
+// Compute builds dominance information for g.
+func Compute(g *cfg.Graph) *Tree {
+	t := &Tree{
+		Graph:    g,
+		Idom:     make([]*cfg.Block, len(g.Blocks)),
+		Children: make([][]*cfg.Block, len(g.Blocks)),
+		Frontier: make([][]*cfg.Block, len(g.Blocks)),
+		rpoNum:   make([]int, len(g.Blocks)),
+	}
+	for i := range t.rpoNum {
+		t.rpoNum[i] = -1
+	}
+	t.computeRPO()
+	t.computeIdom()
+	t.computeFrontiers()
+	return t
+}
+
+func (t *Tree) computeRPO() {
+	g := t.Graph
+	seen := make([]bool, len(g.Blocks))
+	var post []*cfg.Block
+	var dfs func(*cfg.Block)
+	dfs = func(b *cfg.Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		t.rpoNum[post[i].ID] = len(t.RPO)
+		t.RPO = append(t.RPO, post[i])
+	}
+}
+
+func (t *Tree) computeIdom() {
+	entry := t.Graph.Entry
+	t.Idom[entry.ID] = entry // temporary self-link simplifies intersect
+	for changed := true; changed; {
+		changed = false
+		for _, b := range t.RPO[1:] { // skip entry
+			// Pick the first processed predecessor.
+			var newIdom *cfg.Block
+			for _, p := range b.Preds {
+				if t.rpoNum[p.ID] < 0 || t.Idom[p.ID] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.Idom[b.ID] != newIdom {
+				t.Idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	t.Idom[entry.ID] = nil // entry has no immediate dominator
+	for _, b := range t.RPO {
+		if id := t.Idom[b.ID]; id != nil {
+			t.Children[id.ID] = append(t.Children[id.ID], b)
+		}
+	}
+}
+
+func (t *Tree) intersect(a, b *cfg.Block) *cfg.Block {
+	for a != b {
+		for t.rpoNum[a.ID] > t.rpoNum[b.ID] {
+			a = t.Idom[a.ID]
+		}
+		for t.rpoNum[b.ID] > t.rpoNum[a.ID] {
+			b = t.Idom[b.ID]
+		}
+	}
+	return a
+}
+
+func (t *Tree) computeFrontiers() {
+	for _, b := range t.RPO {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if t.rpoNum[p.ID] < 0 {
+				continue // unreachable predecessor
+			}
+			runner := p
+			for runner != nil && runner != t.Idom[b.ID] {
+				if !containsBlock(t.Frontier[runner.ID], b) {
+					t.Frontier[runner.ID] = append(t.Frontier[runner.ID], b)
+				}
+				runner = t.Idom[runner.ID]
+			}
+		}
+	}
+}
+
+func containsBlock(s []*cfg.Block, b *cfg.Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *Tree) Dominates(a, b *cfg.Block) bool {
+	if t.rpoNum[a.ID] < 0 || t.rpoNum[b.ID] < 0 {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.Idom[b.ID]
+	}
+	return false
+}
+
+// Reachable reports whether b is reachable from the entry block.
+func (t *Tree) Reachable(b *cfg.Block) bool { return t.rpoNum[b.ID] >= 0 }

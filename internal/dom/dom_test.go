@@ -1,0 +1,199 @@
+package dom
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func buildGraph(t *testing.T, src, name string) *cfg.Graph {
+	t.Helper()
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", diags.Error())
+	}
+	return cfg.Build(prog, prog.Procs[name])
+}
+
+func TestDiamond(t *testing.T) {
+	g := buildGraph(t, `PROGRAM P
+INTEGER I, J
+READ *, I
+IF (I .GT. 0) THEN
+  J = 1
+ELSE
+  J = 2
+ENDIF
+PRINT *, J
+END
+`, "P")
+	tr := Compute(g)
+	entry := g.Entry
+	thenB, elseB := entry.Succs[0], entry.Succs[1]
+	join := thenB.Succs[0]
+
+	if tr.Idom[thenB.ID] != entry || tr.Idom[elseB.ID] != entry {
+		t.Errorf("branch arms should be idom'd by entry")
+	}
+	if tr.Idom[join.ID] != entry {
+		t.Errorf("join idom = %v, want entry", tr.Idom[join.ID])
+	}
+	if !tr.Dominates(entry, join) || tr.Dominates(thenB, join) {
+		t.Error("Dominates() wrong on diamond")
+	}
+	// Frontier of each arm is the join.
+	if len(tr.Frontier[thenB.ID]) != 1 || tr.Frontier[thenB.ID][0] != join {
+		t.Errorf("DF(then) = %v", tr.Frontier[thenB.ID])
+	}
+	if len(tr.Frontier[join.ID]) != 0 {
+		t.Errorf("DF(join) = %v, want empty", tr.Frontier[join.ID])
+	}
+}
+
+func TestLoopFrontier(t *testing.T) {
+	g := buildGraph(t, `PROGRAM P
+INTEGER I, S
+S = 0
+DO I = 1, 10
+  S = S + I
+ENDDO
+PRINT *, S
+END
+`, "P")
+	tr := Compute(g)
+	// Find the loop head: the conditional block.
+	var head, body *cfg.Block
+	for _, b := range g.Blocks {
+		if b.Term.Kind == cfg.TermCond {
+			head = b
+			body = b.Succs[0]
+		}
+	}
+	if head == nil {
+		t.Fatalf("no head\n%s", g)
+	}
+	// The body's dominance frontier contains the head (back edge).
+	foundHead := false
+	for _, f := range tr.Frontier[body.ID] {
+		if f == head {
+			foundHead = true
+		}
+	}
+	if !foundHead {
+		t.Errorf("DF(body) = %v should contain head b%d\n%s", tr.Frontier[body.ID], head.ID, g)
+	}
+	// Head dominates body.
+	if !tr.Dominates(head, body) {
+		t.Error("head should dominate body")
+	}
+	// The head's own frontier contains the head (it is in its own loop)?
+	// Head is a loop header with a self-frontier via the back edge.
+	inOwn := false
+	for _, f := range tr.Frontier[head.ID] {
+		if f == head {
+			inOwn = true
+		}
+	}
+	if !inOwn {
+		t.Errorf("loop header should be in its own DF, got %v", tr.Frontier[head.ID])
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	g := buildGraph(t, `PROGRAM P
+INTEGER I
+I = 0
+10 I = I + 1
+IF (I .LT. 3) GOTO 10
+END
+`, "P")
+	tr := Compute(g)
+	if len(tr.RPO) == 0 || tr.RPO[0] != g.Entry {
+		t.Fatal("RPO must start at entry")
+	}
+	if tr.Idom[g.Entry.ID] != nil {
+		t.Error("entry must have no idom")
+	}
+	// Every non-entry reachable block has an idom that dominates it.
+	for _, b := range tr.RPO[1:] {
+		id := tr.Idom[b.ID]
+		if id == nil {
+			t.Errorf("b%d has no idom", b.ID)
+			continue
+		}
+		if !tr.Dominates(id, b) {
+			t.Errorf("idom(b%d)=b%d does not dominate it", b.ID, id.ID)
+		}
+	}
+}
+
+// TestDominanceInvariants checks, over several control-flow shapes:
+// the entry dominates every reachable block; no block is its own
+// immediate dominator; and idom(b) strictly dominates b (transitivity
+// through the idom chain is what Dominates walks).
+func TestDominanceInvariants(t *testing.T) {
+	srcs := []string{
+		`PROGRAM P
+INTEGER I, J, K
+READ *, I
+IF (I .GT. 0) THEN
+  IF (I .GT. 10) THEN
+    J = 1
+  ELSE
+    J = 2
+  ENDIF
+ELSE
+  DO K = 1, 5
+    J = J + K
+  ENDDO
+ENDIF
+PRINT *, J
+END
+`,
+		`PROGRAM P
+INTEGER I, N
+READ *, N
+I = 0
+10 CONTINUE
+I = I + 1
+IF (I .LT. N) GOTO 10
+IF (I .GT. 100) GOTO 20
+PRINT *, I
+20 CONTINUE
+END
+`,
+		`PROGRAM P
+INTEGER I, J
+DO I = 1, 10
+  DO J = 1, 10
+    IF (J .EQ. 5) GOTO 30
+  ENDDO
+30 CONTINUE
+ENDDO
+END
+`,
+	}
+	for si, src := range srcs {
+		g := buildGraph(t, src, "P")
+		tr := Compute(g)
+		for _, b := range tr.RPO {
+			if b != g.Entry && !tr.Dominates(g.Entry, b) {
+				t.Errorf("src %d: entry does not dominate b%d", si, b.ID)
+			}
+		}
+		for _, b := range tr.RPO[1:] {
+			id := tr.Idom[b.ID]
+			if id == b {
+				t.Errorf("src %d: b%d is its own idom", si, b.ID)
+			}
+			if id != nil && !tr.Dominates(id, b) {
+				t.Errorf("src %d: idom(b%d) does not dominate it", si, b.ID)
+			}
+		}
+	}
+}

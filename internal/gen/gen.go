@@ -1,0 +1,355 @@
+// Package gen generates random — but always valid and terminating —
+// F77s programs. The soundness property tests run the interprocedural
+// analyzer over generated programs and then execute them, checking that
+// every constant the analyzer reports matches the value observed at run
+// time. The benchmark harness uses the same generator for size sweeps.
+//
+// Guarantees (by construction):
+//   - the program parses and passes semantic analysis;
+//   - execution terminates: the call graph is acyclic (procedures only
+//     call later-defined ones) and every DO loop has small constant
+//     trip bounds;
+//   - no undefined arithmetic: divisors and MOD operands are non-zero
+//     constants, exponents are small non-negative constants.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config tunes the generator.
+type Config struct {
+	Seed int64
+	// NumProcs is the number of subroutines/functions besides MAIN
+	// (default 4).
+	NumProcs int
+	// StmtsPerProc is the approximate body length (default 8).
+	StmtsPerProc int
+	// MaxFormals bounds formal-parameter counts (default 3).
+	MaxFormals int
+	// Globals is the number of COMMON integers shared program-wide
+	// (default 2).
+	Globals int
+	// WithReads sprinkles READ statements (runtime inputs) when true.
+	WithReads bool
+}
+
+func (c *Config) setDefaults() {
+	if c.NumProcs <= 0 {
+		c.NumProcs = 4
+	}
+	if c.StmtsPerProc <= 0 {
+		c.StmtsPerProc = 8
+	}
+	if c.MaxFormals <= 0 {
+		c.MaxFormals = 3
+	}
+	if c.Globals < 0 {
+		c.Globals = 0
+	} else if c.Globals == 0 {
+		c.Globals = 2
+	}
+}
+
+// procSpec describes one generated procedure.
+type procSpec struct {
+	name       string
+	isFunction bool
+	formals    []string
+}
+
+type generator struct {
+	r       *rand.Rand
+	cfg     Config
+	procs   []procSpec // procs[i] may only call procs[j] for j > i
+	globals []string
+	b       strings.Builder
+	// per-procedure state:
+	locals    []string
+	depth     int
+	callsLeft int
+	loopVars  map[string]bool // active DO variables: not writable (F77 rule)
+	nextLabel int             // generator for forward-jump labels
+}
+
+// Program returns the source text of a random program.
+func Program(cfg Config) string {
+	cfg.setDefaults()
+	g := &generator{r: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+
+	for i := 0; i < cfg.Globals; i++ {
+		g.globals = append(g.globals, fmt.Sprintf("NG%d", i))
+	}
+	// MAIN is procs[0].
+	g.procs = append(g.procs, procSpec{name: "MAIN"})
+	for i := 1; i <= cfg.NumProcs; i++ {
+		spec := procSpec{
+			name:       fmt.Sprintf("P%d", i),
+			isFunction: g.r.Intn(4) == 0,
+		}
+		nf := g.r.Intn(cfg.MaxFormals + 1)
+		if spec.isFunction && nf == 0 {
+			nf = 1
+		}
+		for j := 0; j < nf; j++ {
+			spec.formals = append(spec.formals, fmt.Sprintf("K%d", j))
+		}
+		g.procs = append(g.procs, spec)
+	}
+
+	for i := range g.procs {
+		g.emitProc(i)
+		g.b.WriteString("\n")
+	}
+	return g.b.String()
+}
+
+func (g *generator) line(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, "%s%s\n", strings.Repeat("  ", g.depth), fmt.Sprintf(format, args...))
+}
+
+func (g *generator) emitProc(idx int) {
+	spec := g.procs[idx]
+	g.locals = nil
+	nLocals := 2 + g.r.Intn(3)
+	for i := 0; i < nLocals; i++ {
+		g.locals = append(g.locals, fmt.Sprintf("L%d", i))
+	}
+
+	switch {
+	case idx == 0:
+		g.line("PROGRAM MAIN")
+	case spec.isFunction:
+		g.line("INTEGER FUNCTION %s(%s)", spec.name, strings.Join(spec.formals, ", "))
+	default:
+		g.line("SUBROUTINE %s(%s)", spec.name, strings.Join(spec.formals, ", "))
+	}
+	g.depth = 1
+	decls := append([]string{}, g.locals...)
+	decls = append(decls, spec.formals...)
+	g.line("INTEGER %s", strings.Join(decls, ", "))
+	g.line("INTEGER IVEC(8)")
+	if len(g.globals) > 0 {
+		g.line("INTEGER %s", strings.Join(g.globals, ", "))
+		g.line("COMMON /GBL/ %s", strings.Join(g.globals, ", "))
+	}
+
+	// Initialize locals so uses are defined.
+	for _, l := range g.locals {
+		g.line("%s = %s", l, intLit(g.r.Intn(20)-5))
+	}
+	if idx == 0 && len(g.globals) > 0 {
+		for _, gl := range g.globals {
+			if g.r.Intn(2) == 0 {
+				g.line("%s = %d", gl, g.r.Intn(50))
+			}
+		}
+	}
+
+	// Cap outgoing calls so the dynamic call tree stays small (the
+	// static call graph is acyclic, so total work is bounded by the
+	// product of per-procedure call counts).
+	g.callsLeft = 3
+	g.loopVars = make(map[string]bool)
+	g.nextLabel = 100
+	n := 1 + g.r.Intn(g.cfg.StmtsPerProc)
+	for i := 0; i < n; i++ {
+		g.stmt(idx, 0, true)
+	}
+
+	if spec.isFunction {
+		g.line("%s = %s", spec.name, g.expr(idx, 2))
+	}
+	if g.r.Intn(3) == 0 {
+		g.line("PRINT *, %s", g.readableVar(idx))
+	}
+	g.depth = 0
+	g.line("END")
+}
+
+// vars in scope for reading (locals + formals + globals).
+func (g *generator) scope(idx int) []string {
+	spec := g.procs[idx]
+	vars := append([]string{}, g.locals...)
+	vars = append(vars, spec.formals...)
+	vars = append(vars, g.globals...)
+	return vars
+}
+
+func (g *generator) readableVar(idx int) string {
+	vars := g.scope(idx)
+	return vars[g.r.Intn(len(vars))]
+}
+
+// writableVar picks an assignment target, never an active DO variable.
+func (g *generator) writableVar(idx int) string {
+	for tries := 0; tries < 8; tries++ {
+		v := g.readableVar(idx)
+		if !g.loopVars[v] {
+			return v
+		}
+	}
+	return g.locals[len(g.locals)-1]
+}
+
+func (g *generator) stmt(idx int, nest int, allowCalls bool) {
+	choice := g.r.Intn(12)
+	switch {
+	case choice < 4: // assignment
+		g.line("%s = %s", g.writableVar(idx), g.expr(idx, 2))
+	case choice == 10: // array store (index provably in 1..8)
+		g.line("IVEC(MOD(ABS(%s), 8) + 1) = %s", g.expr(idx, 1), g.expr(idx, 1))
+	case choice == 11: // array load
+		g.line("%s = IVEC(MOD(ABS(%s), 8) + 1)", g.writableVar(idx), g.expr(idx, 1))
+	case choice < 6 && nest < 2: // IF
+		g.line("IF (%s) THEN", g.cond(idx))
+		g.depth++
+		g.stmt(idx, nest+1, allowCalls)
+		g.depth--
+		if g.r.Intn(2) == 0 {
+			g.line("ELSE")
+			g.depth++
+			g.stmt(idx, nest+1, allowCalls)
+			g.depth--
+		}
+		g.line("ENDIF")
+	case choice < 7 && nest < 2: // DO loop with small constant bounds
+		v := g.freeLoopVar()
+		if v == "" {
+			g.line("%s = %s", g.writableVar(idx), g.expr(idx, 1))
+			return
+		}
+		g.line("DO %s = 1, %d", v, 1+g.r.Intn(4))
+		g.loopVars[v] = true
+		g.depth++
+		g.stmt(idx, nest+1, false) // no calls inside loops: bounds work
+		g.depth--
+		delete(g.loopVars, v)
+		g.line("ENDDO")
+	case choice < 9: // call a later procedure
+		callees := g.callableFrom(idx)
+		if len(callees) == 0 || !allowCalls || g.callsLeft == 0 {
+			g.line("%s = %s", g.writableVar(idx), g.expr(idx, 1))
+			return
+		}
+		g.callsLeft--
+		target := callees[g.r.Intn(len(callees))]
+		spec := g.procs[target]
+		args := make([]string, len(spec.formals))
+		for i := range args {
+			switch g.r.Intn(4) {
+			case 0:
+				args[i] = fmt.Sprintf("%d", g.r.Intn(30))
+			case 1:
+				args[i] = g.readableVar(idx)
+			default:
+				args[i] = g.expr(idx, 1)
+			}
+		}
+		if spec.isFunction {
+			g.line("%s = %s(%s)", g.writableVar(idx), spec.name, strings.Join(args, ", "))
+		} else {
+			g.line("CALL %s(%s)", spec.name, strings.Join(args, ", "))
+		}
+	default:
+		switch {
+		case nest == 0 && g.r.Intn(4) == 0:
+			g.classicBranch(idx)
+		case g.cfg.WithReads && g.r.Intn(2) == 0:
+			g.line("READ *, %s", g.writableVar(idx))
+		default:
+			g.line("PRINT *, %s", g.expr(idx, 1))
+		}
+	}
+}
+
+// classicBranch emits a forward-jumping arithmetic IF or computed GOTO
+// diamond (labels are unique and strictly forward, preserving
+// termination).
+func (g *generator) classicBranch(idx int) {
+	l1, l2, l3, out := g.nextLabel, g.nextLabel+1, g.nextLabel+2, g.nextLabel+3
+	g.nextLabel += 4
+	if g.r.Intn(2) == 0 {
+		g.line("IF (%s) %d, %d, %d", g.expr(idx, 1), l1, l2, l3)
+	} else {
+		g.line("GOTO (%d, %d, %d), %s", l1, l2, l3, g.expr(idx, 1))
+		g.line("%s = %s", g.writableVar(idx), g.expr(idx, 1)) // fall-through
+		g.line("GOTO %d", out)
+	}
+	g.line("%d %s = %s", l1, g.writableVar(idx), g.expr(idx, 1))
+	g.line("GOTO %d", out)
+	g.line("%d %s = %s", l2, g.writableVar(idx), g.expr(idx, 1))
+	g.line("GOTO %d", out)
+	g.line("%d %s = %s", l3, g.writableVar(idx), g.expr(idx, 1))
+	g.line("%d CONTINUE", out)
+}
+
+// freeLoopVar picks a local not already used as a DO variable.
+func (g *generator) freeLoopVar() string {
+	for tries := 0; tries < 8; tries++ {
+		v := g.locals[g.r.Intn(len(g.locals))]
+		if !g.loopVars[v] {
+			return v
+		}
+	}
+	return ""
+}
+
+func (g *generator) callableFrom(idx int) []int {
+	var out []int
+	for j := idx + 1; j < len(g.procs); j++ {
+		out = append(out, j)
+	}
+	return out
+}
+
+// expr produces an integer expression of bounded depth with no
+// undefined operations.
+func (g *generator) expr(idx int, depth int) string {
+	if depth == 0 || g.r.Intn(3) == 0 {
+		if g.r.Intn(2) == 0 {
+			return intLit(g.r.Intn(40) - 10)
+		}
+		return g.readableVar(idx)
+	}
+	a := g.expr(idx, depth-1)
+	b := g.expr(idx, depth-1)
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s / %d)", a, 1+g.r.Intn(6)) // non-zero divisor
+	case 4:
+		return fmt.Sprintf("MOD(%s, %d)", a, 2+g.r.Intn(5))
+	case 5:
+		return fmt.Sprintf("MAX(%s, %s)", a, b)
+	case 6:
+		return fmt.Sprintf("MIN(%s, %s)", a, b)
+	default:
+		return fmt.Sprintf("ABS(%s)", a)
+	}
+}
+
+// intLit renders an integer literal; negative values are parenthesized
+// so they remain valid as operands (F77 forbids `X - -4`).
+func intLit(v int) string {
+	if v < 0 {
+		return fmt.Sprintf("(-%d)", -v)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func (g *generator) cond(idx int) string {
+	ops := []string{".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."}
+	c := fmt.Sprintf("%s %s %s", g.expr(idx, 1), ops[g.r.Intn(len(ops))], g.expr(idx, 1))
+	if g.r.Intn(4) == 0 {
+		c = fmt.Sprintf("%s .AND. %s %s %s", c, g.expr(idx, 1), ops[g.r.Intn(len(ops))], g.expr(idx, 1))
+	}
+	return c
+}

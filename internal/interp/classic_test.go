@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Classic F77 control flow: arithmetic IF and computed GOTO.
+
+func TestArithmeticIf(t *testing.T) {
+	src := `PROGRAM P
+INTEGER I
+READ *, I
+IF (I - 5) 10, 20, 30
+10 PRINT *, 'neg'
+GOTO 40
+20 PRINT *, 'zero'
+GOTO 40
+30 PRINT *, 'pos'
+40 CONTINUE
+END
+`
+	for _, c := range []struct {
+		in   int64
+		want string
+	}{{1, "neg"}, {5, "zero"}, {9, "pos"}} {
+		res := run(t, src, Options{Input: []int64{c.in}})
+		if got := strings.TrimSpace(res.Output); got != c.want {
+			t.Errorf("I=%d: output %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticIfReal(t *testing.T) {
+	src := `PROGRAM P
+REAL X
+X = 0.5
+IF (X - 1.0) 10, 20, 30
+10 PRINT *, 'lt'
+GOTO 40
+20 PRINT *, 'eq'
+GOTO 40
+30 PRINT *, 'gt'
+40 CONTINUE
+END
+`
+	res := run(t, src, Options{})
+	if got := strings.TrimSpace(res.Output); got != "lt" {
+		t.Errorf("output %q, want lt (0.5-1.0 is negative, no truncation)", got)
+	}
+}
+
+func TestComputedGoto(t *testing.T) {
+	src := `PROGRAM P
+INTEGER I
+READ *, I
+GOTO (10, 20, 30), I
+PRINT *, 'fall'
+GOTO 40
+10 PRINT *, 'one'
+GOTO 40
+20 PRINT *, 'two'
+GOTO 40
+30 PRINT *, 'three'
+40 CONTINUE
+END
+`
+	for _, c := range []struct {
+		in   int64
+		want string
+	}{{1, "one"}, {2, "two"}, {3, "three"}, {0, "fall"}, {4, "fall"}, {-7, "fall"}} {
+		res := run(t, src, Options{Input: []int64{c.in}})
+		if got := strings.TrimSpace(res.Output); got != c.want {
+			t.Errorf("I=%d: output %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestComputedGotoLoop(t *testing.T) {
+	// A small state machine driven by computed GOTO.
+	src := `PROGRAM P
+INTEGER S, C
+S = 1
+C = 0
+10 CONTINUE
+C = C + 1
+IF (C .GT. 10) GOTO 99
+GOTO (20, 30), S
+20 S = 2
+GOTO 10
+30 S = 1
+GOTO 10
+99 PRINT *, C, S
+END
+`
+	res := run(t, src, Options{})
+	if got := strings.TrimSpace(res.Output); got != "11 1" {
+		t.Errorf("output %q", got)
+	}
+}

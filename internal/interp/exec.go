@@ -1,0 +1,783 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/symbolic"
+)
+
+// call invokes a procedure with bound argument cells. args[i] supplies
+// either a scalar cell or an array; nil entries are filled with fresh
+// cells (used for the main program).
+type binding struct {
+	cell  *Value  // scalar reference
+	array []Value // whole-array reference
+}
+
+func (m *machine) call(p *sem.Procedure, args []binding) (Value, error) {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > 2000 {
+		return Value{}, fmt.Errorf("interp: call depth limit in %s", p.Name)
+	}
+
+	f := &frame{
+		proc:   p,
+		vars:   make(map[*sem.Symbol]*Value),
+		arrays: make(map[*sem.Symbol][]Value),
+	}
+	// Bind formals.
+	for i, s := range p.Formals {
+		var b binding
+		if i < len(args) {
+			b = args[i]
+		}
+		if s.IsArray {
+			if b.array == nil {
+				// Fresh array (size from declared dims, or a default).
+				n, err := m.arraySize(f, s)
+				if err != nil {
+					return Value{}, err
+				}
+				b.array = make([]Value, n)
+			}
+			f.arrays[s] = b.array
+		} else {
+			if b.cell == nil {
+				v := zeroOf(s.Type)
+				b.cell = &v
+			}
+			f.vars[s] = b.cell
+		}
+	}
+	// Result cell.
+	if p.Result != nil {
+		v := zeroOf(p.Result.Type)
+		f.vars[p.Result] = &v
+	}
+	// DATA-initialized locals.
+	for _, d := range p.Unit.Decls {
+		dd, ok := d.(*ast.DataDecl)
+		if !ok {
+			continue
+		}
+		for i, name := range dd.Names {
+			if i >= len(dd.Values) {
+				break
+			}
+			s := p.Lookup(name)
+			if s == nil || s.Kind != sem.SymLocal || s.IsArray {
+				continue
+			}
+			v, err := m.literal(dd.Values[i])
+			if err != nil {
+				return Value{}, err
+			}
+			cv := convert(v, s.Type)
+			f.vars[s] = &cv
+		}
+	}
+
+	m.snapshot(p, f)
+
+	ctl, err := m.execList(f, p.Unit.Body)
+	if err != nil {
+		return Value{}, err
+	}
+	if ctl.sig == sigGoto {
+		return Value{}, fmt.Errorf("interp: GOTO %s jumps into a block in %s", ctl.label, p.Name)
+	}
+	if ctl.sig == sigStop {
+		m.result.Stopped = true
+		return Value{}, errStop
+	}
+	if p.Result != nil {
+		return *f.vars[p.Result], nil
+	}
+	return Value{}, nil
+}
+
+// errStop unwinds the interpreter on STOP; Run treats it as success.
+var errStop = fmt.Errorf("interp: STOP")
+
+// snapshot records entry values for the soundness oracle.
+func (m *machine) snapshot(p *sem.Procedure, f *frame) {
+	entries := m.result.Entries[p]
+	if len(entries) >= m.opts.SnapshotLimit {
+		return
+	}
+	snap := EntrySnapshot{Formals: make(map[int]int64), Globals: make(map[*sem.GlobalVar]int64)}
+	for i, s := range p.Formals {
+		if s.IsArray || s.Type != ast.TypeInteger {
+			continue
+		}
+		if cell := f.vars[s]; cell != nil && cell.Kind == KInt {
+			snap.Formals[i] = cell.I
+		}
+	}
+	for g, cell := range m.globals {
+		if g.Type == ast.TypeInteger && cell.Kind == KInt {
+			snap.Globals[g] = cell.I
+		}
+	}
+	m.result.Entries[p] = append(entries, snap)
+}
+
+// arraySize computes the total element count of an array symbol.
+func (m *machine) arraySize(f *frame, s *sem.Symbol) (int, error) {
+	n := 1
+	for _, d := range s.Dims {
+		v, err := m.eval(f, d)
+		if err != nil {
+			return 0, err
+		}
+		dim := int(convert(v, ast.TypeInteger).I)
+		if dim <= 0 {
+			dim = 1
+		}
+		n *= dim
+		if n > 1<<22 {
+			return 0, fmt.Errorf("interp: array %s too large", s.Name)
+		}
+	}
+	if len(s.Dims) == 0 {
+		n = 64 // dimensionless array formal: modest default
+	}
+	return n, nil
+}
+
+// lookupArray finds (or lazily allocates) array storage.
+func (m *machine) lookupArray(f *frame, s *sem.Symbol) ([]Value, error) {
+	if s.Kind == sem.SymCommon {
+		if arr := m.garrays[s.Global]; arr != nil {
+			return arr, nil
+		}
+		n, err := m.arraySize(f, s)
+		if err != nil {
+			return nil, err
+		}
+		arr := make([]Value, n)
+		m.garrays[s.Global] = arr
+		return arr, nil
+	}
+	if arr := f.arrays[s]; arr != nil {
+		return arr, nil
+	}
+	n, err := m.arraySize(f, s)
+	if err != nil {
+		return nil, err
+	}
+	arr := make([]Value, n)
+	f.arrays[s] = arr
+	return arr, nil
+}
+
+// cellOf finds (or lazily allocates) the scalar cell of a symbol.
+func (m *machine) cellOf(f *frame, s *sem.Symbol) *Value {
+	if s.Kind == sem.SymCommon {
+		return m.globals[s.Global]
+	}
+	if cell := f.vars[s]; cell != nil {
+		return cell
+	}
+	v := zeroOf(s.Type)
+	f.vars[s] = &v
+	return &v
+}
+
+// elementIndex linearizes subscripts (column-major like FORTRAN; bounds
+// are clamped into range to keep random programs executable).
+func (m *machine) elementIndex(f *frame, s *sem.Symbol, subs []ast.Expr, arr []Value) (int, error) {
+	idx := 0
+	stride := 1
+	for k, sub := range subs {
+		v, err := m.eval(f, sub)
+		if err != nil {
+			return 0, err
+		}
+		i := int(convert(v, ast.TypeInteger).I) - 1 // 1-based
+		if i < 0 {
+			i = 0
+		}
+		idx += i * stride
+		if k < len(s.Dims) {
+			dv, err := m.eval(f, s.Dims[k])
+			if err == nil {
+				d := int(convert(dv, ast.TypeInteger).I)
+				if d > 0 {
+					stride *= d
+				}
+			}
+		}
+	}
+	if len(arr) == 0 {
+		return 0, fmt.Errorf("interp: empty array %s", s.Name)
+	}
+	if idx < 0 || idx >= len(arr) {
+		idx = ((idx % len(arr)) + len(arr)) % len(arr)
+	}
+	return idx, nil
+}
+
+// ---------------------------------------------------------------------
+// Statement execution
+
+func (m *machine) execList(f *frame, stmts []ast.Stmt) (control, error) {
+	i := 0
+	for i < len(stmts) {
+		ctl, err := m.exec(f, stmts[i])
+		if err != nil {
+			return flowNone, err
+		}
+		switch ctl.sig {
+		case sigNone:
+			i++
+		case sigGoto:
+			// Resolve within this list; otherwise propagate outward.
+			found := -1
+			for j, s := range stmts {
+				if s.Label() == ctl.label {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return ctl, nil
+			}
+			i = found
+		default:
+			return ctl, nil
+		}
+	}
+	return flowNone, nil
+}
+
+func (m *machine) step() error {
+	m.steps++
+	m.result.Steps = m.steps
+	if m.steps > m.opts.MaxSteps {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+func (m *machine) exec(f *frame, s ast.Stmt) (control, error) {
+	if err := m.step(); err != nil {
+		return flowNone, err
+	}
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		return flowNone, m.assign(f, x)
+	case *ast.CallStmt:
+		callee := m.prog.Procs[x.Name]
+		if callee == nil {
+			return flowNone, fmt.Errorf("interp: call to undefined %s", x.Name)
+		}
+		args, err := m.bindArgs(f, callee, x.Args)
+		if err != nil {
+			return flowNone, err
+		}
+		_, err = m.call(callee, args)
+		if err == errStop {
+			return control{sig: sigStop}, nil
+		}
+		return flowNone, err
+	case *ast.IfStmt:
+		cond, err := m.eval(f, x.Cond)
+		if err != nil {
+			return flowNone, err
+		}
+		if truthy(cond) {
+			return m.execList(f, x.Then)
+		}
+		for _, ei := range x.ElseIfs {
+			c, err := m.eval(f, ei.Cond)
+			if err != nil {
+				return flowNone, err
+			}
+			if truthy(c) {
+				return m.execList(f, ei.Body)
+			}
+		}
+		return m.execList(f, x.Else)
+	case *ast.DoStmt:
+		return m.execDo(f, x)
+	case *ast.GotoStmt:
+		return control{sig: sigGoto, label: x.Target}, nil
+	case *ast.ComputedGotoStmt:
+		v, err := m.eval(f, x.Index)
+		if err != nil {
+			return flowNone, err
+		}
+		i := convert(v, ast.TypeInteger).I
+		if i >= 1 && int(i) <= len(x.Targets) {
+			return control{sig: sigGoto, label: x.Targets[i-1]}, nil
+		}
+		return flowNone, nil // out of range: fall through (F77 §11.2)
+	case *ast.ArithIfStmt:
+		v, err := m.eval(f, x.Expr)
+		if err != nil {
+			return flowNone, err
+		}
+		switch {
+		case v.Kind == KReal && v.R < 0, v.Kind != KReal && v.I < 0:
+			return control{sig: sigGoto, label: x.LtLabel}, nil
+		case v.Kind == KReal && v.R == 0, v.Kind != KReal && v.I == 0:
+			return control{sig: sigGoto, label: x.EqLabel}, nil
+		default:
+			return control{sig: sigGoto, label: x.GtLabel}, nil
+		}
+	case *ast.ContinueStmt:
+		return flowNone, nil
+	case *ast.ReturnStmt:
+		return control{sig: sigReturn}, nil
+	case *ast.StopStmt:
+		return control{sig: sigStop}, nil
+	case *ast.ReadStmt:
+		for _, target := range x.Args {
+			if err := m.readInto(f, target); err != nil {
+				return flowNone, err
+			}
+		}
+		return flowNone, nil
+	case *ast.PrintStmt:
+		parts := make([]string, 0, len(x.Args))
+		for _, a := range x.Args {
+			if str, ok := a.(*ast.StrLit); ok {
+				parts = append(parts, str.Value)
+				continue
+			}
+			v, err := m.eval(f, a)
+			if err != nil {
+				return flowNone, err
+			}
+			parts = append(parts, v.String())
+		}
+		fmt.Fprintln(&m.out, joinSpace(parts))
+		return flowNone, nil
+	}
+	return flowNone, fmt.Errorf("interp: unsupported statement %T", s)
+}
+
+func joinSpace(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
+
+func truthy(v Value) bool {
+	if v.Kind == KLog {
+		return v.B
+	}
+	return v.I != 0
+}
+
+func (m *machine) assign(f *frame, x *ast.AssignStmt) error {
+	rhs, err := m.eval(f, x.Rhs)
+	if err != nil {
+		return err
+	}
+	switch lhs := x.Lhs.(type) {
+	case *ast.Ident:
+		s := f.proc.Lookup(lhs.Name)
+		if s == nil {
+			return fmt.Errorf("interp: assignment to unknown %s", lhs.Name)
+		}
+		cell := m.cellOf(f, s)
+		*cell = convert(rhs, s.Type)
+		return nil
+	case *ast.Apply:
+		s := f.proc.Lookup(lhs.Name)
+		if s == nil || !s.IsArray {
+			return fmt.Errorf("interp: %s is not an array", lhs.Name)
+		}
+		arr, err := m.lookupArray(f, s)
+		if err != nil {
+			return err
+		}
+		idx, err := m.elementIndex(f, s, lhs.Args, arr)
+		if err != nil {
+			return err
+		}
+		arr[idx] = convert(rhs, s.Type)
+		return nil
+	}
+	return fmt.Errorf("interp: bad assignment target")
+}
+
+func (m *machine) readInto(f *frame, target ast.Expr) error {
+	next := func() int64 {
+		if len(m.opts.Input) == 0 {
+			return 0
+		}
+		v := m.opts.Input[m.inPos%len(m.opts.Input)]
+		m.inPos++
+		return v
+	}
+	switch t := target.(type) {
+	case *ast.Ident:
+		s := f.proc.Lookup(t.Name)
+		if s == nil {
+			return fmt.Errorf("interp: READ into unknown %s", t.Name)
+		}
+		cell := m.cellOf(f, s)
+		*cell = convert(IntVal(next()), s.Type)
+		return nil
+	case *ast.Apply:
+		s := f.proc.Lookup(t.Name)
+		if s == nil || !s.IsArray {
+			return fmt.Errorf("interp: READ into non-array %s", t.Name)
+		}
+		arr, err := m.lookupArray(f, s)
+		if err != nil {
+			return err
+		}
+		idx, err := m.elementIndex(f, s, t.Args, arr)
+		if err != nil {
+			return err
+		}
+		arr[idx] = convert(IntVal(next()), s.Type)
+		return nil
+	}
+	return fmt.Errorf("interp: bad READ target")
+}
+
+func (m *machine) execDo(f *frame, x *ast.DoStmt) (control, error) {
+	s := f.proc.Lookup(x.Var)
+	if s == nil {
+		return flowNone, fmt.Errorf("interp: unknown DO variable %s", x.Var)
+	}
+	cell := m.cellOf(f, s)
+
+	fromV, err := m.eval(f, x.From)
+	if err != nil {
+		return flowNone, err
+	}
+	toV, err := m.eval(f, x.To)
+	if err != nil {
+		return flowNone, err
+	}
+	step := int64(1)
+	if x.Step != nil {
+		sv, err := m.eval(f, x.Step)
+		if err != nil {
+			return flowNone, err
+		}
+		step = convert(sv, ast.TypeInteger).I
+		if step == 0 {
+			return flowNone, fmt.Errorf("interp: zero DO step")
+		}
+	}
+	i := convert(fromV, ast.TypeInteger).I
+	limit := convert(toV, ast.TypeInteger).I
+	*cell = IntVal(i)
+	for (step > 0 && cell.I <= limit) || (step < 0 && cell.I >= limit) {
+		if err := m.step(); err != nil {
+			return flowNone, err
+		}
+		ctl, err := m.execList(f, x.Body)
+		if err != nil {
+			return flowNone, err
+		}
+		switch ctl.sig {
+		case sigReturn, sigStop:
+			return ctl, nil
+		case sigGoto:
+			// The terminating label of a label-DO lives inside Body and
+			// was handled by execList; anything escaping here targets an
+			// enclosing scope.
+			return ctl, nil
+		}
+		*cell = IntVal(cell.I + step)
+	}
+	return flowNone, nil
+}
+
+// bindArgs prepares by-reference bindings for a call.
+func (m *machine) bindArgs(f *frame, callee *sem.Procedure, args []ast.Expr) ([]binding, error) {
+	out := make([]binding, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case *ast.Ident:
+			s := f.proc.Lookup(x.Name)
+			if s == nil {
+				return nil, fmt.Errorf("interp: unknown actual %s", x.Name)
+			}
+			if s.Kind == sem.SymConst {
+				v := IntVal(s.ConstValue)
+				out[i] = binding{cell: &v}
+				continue
+			}
+			if s.IsArray {
+				arr, err := m.lookupArray(f, s)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = binding{array: arr}
+				continue
+			}
+			out[i] = binding{cell: m.cellOf(f, s)}
+		case *ast.Apply:
+			s := f.proc.Lookup(x.Name)
+			if s != nil && s.IsArray {
+				arr, err := m.lookupArray(f, s)
+				if err != nil {
+					return nil, err
+				}
+				idx, err := m.elementIndex(f, s, x.Args, arr)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = binding{cell: &arr[idx]}
+				continue
+			}
+			// Function call or intrinsic: by value.
+			v, err := m.eval(f, a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = binding{cell: &v}
+		default:
+			v, err := m.eval(f, a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = binding{cell: &v}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+
+func (m *machine) eval(f *frame, e ast.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return IntVal(x.Value), nil
+	case *ast.RealLit:
+		return RealVal(x.Value), nil
+	case *ast.LogLit:
+		return LogVal(x.Value), nil
+	case *ast.StrLit:
+		return IntVal(0), nil // strings only appear in PRINT; print as 0 is avoided below
+	case *ast.Ident:
+		s := f.proc.Lookup(x.Name)
+		if s == nil {
+			return Value{}, fmt.Errorf("interp: unknown variable %s", x.Name)
+		}
+		if s.Kind == sem.SymConst {
+			return IntVal(s.ConstValue), nil
+		}
+		if s.IsArray {
+			return Value{}, fmt.Errorf("interp: whole-array reference %s in expression", x.Name)
+		}
+		return *m.cellOf(f, s), nil
+	case *ast.Unary:
+		v, err := m.eval(f, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case ast.OpNeg:
+			if v.Kind == KReal {
+				return RealVal(-v.R), nil
+			}
+			return IntVal(-v.I), nil
+		case ast.OpNot:
+			return LogVal(!truthy(v)), nil
+		}
+		return Value{}, fmt.Errorf("interp: bad unary op")
+	case *ast.Binary:
+		return m.evalBinary(f, x)
+	case *ast.Apply:
+		return m.evalApply(f, x)
+	}
+	return Value{}, fmt.Errorf("interp: unsupported expression %T", e)
+}
+
+func (m *machine) evalBinary(f *frame, x *ast.Binary) (Value, error) {
+	l, err := m.eval(f, x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := m.eval(f, x.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	switch {
+	case x.Op.IsLogical():
+		switch x.Op {
+		case ast.OpAnd:
+			return LogVal(truthy(l) && truthy(r)), nil
+		case ast.OpOr:
+			return LogVal(truthy(l) || truthy(r)), nil
+		}
+	case x.Op.IsRelational():
+		if l.Kind == KReal || r.Kind == KReal {
+			a, b := l.asReal(), r.asReal()
+			switch x.Op {
+			case ast.OpEq:
+				return LogVal(a == b), nil
+			case ast.OpNe:
+				return LogVal(a != b), nil
+			case ast.OpLt:
+				return LogVal(a < b), nil
+			case ast.OpLe:
+				return LogVal(a <= b), nil
+			case ast.OpGt:
+				return LogVal(a > b), nil
+			case ast.OpGe:
+				return LogVal(a >= b), nil
+			}
+		}
+		return LogVal(symbolic.IntCompare(symbolic.FromASTOp(x.Op), l.I, r.I)), nil
+	default: // arithmetic
+		if l.Kind == KReal || r.Kind == KReal {
+			a, b := l.asReal(), r.asReal()
+			switch x.Op {
+			case ast.OpAdd:
+				return RealVal(a + b), nil
+			case ast.OpSub:
+				return RealVal(a - b), nil
+			case ast.OpMul:
+				return RealVal(a * b), nil
+			case ast.OpDiv:
+				if b == 0 {
+					return Value{}, fmt.Errorf("interp: real division by zero")
+				}
+				return RealVal(a / b), nil
+			case ast.OpPow:
+				return RealVal(realPow(a, b)), nil
+			}
+		}
+		v, ok := symbolic.IntBinop(symbolic.FromASTOp(x.Op), l.I, r.I)
+		if !ok {
+			return Value{}, fmt.Errorf("interp: undefined integer operation %s on %d, %d", x.Op, l.I, r.I)
+		}
+		return IntVal(v), nil
+	}
+	return Value{}, fmt.Errorf("interp: bad binary op %s", x.Op)
+}
+
+func realPow(a, b float64) float64 {
+	// Minimal real exponentiation: repeated multiplication for small
+	// integral exponents; otherwise a crude exp/log-free approximation
+	// is unnecessary for our workloads, which only use integral powers.
+	n := int64(b)
+	if float64(n) != b {
+		return 0
+	}
+	r := 1.0
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for i := int64(0); i < n; i++ {
+		r *= a
+	}
+	if neg {
+		if r == 0 {
+			return 0
+		}
+		return 1 / r
+	}
+	return r
+}
+
+func (m *machine) evalApply(f *frame, x *ast.Apply) (Value, error) {
+	// Array element?
+	if s := f.proc.Lookup(x.Name); s != nil && s.IsArray {
+		arr, err := m.lookupArray(f, s)
+		if err != nil {
+			return Value{}, err
+		}
+		idx, err := m.elementIndex(f, s, x.Args, arr)
+		if err != nil {
+			return Value{}, err
+		}
+		v := arr[idx]
+		if v.Kind == KInt && s.Type == ast.TypeReal {
+			return convert(v, s.Type), nil
+		}
+		return v, nil
+	}
+	// Intrinsic?
+	if _, ok := sem.Intrinsics[x.Name]; ok {
+		return m.evalIntrinsic(f, x)
+	}
+	// User function.
+	callee := m.prog.Procs[x.Name]
+	if callee == nil || callee.Unit.Kind != ast.FunctionUnit {
+		return Value{}, fmt.Errorf("interp: %s is not a function", x.Name)
+	}
+	args, err := m.bindArgs(f, callee, x.Args)
+	if err != nil {
+		return Value{}, err
+	}
+	return m.call(callee, args)
+}
+
+func (m *machine) evalIntrinsic(f *frame, x *ast.Apply) (Value, error) {
+	vals := make([]Value, len(x.Args))
+	anyReal := false
+	for i, a := range x.Args {
+		v, err := m.eval(f, a)
+		if err != nil {
+			return Value{}, err
+		}
+		vals[i] = v
+		if v.Kind == KReal {
+			anyReal = true
+		}
+	}
+	switch x.Name {
+	case "ABS", "IABS":
+		v := vals[0]
+		if v.Kind == KReal {
+			if v.R < 0 {
+				return RealVal(-v.R), nil
+			}
+			return v, nil
+		}
+		if v.I < 0 {
+			return IntVal(-v.I), nil
+		}
+		return v, nil
+	case "MOD":
+		if anyReal {
+			return Value{}, fmt.Errorf("interp: real MOD unsupported")
+		}
+		r, ok := symbolic.IntBinop(symbolic.OpMod, vals[0].I, vals[1].I)
+		if !ok {
+			return Value{}, fmt.Errorf("interp: MOD by zero")
+		}
+		return IntVal(r), nil
+	case "MAX", "MIN":
+		if anyReal {
+			best := vals[0].asReal()
+			for _, v := range vals[1:] {
+				r := v.asReal()
+				if (x.Name == "MAX" && r > best) || (x.Name == "MIN" && r < best) {
+					best = r
+				}
+			}
+			return RealVal(best), nil
+		}
+		best := vals[0].I
+		for _, v := range vals[1:] {
+			if (x.Name == "MAX" && v.I > best) || (x.Name == "MIN" && v.I < best) {
+				best = v.I
+			}
+		}
+		return IntVal(best), nil
+	}
+	return Value{}, fmt.Errorf("interp: unknown intrinsic %s", x.Name)
+}

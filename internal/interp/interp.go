@@ -1,0 +1,267 @@
+// Package interp is a reference interpreter for F77s. It exists to
+// validate the analyses: the soundness property tests execute random
+// programs and check that every (name, value) pair in a CONSTANTS(p)
+// set matches the value actually observed on entry to p, for every call
+// that occurs at run time.
+//
+// Semantics notes (kept deliberately aligned with the analyses):
+//   - scalars and arrays are passed by reference; expression actuals
+//     are passed as fresh unmodifiable cells;
+//   - DO loops snapshot their bound and step at entry and run as a
+//     pre-tested while loop, exactly like the CFG lowering;
+//   - integer arithmetic matches symbolic.IntBinop (truncating
+//     division, FORTRAN MOD, integer exponentiation);
+//   - DATA statements initialize COMMON storage at program start and
+//     procedure-local storage at frame creation;
+//   - GOTO may only target a label in the current statement list or an
+//     enclosing one (jumping into a block is an error, as in F77).
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+)
+
+// Kind tags runtime values.
+type Kind int
+
+const (
+	KInt Kind = iota
+	KReal
+	KLog
+)
+
+// Value is a runtime scalar value.
+type Value struct {
+	Kind Kind
+	I    int64
+	R    float64
+	B    bool
+}
+
+// IntVal makes an integer value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// RealVal makes a real value.
+func RealVal(r float64) Value { return Value{Kind: KReal, R: r} }
+
+// LogVal makes a logical value.
+func LogVal(b bool) Value { return Value{Kind: KLog, B: b} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KReal:
+		return fmt.Sprintf("%g", v.R)
+	default:
+		if v.B {
+			return "T"
+		}
+		return "F"
+	}
+}
+
+// asReal coerces to float64.
+func (v Value) asReal() float64 {
+	if v.Kind == KReal {
+		return v.R
+	}
+	return float64(v.I)
+}
+
+// EntrySnapshot records the values observed on entry to a procedure at
+// one dynamic call: the soundness oracle for CONSTANTS sets.
+type EntrySnapshot struct {
+	// Formals holds the integer formal values by index; non-integer or
+	// array formals are absent.
+	Formals map[int]int64
+	// Globals holds the integer COMMON values at entry.
+	Globals map[*sem.GlobalVar]int64
+}
+
+// Options configures an execution.
+type Options struct {
+	// Input supplies values consumed by READ statements (recycled when
+	// exhausted; zero when empty).
+	Input []int64
+	// MaxSteps bounds executed statements (default 1 << 20).
+	MaxSteps int
+	// SnapshotLimit bounds recorded entry snapshots per procedure
+	// (default 64).
+	SnapshotLimit int
+}
+
+// Result is the outcome of running a program.
+type Result struct {
+	Output string
+	// Entries maps each procedure to the entry snapshots observed.
+	Entries map[*sem.Procedure][]EntrySnapshot
+	// Steps is the number of statements executed.
+	Steps int
+	// Stopped reports whether the program ended via STOP.
+	Stopped bool
+}
+
+// ErrStepLimit is returned when execution exceeds MaxSteps.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Run executes the program from its PROGRAM unit.
+func Run(prog *sem.Program, opts Options) (*Result, error) {
+	if prog.Main == nil {
+		return nil, errors.New("interp: no PROGRAM unit")
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1 << 20
+	}
+	if opts.SnapshotLimit <= 0 {
+		opts.SnapshotLimit = 64
+	}
+	m := &machine{
+		prog:    prog,
+		opts:    opts,
+		globals: make(map[*sem.GlobalVar]*Value),
+		garrays: make(map[*sem.GlobalVar][]Value),
+		result:  &Result{Entries: make(map[*sem.Procedure][]EntrySnapshot)},
+	}
+	// Allocate global storage.
+	for _, g := range prog.Globals() {
+		if g.IsArray {
+			m.garrays[g] = nil // sized lazily at first binding
+		} else {
+			v := zeroOf(g.Type)
+			m.globals[g] = &v
+		}
+	}
+	// Load-time DATA initialization of COMMON storage (any unit).
+	for _, p := range prog.Order {
+		for _, d := range p.Unit.Decls {
+			dd, ok := d.(*ast.DataDecl)
+			if !ok {
+				continue
+			}
+			for i, name := range dd.Names {
+				if i >= len(dd.Values) {
+					break
+				}
+				s := p.Lookup(name)
+				if s == nil || s.Kind != sem.SymCommon || s.IsArray {
+					continue
+				}
+				v, err := m.literal(dd.Values[i])
+				if err != nil {
+					return nil, err
+				}
+				*m.globals[s.Global] = convert(v, s.Type)
+			}
+		}
+	}
+	_, err := m.call(prog.Main, nil)
+	if err == errStop {
+		err = nil
+	}
+	m.result.Output = m.out.String()
+	return m.result, err
+}
+
+type machine struct {
+	prog    *sem.Program
+	opts    Options
+	globals map[*sem.GlobalVar]*Value
+	garrays map[*sem.GlobalVar][]Value
+	out     strings.Builder
+	steps   int
+	inPos   int
+	result  *Result
+	depth   int
+}
+
+// frame is one procedure activation.
+type frame struct {
+	proc   *sem.Procedure
+	vars   map[*sem.Symbol]*Value
+	arrays map[*sem.Symbol][]Value
+}
+
+// signal models non-sequential control flow.
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigStop
+	sigGoto
+)
+
+type control struct {
+	sig   signal
+	label string
+}
+
+var flowNone = control{}
+
+func zeroOf(t ast.BaseType) Value {
+	switch t {
+	case ast.TypeReal:
+		return RealVal(0)
+	case ast.TypeLogical:
+		return LogVal(false)
+	default:
+		return IntVal(0)
+	}
+}
+
+// convert coerces a value to a declared type.
+func convert(v Value, t ast.BaseType) Value {
+	switch t {
+	case ast.TypeInteger:
+		if v.Kind == KReal {
+			return IntVal(int64(v.R))
+		}
+		if v.Kind == KLog {
+			if v.B {
+				return IntVal(1)
+			}
+			return IntVal(0)
+		}
+		return v
+	case ast.TypeReal:
+		if v.Kind != KReal {
+			return RealVal(v.asReal())
+		}
+		return v
+	case ast.TypeLogical:
+		if v.Kind != KLog {
+			return LogVal(v.I != 0)
+		}
+		return v
+	}
+	return v
+}
+
+func (m *machine) literal(e ast.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return IntVal(x.Value), nil
+	case *ast.RealLit:
+		return RealVal(x.Value), nil
+	case *ast.LogLit:
+		return LogVal(x.Value), nil
+	case *ast.Unary:
+		if x.Op == ast.OpNeg {
+			v, err := m.literal(x.X)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Kind == KReal {
+				return RealVal(-v.R), nil
+			}
+			return IntVal(-v.I), nil
+		}
+	}
+	return Value{}, fmt.Errorf("interp: unsupported DATA value %s", ast.ExprString(e))
+}

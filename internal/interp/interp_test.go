@@ -1,0 +1,610 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("front-end errors:\n%s", diags.Error())
+	}
+	res, err := Run(prog, opts)
+	if err != nil {
+		t.Fatalf("run error: %v", err)
+	}
+	return res
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER I
+I = 2 + 3*4
+PRINT *, I, I - 1, I/2, MOD(I, 5), 2**5
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "14 13 7 4 32" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `PROGRAM P
+INTEGER I
+READ *, I
+IF (I .GT. 10) THEN
+  PRINT *, 'big'
+ELSEIF (I .GT. 5) THEN
+  PRINT *, 'mid'
+ELSE
+  PRINT *, 'small'
+ENDIF
+END
+`
+	for _, c := range []struct {
+		in   int64
+		want string
+	}{{20, "big"}, {7, "mid"}, {1, "small"}} {
+		res := run(t, src, Options{Input: []int64{c.in}})
+		if got := strings.TrimSpace(res.Output); got != c.want {
+			t.Errorf("input %d: output %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDoLoops(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER I, S
+S = 0
+DO 10 I = 1, 10
+  S = S + I
+10 CONTINUE
+PRINT *, S
+DO I = 10, 1, -2
+  S = S - 1
+ENDDO
+PRINT *, S
+DO I = 5, 1
+  S = 999
+ENDDO
+PRINT *, S
+END
+`, Options{})
+	lines := strings.Fields(strings.ReplaceAll(res.Output, "\n", " "))
+	if len(lines) != 3 || lines[0] != "55" || lines[1] != "50" || lines[2] != "50" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestDoLoopBoundSnapshot(t *testing.T) {
+	// Changing N inside the loop must not affect the trip count.
+	res := run(t, `PROGRAM P
+INTEGER I, N, C
+N = 3
+C = 0
+DO I = 1, N
+  N = 100
+  C = C + 1
+ENDDO
+PRINT *, C
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "3" {
+		t.Errorf("trip count = %q, want 3", got)
+	}
+}
+
+func TestCallByReference(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER X
+X = 1
+CALL BUMP(X)
+CALL BUMP(X)
+PRINT *, X
+END
+SUBROUTINE BUMP(A)
+INTEGER A
+A = A + 10
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "21" {
+		t.Errorf("X = %q, want 21", got)
+	}
+}
+
+func TestExpressionActualIsCopied(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER X
+X = 5
+CALL CLOBBER(X + 0)
+PRINT *, X
+END
+SUBROUTINE CLOBBER(A)
+INTEGER A
+A = 999
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "5" {
+		t.Errorf("X = %q, want 5 (expression passed by value)", got)
+	}
+}
+
+func TestArraysAndElements(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER A(5), I
+DO I = 1, 5
+  A(I) = I*I
+ENDDO
+CALL TWIDDLE(A, 5)
+PRINT *, A(1), A(5)
+CALL SETEL(A(3))
+PRINT *, A(3)
+END
+SUBROUTINE TWIDDLE(B, N)
+INTEGER N, B(N)
+B(1) = B(N)
+END
+SUBROUTINE SETEL(E)
+INTEGER E
+E = -7
+END
+`, Options{})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "25 25" || lines[1] != "-7" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestCommonStorageShared(t *testing.T) {
+	res := run(t, `PROGRAM P
+COMMON /C/ N
+N = 5
+CALL TWICE
+PRINT *, N
+END
+SUBROUTINE TWICE()
+COMMON /C/ M
+M = M*2
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "10" {
+		t.Errorf("N = %q, want 10", got)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER R
+R = ADD(2, 3) * ADD(1, 1)
+PRINT *, R
+PRINT *, FACT(5)
+END
+INTEGER FUNCTION ADD(A, B)
+INTEGER A, B
+ADD = A + B
+END
+INTEGER FUNCTION FACT(N)
+INTEGER N
+IF (N .LE. 1) THEN
+  FACT = 1
+ELSE
+  FACT = N * FACT(N - 1)
+ENDIF
+END
+`, Options{})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "10" || lines[1] != "120" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestGotoLoop(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER I
+I = 0
+10 I = I + 1
+IF (I .LT. 4) GOTO 10
+PRINT *, I
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "4" {
+		t.Errorf("I = %q", got)
+	}
+}
+
+func TestGotoOutOfLoop(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER I
+DO I = 1, 100
+  IF (I .EQ. 3) GOTO 20
+ENDDO
+20 PRINT *, I
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "3" {
+		t.Errorf("I = %q, want 3", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	res := run(t, `PROGRAM P
+PRINT *, 1
+STOP
+PRINT *, 2
+END
+`, Options{})
+	if !res.Stopped {
+		t.Error("Stopped flag not set")
+	}
+	if strings.Contains(res.Output, "2") {
+		t.Errorf("statements after STOP ran: %q", res.Output)
+	}
+}
+
+func TestStopInsideSubroutine(t *testing.T) {
+	res := run(t, `PROGRAM P
+CALL HALT
+PRINT *, 'after'
+END
+SUBROUTINE HALT()
+PRINT *, 'halting'
+STOP
+END
+`, Options{})
+	if !res.Stopped || strings.Contains(res.Output, "after") {
+		t.Errorf("STOP in subroutine mishandled: %q", res.Output)
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER A, B
+READ *, A, B
+PRINT *, A + B
+END
+`, Options{Input: []int64{30, 12}})
+	if got := strings.TrimSpace(res.Output); got != "42" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", `PROGRAM P
+INTEGER I
+I = 0
+10 I = I + 1
+IF (I .GT. 0) GOTO 10
+END
+`, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	_, err := Run(prog, Options{MaxSteps: 1000})
+	if err != ErrStepLimit {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestEntrySnapshots(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER G
+COMMON /C/ G
+G = 9
+CALL S(1)
+CALL S(2)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`, Options{})
+	var sProc *sem.Procedure
+	for p := range res.Entries {
+		if p.Name == "S" {
+			sProc = p
+		}
+	}
+	if sProc == nil {
+		t.Fatal("no snapshots for S")
+	}
+	snaps := res.Entries[sProc]
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	if snaps[0].Formals[0] != 1 || snaps[1].Formals[0] != 2 {
+		t.Errorf("formal snapshots: %+v", snaps)
+	}
+	for _, s := range snaps {
+		found := false
+		for g, v := range s.Globals {
+			if g.Block == "C" && v == 9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("global snapshot missing: %+v", s.Globals)
+		}
+	}
+}
+
+func TestParameterConstantsInExpressions(t *testing.T) {
+	res := run(t, `PROGRAM P
+PARAMETER (N = 6)
+INTEGER A(N)
+A(N) = N*7
+PRINT *, A(N)
+CALL S(N)
+END
+SUBROUTINE S(K)
+INTEGER K
+PRINT *, K
+END
+`, Options{})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "42" || lines[1] != "6" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	res := run(t, `PROGRAM P
+REAL X
+X = 1.5 * 4
+PRINT *, X
+PRINT *, MAX(2.5, 1.0)
+END
+`, Options{})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "6" || lines[1] != "2.5" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestIntegerDivisionTruncation(t *testing.T) {
+	res := run(t, `PROGRAM P
+PRINT *, 7/2, -7/2, MOD(-7, 3)
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "3 -3 -1" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	res := run(t, `PROGRAM P
+LOGICAL A, B
+A = .TRUE.
+B = .NOT. A .OR. 1 .LT. 2 .AND. A
+PRINT *, B
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "T" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestDataInits(t *testing.T) {
+	res := run(t, `PROGRAM P
+COMMON /C/ N
+INTEGER K
+DATA K / 7 /
+PRINT *, N + K
+END
+SUBROUTINE UNUSED()
+COMMON /C/ M
+DATA M / 35 /
+M = 0
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "42" {
+		t.Errorf("output = %q (COMMON DATA from any unit + local DATA)", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"mod-zero", `PROGRAM P
+INTEGER I, J
+J = 0
+I = MOD(5, J)
+END
+`, "MOD by zero"},
+		{"int-div-zero", `PROGRAM P
+INTEGER I, J
+J = 0
+I = 5 / J
+END
+`, "undefined integer operation"},
+		{"real-div-zero", `PROGRAM P
+REAL X, Y
+Y = 0.0
+X = 1.0 / Y
+END
+`, "division by zero"},
+		{"zero-step", `PROGRAM P
+INTEGER I, J
+J = 0
+DO I = 1, 5, J
+ENDDO
+END
+`, "zero DO step"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var diags source.ErrorList
+			f := parser.ParseSource("t.f", c.src, &diags)
+			prog := sem.Analyze(f, &diags)
+			if diags.HasErrors() {
+				t.Fatal(diags.Error())
+			}
+			_, err := Run(prog, Options{})
+			if err == nil || !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("err = %v, want contains %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	// Unbounded recursion must hit the depth guard, not the Go stack.
+	src := `PROGRAM P
+CALL R(1)
+END
+SUBROUTINE R(N)
+INTEGER N
+CALL R(N + 1)
+END
+`
+	var diags source.ErrorList
+	f := parser.ParseSource("t.f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	_, err := Run(prog, Options{})
+	if err == nil || !strings.Contains(err.Error(), "depth limit") {
+		t.Errorf("err = %v, want depth limit", err)
+	}
+}
+
+func TestDimensionlessArrayFormal(t *testing.T) {
+	// An array formal declared without dimensions gets default storage
+	// when invoked with a fresh array (main passes a real array here, so
+	// the binding shares storage).
+	res := run(t, `PROGRAM P
+INTEGER A(5), I
+DO I = 1, 5
+  A(I) = I
+ENDDO
+CALL SUM5(A)
+END
+SUBROUTINE SUM5(B)
+INTEGER B(5), S, I
+S = 0
+DO I = 1, 5
+  S = S + B(I)
+ENDDO
+PRINT *, S
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "15" {
+		t.Errorf("sum = %q, want 15", got)
+	}
+}
+
+func TestRealPowAndRealIntrinsics(t *testing.T) {
+	res := run(t, `PROGRAM P
+REAL X, Y
+X = 2.0 ** 3
+Y = 2.0 ** (-2)
+PRINT *, X, Y
+PRINT *, MIN(1.5, 2.5), MAX(3, 1.5)
+PRINT *, ABS(-2.5)
+PRINT *, MOD(10, 3)
+END
+`, Options{})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "8 0.25" {
+		t.Errorf("pow line = %q", lines[0])
+	}
+	if lines[1] != "1.5 3" {
+		t.Errorf("minmax line = %q", lines[1])
+	}
+	if lines[2] != "2.5" {
+		t.Errorf("abs line = %q", lines[2])
+	}
+	if lines[3] != "1" {
+		t.Errorf("mod line = %q", lines[3])
+	}
+}
+
+func TestReadIntoCommonAndArrays(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER NG, A(4), I
+COMMON /C/ NG
+READ *, NG, A(2)
+CALL SHOW
+PRINT *, A(2)
+DO I = 1, 2
+  READ *, A(I)
+ENDDO
+PRINT *, A(1) + A(2)
+END
+SUBROUTINE SHOW()
+INTEGER NH
+COMMON /C/ NH
+PRINT *, NH
+END
+`, Options{Input: []int64{9, 8, 7, 6}})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "9" || lines[1] != "8" || lines[2] != "13" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestCommonArrays(t *testing.T) {
+	res := run(t, `PROGRAM P
+INTEGER BUF(5), I
+COMMON /SH/ BUF
+DO I = 1, 5
+  BUF(I) = I*I
+ENDDO
+CALL TOTAL
+END
+SUBROUTINE TOTAL()
+INTEGER ARR(5), S, I
+COMMON /SH/ ARR
+S = 0
+DO I = 1, 5
+  S = S + ARR(I)
+ENDDO
+PRINT *, S
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "55" {
+		t.Errorf("shared-array sum = %q, want 55", got)
+	}
+}
+
+func TestRealDataAndLogicalData(t *testing.T) {
+	res := run(t, `PROGRAM P
+REAL X
+LOGICAL L
+DATA X / 2.5 /
+DATA L / .TRUE. /
+PRINT *, X, L
+END
+`, Options{})
+	if got := strings.TrimSpace(res.Output); got != "2.5 T" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestMixedComparisonsAndConversions(t *testing.T) {
+	res := run(t, `PROGRAM P
+REAL X
+INTEGER I
+LOGICAL L
+X = 2.5
+I = X
+L = X .GT. 2
+PRINT *, I, L
+L = 2 .EQ. 2.0
+PRINT *, L
+END
+`, Options{})
+	lines := strings.Split(strings.TrimSpace(res.Output), "\n")
+	if lines[0] != "2 T" || lines[1] != "T" {
+		t.Errorf("output = %q", res.Output)
+	}
+}

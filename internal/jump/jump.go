@@ -1,0 +1,416 @@
+// Package jump constructs jump functions (paper §3).
+//
+// Forward jump functions: for call site s and callee formal (or global)
+// y, J_s^y approximates y's value on entry to the callee as a function
+// of the caller's entry values. Four implementations are provided, in
+// increasing order of power and cost:
+//
+//	Literal          — y's actual is a literal constant at s
+//	Intraprocedural  — gcp(y, s): intraprocedural constant propagation /
+//	                   value numbering (with MOD info) proves y constant
+//	Pass-through     — additionally, y's actual is an unmodified formal
+//	                   of the caller (so constants flow along paths of
+//	                   length > 1 in the call graph)
+//	Polynomial       — y's actual is any polynomial of the caller's
+//	                   entry values
+//
+// Return jump functions: for each formal/global x modified by p (and
+// the function result), R_p^x approximates x's value on return from p.
+// A single polynomial implementation is provided, built bottom-up over
+// the call graph as in §3.2; procedures in recursive SCCs are
+// summarized conservatively (no return jump functions).
+//
+// All four forward kinds are derived by *restricting* the symbolic
+// expression the value-numbering engine (package intra) computes for
+// each actual — mirroring the paper's implementation note that "the
+// appropriate function is constructed from the information produced by
+// value numbering".
+package jump
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/callgraph"
+	"repro/internal/cfg"
+	"repro/internal/dom"
+	"repro/internal/intra"
+	"repro/internal/modref"
+	"repro/internal/sem"
+	"repro/internal/ssa"
+	"repro/internal/symbolic"
+)
+
+// Kind selects a forward jump function implementation.
+type Kind int
+
+const (
+	Literal Kind = iota
+	Intraprocedural
+	PassThrough
+	Polynomial
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Literal:
+		return "literal"
+	case Intraprocedural:
+		return "intraprocedural"
+	case PassThrough:
+		return "pass-through"
+	default:
+		return "polynomial"
+	}
+}
+
+// Config selects the analysis variant (the experimental axes of the
+// paper's Tables 2 and 3).
+type Config struct {
+	Kind Kind
+	// UseMOD uses interprocedural MOD information at call sites; when
+	// false, worst-case kill assumptions apply (Table 3, column 1).
+	UseMOD bool
+	// UseReturnJFs builds and applies return jump functions (Table 2's
+	// first four columns vs last two).
+	UseReturnJFs bool
+	// FullSubstitution lifts the paper's only-constants limitation on
+	// return jump function results (an extension; off reproduces the
+	// paper).
+	FullSubstitution bool
+	// Prune enables branch pruning during jump function construction;
+	// used by the complete-propagation loop after dead code is found.
+	Prune bool
+	// Gated builds γ expressions at joins (gated-SSA jump functions, the
+	// paper's §4.2 suggestion — an extension that subsumes complete
+	// propagation without iterating). Meaningful with Kind Polynomial.
+	Gated bool
+}
+
+// DefaultConfig is the paper's recommended configuration: pass-through
+// jump functions with MOD information and return jump functions.
+func DefaultConfig() Config {
+	return Config{Kind: PassThrough, UseMOD: true, UseReturnJFs: true}
+}
+
+// SiteFunctions holds the forward jump functions of one call site:
+// one per callee formal position and one per program global. A nil
+// entry is ⊥ (the jump function that always evaluates to ⊥).
+type SiteFunctions struct {
+	Site    *cfg.CallSite
+	Callee  *sem.Procedure
+	Formals []*symbolic.Expr
+	Globals map[*sem.GlobalVar]*symbolic.Expr
+	// Dead marks sites proven unreachable (branch pruning): they
+	// contribute nothing to the callee's VAL set rather than ⊥.
+	Dead bool
+}
+
+// ProcFunctions bundles everything computed for one procedure.
+type ProcFunctions struct {
+	Proc  *sem.Procedure
+	SSA   *ssa.Func
+	Intra *intra.Result
+	Sites []*SiteFunctions
+}
+
+// Functions is the program-wide result of jump function construction.
+type Functions struct {
+	Config  Config
+	Graph   *callgraph.Graph
+	Mod     *modref.Info
+	Builder *symbolic.Builder
+	// Returns maps each procedure to its return jump functions (absent
+	// or nil for recursive procedures and when UseReturnJFs is off).
+	Returns map[*sem.Procedure]*intra.ReturnSummary
+	// Procs maps each procedure to its forward jump functions.
+	Procs map[*sem.Procedure]*ProcFunctions
+}
+
+// EntryEnv provides known constant entry values per procedure for
+// rebuild rounds of complete propagation; nil means no knowledge.
+type EntryEnv func(p *sem.Procedure) map[ssa.Var]int64
+
+// Build constructs return and forward jump functions for the whole
+// program, in the paper's phase order: return jump functions bottom-up,
+// then forward jump functions.
+func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Config, entry EntryEnv) *Functions {
+	if b == nil {
+		b = symbolic.NewBuilder()
+	}
+	fns := &Functions{
+		Config:  cfgr,
+		Graph:   cg,
+		Mod:     mod,
+		Builder: b,
+		Returns: make(map[*sem.Procedure]*intra.ReturnSummary),
+		Procs:   make(map[*sem.Procedure]*ProcFunctions),
+	}
+	builder := &fnBuilder{fns: fns, entry: entry}
+	if cfgr.UseReturnJFs {
+		builder.buildReturns()
+	}
+	builder.buildForwards()
+	return fns
+}
+
+type fnBuilder struct {
+	fns   *Functions
+	entry EntryEnv
+	// ssaCache holds one SSA build per procedure: the SSA form depends
+	// only on the CFG and the kill assumptions, both fixed for a Build
+	// call, so the bottom-up (return JF) and top-down (forward JF)
+	// passes can share it.
+	ssaCache map[*callgraph.Node]*ssa.Func
+}
+
+func (fb *fnBuilder) opaqueBase(p *sem.Procedure) int64 {
+	for i, n := range fb.fns.Graph.Order {
+		if n.Proc == p {
+			return int64(i+1) << 32
+		}
+	}
+	return int64(len(fb.fns.Graph.Order)+1) << 32
+}
+
+// analyzeProc runs the SSA + symbolic engine for one procedure under
+// the current configuration and the return summaries computed so far.
+func (fb *fnBuilder) analyzeProc(n *callgraph.Node) (*ssa.Func, *intra.Result) {
+	cfgr := fb.fns.Config
+	if fb.ssaCache == nil {
+		fb.ssaCache = make(map[*callgraph.Node]*ssa.Func)
+	}
+	fn := fb.ssaCache[n]
+	if fn == nil {
+		opts := ssa.Options{Globals: fb.fns.Graph.Prog.Globals()}
+		if cfgr.UseMOD {
+			opts.Kills = fb.fns.Mod.Kills
+		}
+		fn = ssa.Build(n.CFG, dom.Compute(n.CFG), opts)
+		fb.ssaCache[n] = fn
+	}
+
+	iopts := intra.Options{
+		Builder:          fb.fns.Builder,
+		OpaqueBase:       fb.opaqueBase(n.Proc),
+		Prune:            cfgr.Prune,
+		FullSubstitution: cfgr.FullSubstitution,
+		Gated:            cfgr.Gated,
+	}
+	if fb.entry != nil {
+		iopts.Entry = fb.entry(n.Proc)
+	}
+	if cfgr.UseReturnJFs {
+		iopts.ReturnJF = func(callee string) *intra.ReturnSummary {
+			if cn := fb.fns.Graph.Nodes[callee]; cn != nil {
+				return fb.fns.Returns[cn.Proc]
+			}
+			return nil
+		}
+		if cfgr.UseMOD {
+			iopts.GMod = func(callee string, g *sem.GlobalVar) bool {
+				cn := fb.fns.Graph.Nodes[callee]
+				if cn == nil {
+					return true
+				}
+				return fb.fns.Mod.GMod(cn.Proc, g)
+			}
+		}
+	}
+	return fn, intra.Analyze(fn, iopts)
+}
+
+// buildReturns walks the call graph bottom-up, producing a
+// ReturnSummary per non-recursive procedure (paper §4.1, first phase).
+func (fb *fnBuilder) buildReturns() {
+	for _, n := range fb.fns.Graph.BottomUp() {
+		if n.Recursive {
+			continue // conservative: no return jump functions
+		}
+		fn, res := fb.analyzeProc(n)
+		sum := &intra.ReturnSummary{
+			Proc:    n.Proc,
+			Formals: make(map[int]*symbolic.Expr),
+			Globals: make(map[*sem.GlobalVar]*symbolic.Expr),
+		}
+		for i, f := range n.Proc.Formals {
+			if f.IsArray || f.Type != ast.TypeInteger {
+				continue
+			}
+			if e := usableExit(res, fn.ExitVals[ssa.VarOf(f)]); e != nil {
+				sum.Formals[i] = e
+			}
+		}
+		for _, g := range fb.fns.Graph.Prog.Globals() {
+			if g.IsArray || g.Type != ast.TypeInteger {
+				continue
+			}
+			if e := usableExit(res, fn.ExitVals[ssa.GlobalVar(g)]); e != nil {
+				sum.Globals[g] = e
+			}
+		}
+		if r := n.Proc.Result; r != nil {
+			sum.Result = usableExit(res, fn.ExitVals[ssa.VarOf(r)])
+		}
+		fb.fns.Returns[n.Proc] = sum
+	}
+}
+
+// usableExit filters an exit expression down to a valid return jump
+// function: transparent (no opaque parts) and integer-valued.
+func usableExit(res *intra.Result, v *ssa.Value) *symbolic.Expr {
+	if v == nil {
+		return nil
+	}
+	e := res.ExprOf(v)
+	if e == nil || e.HasOpaque() {
+		return nil
+	}
+	if _, isBool := e.IsBool(); isBool {
+		return nil
+	}
+	return e
+}
+
+// buildForwards constructs the per-site forward jump functions
+// (paper §4.1, second phase; a top-down pass, though with return
+// summaries fixed the order no longer matters).
+func (fb *fnBuilder) buildForwards() {
+	for _, n := range fb.fns.Graph.TopDown() {
+		fn, res := fb.analyzeProc(n)
+		pf := &ProcFunctions{Proc: n.Proc, SSA: fn, Intra: res}
+		for _, site := range fn.Graph.Sites {
+			calleeNode := fb.fns.Graph.Nodes[site.Callee]
+			if calleeNode == nil {
+				continue
+			}
+			pf.Sites = append(pf.Sites, fb.siteFunctions(fn, res, site, calleeNode.Proc))
+		}
+		fb.fns.Procs[n.Proc] = pf
+	}
+}
+
+func (fb *fnBuilder) siteFunctions(fn *ssa.Func, res *intra.Result, site *cfg.CallSite, callee *sem.Procedure) *SiteFunctions {
+	sf := &SiteFunctions{
+		Site:    site,
+		Callee:  callee,
+		Formals: make([]*symbolic.Expr, len(callee.Formals)),
+		Globals: make(map[*sem.GlobalVar]*symbolic.Expr),
+	}
+	if site.Block != nil && !res.ExecBlock[site.Block] {
+		sf.Dead = true
+		return sf
+	}
+	info := fn.Calls[site]
+	kind := fb.fns.Config.Kind
+	for i, formal := range callee.Formals {
+		if i >= len(site.Args) {
+			break
+		}
+		// Only integer parameters are propagated (paper §4: "the
+		// implementation only propagates integer constants").
+		if formal.Type != ast.TypeInteger || formal.IsArray {
+			continue
+		}
+		var raw *symbolic.Expr
+		if info != nil && i < len(info.ArgVals) && info.ArgVals[i] != nil {
+			raw = res.ExprOf(info.ArgVals[i])
+		}
+		sf.Formals[i] = restrict(kind, raw, site.Args[i])
+	}
+	// Globals are "implicit actuals": their value at the site is the
+	// jump function for the corresponding entry global of the callee.
+	// The literal kind misses them entirely (§3.1.1: "this jump function
+	// misses any constant globals which are passed implicitly").
+	if kind != Literal && info != nil {
+		for g, v := range info.GlobalVals {
+			if g.Type != ast.TypeInteger || g.IsArray {
+				continue
+			}
+			if e := restrict(kind, res.ExprOf(v), nil); e != nil {
+				sf.Globals[g] = e
+			}
+		}
+	}
+	return sf
+}
+
+// restrict derives the kind-specific jump function from the full
+// symbolic expression of an actual (nil = ⊥).
+func restrict(kind Kind, raw *symbolic.Expr, actual ast.Expr) *symbolic.Expr {
+	switch kind {
+	case Literal:
+		// Textual scan of the call site: a literal (possibly negated)
+		// integer constant. Independent of the engine's expression.
+		if raw == nil {
+			return nil
+		}
+		switch a := actual.(type) {
+		case *ast.IntLit:
+			return raw // raw is the same constant
+		case *ast.Unary:
+			if a.Op == ast.OpNeg {
+				if _, ok := a.X.(*ast.IntLit); ok {
+					return raw
+				}
+			}
+		}
+		return nil
+	case Intraprocedural:
+		if raw == nil {
+			return nil
+		}
+		if _, ok := raw.IsConst(); ok {
+			return raw
+		}
+		return nil
+	case PassThrough:
+		if raw == nil {
+			return nil
+		}
+		if _, ok := raw.IsConst(); ok {
+			return raw
+		}
+		if raw.Op == symbolic.OpParam || raw.Op == symbolic.OpGlobal {
+			return raw
+		}
+		return nil
+	default: // Polynomial
+		if raw == nil || raw.HasOpaque() {
+			return nil
+		}
+		if _, isBool := raw.IsBool(); isBool {
+			return nil
+		}
+		return raw
+	}
+}
+
+// String renders the jump functions of a site for debugging.
+func (sf *SiteFunctions) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "site %s:", sf.Site)
+	for i, e := range sf.Formals {
+		name := sf.Callee.Formals[i].Name
+		if e == nil {
+			fmt.Fprintf(&b, " %s=⊥", name)
+		} else {
+			fmt.Fprintf(&b, " %s=%s", name, e)
+		}
+	}
+	var keys []string
+	for g := range sf.Globals {
+		keys = append(keys, g.Key())
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for g, e := range sf.Globals {
+			if g.Key() == k {
+				fmt.Fprintf(&b, " %s=%s", k, e)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,110 @@
+// Package lattice implements the constant-propagation lattice of
+// Figure 1 of the paper:
+//
+//	      ⊤
+//	... c₋₁ c₀ c₁ c₂ ...
+//	      ⊥
+//
+// Meet rules: ⊤ ∧ x = x; ⊥ ∧ x = ⊥; cᵢ ∧ cⱼ = cᵢ if cᵢ = cⱼ, else ⊥.
+// The lattice is infinitely wide but only two deep: any value can be
+// lowered at most twice (⊤ → constant → ⊥), which bounds the running
+// time of the interprocedural propagation.
+package lattice
+
+import "fmt"
+
+// Level classifies a lattice element.
+type Level int8
+
+const (
+	Top    Level = iota // ⊤: no information yet (optimistic initial value)
+	Const               // a known integer constant
+	Bottom              // ⊥: proven non-constant (or unknowable)
+)
+
+// Value is an element of the constant-propagation lattice. The zero
+// Value is ⊤.
+type Value struct {
+	level Level
+	c     int64
+}
+
+// TopValue returns ⊤.
+func TopValue() Value { return Value{} }
+
+// BottomValue returns ⊥.
+func BottomValue() Value { return Value{level: Bottom} }
+
+// ConstValue returns the lattice element for the constant c.
+func ConstValue(c int64) Value { return Value{level: Const, c: c} }
+
+// Level returns the element's level.
+func (v Value) Level() Level { return v.level }
+
+// IsTop reports whether v is ⊤.
+func (v Value) IsTop() bool { return v.level == Top }
+
+// IsBottom reports whether v is ⊥.
+func (v Value) IsBottom() bool { return v.level == Bottom }
+
+// IsConst reports whether v is a constant, returning it.
+func (v Value) IsConst() (int64, bool) { return v.c, v.level == Const }
+
+// Const returns the constant; it panics unless IsConst.
+func (v Value) Const() int64 {
+	if v.level != Const {
+		panic("lattice: Const() on non-constant value " + v.String())
+	}
+	return v.c
+}
+
+// Meet returns v ∧ w per Figure 1.
+func Meet(v, w Value) Value {
+	switch {
+	case v.level == Top:
+		return w
+	case w.level == Top:
+		return v
+	case v.level == Bottom || w.level == Bottom:
+		return BottomValue()
+	case v.c == w.c:
+		return v
+	default:
+		return BottomValue()
+	}
+}
+
+// MeetAll folds Meet over vs (⊤ for an empty list).
+func MeetAll(vs ...Value) Value {
+	r := TopValue()
+	for _, v := range vs {
+		r = Meet(r, v)
+		if r.IsBottom() {
+			return r // early out: ⊥ is absorbing
+		}
+	}
+	return r
+}
+
+// Leq reports whether v ⊑ w (v is lower than or equal to w in the
+// lattice order where ⊥ ⊑ c ⊑ ⊤).
+func Leq(v, w Value) bool { return Meet(v, w) == v }
+
+// Equal reports whether two elements are identical.
+func (v Value) Equal(w Value) bool { return v == w }
+
+func (v Value) String() string {
+	switch v.level {
+	case Top:
+		return "⊤"
+	case Bottom:
+		return "⊥"
+	default:
+		return fmt.Sprintf("%d", v.c)
+	}
+}
+
+// Depth is the height of the lattice: the maximum number of times a
+// value can be lowered. The propagation-cost bounds in §3.1.5 of the
+// paper rely on this being 2.
+const Depth = 2

@@ -1,0 +1,183 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// arbitrary produces a random lattice element.
+func arbitrary(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return TopValue()
+	case 1:
+		return BottomValue()
+	default:
+		return ConstValue(int64(r.Intn(5) - 2)) // small range forces collisions
+	}
+}
+
+func TestMeetTable(t *testing.T) {
+	top, bot := TopValue(), BottomValue()
+	c1, c2 := ConstValue(1), ConstValue(2)
+	cases := []struct{ a, b, want Value }{
+		{top, top, top},
+		{top, c1, c1},
+		{c1, top, c1},
+		{top, bot, bot},
+		{bot, top, bot},
+		{bot, bot, bot},
+		{bot, c1, bot},
+		{c1, bot, bot},
+		{c1, c1, c1},
+		{c1, c2, bot},
+		{c2, c1, bot},
+	}
+	for _, c := range cases {
+		if got := Meet(c.a, c.b); got != c.want {
+			t.Errorf("Meet(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMeetCommutative(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		r := rand.New(rand.NewSource(seedA ^ seedB))
+		a, b := arbitrary(r), arbitrary(r)
+		return Meet(a, b) == Meet(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := arbitrary(r), arbitrary(r), arbitrary(r)
+		return Meet(Meet(a, b), c) == Meet(a, Meet(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := arbitrary(r)
+		return Meet(a, a) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopIsIdentityBottomAbsorbs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := arbitrary(r)
+		return Meet(TopValue(), a) == a && Meet(BottomValue(), a) == BottomValue()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBoundedDepth verifies the property the paper's complexity bounds
+// rely on: any chain of meets lowers a value at most Depth times.
+func TestBoundedDepth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := TopValue()
+		lowerings := 0
+		for i := 0; i < 100; i++ {
+			nv := Meet(v, arbitrary(r))
+			if nv != v {
+				lowerings++
+			}
+			v = nv
+		}
+		return lowerings <= Depth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetMonotone(t *testing.T) {
+	// a ⊑ b implies a ∧ c ⊑ b ∧ c.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := arbitrary(r), arbitrary(r), arbitrary(r)
+		if !Leq(a, b) {
+			return true // vacuous
+		}
+		return Leq(Meet(a, c), Meet(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeq(t *testing.T) {
+	if !Leq(BottomValue(), TopValue()) || !Leq(BottomValue(), ConstValue(5)) ||
+		!Leq(ConstValue(5), TopValue()) || !Leq(ConstValue(5), ConstValue(5)) {
+		t.Error("expected ⊑ relations missing")
+	}
+	if Leq(TopValue(), ConstValue(5)) || Leq(ConstValue(5), ConstValue(6)) ||
+		Leq(ConstValue(5), BottomValue()) {
+		t.Error("unexpected ⊑ relations")
+	}
+}
+
+func TestMeetAll(t *testing.T) {
+	if !MeetAll().IsTop() {
+		t.Error("empty MeetAll should be ⊤")
+	}
+	if v := MeetAll(ConstValue(3), TopValue(), ConstValue(3)); v != ConstValue(3) {
+		t.Errorf("MeetAll = %v", v)
+	}
+	if v := MeetAll(ConstValue(3), ConstValue(4)); !v.IsBottom() {
+		t.Errorf("MeetAll of differing constants = %v", v)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	v := ConstValue(42)
+	if c, ok := v.IsConst(); !ok || c != 42 {
+		t.Errorf("IsConst = %v %v", c, ok)
+	}
+	if v.Const() != 42 {
+		t.Error("Const() wrong")
+	}
+	if v.IsTop() || v.IsBottom() {
+		t.Error("constant misclassified")
+	}
+	if !TopValue().IsTop() || !BottomValue().IsBottom() {
+		t.Error("Top/Bottom misclassified")
+	}
+	var zero Value
+	if !zero.IsTop() {
+		t.Error("zero Value must be ⊤")
+	}
+	if v.Level() != Const || TopValue().Level() != Top {
+		t.Error("Level() wrong")
+	}
+}
+
+func TestConstPanicsOnNonConst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Const() on ⊤ should panic")
+		}
+	}()
+	_ = TopValue().Const()
+}
+
+func TestStrings(t *testing.T) {
+	if TopValue().String() != "⊤" || BottomValue().String() != "⊥" || ConstValue(-7).String() != "-7" {
+		t.Error("String() wrong")
+	}
+}

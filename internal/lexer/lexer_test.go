@@ -1,0 +1,271 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	var diags source.ErrorList
+	toks := Tokenize(source.NewFile("t.f", src), &diags)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected diagnostics: %v", diags.Error())
+	}
+	return toks
+}
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func expectKinds(t *testing.T, got []Token, want ...Kind) {
+	t.Helper()
+	gk := kinds(got)
+	if len(gk) != len(want) {
+		t.Fatalf("token count = %d, want %d\ngot:  %v\nwant: %v", len(gk), len(want), got, want)
+	}
+	for i := range gk {
+		if gk[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v\nall: %v", i, gk[i], want[i], got)
+		}
+	}
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	toks := lex(t, "I = 42\n")
+	expectKinds(t, toks, IDENT, ASSIGN, INTLIT, NEWLINE, EOF)
+	if toks[0].Text != "I" || toks[2].Text != "42" {
+		t.Errorf("texts wrong: %v", toks)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	toks := lex(t, "subroutine Foo(x)\n")
+	expectKinds(t, toks, KwSubroutine, IDENT, LPAREN, IDENT, RPAREN, NEWLINE, EOF)
+	if toks[1].Text != "FOO" || toks[3].Text != "X" {
+		t.Errorf("identifiers not upper-cased: %v", toks)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := lex(t, "A = B ** 2 * C / D + E - F\n")
+	expectKinds(t, toks, IDENT, ASSIGN, IDENT, POW, INTLIT, STAR, IDENT,
+		SLASH, IDENT, PLUS, IDENT, MINUS, IDENT, NEWLINE, EOF)
+}
+
+func TestDotOperators(t *testing.T) {
+	toks := lex(t, "IF (A .EQ. 1 .AND. B .NE. 2 .OR. .NOT. C) GOTO 10\n")
+	expectKinds(t, toks, KwIf, LPAREN, IDENT, EQ, INTLIT, AND, IDENT, NE,
+		INTLIT, OR, NOT, IDENT, RPAREN, KwGoto, INTLIT, NEWLINE, EOF)
+}
+
+func TestModernRelationalSpellings(t *testing.T) {
+	toks := lex(t, "X = A == B\nY = A /= B\nZ = A <= B\nW = A >= B\nV = A < B\nU = A > B\n")
+	want := []Kind{EQ, NE, LE, GE, LT, GT}
+	var got []Kind
+	for _, tok := range toks {
+		if tok.Kind.IsRelational() {
+			got = append(got, tok.Kind)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("relational ops = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntegerDotOperatorDisambiguation(t *testing.T) {
+	// "1.EQ.2" must lex as INTLIT(1) .EQ. INTLIT(2), not a real literal.
+	toks := lex(t, "L = 1.EQ.2\n")
+	expectKinds(t, toks, IDENT, ASSIGN, INTLIT, EQ, INTLIT, NEWLINE, EOF)
+}
+
+func TestRealLiterals(t *testing.T) {
+	cases := []struct{ src, text string }{
+		{"X = 3.5\n", "3.5"},
+		{"X = 1.\n", "1."},
+		{"X = .5\n", ".5"},
+		{"X = 1.0E-3\n", "1.0E-3"},
+		{"X = 1.E5\n", "1.E5"},
+		{"X = 2E10\n", "2E10"},
+		{"X = 4.5D0\n", "4.5D0"},
+	}
+	for _, c := range cases {
+		toks := lex(t, c.src)
+		if toks[2].Kind != REALLIT {
+			t.Errorf("%q: token = %v, want REALLIT", c.src, toks[2])
+			continue
+		}
+		if toks[2].Text != c.text {
+			t.Errorf("%q: text = %q, want %q", c.src, toks[2].Text, c.text)
+		}
+	}
+}
+
+func TestLogicalLiterals(t *testing.T) {
+	toks := lex(t, "L = .TRUE.\nM = .false.\n")
+	if toks[2].Kind != LOGLIT || toks[2].Text != ".TRUE." {
+		t.Errorf("got %v", toks[2])
+	}
+	if toks[6].Kind != LOGLIT || toks[6].Text != ".FALSE." {
+		t.Errorf("got %v", toks[6])
+	}
+}
+
+func TestLabels(t *testing.T) {
+	toks := lex(t, "10 CONTINUE\nGOTO 10\n")
+	expectKinds(t, toks, LABEL, KwContinue, NEWLINE, KwGoto, INTLIT, NEWLINE, EOF)
+	if toks[0].Text != "10" {
+		t.Errorf("label text = %q", toks[0].Text)
+	}
+}
+
+func TestLabelOnlyAtLineStart(t *testing.T) {
+	toks := lex(t, "DO 10 I = 1, N\n")
+	expectKinds(t, toks, KwDo, INTLIT, IDENT, ASSIGN, INTLIT, COMMA, IDENT, NEWLINE, EOF)
+}
+
+func TestIndentedLabel(t *testing.T) {
+	toks := lex(t, "   20 X = 1\n")
+	expectKinds(t, toks, LABEL, IDENT, ASSIGN, INTLIT, NEWLINE, EOF)
+}
+
+func TestComments(t *testing.T) {
+	src := `C classic comment
+* star comment
+! modern comment
+I = 1 ! trailing comment
+c lower classic
+J = 2
+`
+	toks := lex(t, src)
+	expectKinds(t, toks, IDENT, ASSIGN, INTLIT, NEWLINE, IDENT, ASSIGN, INTLIT, NEWLINE, EOF)
+}
+
+func TestBlankLinesProduceNoNewlines(t *testing.T) {
+	toks := lex(t, "\n\nI = 1\n\n\nJ = 2\n\n")
+	expectKinds(t, toks, IDENT, ASSIGN, INTLIT, NEWLINE, IDENT, ASSIGN, INTLIT, NEWLINE, EOF)
+}
+
+func TestStrings(t *testing.T) {
+	toks := lex(t, "PRINT *, 'hello ''world'''\n")
+	expectKinds(t, toks, KwPrint, STAR, COMMA, STRING, NEWLINE, EOF)
+	if toks[3].Text != "hello 'world'" {
+		t.Errorf("string text = %q", toks[3].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	var diags source.ErrorList
+	Tokenize(source.NewFile("t.f", "S = 'oops\n"), &diags)
+	if !diags.HasErrors() {
+		t.Error("expected diagnostic for unterminated string")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	var diags source.ErrorList
+	toks := Tokenize(source.NewFile("t.f", "I = 1 @ 2\n"), &diags)
+	if !diags.HasErrors() {
+		t.Error("expected diagnostic for illegal character")
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == ILLEGAL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected an ILLEGAL token")
+	}
+}
+
+func TestMalformedDotOperator(t *testing.T) {
+	var diags source.ErrorList
+	Tokenize(source.NewFile("t.f", "L = A .BOGUS. B\n"), &diags)
+	if !diags.HasErrors() {
+		t.Error("expected diagnostic for unknown dot operator")
+	}
+	var diags2 source.ErrorList
+	Tokenize(source.NewFile("t.f", "L = A .EQ B\n"), &diags2)
+	if !diags2.HasErrors() {
+		t.Error("expected diagnostic for missing closing dot")
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	src := "PROGRAM SUBROUTINE FUNCTION END INTEGER REAL LOGICAL COMMON PARAMETER CALL IF THEN ELSE ELSEIF ENDIF DO ENDDO GOTO CONTINUE RETURN STOP READ PRINT WRITE DIMENSION DATA\n"
+	toks := lex(t, src)
+	for _, tok := range toks[:len(toks)-2] {
+		if !tok.Kind.IsKeyword() {
+			t.Errorf("%v not lexed as keyword", tok)
+		}
+	}
+}
+
+func TestOffsetsTrackPositions(t *testing.T) {
+	f := source.NewFile("t.f", "I = 1\nJJ = 22\n")
+	var diags source.ErrorList
+	toks := Tokenize(f, &diags)
+	// Token "JJ" starts at offset 6 → line 2 col 1.
+	for _, tok := range toks {
+		if tok.Text == "JJ" {
+			p := f.Pos(tok.Offset)
+			if p.Line != 2 || p.Col != 1 {
+				t.Errorf("JJ at %v, want 2:1", p)
+			}
+			return
+		}
+	}
+	t.Fatal("JJ token not found")
+}
+
+func TestPowVsStarStar(t *testing.T) {
+	toks := lex(t, "X = A**B\nY = A * (-B)\n")
+	if toks[3].Kind != POW {
+		t.Errorf("expected POW, got %v", toks[3])
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EOF.String() != "EOF" || POW.String() != "**" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}
+
+// TestColumnOneCDisambiguation: a column-1 'C' is a comment only when
+// it cannot be an assignment to the variable C.
+func TestColumnOneCDisambiguation(t *testing.T) {
+	cases := []struct {
+		src  string
+		toks int // tokens excluding EOF
+	}{
+		{"C = 1\n", 4},          // assignment: C, =, 1, NEWLINE
+		{"C(2) = 1\n", 7},       // array store: C ( 2 ) = 1 NEWLINE
+		{"C comment line\n", 0}, // classic comment
+		{"C\n", 0},              // bare C line: comment
+		{"c lower case note\n", 0},
+		{"* star comment\n", 0},
+		{"C   = 5\n", 4}, // spaces before '=': still assignment
+	}
+	for _, c := range cases {
+		var diags source.ErrorList
+		toks := Tokenize(source.NewFile("t.f", c.src), &diags)
+		if got := len(toks) - 1; got != c.toks {
+			t.Errorf("%q: %d tokens, want %d (%v)", c.src, got, c.toks, toks)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package lexer tokenizes F77s, the FORTRAN 77 subset analysed by this
+// repository. The lexer is free-form and case-insensitive: keywords and
+// identifiers are canonicalized to upper case, statements end at
+// end-of-line (there is no semicolon), and both classic ('C' in column 1,
+// '*' in column 1) and modern ('!') comments are recognized.
+package lexer
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	// Special
+	EOF Kind = iota
+	NEWLINE
+	ILLEGAL
+
+	// Literals and names
+	IDENT   // X, LOOPVAR
+	INTLIT  // 42
+	REALLIT // 3.5, 1.0E-3
+	STRING  // 'hello'
+	LOGLIT  // .TRUE. .FALSE.
+	LABEL   // statement label: an integer in leading position
+
+	// Operators and punctuation
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	POW    // **
+	LPAREN // (
+	RPAREN // )
+	COMMA  // ,
+	ASSIGN // =
+	COLON  // :
+
+	// Relational operators (both .EQ. and == spellings normalize here)
+	EQ // .EQ. ==
+	NE // .NE. /=
+	LT // .LT. <
+	LE // .LE. <=
+	GT // .GT. >
+	GE // .GE. >=
+
+	// Logical operators
+	AND // .AND.
+	OR  // .OR.
+	NOT // .NOT.
+
+	// Keywords
+	KwProgram
+	KwSubroutine
+	KwFunction
+	KwEnd
+	KwInteger
+	KwReal
+	KwLogical
+	KwDouble
+	KwPrecision
+	KwCommon
+	KwParameter
+	KwCall
+	KwIf
+	KwThen
+	KwElse
+	KwElseIf
+	KwEndIf
+	KwDo
+	KwEndDo
+	KwGoto
+	KwContinue
+	KwReturn
+	KwStop
+	KwRead
+	KwPrint
+	KwWrite
+	KwDimension
+	KwData
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", NEWLINE: "end of line", ILLEGAL: "illegal token",
+	IDENT: "identifier", INTLIT: "integer literal", REALLIT: "real literal",
+	STRING: "string literal", LOGLIT: "logical literal", LABEL: "label",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", POW: "**",
+	LPAREN: "(", RPAREN: ")", COMMA: ",", ASSIGN: "=", COLON: ":",
+	EQ: ".EQ.", NE: ".NE.", LT: ".LT.", LE: ".LE.", GT: ".GT.", GE: ".GE.",
+	AND: ".AND.", OR: ".OR.", NOT: ".NOT.",
+	KwProgram: "PROGRAM", KwSubroutine: "SUBROUTINE", KwFunction: "FUNCTION",
+	KwEnd: "END", KwInteger: "INTEGER", KwReal: "REAL", KwLogical: "LOGICAL",
+	KwDouble: "DOUBLE", KwPrecision: "PRECISION",
+	KwCommon: "COMMON", KwParameter: "PARAMETER", KwCall: "CALL",
+	KwIf: "IF", KwThen: "THEN", KwElse: "ELSE", KwElseIf: "ELSEIF",
+	KwEndIf: "ENDIF", KwDo: "DO", KwEndDo: "ENDDO", KwGoto: "GOTO",
+	KwContinue: "CONTINUE", KwReturn: "RETURN", KwStop: "STOP",
+	KwRead: "READ", KwPrint: "PRINT", KwWrite: "WRITE",
+	KwDimension: "DIMENSION", KwData: "DATA",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps upper-cased identifier text to keyword kinds.
+var keywords = map[string]Kind{
+	"PROGRAM": KwProgram, "SUBROUTINE": KwSubroutine, "FUNCTION": KwFunction,
+	"END": KwEnd, "INTEGER": KwInteger, "REAL": KwReal, "LOGICAL": KwLogical,
+	"DOUBLE": KwDouble, "PRECISION": KwPrecision,
+	"COMMON": KwCommon, "PARAMETER": KwParameter, "CALL": KwCall,
+	"IF": KwIf, "THEN": KwThen, "ELSE": KwElse, "ELSEIF": KwElseIf,
+	"ENDIF": KwEndIf, "DO": KwDo, "ENDDO": KwEndDo, "GOTO": KwGoto,
+	"CONTINUE": KwContinue, "RETURN": KwReturn, "STOP": KwStop,
+	"READ": KwRead, "PRINT": KwPrint, "WRITE": KwWrite,
+	"DIMENSION": KwDimension, "DATA": KwData,
+}
+
+// dotOperators maps .XX. spellings to their kinds.
+var dotOperators = map[string]Kind{
+	"EQ": EQ, "NE": NE, "LT": LT, "LE": LE, "GT": GT, "GE": GE,
+	"AND": AND, "OR": OR, "NOT": NOT,
+	"TRUE": LOGLIT, "FALSE": LOGLIT,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind   Kind
+	Text   string // canonical (upper-cased for words) text
+	Offset int    // byte offset in the file
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, REALLIT, STRING, LOGLIT, LABEL, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// IsKeyword reports whether the kind is a language keyword.
+func (k Kind) IsKeyword() bool { return k >= KwProgram && k <= KwData }
+
+// IsRelational reports whether the kind is a relational comparison.
+func (k Kind) IsRelational() bool { return k >= EQ && k <= GE }

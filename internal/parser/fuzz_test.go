@@ -1,0 +1,49 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// FuzzFrontEnd: lexing, parsing, and semantic analysis must never panic
+// on arbitrary input, and for accepted programs the writer's output must
+// reparse cleanly (print/parse round-trip stability).
+//
+// Run the corpus with `go test`; explore with `go test -fuzz FuzzFrontEnd`.
+func FuzzFrontEnd(f *testing.F) {
+	seeds := []string{
+		"PROGRAM P\nI = 1\nEND\n",
+		"PROGRAM P\nDO 10 I = 1, 10\n10 CONTINUE\nEND\n",
+		"PROGRAM P\nIF (I) 1, 2, 3\n1 CONTINUE\n2 CONTINUE\n3 CONTINUE\nEND\n",
+		"PROGRAM P\nGOTO (1, 2), I\n1 CONTINUE\n2 CONTINUE\nEND\n",
+		"SUBROUTINE S(A, B)\nCOMMON /C/ X\nA = B ** 2\nEND\n",
+		"INTEGER FUNCTION F(N)\nF = MOD(N, 2)\nEND\n",
+		"PROGRAM P\nC = 1.5\nC comment\nPRINT *, C\nEND\n",
+		"PROGRAM P\nPARAMETER (N = 10)\nINTEGER A(N)\nDATA K / -3 /\nEND\n",
+		"PROGRAM P\nX = 1.E5 + .5 - 4.5D0\nEND\n",
+		"PROGRAM P\nL = 1.EQ.2 .AND. .NOT. .TRUE.\nEND\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var diags source.ErrorList
+		file := ParseSource("fuzz.f", src, &diags)
+		prog := sem.Analyze(file, &diags)
+		_ = prog
+		if diags.HasErrors() {
+			return // rejected: fine
+		}
+		// Accepted: the writer must produce re-parseable text.
+		printed := ast.FileString(file)
+		var diags2 source.ErrorList
+		ParseSource("fuzz2.f", printed, &diags2)
+		if diags2.HasErrors() {
+			t.Fatalf("accepted program's printed form does not reparse:\n--- original ---\n%s\n--- printed ---\n%s\n--- errors ---\n%s",
+				src, printed, diags2.Error())
+		}
+	})
+}

@@ -1,0 +1,837 @@
+// Package parser turns F77s tokens into the AST of package ast. It is a
+// straightforward recursive-descent parser; statements are line-oriented
+// so error recovery simply skips to the next line.
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+)
+
+// ParseFile lexes and parses one source file. Diagnostics go to diags;
+// the returned file contains every unit that parsed well enough to keep.
+func ParseFile(file *source.File, diags *source.ErrorList) *ast.File {
+	p := &parser{
+		file:  file,
+		toks:  lexer.Tokenize(file, diags),
+		diags: diags,
+	}
+	f := &ast.File{Source: file}
+	for !p.at(lexer.EOF) {
+		u := p.unit()
+		if u != nil {
+			f.Units = append(f.Units, u)
+		}
+	}
+	return f
+}
+
+// ParseSource is a convenience wrapper for parsing from a string.
+func ParseSource(name, src string, diags *source.ErrorList) *ast.File {
+	return ParseFile(source.NewFile(name, src), diags)
+}
+
+type parser struct {
+	file  *source.File
+	toks  []lexer.Token
+	i     int
+	diags *source.ErrorList
+}
+
+func (p *parser) tok() lexer.Token     { return p.toks[p.i] }
+func (p *parser) at(k lexer.Kind) bool { return p.toks[p.i].Kind == k }
+func (p *parser) peek(n int) lexer.Token {
+	j := p.i + n
+	if j >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[j]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.i]
+	if t.Kind != lexer.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) pos() source.Position { return p.file.Pos(p.tok().Offset) }
+
+func (p *parser) errorf(format string, args ...interface{}) {
+	p.diags.Errorf(p.pos(), format, args...)
+}
+
+// expect consumes a token of kind k or reports an error.
+func (p *parser) expect(k lexer.Kind) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf("expected %s, found %s", k, p.tok())
+	return lexer.Token{Kind: k, Offset: p.tok().Offset}
+}
+
+// endOfLine consumes the statement terminator (NEWLINE or EOF) and
+// reports stray tokens before it.
+func (p *parser) endOfLine() {
+	if p.at(lexer.NEWLINE) {
+		p.next()
+		return
+	}
+	if p.at(lexer.EOF) {
+		return
+	}
+	p.errorf("unexpected %s at end of statement", p.tok())
+	p.skipLine()
+}
+
+// skipLine discards tokens through the next NEWLINE.
+func (p *parser) skipLine() {
+	for !p.at(lexer.NEWLINE) && !p.at(lexer.EOF) {
+		p.next()
+	}
+	if p.at(lexer.NEWLINE) {
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Program units
+
+func (p *parser) unit() *ast.Unit {
+	// Skip stray newlines between units.
+	for p.at(lexer.NEWLINE) {
+		p.next()
+	}
+	if p.at(lexer.EOF) {
+		return nil
+	}
+	u := &ast.Unit{Position: p.pos()}
+	switch {
+	case p.at(lexer.KwProgram):
+		p.next()
+		u.Kind = ast.ProgramUnit
+		u.Name = p.expect(lexer.IDENT).Text
+		p.endOfLine()
+	case p.at(lexer.KwSubroutine):
+		p.next()
+		u.Kind = ast.SubroutineUnit
+		u.Name = p.expect(lexer.IDENT).Text
+		u.Params = p.paramList()
+		p.endOfLine()
+	case p.at(lexer.KwInteger) || p.at(lexer.KwReal) || p.at(lexer.KwLogical) || p.at(lexer.KwDouble):
+		// Typed FUNCTION header, e.g. `INTEGER FUNCTION F(X)`.
+		bt := p.baseType()
+		if !p.at(lexer.KwFunction) {
+			p.errorf("expected FUNCTION after type in unit header (declarations belong inside a unit)")
+			p.skipLine()
+			return nil
+		}
+		p.next()
+		u.Kind = ast.FunctionUnit
+		u.Result = bt
+		u.Name = p.expect(lexer.IDENT).Text
+		u.Params = p.paramList()
+		p.endOfLine()
+	case p.at(lexer.KwFunction):
+		p.next()
+		u.Kind = ast.FunctionUnit
+		u.Result = ast.TypeInteger // default: integer-valued function
+		u.Name = p.expect(lexer.IDENT).Text
+		u.Params = p.paramList()
+		p.endOfLine()
+	default:
+		p.errorf("expected PROGRAM, SUBROUTINE, or FUNCTION, found %s", p.tok())
+		p.skipLine()
+		return nil
+	}
+
+	u.Decls = p.declarations()
+	u.Body = p.stmtList(endUnit)
+	// Consume the END line.
+	if p.at(lexer.KwEnd) {
+		p.next()
+		p.endOfLine()
+	} else {
+		p.errorf("expected END of %s %s, found %s", u.Kind, u.Name, p.tok())
+	}
+	return u
+}
+
+func (p *parser) paramList() []*ast.Param {
+	var ps []*ast.Param
+	if !p.at(lexer.LPAREN) {
+		return ps
+	}
+	p.next()
+	if p.at(lexer.RPAREN) {
+		p.next()
+		return ps
+	}
+	for {
+		t := p.expect(lexer.IDENT)
+		ps = append(ps, &ast.Param{Position: p.file.Pos(t.Offset), Name: t.Text})
+		if !p.at(lexer.COMMA) {
+			break
+		}
+		p.next()
+	}
+	p.expect(lexer.RPAREN)
+	return ps
+}
+
+func (p *parser) baseType() ast.BaseType {
+	switch p.tok().Kind {
+	case lexer.KwInteger:
+		p.next()
+		return ast.TypeInteger
+	case lexer.KwReal:
+		p.next()
+		return ast.TypeReal
+	case lexer.KwLogical:
+		p.next()
+		return ast.TypeLogical
+	case lexer.KwDouble:
+		p.next()
+		if p.at(lexer.KwPrecision) {
+			p.next()
+		} else {
+			p.errorf("expected PRECISION after DOUBLE")
+		}
+		return ast.TypeReal
+	}
+	p.errorf("expected a type, found %s", p.tok())
+	return ast.TypeNone
+}
+
+// ---------------------------------------------------------------------
+// Declarations
+
+func (p *parser) declarations() []ast.Decl {
+	var decls []ast.Decl
+	for {
+		switch p.tok().Kind {
+		case lexer.KwInteger, lexer.KwReal, lexer.KwLogical, lexer.KwDouble:
+			pos := p.pos()
+			bt := p.baseType()
+			d := &ast.VarDecl{Position: pos, Type: bt, Items: p.declItemList()}
+			p.endOfLine()
+			decls = append(decls, d)
+		case lexer.KwCommon:
+			pos := p.pos()
+			p.next()
+			block := ""
+			if p.at(lexer.SLASH) {
+				p.next()
+				block = p.expect(lexer.IDENT).Text
+				p.expect(lexer.SLASH)
+			}
+			d := &ast.CommonDecl{Position: pos, Block: block, Items: p.declItemList()}
+			p.endOfLine()
+			decls = append(decls, d)
+		case lexer.KwParameter:
+			pos := p.pos()
+			p.next()
+			p.expect(lexer.LPAREN)
+			d := &ast.ParamDecl{Position: pos}
+			for {
+				name := p.expect(lexer.IDENT).Text
+				p.expect(lexer.ASSIGN)
+				d.Names = append(d.Names, name)
+				d.Values = append(d.Values, p.expr())
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+			p.expect(lexer.RPAREN)
+			p.endOfLine()
+			decls = append(decls, d)
+		case lexer.KwDimension:
+			pos := p.pos()
+			p.next()
+			d := &ast.DimensionDecl{Position: pos, Items: p.declItemList()}
+			p.endOfLine()
+			decls = append(decls, d)
+		case lexer.KwData:
+			pos := p.pos()
+			p.next()
+			d := &ast.DataDecl{Position: pos}
+			for {
+				d.Names = append(d.Names, p.expect(lexer.IDENT).Text)
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+			p.expect(lexer.SLASH)
+			// DATA values are signed constants, not general expressions:
+			// a full expression parse would read the closing '/' as
+			// division.
+			for {
+				d.Values = append(d.Values, p.signedConstant())
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+			p.expect(lexer.SLASH)
+			p.endOfLine()
+			decls = append(decls, d)
+		default:
+			return decls
+		}
+	}
+}
+
+func (p *parser) declItemList() []*ast.DeclItem {
+	var items []*ast.DeclItem
+	for {
+		t := p.expect(lexer.IDENT)
+		it := &ast.DeclItem{Position: p.file.Pos(t.Offset), Name: t.Text}
+		if p.at(lexer.LPAREN) {
+			p.next()
+			for {
+				it.Dims = append(it.Dims, p.expr())
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+			p.expect(lexer.RPAREN)
+		}
+		items = append(items, it)
+		if !p.at(lexer.COMMA) {
+			return items
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+// stopSet tells stmtList which keywords end the current statement block
+// without being consumed.
+type stopSet int
+
+const (
+	endUnit stopSet = iota // stop at END (unit terminator)
+	endIf                  // stop at ELSEIF / ELSE / ENDIF / END IF
+	endDo                  // stop at ENDDO / END DO
+)
+
+// atBlockEnd reports whether the current token ends the block described
+// by stop. It must not consume anything.
+func (p *parser) atBlockEnd(stop stopSet) bool {
+	if p.at(lexer.EOF) {
+		return true
+	}
+	switch stop {
+	case endIf:
+		if p.at(lexer.KwElse) || p.at(lexer.KwElseIf) || p.at(lexer.KwEndIf) {
+			return true
+		}
+		// "END IF" written as two words.
+		if p.at(lexer.KwEnd) && p.peek(1).Kind == lexer.KwIf {
+			return true
+		}
+	case endDo:
+		if p.at(lexer.KwEndDo) {
+			return true
+		}
+		if p.at(lexer.KwEnd) && p.peek(1).Kind == lexer.KwDo {
+			return true
+		}
+	}
+	// A bare END always terminates (possibly with a missing-ENDIF error
+	// reported by the caller's expect).
+	if p.at(lexer.KwEnd) && p.peek(1).Kind != lexer.KwIf && p.peek(1).Kind != lexer.KwDo {
+		return true
+	}
+	return false
+}
+
+func (p *parser) stmtList(stop stopSet) []ast.Stmt {
+	var stmts []ast.Stmt
+	for {
+		for p.at(lexer.NEWLINE) {
+			p.next()
+		}
+		if p.atBlockEnd(stop) {
+			return stmts
+		}
+		s := p.statement()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+}
+
+// statement parses one labeled or unlabeled statement line.
+func (p *parser) statement() ast.Stmt {
+	label := ""
+	if p.at(lexer.LABEL) {
+		label = p.next().Text
+	}
+	s := p.simpleOrCompound()
+	if s != nil && label != "" {
+		s.SetLabel(label)
+	}
+	return s
+}
+
+func (p *parser) simpleOrCompound() ast.Stmt {
+	pos := p.pos()
+	switch p.tok().Kind {
+	case lexer.KwIf:
+		return p.ifStmt(pos)
+	case lexer.KwDo:
+		return p.doStmt(pos)
+	default:
+		s := p.simpleStmt(pos)
+		if s != nil {
+			p.endOfLine()
+		}
+		return s
+	}
+}
+
+// simpleStmt parses a statement that fits on one line (no THEN blocks or
+// DO bodies). It does not consume the end of line.
+func (p *parser) simpleStmt(pos source.Position) ast.Stmt {
+	switch p.tok().Kind {
+	case lexer.KwCall:
+		p.next()
+		name := p.expect(lexer.IDENT).Text
+		s := &ast.CallStmt{StmtBase: ast.StmtBase{Position: pos}, Name: name}
+		if p.at(lexer.LPAREN) {
+			p.next()
+			if !p.at(lexer.RPAREN) {
+				for {
+					s.Args = append(s.Args, p.expr())
+					if !p.at(lexer.COMMA) {
+						break
+					}
+					p.next()
+				}
+			}
+			p.expect(lexer.RPAREN)
+		}
+		return s
+	case lexer.KwGoto:
+		p.next()
+		if p.at(lexer.LPAREN) {
+			// Computed GOTO: GOTO (l1, l2, ...), e
+			p.next()
+			s := &ast.ComputedGotoStmt{StmtBase: ast.StmtBase{Position: pos}}
+			for {
+				t := p.expect(lexer.INTLIT)
+				s.Targets = append(s.Targets, t.Text)
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+			p.expect(lexer.RPAREN)
+			if p.at(lexer.COMMA) {
+				p.next()
+			}
+			s.Index = p.expr()
+			return s
+		}
+		t := p.expect(lexer.INTLIT)
+		return &ast.GotoStmt{StmtBase: ast.StmtBase{Position: pos}, Target: t.Text}
+	case lexer.KwContinue:
+		p.next()
+		return &ast.ContinueStmt{StmtBase: ast.StmtBase{Position: pos}}
+	case lexer.KwReturn:
+		p.next()
+		return &ast.ReturnStmt{StmtBase: ast.StmtBase{Position: pos}}
+	case lexer.KwStop:
+		p.next()
+		// Optional stop code, ignored.
+		if p.at(lexer.INTLIT) || p.at(lexer.STRING) {
+			p.next()
+		}
+		return &ast.StopStmt{StmtBase: ast.StmtBase{Position: pos}}
+	case lexer.KwRead:
+		p.next()
+		p.ioControl()
+		s := &ast.ReadStmt{StmtBase: ast.StmtBase{Position: pos}}
+		for {
+			s.Args = append(s.Args, p.expr())
+			if !p.at(lexer.COMMA) {
+				break
+			}
+			p.next()
+		}
+		return s
+	case lexer.KwPrint, lexer.KwWrite:
+		p.next()
+		p.ioControl()
+		s := &ast.PrintStmt{StmtBase: ast.StmtBase{Position: pos}}
+		if !p.at(lexer.NEWLINE) && !p.at(lexer.EOF) {
+			for {
+				s.Args = append(s.Args, p.expr())
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+		}
+		return s
+	case lexer.IDENT:
+		// Assignment: IDENT [ (subscripts) ] = expr
+		lhs := p.primary()
+		switch lhs.(type) {
+		case *ast.Ident, *ast.Apply:
+			// ok as assignment targets
+		default:
+			p.errorf("invalid assignment target")
+		}
+		p.expect(lexer.ASSIGN)
+		rhs := p.expr()
+		return &ast.AssignStmt{StmtBase: ast.StmtBase{Position: pos}, Lhs: lhs, Rhs: rhs}
+	}
+	p.errorf("expected a statement, found %s", p.tok())
+	p.skipLine()
+	return nil
+}
+
+// ioControl consumes the control part of READ/PRINT/WRITE:
+// `*`, `*,` or `(*,*)`.
+func (p *parser) ioControl() {
+	if p.at(lexer.LPAREN) { // WRITE (*,*) / READ (*,*)
+		p.next()
+		for !p.at(lexer.RPAREN) && !p.at(lexer.NEWLINE) && !p.at(lexer.EOF) {
+			p.next()
+		}
+		p.expect(lexer.RPAREN)
+		if p.at(lexer.COMMA) {
+			p.next()
+		}
+		return
+	}
+	p.expect(lexer.STAR)
+	if p.at(lexer.COMMA) {
+		p.next()
+	}
+}
+
+func (p *parser) ifStmt(pos source.Position) ast.Stmt {
+	p.expect(lexer.KwIf)
+	p.expect(lexer.LPAREN)
+	cond := p.expr()
+	p.expect(lexer.RPAREN)
+
+	if p.at(lexer.INTLIT) {
+		// Arithmetic IF: IF (e) l1, l2, l3.
+		s := &ast.ArithIfStmt{StmtBase: ast.StmtBase{Position: pos}, Expr: cond}
+		s.LtLabel = p.expect(lexer.INTLIT).Text
+		p.expect(lexer.COMMA)
+		s.EqLabel = p.expect(lexer.INTLIT).Text
+		p.expect(lexer.COMMA)
+		s.GtLabel = p.expect(lexer.INTLIT).Text
+		p.endOfLine()
+		return s
+	}
+
+	if p.at(lexer.KwThen) {
+		// Block IF.
+		p.next()
+		p.endOfLine()
+		s := &ast.IfStmt{StmtBase: ast.StmtBase{Position: pos}, Cond: cond}
+		s.Then = p.stmtList(endIf)
+		for {
+			switch {
+			case p.at(lexer.KwElseIf):
+				eiPos := p.pos()
+				p.next()
+				p.expect(lexer.LPAREN)
+				c := p.expr()
+				p.expect(lexer.RPAREN)
+				p.expect(lexer.KwThen)
+				p.endOfLine()
+				s.ElseIfs = append(s.ElseIfs, &ast.ElseIfClause{Position: eiPos, Cond: c, Body: p.stmtList(endIf)})
+				continue
+			case p.at(lexer.KwElse) && p.peek(1).Kind == lexer.KwIf:
+				// "ELSE IF (...) THEN"
+				eiPos := p.pos()
+				p.next() // ELSE
+				p.next() // IF
+				p.expect(lexer.LPAREN)
+				c := p.expr()
+				p.expect(lexer.RPAREN)
+				p.expect(lexer.KwThen)
+				p.endOfLine()
+				s.ElseIfs = append(s.ElseIfs, &ast.ElseIfClause{Position: eiPos, Cond: c, Body: p.stmtList(endIf)})
+				continue
+			case p.at(lexer.KwElse):
+				p.next()
+				p.endOfLine()
+				s.Else = p.stmtList(endIf)
+				continue
+			}
+			break
+		}
+		switch {
+		case p.at(lexer.KwEndIf):
+			p.next()
+		case p.at(lexer.KwEnd) && p.peek(1).Kind == lexer.KwIf:
+			p.next()
+			p.next()
+		default:
+			p.errorf("expected ENDIF, found %s", p.tok())
+		}
+		p.endOfLine()
+		return s
+	}
+
+	// Logical IF: one simple statement on the same line.
+	inner := p.simpleStmt(p.pos())
+	s := &ast.IfStmt{StmtBase: ast.StmtBase{Position: pos}, Cond: cond, Logical: true}
+	if inner != nil {
+		s.Then = []ast.Stmt{inner}
+		p.endOfLine()
+	}
+	return s
+}
+
+func (p *parser) doStmt(pos source.Position) ast.Stmt {
+	p.expect(lexer.KwDo)
+	endLabel := ""
+	if p.at(lexer.INTLIT) {
+		endLabel = p.next().Text
+	}
+	v := p.expect(lexer.IDENT).Text
+	p.expect(lexer.ASSIGN)
+	from := p.expr()
+	p.expect(lexer.COMMA)
+	to := p.expr()
+	var step ast.Expr
+	if p.at(lexer.COMMA) {
+		p.next()
+		step = p.expr()
+	}
+	p.endOfLine()
+
+	s := &ast.DoStmt{StmtBase: ast.StmtBase{Position: pos}, Var: v, From: from, To: to, Step: step, EndLabel: endLabel}
+	if endLabel == "" {
+		s.Body = p.stmtList(endDo)
+		switch {
+		case p.at(lexer.KwEndDo):
+			p.next()
+		case p.at(lexer.KwEnd) && p.peek(1).Kind == lexer.KwDo:
+			p.next()
+			p.next()
+		default:
+			p.errorf("expected ENDDO, found %s", p.tok())
+		}
+		p.endOfLine()
+		return s
+	}
+
+	// Label-terminated loop: collect statements until we parse the one
+	// carrying the terminating label (inclusive).
+	for {
+		for p.at(lexer.NEWLINE) {
+			p.next()
+		}
+		if p.atBlockEnd(endUnit) {
+			p.errorf("DO loop terminated by end of unit; missing label %s", endLabel)
+			return s
+		}
+		inner := p.statement()
+		if inner == nil {
+			continue
+		}
+		s.Body = append(s.Body, inner)
+		if inner.Label() == endLabel {
+			return s
+		}
+	}
+}
+
+// signedConstant parses a literal with an optional sign (DATA values).
+func (p *parser) signedConstant() ast.Expr {
+	pos := p.pos()
+	neg := false
+	if p.at(lexer.MINUS) {
+		neg = true
+		p.next()
+	} else if p.at(lexer.PLUS) {
+		p.next()
+	}
+	e := p.primary()
+	if neg {
+		return &ast.Unary{Position: pos, Op: ast.OpNeg, X: e}
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+func (p *parser) expr() ast.Expr { return p.orExpr() }
+
+func (p *parser) orExpr() ast.Expr {
+	x := p.andExpr()
+	for p.at(lexer.OR) {
+		pos := p.pos()
+		p.next()
+		x = &ast.Binary{Position: pos, Op: ast.OpOr, X: x, Y: p.andExpr()}
+	}
+	return x
+}
+
+func (p *parser) andExpr() ast.Expr {
+	x := p.notExpr()
+	for p.at(lexer.AND) {
+		pos := p.pos()
+		p.next()
+		x = &ast.Binary{Position: pos, Op: ast.OpAnd, X: x, Y: p.notExpr()}
+	}
+	return x
+}
+
+func (p *parser) notExpr() ast.Expr {
+	if p.at(lexer.NOT) {
+		pos := p.pos()
+		p.next()
+		return &ast.Unary{Position: pos, Op: ast.OpNot, X: p.notExpr()}
+	}
+	return p.relExpr()
+}
+
+var relOps = map[lexer.Kind]ast.Op{
+	lexer.EQ: ast.OpEq, lexer.NE: ast.OpNe,
+	lexer.LT: ast.OpLt, lexer.LE: ast.OpLe,
+	lexer.GT: ast.OpGt, lexer.GE: ast.OpGe,
+}
+
+func (p *parser) relExpr() ast.Expr {
+	x := p.arith()
+	if op, ok := relOps[p.tok().Kind]; ok {
+		pos := p.pos()
+		p.next()
+		return &ast.Binary{Position: pos, Op: op, X: x, Y: p.arith()}
+	}
+	return x
+}
+
+func (p *parser) arith() ast.Expr {
+	var x ast.Expr
+	// Optional leading sign.
+	switch p.tok().Kind {
+	case lexer.MINUS:
+		pos := p.pos()
+		p.next()
+		x = &ast.Unary{Position: pos, Op: ast.OpNeg, X: p.term()}
+	case lexer.PLUS:
+		p.next()
+		x = p.term()
+	default:
+		x = p.term()
+	}
+	for p.at(lexer.PLUS) || p.at(lexer.MINUS) {
+		pos := p.pos()
+		op := ast.OpAdd
+		if p.at(lexer.MINUS) {
+			op = ast.OpSub
+		}
+		p.next()
+		x = &ast.Binary{Position: pos, Op: op, X: x, Y: p.term()}
+	}
+	return x
+}
+
+func (p *parser) term() ast.Expr {
+	x := p.power()
+	for p.at(lexer.STAR) || p.at(lexer.SLASH) {
+		pos := p.pos()
+		op := ast.OpMul
+		if p.at(lexer.SLASH) {
+			op = ast.OpDiv
+		}
+		p.next()
+		x = &ast.Binary{Position: pos, Op: op, X: x, Y: p.power()}
+	}
+	return x
+}
+
+func (p *parser) power() ast.Expr {
+	x := p.primary()
+	if p.at(lexer.POW) {
+		pos := p.pos()
+		p.next()
+		// ** is right-associative; the exponent may carry its own sign.
+		var y ast.Expr
+		if p.at(lexer.MINUS) {
+			mpos := p.pos()
+			p.next()
+			y = &ast.Unary{Position: mpos, Op: ast.OpNeg, X: p.power()}
+		} else {
+			y = p.power()
+		}
+		return &ast.Binary{Position: pos, Op: ast.OpPow, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *parser) primary() ast.Expr {
+	pos := p.pos()
+	switch p.tok().Kind {
+	case lexer.INTLIT, lexer.LABEL:
+		t := p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.diags.Errorf(pos, "integer literal %q out of range", t.Text)
+		}
+		return &ast.IntLit{Position: pos, Value: v}
+	case lexer.REALLIT:
+		t := p.next()
+		text := strings.ReplaceAll(strings.ReplaceAll(t.Text, "D", "E"), "d", "e")
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.diags.Errorf(pos, "malformed real literal %q", t.Text)
+		}
+		return &ast.RealLit{Position: pos, Value: v, Text: t.Text}
+	case lexer.LOGLIT:
+		t := p.next()
+		return &ast.LogLit{Position: pos, Value: t.Text == ".TRUE."}
+	case lexer.STRING:
+		t := p.next()
+		return &ast.StrLit{Position: pos, Value: t.Text}
+	case lexer.IDENT:
+		t := p.next()
+		if !p.at(lexer.LPAREN) {
+			return &ast.Ident{Position: pos, Name: t.Text}
+		}
+		p.next()
+		a := &ast.Apply{Position: pos, Name: t.Text}
+		if !p.at(lexer.RPAREN) {
+			for {
+				a.Args = append(a.Args, p.expr())
+				if !p.at(lexer.COMMA) {
+					break
+				}
+				p.next()
+			}
+		}
+		p.expect(lexer.RPAREN)
+		return a
+	case lexer.LPAREN:
+		p.next()
+		e := p.expr()
+		p.expect(lexer.RPAREN)
+		return e
+	}
+	p.errorf("expected an expression, found %s", p.tok())
+	p.next()
+	return &ast.IntLit{Position: pos, Value: 0}
+}

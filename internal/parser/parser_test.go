@@ -1,0 +1,441 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	var diags source.ErrorList
+	f := ParseSource("t.f", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.Error())
+	}
+	return f
+}
+
+func parseUnit(t *testing.T, src string) *ast.Unit {
+	t.Helper()
+	f := parse(t, src)
+	if len(f.Units) != 1 {
+		t.Fatalf("got %d units, want 1", len(f.Units))
+	}
+	return f.Units[0]
+}
+
+func TestProgramHeader(t *testing.T) {
+	u := parseUnit(t, "PROGRAM MAIN\nI = 1\nEND\n")
+	if u.Kind != ast.ProgramUnit || u.Name != "MAIN" {
+		t.Errorf("unit = %v %q", u.Kind, u.Name)
+	}
+	if len(u.Body) != 1 {
+		t.Errorf("body length = %d", len(u.Body))
+	}
+}
+
+func TestSubroutineHeader(t *testing.T) {
+	u := parseUnit(t, "SUBROUTINE SUB(A, B, C)\nA = B + C\nRETURN\nEND\n")
+	if u.Kind != ast.SubroutineUnit || u.Name != "SUB" {
+		t.Errorf("unit = %v %q", u.Kind, u.Name)
+	}
+	if len(u.Params) != 3 || u.Params[0].Name != "A" || u.Params[2].Name != "C" {
+		t.Errorf("params = %v", u.Params)
+	}
+}
+
+func TestFunctionHeaders(t *testing.T) {
+	u := parseUnit(t, "INTEGER FUNCTION F(X)\nF = X + 1\nRETURN\nEND\n")
+	if u.Kind != ast.FunctionUnit || u.Result != ast.TypeInteger {
+		t.Errorf("unit = %v result %v", u.Kind, u.Result)
+	}
+	u = parseUnit(t, "REAL FUNCTION G()\nG = 1.5\nEND\n")
+	if u.Result != ast.TypeReal || len(u.Params) != 0 {
+		t.Errorf("G: result %v params %v", u.Result, u.Params)
+	}
+	u = parseUnit(t, "FUNCTION H(A)\nH = A\nEND\n")
+	if u.Result != ast.TypeInteger {
+		t.Errorf("untyped FUNCTION should default to INTEGER, got %v", u.Result)
+	}
+	u = parseUnit(t, "DOUBLE PRECISION FUNCTION D(A)\nD = A\nEND\n")
+	if u.Result != ast.TypeReal {
+		t.Errorf("DOUBLE PRECISION FUNCTION should map to REAL, got %v", u.Result)
+	}
+}
+
+func TestDeclarations(t *testing.T) {
+	u := parseUnit(t, `SUBROUTINE S(N)
+INTEGER N, A(10), B(N, 3)
+REAL X
+LOGICAL FLAG
+COMMON /BLK/ P, Q
+PARAMETER (M = 100, K = M*2)
+DIMENSION C(5)
+DATA P, Q / 1, 2 /
+A(1) = N
+END
+`)
+	if len(u.Decls) != 7 {
+		t.Fatalf("decl count = %d, want 7", len(u.Decls))
+	}
+	vd := u.Decls[0].(*ast.VarDecl)
+	if vd.Type != ast.TypeInteger || len(vd.Items) != 3 {
+		t.Errorf("first decl: %v, %d items", vd.Type, len(vd.Items))
+	}
+	if len(vd.Items[1].Dims) != 1 || len(vd.Items[2].Dims) != 2 {
+		t.Errorf("array dims wrong: %v", vd.Items)
+	}
+	cd := u.Decls[3].(*ast.CommonDecl)
+	if cd.Block != "BLK" || len(cd.Items) != 2 {
+		t.Errorf("common: %q %v", cd.Block, cd.Items)
+	}
+	pd := u.Decls[4].(*ast.ParamDecl)
+	if len(pd.Names) != 2 || pd.Names[0] != "M" {
+		t.Errorf("parameter: %v", pd.Names)
+	}
+	dd := u.Decls[6].(*ast.DataDecl)
+	if len(dd.Names) != 2 || len(dd.Values) != 2 {
+		t.Errorf("data: %v / %v", dd.Names, dd.Values)
+	}
+}
+
+func TestAssignAndCall(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+I = 2 + 3*4
+A(I) = I
+CALL FOO(I, A(I), 5)
+CALL BAR()
+CALL BAZ
+END
+`)
+	as := u.Body[0].(*ast.AssignStmt)
+	rhs := as.Rhs.(*ast.Binary)
+	if rhs.Op != ast.OpAdd {
+		t.Errorf("precedence broken: top op = %v", rhs.Op)
+	}
+	if _, ok := rhs.Y.(*ast.Binary); !ok {
+		t.Errorf("expected 3*4 as right operand")
+	}
+	as2 := u.Body[1].(*ast.AssignStmt)
+	if _, ok := as2.Lhs.(*ast.Apply); !ok {
+		t.Errorf("array assignment target should be Apply, got %T", as2.Lhs)
+	}
+	cs := u.Body[2].(*ast.CallStmt)
+	if cs.Name != "FOO" || len(cs.Args) != 3 {
+		t.Errorf("call: %q %d args", cs.Name, len(cs.Args))
+	}
+	if len(u.Body[3].(*ast.CallStmt).Args) != 0 {
+		t.Error("empty-paren call should have 0 args")
+	}
+	if len(u.Body[4].(*ast.CallStmt).Args) != 0 {
+		t.Error("paren-less call should have 0 args")
+	}
+}
+
+func TestBlockIf(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+IF (I .GT. 0) THEN
+  J = 1
+ELSEIF (I .LT. 0) THEN
+  J = 2
+ELSE IF (I .EQ. 0) THEN
+  J = 3
+ELSE
+  J = 4
+ENDIF
+END
+`)
+	s := u.Body[0].(*ast.IfStmt)
+	if s.Logical {
+		t.Error("block IF marked logical")
+	}
+	if len(s.Then) != 1 || len(s.ElseIfs) != 2 || len(s.Else) != 1 {
+		t.Errorf("if arms: then=%d elseifs=%d else=%d", len(s.Then), len(s.ElseIfs), len(s.Else))
+	}
+}
+
+func TestEndIfTwoWords(t *testing.T) {
+	u := parseUnit(t, "PROGRAM P\nIF (X .GT. 0) THEN\nY = 1\nEND IF\nEND\n")
+	if _, ok := u.Body[0].(*ast.IfStmt); !ok {
+		t.Fatalf("expected IfStmt, got %T", u.Body[0])
+	}
+}
+
+func TestLogicalIf(t *testing.T) {
+	u := parseUnit(t, "PROGRAM P\nIF (I .EQ. 0) GOTO 10\n10 CONTINUE\nEND\n")
+	s := u.Body[0].(*ast.IfStmt)
+	if !s.Logical || len(s.Then) != 1 {
+		t.Fatalf("logical IF shape wrong: %+v", s)
+	}
+	if g, ok := s.Then[0].(*ast.GotoStmt); !ok || g.Target != "10" {
+		t.Errorf("inner stmt = %#v", s.Then[0])
+	}
+	if u.Body[1].Label() != "10" {
+		t.Errorf("label = %q", u.Body[1].Label())
+	}
+}
+
+func TestDoEnddo(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+DO I = 1, 10, 2
+  S = S + I
+ENDDO
+DO J = 1, N
+  T = T + J
+END DO
+END
+`)
+	d := u.Body[0].(*ast.DoStmt)
+	if d.Var != "I" || d.Step == nil || d.EndLabel != "" {
+		t.Errorf("do 1: %+v", d)
+	}
+	d2 := u.Body[1].(*ast.DoStmt)
+	if d2.Var != "J" || d2.Step != nil {
+		t.Errorf("do 2: %+v", d2)
+	}
+}
+
+func TestDoLabelTerminated(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+DO 10 I = 1, N
+  A(I) = 0
+10 CONTINUE
+K = 1
+END
+`)
+	d := u.Body[0].(*ast.DoStmt)
+	if d.EndLabel != "10" {
+		t.Fatalf("end label = %q", d.EndLabel)
+	}
+	if len(d.Body) != 2 {
+		t.Fatalf("body = %d stmts, want 2 (assign + labeled continue)", len(d.Body))
+	}
+	if d.Body[1].Label() != "10" {
+		t.Errorf("terminator label = %q", d.Body[1].Label())
+	}
+	if len(u.Body) != 2 {
+		t.Errorf("statements after loop: %d, want 2 total", len(u.Body))
+	}
+}
+
+func TestNestedLabeledDo(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+DO 20 I = 1, N
+DO 10 J = 1, M
+  A = A + 1
+10 CONTINUE
+20 CONTINUE
+END
+`)
+	outer := u.Body[0].(*ast.DoStmt)
+	if len(outer.Body) != 2 {
+		t.Fatalf("outer body = %d", len(outer.Body))
+	}
+	inner, ok := outer.Body[0].(*ast.DoStmt)
+	if !ok || inner.EndLabel != "10" {
+		t.Fatalf("inner loop wrong: %#v", outer.Body[0])
+	}
+}
+
+func TestReadPrintWrite(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+READ *, N, M
+PRINT *, N, 'result', M+1
+WRITE (*,*) N
+PRINT *
+END
+`)
+	r := u.Body[0].(*ast.ReadStmt)
+	if len(r.Args) != 2 {
+		t.Errorf("read args = %d", len(r.Args))
+	}
+	pr := u.Body[1].(*ast.PrintStmt)
+	if len(pr.Args) != 3 {
+		t.Errorf("print args = %d", len(pr.Args))
+	}
+	w := u.Body[2].(*ast.PrintStmt)
+	if len(w.Args) != 1 {
+		t.Errorf("write args = %d", len(w.Args))
+	}
+	if len(u.Body[3].(*ast.PrintStmt).Args) != 0 {
+		t.Errorf("bare PRINT * should have no args")
+	}
+}
+
+func TestExpressionForms(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+X = -A + B*C**2 - D/E
+L = A .LE. B .AND. .NOT. (C .GT. D) .OR. FLAG
+Y = MOD(A, 2) + MAX(B, C, D)
+Z = 2**3**2
+END
+`)
+	// 2**3**2 must be right-associative: 2**(3**2).
+	z := u.Body[3].(*ast.AssignStmt).Rhs.(*ast.Binary)
+	if z.Op != ast.OpPow {
+		t.Fatalf("top op = %v", z.Op)
+	}
+	if inner, ok := z.Y.(*ast.Binary); !ok || inner.Op != ast.OpPow {
+		t.Errorf("** not right-associative")
+	}
+	if _, ok := z.X.(*ast.IntLit); !ok {
+		t.Errorf("left of ** should be literal 2")
+	}
+}
+
+func TestMultipleUnits(t *testing.T) {
+	f := parse(t, `PROGRAM MAIN
+CALL S(1)
+END
+
+SUBROUTINE S(X)
+X = X + 1
+END
+
+INTEGER FUNCTION F(A, B)
+F = A*B
+END
+`)
+	if len(f.Units) != 3 {
+		t.Fatalf("units = %d, want 3", len(f.Units))
+	}
+	if f.Units[1].Name != "S" || f.Units[2].Name != "F" {
+		t.Errorf("unit names: %q %q", f.Units[1].Name, f.Units[2].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"PROGRAM\nEND\n",                              // missing name
+		"PROGRAM P\nI = \nEND\n",                      // missing expression
+		"PROGRAM P\nIF (X THEN\nENDIF\nEND\n",         // missing rparen
+		"PROGRAM P\nDO 10 I = 1, N\nJ = 1\nEND\n",     // unterminated labeled DO
+		"PROGRAM P\nGOTO X\nEND\n",                    // GOTO needs numeric label
+		"PROGRAM P\nIF (X .GT. 0) THEN\nY = 1\nEND\n", // missing ENDIF (END terminates)
+		"INTEGER I\nEND\n",                            // declaration outside a unit
+	}
+	for _, src := range cases {
+		var diags source.ErrorList
+		ParseSource("t.f", src, &diags)
+		if !diags.HasErrors() {
+			t.Errorf("no error reported for:\n%s", src)
+		}
+	}
+}
+
+func TestArithmeticIf(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+INTEGER I
+I = 1
+IF (I - 5) 10, 20, 30
+10 CONTINUE
+20 CONTINUE
+30 CONTINUE
+END
+`)
+	s, ok := u.Body[1].(*ast.ArithIfStmt)
+	if !ok {
+		t.Fatalf("expected ArithIfStmt, got %T", u.Body[1])
+	}
+	if s.LtLabel != "10" || s.EqLabel != "20" || s.GtLabel != "30" {
+		t.Errorf("labels: %s %s %s", s.LtLabel, s.EqLabel, s.GtLabel)
+	}
+}
+
+func TestComputedGoto(t *testing.T) {
+	u := parseUnit(t, `PROGRAM P
+INTEGER I
+I = 2
+GOTO (10, 20, 30), I
+10 CONTINUE
+20 CONTINUE
+30 CONTINUE
+END
+`)
+	s, ok := u.Body[1].(*ast.ComputedGotoStmt)
+	if !ok {
+		t.Fatalf("expected ComputedGotoStmt, got %T", u.Body[1])
+	}
+	if len(s.Targets) != 3 || s.Targets[2] != "30" {
+		t.Errorf("targets: %v", s.Targets)
+	}
+	if _, ok := s.Index.(*ast.Ident); !ok {
+		t.Errorf("index: %T", s.Index)
+	}
+}
+
+func TestColumnOneCAssignment(t *testing.T) {
+	// 'C' in column 1 followed by '=' is an assignment, not a comment.
+	u := parseUnit(t, "PROGRAM P\nREAL C\nC = 1.5\nC another comment\nPRINT *, C\nEND\n")
+	if len(u.Body) != 2 {
+		t.Fatalf("body = %d stmts, want 2 (assignment + print)", len(u.Body))
+	}
+}
+
+func TestRoundTripThroughWriter(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER I, A(10)
+COMMON /G/ N
+PARAMETER (K = 5)
+N = K*2
+IF (N - 10) 30, 30, 30
+30 CONTINUE
+GOTO (40, 50), I
+40 CONTINUE
+50 CONTINUE
+DO 10 I = 1, N
+  A(1) = I
+  IF (I .EQ. 3) GOTO 10
+  CALL WORK(A, I, N)
+10 CONTINUE
+IF (N .GT. 0) THEN
+  PRINT *, N
+ELSE
+  STOP
+ENDIF
+END
+
+SUBROUTINE WORK(A, I, N)
+INTEGER A(N), I, N
+A(I) = MOD(I, 2)
+RETURN
+END
+`
+	f1 := parse(t, src)
+	out := ast.FileString(f1)
+	f2 := parse(t, out)
+	out2 := ast.FileString(f2)
+	if out != out2 {
+		t.Errorf("writer output is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", out, out2)
+	}
+	if len(f2.Units) != 2 {
+		t.Errorf("round trip lost units: %d", len(f2.Units))
+	}
+}
+
+func TestWriterExprParenthesization(t *testing.T) {
+	cases := []string{
+		"X = (A + B)*C",
+		"X = A - (B - C)",
+		"X = A/(B*C)",
+		"X = -(A + B)",
+		"X = A**(B + 1)",
+		"L = .NOT. (A .AND. B)",
+	}
+	for _, stmt := range cases {
+		src := "PROGRAM P\n" + stmt + "\nEND\n"
+		f := parse(t, src)
+		printed := ast.FileString(f)
+		f2 := parse(t, printed)
+		again := ast.FileString(f2)
+		if printed != again {
+			t.Errorf("%s: print not stable:\n%s\nvs\n%s", stmt, printed, again)
+		}
+		if !strings.Contains(printed, "(") {
+			t.Errorf("%s: expected parens preserved in %q", stmt, printed)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// TestNoPanicsOnMalformedInput: the front end must degrade to
+// diagnostics, never panic, on arbitrary garbage.
+func TestNoPanicsOnMalformedInput(t *testing.T) {
+	cases := []string{
+		"",
+		"\n\n\n",
+		"PROGRAM",
+		"PROGRAM P",
+		"END",
+		"ENDIF\nENDDO\nELSE",
+		"PROGRAM P\nIF (((\nEND",
+		"PROGRAM P\nDO\nEND",
+		"PROGRAM P\nDO 10 I\nEND",
+		"PROGRAM P\nCALL\nEND",
+		"PROGRAM P\nX = = =\nEND",
+		"PROGRAM P\nGOTO\nEND",
+		"PROGRAM P\nREAD\nEND",
+		"PROGRAM P\nPRINT\nEND",
+		"PROGRAM P\nCOMMON //\nEND",
+		"PROGRAM P\nPARAMETER (\nEND",
+		"PROGRAM P\nDATA X /\nEND",
+		"SUBROUTINE (((\nEND",
+		"INTEGER FUNCTION\nEND",
+		"PROGRAM P\nX = 'unterminated\nEND",
+		"PROGRAM P\nX = 1 @@@ 2\nEND",
+		"PROGRAM P\nX = 9999999999999999999999999\nEND",
+		"PROGRAM P\nIF (X) THEN\nELSEIF\nENDIF\nEND",
+		"10 20 30",
+		strings.Repeat("(", 500),
+		"PROGRAM P\n" + strings.Repeat("IF (X .GT. 0) THEN\n", 100) + "END",
+	}
+	for i, src := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("case %d panicked: %v\nsource: %q", i, r, src)
+				}
+			}()
+			var diags source.ErrorList
+			f := ParseSource("bad.f", src, &diags)
+			// Semantic analysis must survive whatever the parser made.
+			sem.Analyze(f, &diags)
+		}()
+	}
+}
+
+// TestNoPanicsOnMutatedPrograms: take a valid program and corrupt it at
+// random positions.
+func TestNoPanicsOnMutatedPrograms(t *testing.T) {
+	base := `PROGRAM MAIN
+INTEGER I, A(10)
+COMMON /C/ N
+DO 10 I = 1, 10
+  A(I) = MOD(I, 3)
+  IF (A(I) .EQ. 0) GOTO 10
+  CALL S(A(I), N)
+10 CONTINUE
+END
+SUBROUTINE S(X, Y)
+INTEGER X, Y
+Y = X**2
+END
+`
+	r := rand.New(rand.NewSource(99))
+	glyphs := []byte("()=+-*/,.'X0 \n")
+	for trial := 0; trial < 200; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			pos := r.Intn(len(b))
+			switch r.Intn(3) {
+			case 0:
+				b[pos] = glyphs[r.Intn(len(glyphs))]
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				b = append(b[:pos], append([]byte{glyphs[r.Intn(len(glyphs))]}, b[pos:]...)...)
+			}
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, rec, src)
+				}
+			}()
+			var diags source.ErrorList
+			f := ParseSource("mut.f", src, &diags)
+			sem.Analyze(f, &diags)
+		}()
+	}
+}

@@ -1,0 +1,298 @@
+// Package report regenerates the paper's exhibits — Figure 1 and
+// Tables 1–3 — over the synthesized benchmark suite. Each table is
+// printed in the paper's layout so the two can be compared row by row
+// (see EXPERIMENTS.md for the side-by-side record).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/jump"
+	"repro/internal/lattice"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/suite"
+)
+
+// loadProgram synthesizes and analyzes one suite program's front end.
+func loadProgram(spec suite.Spec) (*sem.Program, string, error) {
+	src := suite.Source(spec)
+	var diags source.ErrorList
+	f := parser.ParseSource(spec.Name+".f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, "", fmt.Errorf("suite program %s: %w", spec.Name, err)
+	}
+	return prog, src, nil
+}
+
+func countWith(prog *sem.Program, cfg core.Config) int {
+	return core.AnalyzeProgram(prog, cfg).Substitute().Total
+}
+
+func jc(kind jump.Kind, useMod, rjf bool) core.Config {
+	return core.Config{Jump: jump.Config{Kind: kind, UseMOD: useMod, UseReturnJFs: rjf}}
+}
+
+// ---------------------------------------------------------------------
+// Figure 1
+
+// Figure1 prints the constant-propagation lattice and its meet table.
+func Figure1(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 1: the constant propagation lattice")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "                ⊤")
+	fmt.Fprintln(w, "   ... c-2  c-1  c0  c1  c2 ...")
+	fmt.Fprintln(w, "                ⊥")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "meet rules (∧):")
+	top, bot := lattice.TopValue(), lattice.BottomValue()
+	ci, cj := lattice.ConstValue(1), lattice.ConstValue(2)
+	describe := func(v, a, b lattice.Value) string {
+		switch {
+		case v.IsTop():
+			return "⊤"
+		case v.IsBottom():
+			return "⊥"
+		case v == a:
+			return "left operand"
+		case v == b:
+			return "right operand"
+		default:
+			return v.String()
+		}
+	}
+	rows := []struct {
+		label string
+		a, b  lattice.Value
+	}{
+		{"⊤ ∧ x", top, cj},
+		{"x ∧ ⊤", ci, top},
+		{"⊥ ∧ x", bot, cj},
+		{"x ∧ ⊥", ci, bot},
+		{"ci ∧ ci", ci, ci},
+		{"ci ∧ cj (ci ≠ cj)", ci, cj},
+	}
+	for _, r := range rows {
+		m := lattice.Meet(r.a, r.b)
+		fmt.Fprintf(w, "  %-20s = %s\n", r.label, describe(m, r.a, r.b))
+	}
+	fmt.Fprintf(w, "\nlattice depth: %d (a value lowers at most twice: ⊤ → c → ⊥)\n", lattice.Depth)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+
+// Table1Row is one program's characteristics.
+type Table1Row struct {
+	suite.Characteristics
+	TargetLines int
+	TargetProcs int
+}
+
+// ComputeTable1 characterizes every suite program.
+func ComputeTable1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range suite.Programs() {
+		src := suite.Source(spec)
+		rows = append(rows, Table1Row{
+			Characteristics: suite.Characterize(spec.Name, src),
+			TargetLines:     spec.TargetLines,
+			TargetProcs:     spec.TargetProcs,
+		})
+	}
+	return rows, nil
+}
+
+// Table1 prints program characteristics (paper Table 1).
+func Table1(w io.Writer) error {
+	rows, err := ComputeTable1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 1: characteristics of program test suite")
+	fmt.Fprintf(w, "%-12s %8s %8s %12s %14s\n", "Program", "Lines", "Procs", "Mean l/proc", "Median l/proc")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %8d %12d %14d\n", r.Name, r.Lines, r.Procs, r.MeanLines, r.MedianLine)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Table 2
+
+// Table2Row holds the six configurations of paper Table 2 for one
+// program: four jump functions with return jump functions, then
+// polynomial and pass-through without them.
+type Table2Row struct {
+	Name      string
+	Poly      int
+	PassThru  int
+	Intra     int
+	Literal   int
+	PolyNoRet int
+	PTNoRet   int
+}
+
+var (
+	table2Once sync.Once
+	table2Rows []Table2Row
+	table2Err  error
+	table3Once sync.Once
+	table3Rows []Table3Row
+	table3Err  error
+)
+
+// ComputeTable2 runs all six configurations over every program. The
+// suite is deterministic, so the result is computed once and cached.
+func ComputeTable2() ([]Table2Row, error) {
+	table2Once.Do(func() { table2Rows, table2Err = computeTable2() })
+	return table2Rows, table2Err
+}
+
+func computeTable2() ([]Table2Row, error) {
+	specs := suite.Programs()
+	rows := make([]Table2Row, len(specs))
+	errs := make([]error, len(specs))
+	// Programs are independent; analyze them in parallel. Each analysis
+	// builds its own expression interner, so nothing is shared.
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec suite.Spec) {
+			defer wg.Done()
+			prog, _, err := loadProgram(spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = Table2Row{
+				Name:      spec.Name,
+				Poly:      countWith(prog, jc(jump.Polynomial, true, true)),
+				PassThru:  countWith(prog, jc(jump.PassThrough, true, true)),
+				Intra:     countWith(prog, jc(jump.Intraprocedural, true, true)),
+				Literal:   countWith(prog, jc(jump.Literal, true, true)),
+				PolyNoRet: countWith(prog, jc(jump.Polynomial, true, false)),
+				PTNoRet:   countWith(prog, jc(jump.PassThrough, true, false)),
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Table2 prints constants found through use of jump functions (paper
+// Table 2).
+func Table2(w io.Writer) error {
+	rows, err := ComputeTable2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 2: constants found through use of jump functions")
+	fmt.Fprintln(w, "                    ---- using return JFs ----   -- no return JFs --")
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s\n",
+		"Program", "Polynomial", "Pass-thru", "Intraproc", "Literal", "Polynomial", "Pass-thru")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %10d %10d %10d %10d %10d %10d\n",
+			r.Name, r.Poly, r.PassThru, r.Intra, r.Literal, r.PolyNoRet, r.PTNoRet)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Table 3
+
+// Table3Row holds paper Table 3 for one program: polynomial without
+// MOD, polynomial with MOD, complete propagation, and the purely
+// intraprocedural baseline.
+type Table3Row struct {
+	Name      string
+	NoMOD     int
+	WithMOD   int
+	Complete  int
+	IntraOnly int
+}
+
+// ComputeTable3 runs the four techniques over every program (cached,
+// like ComputeTable2).
+func ComputeTable3() ([]Table3Row, error) {
+	table3Once.Do(func() { table3Rows, table3Err = computeTable3() })
+	return table3Rows, table3Err
+}
+
+func computeTable3() ([]Table3Row, error) {
+	specs := suite.Programs()
+	rows := make([]Table3Row, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec suite.Spec) {
+			defer wg.Done()
+			prog, _, err := loadProgram(spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			complete := jc(jump.Polynomial, true, true)
+			complete.Complete = true
+			rows[i] = Table3Row{
+				Name:      spec.Name,
+				NoMOD:     countWith(prog, jc(jump.Polynomial, false, true)),
+				WithMOD:   countWith(prog, jc(jump.Polynomial, true, true)),
+				Complete:  countWith(prog, complete),
+				IntraOnly: core.IntraproceduralCount(prog).Total,
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Table3 prints the technique comparison (paper Table 3).
+func Table3(w io.Writer) error {
+	rows, err := ComputeTable3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 3: comparison of most precise jump function with other propagation techniques")
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %16s\n",
+		"Program", "Poly w/o MOD", "Poly w/ MOD", "Complete", "Intraprocedural")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %14d %14d %14d %16d\n",
+			r.Name, r.NoMOD, r.WithMOD, r.Complete, r.IntraOnly)
+	}
+	return nil
+}
+
+// Full prints every exhibit.
+func Full(w io.Writer) error {
+	if err := Figure1(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Table1(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := Table2(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return Table3(w)
+}

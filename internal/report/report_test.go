@@ -1,0 +1,157 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1(t *testing.T) {
+	var b strings.Builder
+	if err := Figure1(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"⊤", "⊥", "ci ∧ cj", "depth: 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := ComputeTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Lines == 0 || r.Procs == 0 || r.MeanLines == 0 {
+			t.Errorf("%s: empty characteristics %+v", r.Name, r)
+		}
+	}
+	var b strings.Builder
+	if err := Table1(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ocean") {
+		t.Error("Table 1 missing ocean row")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := ComputeTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+
+		// Global invariants from the paper.
+		if !(r.Literal <= r.Intra && r.Intra <= r.PassThru && r.PassThru <= r.Poly) {
+			t.Errorf("%s: hierarchy violated: %+v", r.Name, r)
+		}
+		if r.PTNoRet > r.PassThru || r.PolyNoRet > r.Poly {
+			t.Errorf("%s: return JFs lost constants: %+v", r.Name, r)
+		}
+	}
+	// Pass-through equals polynomial on the paper's programs.
+	for _, r := range rows {
+		if r.Name == "polybench" {
+			if r.Poly <= r.PassThru {
+				t.Errorf("polybench should separate polynomial from pass-through: %+v", r)
+			}
+			continue
+		}
+		if r.Poly != r.PassThru {
+			t.Errorf("%s: pass-through != polynomial: %+v", r.Name, r)
+		}
+	}
+	// The ocean return-jump-function effect: ≥3×.
+	oc := byName["ocean"]
+	if oc.PassThru < 3*oc.PTNoRet {
+		t.Errorf("ocean: %d vs %d without return JFs — want ≥3×", oc.PassThru, oc.PTNoRet)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := ComputeTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NoMOD > r.WithMOD {
+			t.Errorf("%s: no-MOD should not beat MOD: %+v", r.Name, r)
+		}
+		if r.Complete < r.WithMOD {
+			t.Errorf("%s: complete propagation lost constants: %+v", r.Name, r)
+		}
+		if r.IntraOnly > r.WithMOD {
+			t.Errorf("%s: intraprocedural baseline should not beat interprocedural: %+v", r.Name, r)
+		}
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// MOD matters a lot for simple; complete propagation only helps
+	// ocean and spec77.
+	if s := byName["simple"]; s.NoMOD*2 > s.WithMOD {
+		t.Errorf("simple: expected a large MOD effect: %+v", s)
+	}
+	for _, name := range []string{"ocean", "spec77"} {
+		if r := byName[name]; r.Complete <= r.WithMOD {
+			t.Errorf("%s: complete propagation should add constants: %+v", name, r)
+		}
+	}
+	if r := byName["trfd"]; r.Complete != r.WithMOD {
+		t.Errorf("trfd: complete propagation should change nothing: %+v", r)
+	}
+}
+
+func TestFullRendersEverything(t *testing.T) {
+	var b strings.Builder
+	if err := Full(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 1", "Table 1", "Table 2", "Table 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Full output missing %q", want)
+		}
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	var b strings.Builder
+	if err := Check(&b); err != nil {
+		t.Fatalf("Check failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if strings.Contains(out, "FAIL") || !strings.Contains(out, "all reproduction claims hold") {
+		t.Errorf("check output:\n%s", out)
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	var b2 strings.Builder
+	if err := Table2CSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b2.String()), "\n")
+	if len(lines) != 14 { // header + 13 programs
+		t.Errorf("table2 csv rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "program,polynomial") {
+		t.Errorf("header = %q", lines[0])
+	}
+	var b3 strings.Builder
+	if err := Table3CSV(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b3.String(), "ocean,") {
+		t.Errorf("table3 csv:\n%s", b3.String())
+	}
+}

@@ -1,0 +1,458 @@
+// Package sem performs semantic analysis of F77s programs: it builds
+// symbol tables, links COMMON blocks across program units, resolves the
+// FORTRAN array-vs-call ambiguity, applies implicit typing, and type
+// checks statements. Later phases (CFG, SSA, the interprocedural
+// analyses) consume the resulting Program.
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/source"
+)
+
+// SymbolKind classifies names within a procedure.
+type SymbolKind int
+
+const (
+	SymLocal  SymbolKind = iota // local variable
+	SymFormal                   // formal parameter
+	SymCommon                   // member of a COMMON block
+	SymConst                    // PARAMETER named constant
+	SymResult                   // the function's own name used as result
+	SymProc                     // reference to a procedure (call target)
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case SymLocal:
+		return "local"
+	case SymFormal:
+		return "formal"
+	case SymCommon:
+		return "common"
+	case SymConst:
+		return "parameter-constant"
+	case SymResult:
+		return "function-result"
+	default:
+		return "procedure"
+	}
+}
+
+// Symbol is one name within a procedure's scope.
+type Symbol struct {
+	Name    string
+	Kind    SymbolKind
+	Type    ast.BaseType
+	IsArray bool
+	Dims    []ast.Expr
+	Pos     source.Position
+
+	// FormalIndex is the 0-based position for SymFormal symbols.
+	FormalIndex int
+	// Global links SymCommon symbols to their program-wide identity.
+	Global *GlobalVar
+	// ConstValue holds the value of SymConst symbols (integers only;
+	// non-integer PARAMETERs keep Const=false).
+	ConstValue int64
+	HasConst   bool
+}
+
+func (s *Symbol) String() string {
+	return fmt.Sprintf("%s %s %s", s.Kind, s.Type, s.Name)
+}
+
+// GlobalVar is the program-wide identity of a COMMON block member:
+// FORTRAN binds COMMON members positionally, so two procedures may use
+// different names for the same storage. The paper folds these globals
+// into the "parameters" that interprocedural constant propagation
+// tracks.
+type GlobalVar struct {
+	Block   string // COMMON block name
+	Index   int    // position within the block
+	Name    string // canonical (first-seen) member name
+	Type    ast.BaseType
+	IsArray bool
+}
+
+// Key returns a stable identity string, e.g. "GRID#0".
+func (g *GlobalVar) Key() string { return fmt.Sprintf("%s#%d", g.Block, g.Index) }
+
+func (g *GlobalVar) String() string {
+	return fmt.Sprintf("/%s/ %s", g.Block, g.Name)
+}
+
+// ApplyKind resolves the array-vs-call ambiguity of ast.Apply nodes.
+type ApplyKind int
+
+const (
+	ApplyArray ApplyKind = iota
+	ApplyCall
+	ApplyIntrinsic
+)
+
+// Intrinsic describes a builtin function.
+type Intrinsic struct {
+	Name     string
+	MinArgs  int
+	MaxArgs  int  // -1 = variadic
+	IntInInt bool // integer args produce an integer result
+}
+
+// Intrinsics lists the supported builtin functions.
+var Intrinsics = map[string]*Intrinsic{
+	"MOD":  {Name: "MOD", MinArgs: 2, MaxArgs: 2, IntInInt: true},
+	"MAX":  {Name: "MAX", MinArgs: 2, MaxArgs: -1, IntInInt: true},
+	"MIN":  {Name: "MIN", MinArgs: 2, MaxArgs: -1, IntInInt: true},
+	"ABS":  {Name: "ABS", MinArgs: 1, MaxArgs: 1, IntInInt: true},
+	"IABS": {Name: "IABS", MinArgs: 1, MaxArgs: 1, IntInInt: true},
+}
+
+// Procedure is an analyzed program unit.
+type Procedure struct {
+	Unit    *ast.Unit
+	Name    string
+	Symbols map[string]*Symbol
+	Formals []*Symbol // in declaration order
+	// Commons lists this procedure's COMMON symbols in a stable order.
+	Commons []*Symbol
+	// Labels maps numeric labels to the labeled statement.
+	Labels map[string]ast.Stmt
+	// Result is the function-result symbol (functions only).
+	Result *Symbol
+
+	nextTemp int
+}
+
+// IsFunction reports whether the procedure returns a value.
+func (p *Procedure) IsFunction() bool { return p.Unit.Kind == ast.FunctionUnit }
+
+// NewTemp creates a compiler temporary of the given type. Temp names
+// start with '@' so they can never collide with source names (the lexer
+// rejects '@' in identifiers).
+func (p *Procedure) NewTemp(t ast.BaseType) *Symbol {
+	if t == ast.TypeNone {
+		t = ast.TypeInteger
+	}
+	name := fmt.Sprintf("@T%d", p.nextTemp)
+	p.nextTemp++
+	s := &Symbol{Name: name, Kind: SymLocal, Type: t}
+	p.Symbols[name] = s
+	return s
+}
+
+// Lookup returns the symbol for name, or nil.
+func (p *Procedure) Lookup(name string) *Symbol { return p.Symbols[name] }
+
+// Program is a fully analyzed F77s program.
+type Program struct {
+	File  *ast.File
+	Procs map[string]*Procedure
+	// Order lists procedures in source order; Order[i].Unit == File.Units[i]
+	// for well-formed programs.
+	Order []*Procedure
+	Main  *Procedure
+
+	// CommonBlocks maps block name to the canonical member layout.
+	CommonBlocks map[string][]*GlobalVar
+
+	// applyKinds resolves every ast.Apply in the program.
+	applyKinds map[*ast.Apply]ApplyKind
+	// exprTypes caches the type of every analyzed expression.
+	exprTypes map[ast.Expr]ast.BaseType
+}
+
+// ApplyKindOf returns the resolution of an Apply node.
+func (pr *Program) ApplyKindOf(a *ast.Apply) ApplyKind { return pr.applyKinds[a] }
+
+// TypeOf returns the analyzed type of an expression (TypeNone if the
+// expression was never reached, e.g. due to earlier errors).
+func (pr *Program) TypeOf(e ast.Expr) ast.BaseType { return pr.exprTypes[e] }
+
+// Globals returns all COMMON globals in a stable order.
+func (pr *Program) Globals() []*GlobalVar {
+	blocks := make([]string, 0, len(pr.CommonBlocks))
+	for b := range pr.CommonBlocks {
+		blocks = append(blocks, b)
+	}
+	sort.Strings(blocks)
+	var gs []*GlobalVar
+	for _, b := range blocks {
+		gs = append(gs, pr.CommonBlocks[b]...)
+	}
+	return gs
+}
+
+// Analyze runs semantic analysis over a parsed file. It always returns a
+// Program (possibly partial); callers should check diags for errors
+// before trusting it.
+func Analyze(file *ast.File, diags *source.ErrorList) *Program {
+	a := &analyzer{
+		prog: &Program{
+			File:         file,
+			Procs:        make(map[string]*Procedure),
+			CommonBlocks: make(map[string][]*GlobalVar),
+			applyKinds:   make(map[*ast.Apply]ApplyKind),
+			exprTypes:    make(map[ast.Expr]ast.BaseType),
+		},
+		diags: diags,
+	}
+	a.collectUnits()
+	for _, p := range a.prog.Order {
+		a.declareSymbols(p)
+	}
+	for _, p := range a.prog.Order {
+		a.checkBody(p)
+	}
+	return a.prog
+}
+
+type analyzer struct {
+	prog  *Program
+	diags *source.ErrorList
+}
+
+func (a *analyzer) errorf(pos source.Position, format string, args ...interface{}) {
+	a.diags.Errorf(pos, format, args...)
+}
+
+// implicitType applies FORTRAN implicit typing: names beginning with
+// I..N are INTEGER, everything else REAL.
+func implicitType(name string) ast.BaseType {
+	if name == "" {
+		return ast.TypeReal
+	}
+	if c := name[0]; c >= 'I' && c <= 'N' {
+		return ast.TypeInteger
+	}
+	return ast.TypeReal
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: collect program units
+
+func (a *analyzer) collectUnits() {
+	for _, u := range a.prog.File.Units {
+		if prev, dup := a.prog.Procs[u.Name]; dup {
+			a.errorf(u.Pos(), "duplicate program unit %s (previously defined at %s)", u.Name, prev.Unit.Pos())
+			continue
+		}
+		p := &Procedure{
+			Unit:    u,
+			Name:    u.Name,
+			Symbols: make(map[string]*Symbol),
+			Labels:  make(map[string]ast.Stmt),
+		}
+		a.prog.Procs[u.Name] = p
+		a.prog.Order = append(a.prog.Order, p)
+		if u.Kind == ast.ProgramUnit {
+			if a.prog.Main != nil {
+				a.errorf(u.Pos(), "multiple PROGRAM units (%s and %s)", a.prog.Main.Name, u.Name)
+			} else {
+				a.prog.Main = p
+			}
+		}
+	}
+	if a.prog.Main == nil && len(a.prog.Order) > 0 {
+		a.errorf(a.prog.File.Pos(), "no PROGRAM unit found")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: declarations and symbol tables
+
+func (a *analyzer) declareSymbols(p *Procedure) {
+	u := p.Unit
+
+	// Formal parameters first; types may be refined by declarations.
+	for i, f := range u.Params {
+		if _, dup := p.Symbols[f.Name]; dup {
+			a.errorf(f.Pos(), "duplicate formal parameter %s in %s", f.Name, p.Name)
+			continue
+		}
+		s := &Symbol{Name: f.Name, Kind: SymFormal, Type: implicitType(f.Name), FormalIndex: i, Pos: f.Pos()}
+		p.Symbols[f.Name] = s
+		p.Formals = append(p.Formals, s)
+	}
+
+	// Function result symbol.
+	if u.Kind == ast.FunctionUnit {
+		if _, dup := p.Symbols[u.Name]; dup {
+			a.errorf(u.Pos(), "function name %s collides with a formal parameter", u.Name)
+		} else {
+			s := &Symbol{Name: u.Name, Kind: SymResult, Type: u.Result, Pos: u.Pos()}
+			p.Symbols[u.Name] = s
+			p.Result = s
+		}
+	}
+
+	for _, d := range u.Decls {
+		switch decl := d.(type) {
+		case *ast.VarDecl:
+			for _, it := range decl.Items {
+				a.declareItem(p, it, decl.Type)
+			}
+		case *ast.DimensionDecl:
+			for _, it := range decl.Items {
+				if len(it.Dims) == 0 {
+					a.errorf(it.Pos(), "DIMENSION item %s has no dimensions", it.Name)
+					continue
+				}
+				a.declareItem(p, it, ast.TypeNone)
+			}
+		case *ast.CommonDecl:
+			a.declareCommon(p, decl)
+		case *ast.ParamDecl:
+			for i, name := range decl.Names {
+				if _, dup := p.Symbols[name]; dup {
+					a.errorf(decl.Pos(), "PARAMETER %s redeclares an existing name", name)
+					continue
+				}
+				s := &Symbol{Name: name, Kind: SymConst, Type: implicitType(name), Pos: decl.Pos()}
+				if v, ok := a.constEval(p, decl.Values[i]); ok {
+					s.ConstValue = v
+					s.HasConst = true
+					s.Type = ast.TypeInteger
+				}
+				p.Symbols[name] = s
+			}
+		case *ast.DataDecl:
+			// DATA names must exist (declared or implicit); treated as an
+			// initializing assignment by later phases.
+			for _, name := range decl.Names {
+				a.ensureVar(p, name, decl.Pos())
+			}
+		}
+	}
+}
+
+// declareItem declares (or refines) one variable. typ == TypeNone means
+// "keep the existing or implicit type" (DIMENSION statements).
+func (a *analyzer) declareItem(p *Procedure, it *ast.DeclItem, typ ast.BaseType) {
+	if s, exists := p.Symbols[it.Name]; exists {
+		// Refining an existing symbol (formal, result, or common member).
+		if typ != ast.TypeNone {
+			s.Type = typ
+		}
+		if len(it.Dims) > 0 {
+			if s.IsArray {
+				a.errorf(it.Pos(), "%s already has dimensions", it.Name)
+			}
+			s.IsArray = true
+			s.Dims = it.Dims
+			if s.Global != nil {
+				s.Global.IsArray = true
+			}
+		}
+		if s.Global != nil && typ != ast.TypeNone {
+			s.Global.Type = typ
+		}
+		return
+	}
+	t := typ
+	if t == ast.TypeNone {
+		t = implicitType(it.Name)
+	}
+	p.Symbols[it.Name] = &Symbol{
+		Name: it.Name, Kind: SymLocal, Type: t,
+		IsArray: len(it.Dims) > 0, Dims: it.Dims, Pos: it.Pos(),
+	}
+}
+
+func (a *analyzer) declareCommon(p *Procedure, decl *ast.CommonDecl) {
+	block := decl.Block
+	layout := a.prog.CommonBlocks[block]
+	for i, it := range decl.Items {
+		// Extend the canonical layout if this procedure declares more
+		// members than any previous one.
+		if i >= len(layout) {
+			layout = append(layout, &GlobalVar{
+				Block: block, Index: i, Name: it.Name,
+				Type: implicitType(it.Name), IsArray: len(it.Dims) > 0,
+			})
+		}
+		g := layout[i]
+		if s, exists := p.Symbols[it.Name]; exists {
+			// A prior type declaration (e.g. INTEGER N before COMMON) is
+			// folded into the common symbol.
+			if s.Kind != SymLocal {
+				a.errorf(it.Pos(), "%s cannot appear in COMMON (already a %s)", it.Name, s.Kind)
+				continue
+			}
+			s.Kind = SymCommon
+			s.Global = g
+			g.Type = s.Type
+			if s.IsArray {
+				g.IsArray = true
+			}
+			p.Commons = append(p.Commons, s)
+			continue
+		}
+		s := &Symbol{
+			Name: it.Name, Kind: SymCommon, Type: implicitType(it.Name),
+			IsArray: len(it.Dims) > 0, Dims: it.Dims, Global: g, Pos: it.Pos(),
+		}
+		p.Symbols[it.Name] = s
+		p.Commons = append(p.Commons, s)
+	}
+	a.prog.CommonBlocks[block] = layout
+}
+
+// ensureVar returns the symbol for name, creating an implicitly typed
+// local if the name is new.
+func (a *analyzer) ensureVar(p *Procedure, name string, pos source.Position) *Symbol {
+	if s, ok := p.Symbols[name]; ok {
+		return s
+	}
+	s := &Symbol{Name: name, Kind: SymLocal, Type: implicitType(name), Pos: pos}
+	p.Symbols[name] = s
+	return s
+}
+
+// constEval evaluates integer constant expressions (PARAMETER values,
+// which may reference earlier PARAMETERs).
+func (a *analyzer) constEval(p *Procedure, e ast.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.Ident:
+		if s, ok := p.Symbols[x.Name]; ok && s.Kind == SymConst && s.HasConst {
+			return s.ConstValue, true
+		}
+	case *ast.Unary:
+		if x.Op == ast.OpNeg {
+			if v, ok := a.constEval(p, x.X); ok {
+				return -v, true
+			}
+		}
+	case *ast.Binary:
+		l, lok := a.constEval(p, x.X)
+		r, rok := a.constEval(p, x.Y)
+		if lok && rok {
+			switch x.Op {
+			case ast.OpAdd:
+				return l + r, true
+			case ast.OpSub:
+				return l - r, true
+			case ast.OpMul:
+				return l * r, true
+			case ast.OpDiv:
+				if r != 0 {
+					return l / r, true
+				}
+			case ast.OpPow:
+				if r >= 0 && r < 63 {
+					v := int64(1)
+					for i := int64(0); i < r; i++ {
+						v *= l
+					}
+					return v, true
+				}
+			}
+		}
+	}
+	return 0, false
+}

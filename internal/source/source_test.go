@@ -1,0 +1,131 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFilePosAndLines(t *testing.T) {
+	f := NewFile("a.f", "PROGRAM X\nI = 1\nEND\n")
+	if got := f.NumLines(); got != 3 {
+		t.Fatalf("NumLines = %d, want 3", got)
+	}
+	p := f.Pos(0)
+	if p.Line != 1 || p.Col != 1 {
+		t.Errorf("Pos(0) = %v, want 1:1", p)
+	}
+	p = f.Pos(10) // start of "I = 1"
+	if p.Line != 2 || p.Col != 1 {
+		t.Errorf("Pos(10) = %v, want 2:1", p)
+	}
+	p = f.Pos(12)
+	if p.Line != 2 || p.Col != 3 {
+		t.Errorf("Pos(12) = %v, want 2:3", p)
+	}
+	if got := f.Line(2); got != "I = 1" {
+		t.Errorf("Line(2) = %q, want %q", got, "I = 1")
+	}
+	if got := f.Line(99); got != "" {
+		t.Errorf("Line(99) = %q, want empty", got)
+	}
+}
+
+func TestFilePosClamping(t *testing.T) {
+	f := NewFile("a.f", "AB")
+	if p := f.Pos(-5); p.Offset != 0 {
+		t.Errorf("negative offset not clamped: %v", p)
+	}
+	if p := f.Pos(100); p.Offset != 2 {
+		t.Errorf("overlarge offset not clamped: %v", p)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f := NewFile("e.f", "")
+	if f.NumLines() != 1 {
+		t.Errorf("NumLines(empty) = %d, want 1", f.NumLines())
+	}
+	p := f.Pos(0)
+	if p.Line != 1 || p.Col != 1 {
+		t.Errorf("Pos(0) on empty = %v", p)
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	p := Position{File: "x.f", Line: 3, Col: 7}
+	if got := p.String(); got != "x.f:3:7" {
+		t.Errorf("String = %q", got)
+	}
+	var zero Position
+	if got := zero.String(); got != "-" {
+		t.Errorf("zero position String = %q, want -", got)
+	}
+	noFile := Position{Line: 2, Col: 1}
+	if got := noFile.String(); got != "2:1" {
+		t.Errorf("no-file position String = %q", got)
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	var l ErrorList
+	if l.Err() != nil {
+		t.Error("empty list should have nil Err")
+	}
+	l.Warnf(Position{Line: 1}, "w1")
+	if l.HasErrors() {
+		t.Error("warnings alone should not count as errors")
+	}
+	if l.Err() != nil {
+		t.Error("warning-only list should have nil Err")
+	}
+	l.Errorf(Position{Line: 2, Col: 1, File: "f"}, "bad %s", "thing")
+	if !l.HasErrors() {
+		t.Error("expected HasErrors after Errorf")
+	}
+	if l.Err() == nil {
+		t.Error("expected non-nil Err")
+	}
+	if !strings.Contains(l.Error(), "bad thing") {
+		t.Errorf("Error() = %q, want it to contain the message", l.Error())
+	}
+}
+
+func TestErrorListSortAndTruncate(t *testing.T) {
+	var l ErrorList
+	l.Errorf(Position{File: "b.f", Line: 2}, "second")
+	l.Errorf(Position{File: "a.f", Line: 9}, "first-file")
+	l.Errorf(Position{File: "a.f", Line: 1, Col: 5}, "early")
+	l.Errorf(Position{File: "a.f", Line: 1, Col: 2}, "earlier")
+	l.Sort()
+	if l.Diags[0].Message != "earlier" || l.Diags[1].Message != "early" {
+		t.Errorf("sort order wrong: %v", l.Diags)
+	}
+	if l.Diags[3].Message != "second" {
+		t.Errorf("file order wrong: %v", l.Diags)
+	}
+
+	var many ErrorList
+	for i := 0; i < 15; i++ {
+		many.Errorf(Position{Line: i + 1}, "e")
+	}
+	if !strings.Contains(many.Error(), "and 5 more") {
+		t.Errorf("truncation missing: %q", many.Error())
+	}
+}
+
+func TestCountNonCommentLines(t *testing.T) {
+	src := `C a classic comment
+* another classic comment
+! modern comment
+
+      I = 1
+      CALL FOO(I)
+c lower case comment
+END`
+	if got := CountNonCommentLines(src); got != 3 {
+		t.Errorf("CountNonCommentLines = %d, want 3", got)
+	}
+	if got := CountNonCommentLines(""); got != 0 {
+		t.Errorf("CountNonCommentLines(empty) = %d, want 0", got)
+	}
+}

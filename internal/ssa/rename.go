@@ -1,0 +1,314 @@
+package ssa
+
+import (
+	"repro/internal/ast"
+	"repro/internal/cfg"
+	"repro/internal/sem"
+)
+
+// Renaming: a preorder walk of the dominator tree maintaining a stack
+// of reaching definitions per variable (Cytron et al., fig. 12).
+
+func (b *ssaBuilder) push(v Var, val *Value) {
+	b.stacks[v] = append(b.stacks[v], val)
+}
+
+func (b *ssaBuilder) top(v Var) *Value {
+	st := b.stacks[v]
+	if len(st) == 0 {
+		// Use of a (possibly) uninitialized variable: one shared undef
+		// value per variable.
+		if u, ok := b.undefs[v]; ok {
+			return u
+		}
+		u := b.newValue(OpUndef, b.f.Graph.Entry)
+		u.AuxVar = v
+		u.Type = varType(v)
+		b.undefs[v] = u
+		return u
+	}
+	return st[len(st)-1]
+}
+
+// varType returns a variable's declared F77s type.
+func varType(v Var) ast.BaseType {
+	if v.Glob != nil {
+		return v.Glob.Type
+	}
+	return v.Sym.Type
+}
+
+// cast wraps a value in a conversion when the assignment target's type
+// differs (e.g. an integer expression stored into a REAL variable).
+func (b *ssaBuilder) cast(blk *cfg.Block, val *Value, t ast.BaseType) *Value {
+	if val.Type == t || t == ast.TypeNone {
+		return val
+	}
+	c := b.newValue(OpCast, blk)
+	c.Args = []*Value{val}
+	c.Type = t
+	return c
+}
+
+func (b *ssaBuilder) rename(blk *cfg.Block, phiVars map[*cfg.Block]map[Var]*Value) {
+	var pushed []Var
+	def := func(v Var, val *Value) {
+		b.push(v, val)
+		pushed = append(pushed, v)
+	}
+
+	// Phis defined at block entry.
+	for _, phi := range b.f.Phis[blk] {
+		def(phi.AuxVar, phi)
+	}
+
+	// Instructions.
+	for _, in := range blk.Instrs {
+		switch in.Kind {
+		case cfg.InstrAssign:
+			rhs := b.evalExpr(blk, in.Rhs)
+			if in.Lhs != nil {
+				def(VarOf(in.Lhs), b.cast(blk, rhs, in.Lhs.Type))
+			} else {
+				// Array store: evaluate subscripts for their uses; the
+				// array itself is untracked.
+				for _, s := range in.Subs {
+					b.evalExpr(blk, s)
+				}
+			}
+		case cfg.InstrRead:
+			for _, t := range in.Targets {
+				for _, s := range t.Subs {
+					b.evalExpr(blk, s)
+				}
+				if t.Subs == nil && t.Sym != nil && !t.Sym.IsArray {
+					v := b.newValue(OpRead, blk)
+					v.AuxVar = VarOf(t.Sym)
+					v.Type = t.Sym.Type
+					def(VarOf(t.Sym), v)
+				}
+			}
+		case cfg.InstrPrint:
+			for _, a := range in.Args {
+				b.evalExpr(blk, a)
+			}
+		case cfg.InstrCall:
+			b.renameCall(blk, in, def)
+		}
+	}
+
+	// Terminator condition.
+	if blk.Term.Kind == cfg.TermCond {
+		b.f.TermVal[blk] = b.evalExpr(blk, blk.Term.Cond)
+	}
+
+	// Record exit values for return jump functions.
+	if blk == b.f.Graph.Exit {
+		for _, s := range b.f.Proc.Formals {
+			if !s.IsArray {
+				b.f.ExitVals[VarOf(s)] = b.top(VarOf(s))
+			}
+		}
+		for _, g := range b.opts.Globals {
+			if !g.IsArray {
+				b.f.ExitVals[GlobalVar(g)] = b.top(GlobalVar(g))
+			}
+		}
+		if r := b.f.Proc.Result; r != nil {
+			b.f.ExitVals[VarOf(r)] = b.top(VarOf(r))
+		}
+	}
+
+	// Fill phi arguments in successors.
+	for _, succ := range blk.Succs {
+		// This block may appear multiple times among succ's preds (e.g.
+		// a conditional with identical arms); fill every matching slot.
+		for pi, pred := range succ.Preds {
+			if pred != blk {
+				continue
+			}
+			for _, phi := range b.f.Phis[succ] {
+				phi.Args[pi] = b.top(phi.AuxVar)
+			}
+		}
+	}
+
+	// Recurse over dominator-tree children.
+	for _, child := range b.f.Dom.Children[blk.ID] {
+		b.rename(child, phiVars)
+	}
+
+	// Pop this block's definitions.
+	for i := len(pushed) - 1; i >= 0; i-- {
+		v := pushed[i]
+		st := b.stacks[v]
+		b.stacks[v] = st[:len(st)-1]
+	}
+}
+
+func (b *ssaBuilder) renameCall(blk *cfg.Block, in *cfg.Instr, def func(Var, *Value)) {
+	site := in.Site
+	info := &CallInfo{
+		Site:            site,
+		ArgVals:         make([]*Value, len(site.Args)),
+		ArgIsWholeArray: make([]bool, len(site.Args)),
+		GlobalVals:      make(map[*sem.GlobalVar]*Value),
+	}
+	// Evaluate actuals (before any kills).
+	for i, arg := range site.Args {
+		if id, ok := arg.(*ast.Ident); ok {
+			if s := b.f.Proc.Lookup(id.Name); s != nil && s.IsArray {
+				info.ArgIsWholeArray[i] = true
+				continue
+			}
+		}
+		info.ArgVals[i] = b.evalExpr(blk, arg)
+	}
+	// Record the value of every global at the call.
+	for _, g := range b.opts.Globals {
+		if !g.IsArray {
+			info.GlobalVals[g] = b.top(GlobalVar(g))
+		}
+	}
+	// Kills: modified variables get fresh post-call definitions.
+	killF, killG := b.killedVars(site)
+	for v := range killF {
+		pv := b.newValue(OpPostCall, blk)
+		pv.AuxVar = v
+		pv.AuxSite = site
+		pv.Type = varType(v)
+		def(v, pv)
+	}
+	for g := range killG {
+		v := GlobalVar(g)
+		if killF[v] {
+			continue // already killed as an actual
+		}
+		pv := b.newValue(OpPostCall, blk)
+		pv.AuxVar = v
+		pv.AuxSite = site
+		pv.Type = varType(v)
+		def(v, pv)
+	}
+	// Function result.
+	if in.Lhs != nil {
+		rv := b.newValue(OpCallRes, blk)
+		rv.AuxSite = site
+		rv.Type = in.Lhs.Type
+		info.Result = rv
+		def(VarOf(in.Lhs), rv)
+	}
+	b.f.Calls[site] = info
+}
+
+// evalExpr builds the SSA value of an expression occurrence, recording
+// it in UseVal.
+func (b *ssaBuilder) evalExpr(blk *cfg.Block, e ast.Expr) *Value {
+	v := b.evalExpr1(blk, e)
+	b.f.UseVal[e] = v
+	b.f.UseBlock[e] = blk
+	return v
+}
+
+func (b *ssaBuilder) evalExpr1(blk *cfg.Block, e ast.Expr) *Value {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		v := b.newValue(OpConst, blk)
+		v.AuxInt = x.Value
+		v.Type = ast.TypeInteger
+		return v
+	case *ast.RealLit:
+		v := b.newValue(OpRealConst, blk)
+		v.AuxFloat = x.Value
+		v.Type = ast.TypeReal
+		return v
+	case *ast.LogLit:
+		v := b.newValue(OpBoolConst, blk)
+		v.AuxBool = x.Value
+		v.Type = ast.TypeLogical
+		return v
+	case *ast.StrLit:
+		return b.newValue(OpStr, blk)
+	case *ast.Ident:
+		s := b.f.Proc.Lookup(x.Name)
+		if s == nil {
+			return b.newValue(OpUndef, blk)
+		}
+		switch s.Kind {
+		case sem.SymConst:
+			if s.HasConst {
+				v := b.newValue(OpConst, blk)
+				v.AuxInt = s.ConstValue
+				v.Type = ast.TypeInteger
+				return v
+			}
+			return b.newValue(OpUndef, blk)
+		default:
+			if s.IsArray {
+				// Whole-array reference outside a call: opaque.
+				v := b.newValue(OpArrayLoad, blk)
+				v.AuxVar = Var{Sym: s}
+				v.Type = s.Type
+				return v
+			}
+			return b.top(VarOf(s))
+		}
+	case *ast.Unary:
+		arg := b.evalExpr(blk, x.X)
+		v := b.newValue(OpArith, blk)
+		v.AuxOp = x.Op
+		v.Args = []*Value{arg}
+		if x.Op == ast.OpNot {
+			v.Type = ast.TypeLogical
+		} else {
+			v.Type = arg.Type
+		}
+		return v
+	case *ast.Binary:
+		l := b.evalExpr(blk, x.X)
+		r := b.evalExpr(blk, x.Y)
+		v := b.newValue(OpArith, blk)
+		v.AuxOp = x.Op
+		v.Args = []*Value{l, r}
+		switch {
+		case x.Op.IsRelational() || x.Op.IsLogical():
+			v.Type = ast.TypeLogical
+		case l.Type == ast.TypeReal || r.Type == ast.TypeReal:
+			v.Type = ast.TypeReal
+		default:
+			v.Type = ast.TypeInteger
+		}
+		return v
+	case *ast.Apply:
+		args := make([]*Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = b.evalExpr(blk, a)
+		}
+		if s := b.f.Proc.Lookup(x.Name); s != nil && s.IsArray {
+			v := b.newValue(OpArrayLoad, blk)
+			v.AuxVar = Var{Sym: s}
+			v.Args = args
+			v.Type = s.Type
+			return v
+		}
+		if in, ok := sem.Intrinsics[x.Name]; ok {
+			v := b.newValue(OpIntrinsic, blk)
+			v.AuxName = x.Name
+			v.Args = args
+			v.Type = ast.TypeInteger
+			if !in.IntInInt {
+				v.Type = ast.TypeReal
+			}
+			for _, a := range args {
+				if a.Type == ast.TypeReal {
+					v.Type = ast.TypeReal
+				}
+			}
+			return v
+		}
+		// User function calls were extracted by the CFG builder; anything
+		// left is an error already reported by sem.
+		return b.newValue(OpUndef, blk)
+	}
+	return b.newValue(OpUndef, blk)
+}

@@ -1,0 +1,744 @@
+// Package suite synthesizes the 13-program benchmark suite used in the
+// paper's evaluation (SPEC + PERFECT: adm, doduc, fpppp, linpackd,
+// matrix300, mdg, ocean, qcd, simple, snasa7, spec77, trfd).
+//
+// The original FORTRAN sources are not redistributable, so each program
+// is generated from a specification that mirrors (a) the size and
+// modularity characteristics reported in Table 1 and (b) the
+// constant-flow structure the paper's results imply. The generator is a
+// library of patterns, each exercising one mechanism of the framework:
+//
+//	LIT     — literal constants at call sites (all four jump functions)
+//	LOCAL   — locally computed constants used locally (the
+//	          intraprocedural baseline)
+//	GLOCAL  — constants in COMMON used across inert calls (need MOD)
+//	INTRA   — computed constants passed at call sites (miss the literal
+//	          jump function)
+//	CHAIN   — constants passed through unmodified formals across ≥2
+//	          call-graph edges (need pass-through or polynomial)
+//	POLY    — constants passed through arithmetic on formals (need the
+//	          polynomial jump function)
+//	INIT    — an initialization routine assigns COMMON constants read by
+//	          later phases (needs return jump functions; the `ocean`
+//	          effect)
+//	RET     — constants returned through out-parameters (small return
+//	          jump function gains; `doduc`/`mdg`)
+//	DEAD    — constants exposed only after constant-driven dead code
+//	          elimination ("complete propagation"; `ocean`/`spec77`)
+//
+// A pattern's uses come in two flavours: direct (robust without MOD
+// information) and fragile (the value crosses an inert call chain or is
+// passed onward, so worst-case kill assumptions destroy it — the
+// mechanism behind the paper's Table 3 column 1 collapse).
+package suite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec describes one synthesized benchmark program.
+type Spec struct {
+	Name string
+	// TargetLines and TargetProcs steer filler generation toward the
+	// size and modularity reported in Table 1.
+	TargetLines int
+	TargetProcs int
+	// Skewed concentrates filler in a single large routine (the paper
+	// notes fpppp and simple each have one routine carrying much of the
+	// code).
+	Skewed bool
+
+	Lit    Pattern // literal constants at call sites
+	Local  Pattern // local constants (intraprocedural baseline)
+	Glocal Pattern // COMMON constants across inert calls (MOD-sensitive)
+	Intra  Pattern // computed constants at call sites
+	Chain  Chain   // pass-through chains
+	Poly   Pattern // polynomial-only sites
+	Init   Pattern // init-routine globals (return jump functions)
+	Ret    Pattern // out-parameter returns
+	Dead   Pattern // complete-propagation-only constants
+}
+
+// Pattern is a pattern multiplicity: Sites instances, each with Direct
+// robust uses and Fragile uses that die without MOD information.
+type Pattern struct {
+	Sites   int
+	Direct  int
+	Fragile int
+}
+
+// Chain configures pass-through chains.
+type Chain struct {
+	Chains  int
+	Depth   int // number of call-graph edges ≥ 2
+	Direct  int
+	Fragile int
+}
+
+// Programs returns the 13 specifications in the paper's order. The
+// pattern multiplicities are scaled roughly 1:10 against the paper's
+// substitution counts; size targets follow Table 1 where legible.
+func Programs() []Spec {
+	return []Spec{
+		{
+			// adm: all four jump functions tie (110); without MOD the
+			// counts collapse (25); the intraprocedural baseline is close
+			// to the full result (105).
+			Name: "adm", TargetLines: 6100, TargetProcs: 97,
+			Lit:    Pattern{Sites: 2, Direct: 1, Fragile: 1},
+			Local:  Pattern{Sites: 3, Direct: 1, Fragile: 0},
+			Glocal: Pattern{Sites: 4, Direct: 0, Fragile: 2},
+		},
+		{
+			// doduc: essentially everything is a literal at a call site
+			// (288 vs 289); robust without MOD; tiny intraprocedural
+			// baseline (3); return jump functions add one.
+			Name: "doduc", TargetLines: 5330, TargetProcs: 42,
+			Lit:   Pattern{Sites: 9, Direct: 3, Fragile: 0},
+			Local: Pattern{Sites: 1, Direct: 1, Fragile: 0},
+			Ret:   Pattern{Sites: 1, Direct: 1, Fragile: 0},
+		},
+		{
+			// fpppp: literal 49 < intra 54 < pass-through 60; return jump
+			// functions matter a little (56 without).
+			Name: "fpppp", TargetLines: 2720, TargetProcs: 38, Skewed: true,
+			Lit:   Pattern{Sites: 4, Direct: 2, Fragile: 1},
+			Intra: Pattern{Sites: 2, Direct: 1, Fragile: 1},
+			Chain: Chain{Chains: 1, Depth: 2, Direct: 2, Fragile: 0},
+			Init:  Pattern{Sites: 1, Direct: 2, Fragile: 0},
+			Local: Pattern{Sites: 2, Direct: 1, Fragile: 1},
+		},
+		{
+			// linpackd: literal misses many (94 vs 170); big MOD effect
+			// (33 without); baseline 74.
+			Name: "linpackd", TargetLines: 800, TargetProcs: 12,
+			Lit:    Pattern{Sites: 3, Direct: 1, Fragile: 3},
+			Intra:  Pattern{Sites: 3, Direct: 0, Fragile: 2},
+			Glocal: Pattern{Sites: 3, Direct: 0, Fragile: 3},
+			Chain:  Chain{Chains: 1, Depth: 2, Direct: 0, Fragile: 2},
+		},
+		{
+			// matrix300: literal 71 < intra 122 < 138; collapses to 18
+			// without MOD.
+			Name: "matrix300", TargetLines: 440, TargetProcs: 15,
+			Lit:    Pattern{Sites: 2, Direct: 0, Fragile: 3},
+			Intra:  Pattern{Sites: 3, Direct: 0, Fragile: 2},
+			Chain:  Chain{Chains: 1, Depth: 2, Direct: 0, Fragile: 2},
+			Glocal: Pattern{Sites: 2, Direct: 0, Fragile: 2},
+		},
+		{
+			// mdg: small counts; return jump functions add one (41 vs 40);
+			// baseline equals the no-MOD figure (31).
+			Name: "mdg", TargetLines: 1240, TargetProcs: 16,
+			Lit:   Pattern{Sites: 2, Direct: 1, Fragile: 0},
+			Intra: Pattern{Sites: 1, Direct: 0, Fragile: 1},
+			Ret:   Pattern{Sites: 1, Direct: 1, Fragile: 0},
+		},
+		{
+			// ocean: the headline return-jump-function result — an
+			// initialization routine seeds COMMON constants used program
+			// wide; counts more than triple with return jump functions
+			// (62 → 194); complete propagation adds a little (204).
+			Name: "ocean", TargetLines: 1730, TargetProcs: 36,
+			Lit:   Pattern{Sites: 2, Direct: 1, Fragile: 1},
+			Init:  Pattern{Sites: 6, Direct: 3, Fragile: 1},
+			Local: Pattern{Sites: 2, Direct: 1, Fragile: 0},
+			Dead:  Pattern{Sites: 1, Direct: 1, Fragile: 0},
+		},
+		{
+			// qcd: all four tie (180); mostly robust without MOD (169);
+			// baseline nearly everything (179).
+			Name: "qcd", TargetLines: 2330, TargetProcs: 35,
+			Lit:   Pattern{Sites: 3, Direct: 2, Fragile: 0},
+			Local: Pattern{Sites: 5, Direct: 2, Fragile: 1},
+		},
+		{
+			// simple: huge baseline (174 of 183) that almost entirely
+			// collapses without MOD (2).
+			Name: "simple", TargetLines: 805, TargetProcs: 9, Skewed: true,
+			Glocal: Pattern{Sites: 6, Direct: 0, Fragile: 2},
+			Local:  Pattern{Sites: 1, Direct: 1, Fragile: 1},
+			Intra:  Pattern{Sites: 1, Direct: 1, Fragile: 0},
+			Chain:  Chain{Chains: 1, Depth: 2, Direct: 1, Fragile: 0},
+		},
+		{
+			// snasa7: large counts, literal well behind (254 vs 336),
+			// fairly robust without MOD (303).
+			Name: "snasa7", TargetLines: 700, TargetProcs: 14,
+			Lit:   Pattern{Sites: 5, Direct: 3, Fragile: 0},
+			Intra: Pattern{Sites: 3, Direct: 2, Fragile: 1},
+			Local: Pattern{Sites: 3, Direct: 2, Fragile: 0},
+		},
+		{
+			// spec77: literal 104 < 137; complete propagation adds a few
+			// (141); roughly half survives without MOD (76).
+			Name: "spec77", TargetLines: 2900, TargetProcs: 65,
+			Lit:    Pattern{Sites: 4, Direct: 2, Fragile: 1},
+			Intra:  Pattern{Sites: 2, Direct: 1, Fragile: 1},
+			Glocal: Pattern{Sites: 1, Direct: 0, Fragile: 2},
+			Dead:   Pattern{Sites: 1, Direct: 2, Fragile: 0},
+		},
+		{
+			// trfd: tiny and uniform (16 across the board).
+			Name: "trfd", TargetLines: 400, TargetProcs: 8,
+			Lit:   Pattern{Sites: 1, Direct: 1, Fragile: 0},
+			Local: Pattern{Sites: 1, Direct: 1, Fragile: 0},
+		},
+		{
+			// "polybench" is our addition: a program whose constants need
+			// genuinely polynomial jump functions, exercising the one case
+			// where pass-through and polynomial differ (the paper found
+			// none in its suite and says so; we keep the measurement).
+			Name: "polybench", TargetLines: 350, TargetProcs: 8,
+			Lit:  Pattern{Sites: 1, Direct: 1, Fragile: 0},
+			Poly: Pattern{Sites: 3, Direct: 2, Fragile: 0},
+		},
+	}
+}
+
+// PaperPrograms returns only the paper's 12 programs (excluding our
+// polybench addition). Note the paper lists 13 rows because `fpppp`
+// appears in both suites; we keep one copy of each distinct program.
+func PaperPrograms() []Spec {
+	all := Programs()
+	return all[:len(all)-1]
+}
+
+// ByName finds a spec.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Programs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists all program names in order.
+func Names() []string {
+	var out []string
+	for _, s := range Programs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Source synthesizes the program for a spec.
+func Source(spec Spec) string {
+	b := &builder{spec: spec}
+	return b.build()
+}
+
+// ---------------------------------------------------------------------
+// Builder
+
+type builder struct {
+	spec  Spec
+	units []string // completed program units
+	main  strings.Builder
+	procN int // generated procedure counter (unique names)
+
+	commons []string // global names in /CFG/
+	inertOK bool     // inert helper pair emitted
+}
+
+func (b *builder) procName(prefix string) string {
+	b.procN++
+	return fmt.Sprintf("%s%d", prefix, b.procN)
+}
+
+// unit collects a finished program unit.
+func (b *builder) unit(text string) { b.units = append(b.units, text) }
+
+// inertPair ensures the INERTA/INERTB helpers exist: INERTA passes its
+// argument through a second call without modifying it, so with MOD
+// information it is harmless but under worst-case assumptions it kills
+// the argument (and every global).
+func (b *builder) inertPair() {
+	if b.inertOK {
+		return
+	}
+	b.inertOK = true
+	b.unit(`SUBROUTINE INERTB(IY)
+INTEGER IY, IT
+IT = IY + 0
+END
+`)
+	b.unit(`SUBROUTINE INERTA(IX)
+INTEGER IX
+CALL INERTB(IX)
+END
+`)
+}
+
+// usesBlock emits Direct uses of var v immediately and Fragile uses
+// after an inert call that passes v itself: with MOD information the
+// call provably leaves v alone, but under worst-case assumptions it
+// kills v (and the identity return jump function cannot restore it,
+// because INERTA forwards its argument through a second call — the
+// paper's "presence of any call … eliminated potential constants"
+// mechanism). Each use is one counted substitution opportunity.
+func usesBlock(w *strings.Builder, v string, direct, fragile int, tag string) {
+	for i := 0; i < direct; i++ {
+		fmt.Fprintf(w, "%s%d = %s + %d\n", tag, i, v, i)
+	}
+	if fragile > 0 {
+		fmt.Fprintf(w, "CALL INERTA(%s)\n", v)
+		for i := 0; i < fragile; i++ {
+			fmt.Fprintf(w, "%s%d = %s * %d\n", tag, direct+i, v, i+2)
+		}
+	}
+}
+
+// declTags declares the integer temporaries usesBlock writes.
+func declTags(w *strings.Builder, tag string, n int) {
+	if n == 0 {
+		return
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", tag, i)
+	}
+	fmt.Fprintf(w, "INTEGER %s\n", strings.Join(names, ", "))
+}
+
+func (b *builder) build() string {
+	spec := b.spec
+	b.inertPair()
+
+	// COMMON globals for the GLOCAL and INIT patterns.
+	nGlobals := spec.Glocal.Sites + spec.Init.Sites
+	for i := 0; i < nGlobals; i++ {
+		b.commons = append(b.commons, fmt.Sprintf("NCFG%d", i))
+	}
+
+	b.emitLit(spec.Lit)
+	b.emitLocal(spec.Local)
+	b.emitGlocal(spec.Glocal)
+	b.emitIntra(spec.Intra)
+	b.emitChain(spec.Chain)
+	b.emitPoly(spec.Poly)
+	b.emitInit(spec.Init)
+	b.emitRet(spec.Ret)
+	b.emitDead(spec.Dead)
+
+	b.padUnits()
+	b.emitFiller()
+
+	// Assemble: MAIN first, then all units.
+	var out strings.Builder
+	out.WriteString("PROGRAM MAIN\n")
+	if len(b.commons) > 0 {
+		fmt.Fprintf(&out, "INTEGER %s\n", strings.Join(b.commons, ", "))
+		fmt.Fprintf(&out, "COMMON /CFG/ %s\n", strings.Join(b.commons, ", "))
+	}
+	out.WriteString(b.main.String())
+	out.WriteString("END\n\n")
+	for _, u := range b.units {
+		out.WriteString(u)
+		out.WriteString("\n")
+	}
+	return out.String()
+}
+
+// commonDecl renders the COMMON declaration for a generated unit.
+func (b *builder) commonDecl(w *strings.Builder) {
+	if len(b.commons) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "INTEGER %s\n", strings.Join(b.commons, ", "))
+	fmt.Fprintf(w, "COMMON /CFG/ %s\n", strings.Join(b.commons, ", "))
+}
+
+// ---------------------------------------------------------------------
+// Patterns
+
+// LIT: a literal constant at a call site; the callee uses its formal.
+// Sites alternate between SUBROUTINE and INTEGER FUNCTION callees (the
+// real codes mix both heavily). The function's result is made opaque on
+// purpose so the pattern contributes identically under every
+// configuration (no hidden return-jump-function effect).
+func (b *builder) emitLit(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		if s%2 == 1 {
+			name := b.procName("LFN")
+			var u strings.Builder
+			fmt.Fprintf(&u, "INTEGER FUNCTION %s(N)\nINTEGER N, IOP\n", name)
+			declTags(&u, "IL", p.Direct+p.Fragile)
+			usesBlock(&u, "N", p.Direct, p.Fragile, "IL")
+			fmt.Fprintf(&u, "%s = N + IOP\n", name) // IOP undefined: opaque result
+			u.WriteString("END\n")
+			b.unit(u.String())
+			fmt.Fprintf(&b.main, "NRES%d = %s(%d)\n", s, name, 100+s)
+			continue
+		}
+		name := b.procName("LIT")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(N)\nINTEGER N\n", name)
+		declTags(&u, "IL", p.Direct+p.Fragile)
+		usesBlock(&u, "N", p.Direct, p.Fragile, "IL")
+		u.WriteString("END\n")
+		b.unit(u.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", name, 100+s)
+	}
+}
+
+// LOCAL: constants computed and used inside one routine (found even by
+// purely intraprocedural propagation).
+func (b *builder) emitLocal(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		name := b.procName("LOC")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(IDUMMY)\nINTEGER IDUMMY, NK\n", name)
+		declTags(&u, "IO", p.Direct+p.Fragile)
+		fmt.Fprintf(&u, "NK = %d + %d\n", s+1, s+2)
+		usesBlock(&u, "NK", p.Direct, p.Fragile, "IO")
+		u.WriteString("END\n")
+		b.unit(u.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", name, s)
+	}
+}
+
+// GLOCAL: a COMMON constant set locally, used after an inert call —
+// the uses need MOD information to survive.
+func (b *builder) emitGlocal(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		g := b.commons[s]
+		name := b.procName("GLO")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(IDUMMY)\nINTEGER IDUMMY\n", name)
+		b.commonDecl(&u)
+		declTags(&u, "IG", p.Direct+p.Fragile+1)
+		fmt.Fprintf(&u, "%s = %d\n", g, 10+s)
+		// An inert call between definition and uses: with MOD the global
+		// survives; without, it is clobbered.
+		fmt.Fprintf(&u, "IG%d = 1\n", p.Direct+p.Fragile)
+		fmt.Fprintf(&u, "CALL INERTA(IG%d)\n", p.Direct+p.Fragile)
+		usesBlock(&u, g, p.Direct, p.Fragile, "IG")
+		u.WriteString("END\n")
+		b.unit(u.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", name, s)
+	}
+}
+
+// INTRA: a computed (non-literal) constant passed at a call site.
+func (b *builder) emitIntra(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		callee := b.procName("ITC")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(N)\nINTEGER N\n", callee)
+		declTags(&u, "II", p.Direct+p.Fragile)
+		usesBlock(&u, "N", p.Direct, p.Fragile, "II")
+		u.WriteString("END\n")
+		b.unit(u.String())
+
+		driver := b.procName("ITD")
+		var d strings.Builder
+		fmt.Fprintf(&d, "SUBROUTINE %s(IDUMMY)\nINTEGER IDUMMY, NV\n", driver)
+		fmt.Fprintf(&d, "NV = %d * 3 + 1\n", s+2)
+		fmt.Fprintf(&d, "CALL %s(NV)\n", callee)
+		d.WriteString("END\n")
+		b.unit(d.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", driver, s)
+	}
+}
+
+// CHAIN: pass-through chains of the given depth; only the pass-through
+// and polynomial jump functions cross the interior edges.
+func (b *builder) emitChain(c Chain) {
+	for s := 0; s < c.Chains; s++ {
+		// Innermost consumer.
+		leaf := b.procName("CHL")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(N)\nINTEGER N\n", leaf)
+		declTags(&u, "IC", c.Direct+c.Fragile)
+		usesBlock(&u, "N", c.Direct, c.Fragile, "IC")
+		u.WriteString("END\n")
+		b.unit(u.String())
+
+		next := leaf
+		for d := 1; d < c.Depth; d++ {
+			mid := b.procName("CHM")
+			var m strings.Builder
+			fmt.Fprintf(&m, "SUBROUTINE %s(N)\nINTEGER N\n", mid)
+			fmt.Fprintf(&m, "CALL %s(N)\n", next)
+			m.WriteString("END\n")
+			b.unit(m.String())
+			next = mid
+		}
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", next, 50+s)
+	}
+}
+
+// POLY: the actual is a polynomial of the caller's formal; only the
+// polynomial jump function carries the constant.
+func (b *builder) emitPoly(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		leaf := b.procName("PLL")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(N)\nINTEGER N\n", leaf)
+		declTags(&u, "IP", p.Direct+p.Fragile)
+		usesBlock(&u, "N", p.Direct, p.Fragile, "IP")
+		u.WriteString("END\n")
+		b.unit(u.String())
+
+		mid := b.procName("PLM")
+		var m strings.Builder
+		fmt.Fprintf(&m, "SUBROUTINE %s(N)\nINTEGER N\n", mid)
+		fmt.Fprintf(&m, "CALL %s(N*%d + %d)\n", leaf, s+2, s+1)
+		m.WriteString("END\n")
+		b.unit(m.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", mid, 7+s)
+	}
+}
+
+// INIT: an initialization routine assigns constants to COMMON; worker
+// routines called afterwards read them. Constants flow only when return
+// jump functions expose the initialization's effect (the ocean result).
+func (b *builder) emitInit(p Pattern) {
+	if p.Sites == 0 {
+		return
+	}
+	base := b.spec.Glocal.Sites
+	initName := b.procName("INI")
+	var u strings.Builder
+	fmt.Fprintf(&u, "SUBROUTINE %s(IDUMMY)\nINTEGER IDUMMY\n", initName)
+	b.commonDecl(&u)
+	for s := 0; s < p.Sites; s++ {
+		fmt.Fprintf(&u, "%s = %d\n", b.commons[base+s], 64+s)
+	}
+	u.WriteString("END\n")
+	b.unit(u.String())
+	fmt.Fprintf(&b.main, "CALL %s(0)\n", initName)
+
+	for s := 0; s < p.Sites; s++ {
+		worker := b.procName("WRK")
+		var w strings.Builder
+		fmt.Fprintf(&w, "SUBROUTINE %s(IDUMMY)\nINTEGER IDUMMY\n", worker)
+		b.commonDecl(&w)
+		declTags(&w, "IW", p.Direct+p.Fragile)
+		usesBlock(&w, b.commons[base+s], p.Direct, p.Fragile, "IW")
+		w.WriteString("END\n")
+		b.unit(w.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", worker, s)
+	}
+}
+
+// RET: constants returned through out-parameters, then passed onward.
+func (b *builder) emitRet(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		setter := b.procName("SET")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(N)\nINTEGER N\nN = %d\nEND\n", setter, 200+s)
+		b.unit(u.String())
+
+		user := b.procName("USR")
+		var w strings.Builder
+		fmt.Fprintf(&w, "SUBROUTINE %s(N)\nINTEGER N\n", user)
+		declTags(&w, "IR", p.Direct+p.Fragile)
+		usesBlock(&w, "N", p.Direct, p.Fragile, "IR")
+		w.WriteString("END\n")
+		b.unit(w.String())
+
+		driver := b.procName("RTD")
+		var d strings.Builder
+		fmt.Fprintf(&d, "SUBROUTINE %s(IDUMMY)\nINTEGER IDUMMY, NO\n", driver)
+		fmt.Fprintf(&d, "NO = 0\n")
+		fmt.Fprintf(&d, "CALL %s(NO)\n", setter)
+		fmt.Fprintf(&d, "CALL %s(NO)\n", user)
+		d.WriteString("END\n")
+		b.unit(d.String())
+		fmt.Fprintf(&b.main, "CALL %s(%d)\n", driver, s)
+	}
+}
+
+// DEAD: a constant reaches the callee only after the dead arm of a
+// conditional (whose predicate the analysis can fold) is removed.
+func (b *builder) emitDead(p Pattern) {
+	for s := 0; s < p.Sites; s++ {
+		leaf := b.procName("DCL")
+		var u strings.Builder
+		fmt.Fprintf(&u, "SUBROUTINE %s(N)\nINTEGER N\n", leaf)
+		declTags(&u, "ID", p.Direct+p.Fragile)
+		usesBlock(&u, "N", p.Direct, p.Fragile, "ID")
+		u.WriteString("END\n")
+		b.unit(u.String())
+
+		driver := b.procName("DCD")
+		var d strings.Builder
+		fmt.Fprintf(&d, "SUBROUTINE %s(K)\nINTEGER K, M\n", driver)
+		fmt.Fprintf(&d, "IF (K .EQ. 1) THEN\nM = %d\nELSE\nM = %d\nENDIF\n", 30+s, 90+s)
+		fmt.Fprintf(&d, "CALL %s(M)\n", leaf)
+		d.WriteString("END\n")
+		b.unit(d.String())
+		fmt.Fprintf(&b.main, "CALL %s(1)\n", driver)
+	}
+}
+
+// padUnits grows each small pattern routine toward the program's mean
+// lines-per-procedure so the size distribution matches Table 1 (roughly
+// uniform, except for the skewed programs). Padding statements iterate
+// an uninitialized local, so they contribute no propagatable constants.
+func (b *builder) padUnits() {
+	if b.spec.TargetProcs == 0 {
+		return
+	}
+	mean := b.spec.TargetLines / b.spec.TargetProcs
+	if mean < 8 {
+		return
+	}
+	for i, u := range b.units {
+		lines := strings.Count(u, "\n")
+		if lines >= mean {
+			continue
+		}
+		// The declaration goes right after the unit header (the
+		// specification part); the padding statements go just before the
+		// final END (the execution part).
+		var body strings.Builder
+		for k := 0; k < mean-lines-1; k++ {
+			fmt.Fprintf(&body, "IPAD = IPAD + %d\n", k)
+		}
+		nl := strings.Index(u, "\n")
+		end := strings.LastIndex(u, "END\n")
+		if nl < 0 || end <= nl {
+			continue
+		}
+		b.units[i] = u[:nl+1] + "INTEGER IPAD\n" + u[nl+1:end] + body.String() + u[end:]
+	}
+}
+
+// ---------------------------------------------------------------------
+// Filler: reaches the Table 1 size/modularity targets without adding
+// propagatable constants (all filler routines receive runtime inputs).
+
+func (b *builder) emitFiller() {
+	spec := b.spec
+	// Count current procedures: units + MAIN.
+	remainingProcs := spec.TargetProcs - len(b.units) - 1
+	if remainingProcs < 1 {
+		remainingProcs = 1
+	}
+	currentLines := b.approxLines()
+	remainingLines := spec.TargetLines - currentLines
+	if remainingLines < remainingProcs*6 {
+		remainingLines = remainingProcs * 6
+	}
+
+	// READ a runtime value in MAIN so filler arguments are unknowable.
+	b.main.WriteString("READ *, NRT\n")
+
+	perProc := remainingLines / remainingProcs
+	for i := 0; i < remainingProcs; i++ {
+		lines := perProc
+		if spec.Skewed {
+			// One big routine carries half the filler.
+			if i == 0 {
+				lines = remainingLines / 2
+			} else {
+				lines = (remainingLines / 2) / remainingProcs
+			}
+		}
+		if lines < 6 {
+			lines = 6
+		}
+		name := b.procName("FIL")
+		b.unit(fillerProc(name, lines, i))
+		fmt.Fprintf(&b.main, "CALL %s(NRT, NRT + %d)\n", name, i)
+	}
+}
+
+// fillerProc emits a routine of roughly the requested line count doing
+// runtime-dependent arithmetic (nothing constant-propagatable).
+func fillerProc(name string, lines, seed int) string {
+	var u strings.Builder
+	fmt.Fprintf(&u, "SUBROUTINE %s(NIN, NSEL)\n", name)
+	u.WriteString("INTEGER NIN, NSEL, IACC, IDX, ITMP\n")
+	u.WriteString("INTEGER IARR(20)\n")
+	u.WriteString("IACC = NIN\n")
+	body := lines - 6
+	if body < 1 {
+		body = 1
+	}
+	for i := 0; i < body; i++ {
+		switch (i + seed) % 6 {
+		case 0:
+			fmt.Fprintf(&u, "IACC = IACC + MOD(NIN + %d, 7)\n", i)
+		case 1:
+			fmt.Fprintf(&u, "ITMP = MAX(IACC, NSEL + %d)\n", i)
+		case 2:
+			fmt.Fprintf(&u, "IARR(MOD(IACC + %d, 20) + 1) = ITMP\n", i)
+		case 3:
+			fmt.Fprintf(&u, "IF (IACC .GT. %d) IACC = IACC - NSEL\n", i*3)
+		case 4:
+			fmt.Fprintf(&u, "IDX = MIN(ABS(ITMP), %d)\n", i+5)
+		default:
+			fmt.Fprintf(&u, "IACC = IACC * 1 + IDX - ITMP / %d\n", i+2)
+		}
+	}
+	u.WriteString("END\n")
+	return u.String()
+}
+
+// approxLines counts lines emitted so far (units + main body).
+func (b *builder) approxLines() int {
+	n := strings.Count(b.main.String(), "\n") + 4
+	for _, u := range b.units {
+		n += strings.Count(u, "\n")
+	}
+	return n
+}
+
+// Characteristics summarizes a synthesized program for Table 1.
+type Characteristics struct {
+	Name       string
+	Lines      int // non-comment lines
+	Procs      int
+	MeanLines  int
+	MedianLine int
+}
+
+// Characterize computes Table 1 metrics from source text.
+func Characterize(name, src string) Characteristics {
+	c := Characteristics{Name: name}
+	var perProc []int
+	cur := 0
+	inUnit := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" {
+			continue
+		}
+		c.Lines++
+		upper := strings.ToUpper(t)
+		if strings.HasPrefix(upper, "PROGRAM") || strings.HasPrefix(upper, "SUBROUTINE") ||
+			strings.Contains(upper, "FUNCTION ") && !strings.Contains(upper, "=") {
+			inUnit = true
+			cur = 1
+			continue
+		}
+		if upper == "END" {
+			if inUnit {
+				perProc = append(perProc, cur+1)
+				c.Procs++
+				inUnit = false
+			}
+			continue
+		}
+		if inUnit {
+			cur++
+		}
+	}
+	if c.Procs > 0 {
+		total := 0
+		for _, n := range perProc {
+			total += n
+		}
+		c.MeanLines = total / c.Procs
+		sort.Ints(perProc)
+		c.MedianLine = perProc[len(perProc)/2]
+	}
+	return c
+}

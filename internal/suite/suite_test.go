@@ -1,0 +1,211 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/jump"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func analyzeSuiteProgram(t *testing.T, spec Spec, cfg core.Config) (*core.Analysis, *sem.Program) {
+	t.Helper()
+	src := Source(spec)
+	var diags source.ErrorList
+	f := parser.ParseSource(spec.Name+".f", src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("%s: invalid program:\n%s", spec.Name, diags.Error())
+	}
+	return core.AnalyzeProgram(prog, cfg), prog
+}
+
+func cfgOf(kind jump.Kind, useMod, rjf bool) core.Config {
+	return core.Config{Jump: jump.Config{Kind: kind, UseMOD: useMod, UseReturnJFs: rjf}}
+}
+
+func count(t *testing.T, spec Spec, cfg core.Config) int {
+	t.Helper()
+	a, _ := analyzeSuiteProgram(t, spec, cfg)
+	return a.Substitute().Total
+}
+
+// TestAllProgramsValidAndRunnable: every suite program parses, checks,
+// and executes to completion.
+func TestAllProgramsValidAndRunnable(t *testing.T) {
+	for _, spec := range Programs() {
+		src := Source(spec)
+		var diags source.ErrorList
+		f := parser.ParseSource(spec.Name+".f", src, &diags)
+		prog := sem.Analyze(f, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("%s: %s", spec.Name, diags.Error())
+		}
+		for _, input := range [][]int64{{3}, {0}, {-5}} {
+			if _, err := interp.Run(prog, interp.Options{Input: input, MaxSteps: 1 << 21}); err != nil {
+				t.Fatalf("%s (input %v): execution: %v", spec.Name, input, err)
+			}
+		}
+	}
+}
+
+// TestSizeTargets: synthesized sizes track Table 1 targets loosely.
+func TestSizeTargets(t *testing.T) {
+	for _, spec := range Programs() {
+		ch := Characterize(spec.Name, Source(spec))
+		if ch.Procs < spec.TargetProcs/2 || ch.Procs > spec.TargetProcs*2 {
+			t.Errorf("%s: procs = %d, target %d", spec.Name, ch.Procs, spec.TargetProcs)
+		}
+		if ch.Lines < spec.TargetLines/2 || ch.Lines > spec.TargetLines*2 {
+			t.Errorf("%s: lines = %d, target %d", spec.Name, ch.Lines, spec.TargetLines)
+		}
+	}
+}
+
+// TestHierarchyPerProgram reproduces the Table 2 ordering for every
+// program: literal ≤ intraprocedural ≤ pass-through ≤ polynomial.
+func TestHierarchyPerProgram(t *testing.T) {
+	for _, spec := range Programs() {
+		lit := count(t, spec, cfgOf(jump.Literal, true, true))
+		intra := count(t, spec, cfgOf(jump.Intraprocedural, true, true))
+		pt := count(t, spec, cfgOf(jump.PassThrough, true, true))
+		poly := count(t, spec, cfgOf(jump.Polynomial, true, true))
+		if !(lit <= intra && intra <= pt && pt <= poly) {
+			t.Errorf("%s: ordering violated: lit=%d intra=%d pt=%d poly=%d", spec.Name, lit, intra, pt, poly)
+		}
+	}
+}
+
+// TestPassThroughEqualsPolynomialOnPaperSuite: the paper's headline
+// result — on its 12 programs the two most powerful jump functions find
+// the same constants (only our polybench addition separates them).
+func TestPassThroughEqualsPolynomialOnPaperSuite(t *testing.T) {
+	for _, spec := range PaperPrograms() {
+		pt := count(t, spec, cfgOf(jump.PassThrough, true, true))
+		poly := count(t, spec, cfgOf(jump.Polynomial, true, true))
+		if pt != poly {
+			t.Errorf("%s: pass-through %d != polynomial %d", spec.Name, pt, poly)
+		}
+	}
+	pb, _ := ByName("polybench")
+	pt := count(t, pb, cfgOf(jump.PassThrough, true, true))
+	poly := count(t, pb, cfgOf(jump.Polynomial, true, true))
+	if poly <= pt {
+		t.Errorf("polybench: polynomial (%d) should beat pass-through (%d)", poly, pt)
+	}
+}
+
+// TestOceanReturnJumpFunctions: return jump functions at least triple
+// ocean's count, and change little elsewhere (Table 2).
+func TestOceanReturnJumpFunctions(t *testing.T) {
+	ocean, _ := ByName("ocean")
+	with := count(t, ocean, cfgOf(jump.PassThrough, true, true))
+	without := count(t, ocean, cfgOf(jump.PassThrough, true, false))
+	if with < 3*without {
+		t.Errorf("ocean: with RJF %d, without %d — expected ≥3×", with, without)
+	}
+	// A program without the init pattern barely moves.
+	qcd, _ := ByName("qcd")
+	qWith := count(t, qcd, cfgOf(jump.PassThrough, true, true))
+	qWithout := count(t, qcd, cfgOf(jump.PassThrough, true, false))
+	if qWith != qWithout {
+		t.Errorf("qcd: RJF should not matter: %d vs %d", qWith, qWithout)
+	}
+}
+
+// TestMODEffectOnSuite: removing MOD information collapses counts on
+// the MOD-sensitive programs (Table 3 columns 1 vs 2).
+func TestMODEffectOnSuite(t *testing.T) {
+	for _, name := range []string{"adm", "linpackd", "matrix300", "simple"} {
+		spec, _ := ByName(name)
+		with := count(t, spec, cfgOf(jump.Polynomial, true, true))
+		without := count(t, spec, cfgOf(jump.Polynomial, false, true))
+		if without >= with {
+			t.Errorf("%s: no-MOD (%d) should lose constants vs MOD (%d)", name, without, with)
+		}
+	}
+	// doduc is robust: mostly literals at call sites.
+	doduc, _ := ByName("doduc")
+	with := count(t, doduc, cfgOf(jump.Polynomial, true, true))
+	without := count(t, doduc, cfgOf(jump.Polynomial, false, true))
+	if without < with*3/4 {
+		t.Errorf("doduc should be robust without MOD: %d vs %d", without, with)
+	}
+}
+
+// TestCompletePropagationOnSuite: only the DEAD-pattern programs gain
+// from complete propagation, and only a little (Table 3 column 3).
+func TestCompletePropagationOnSuite(t *testing.T) {
+	for _, name := range []string{"ocean", "spec77"} {
+		spec, _ := ByName(name)
+		plain := count(t, spec, cfgOf(jump.Polynomial, true, true))
+		cc := cfgOf(jump.Polynomial, true, true)
+		cc.Complete = true
+		complete := count(t, spec, cc)
+		if complete <= plain {
+			t.Errorf("%s: complete (%d) should exceed plain (%d)", name, complete, plain)
+		}
+	}
+	trfd, _ := ByName("trfd")
+	plain := count(t, trfd, cfgOf(jump.Polynomial, true, true))
+	cc := cfgOf(jump.Polynomial, true, true)
+	cc.Complete = true
+	complete := count(t, trfd, cc)
+	if complete != plain {
+		t.Errorf("trfd: complete propagation should change nothing: %d vs %d", complete, plain)
+	}
+}
+
+// TestInterproceduralBeatsIntraproceduralBaseline (Table 3 column 4).
+func TestInterproceduralBeatsIntraproceduralBaseline(t *testing.T) {
+	for _, name := range []string{"doduc", "ocean", "linpackd", "snasa7"} {
+		spec, _ := ByName(name)
+		a, prog := analyzeSuiteProgram(t, spec, cfgOf(jump.Polynomial, true, true))
+		inter := a.Substitute().Total
+		intra := core.IntraproceduralCount(prog).Total
+		if inter <= intra {
+			t.Errorf("%s: interprocedural (%d) should beat intraprocedural (%d)", name, inter, intra)
+		}
+	}
+}
+
+// TestUniformPrograms: adm, qcd, trfd tie across all four jump
+// functions (Table 2 rows with identical values).
+func TestUniformPrograms(t *testing.T) {
+	for _, name := range []string{"qcd", "trfd"} {
+		spec, _ := ByName(name)
+		lit := count(t, spec, cfgOf(jump.Literal, true, true))
+		poly := count(t, spec, cfgOf(jump.Polynomial, true, true))
+		if lit != poly {
+			t.Errorf("%s: literal (%d) should equal polynomial (%d)", name, lit, poly)
+		}
+		if lit == 0 {
+			t.Errorf("%s: counts should be non-zero", name)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("ocean"); !ok {
+		t.Error("ocean missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("nope should be missing")
+	}
+	if len(Names()) != 13 {
+		t.Errorf("Names() = %d, want 13", len(Names()))
+	}
+	if len(PaperPrograms()) != 12 {
+		t.Errorf("PaperPrograms() = %d, want 12", len(PaperPrograms()))
+	}
+}
+
+func TestDeterministicSource(t *testing.T) {
+	spec, _ := ByName("trfd")
+	if Source(spec) != Source(spec) {
+		t.Error("Source must be deterministic")
+	}
+}

@@ -1,0 +1,87 @@
+package symbolic
+
+// Integer arithmetic helpers shared by constant folding here and by the
+// interpreter (so compile-time folding agrees exactly with run-time
+// evaluation).
+
+// IntPow computes a**b with FORTRAN integer semantics. ok is false when
+// the result is undefined (0**negative).
+func IntPow(a, b int64) (int64, bool) {
+	if b < 0 {
+		// Integer exponentiation with a negative exponent truncates:
+		// 1**-n = 1, (-1)**-n alternates, |a|>1 → 0, 0**-n undefined.
+		switch {
+		case a == 0:
+			return 0, false
+		case a == 1:
+			return 1, true
+		case a == -1:
+			if b%2 == 0 {
+				return 1, true
+			}
+			return -1, true
+		default:
+			return 0, true
+		}
+	}
+	r := int64(1)
+	for i := int64(0); i < b; i++ {
+		r *= a
+	}
+	return r, true
+}
+
+// IntBinop folds a binary arithmetic operation on integers. ok is false
+// when the operation is undefined (division by zero, 0**negative).
+func IntBinop(op Op, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true // Go truncates toward zero, same as FORTRAN
+	case OpPow:
+		return IntPow(a, b)
+	case OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpMax:
+		if a > b {
+			return a, true
+		}
+		return b, true
+	case OpMin:
+		if a < b {
+			return a, true
+		}
+		return b, true
+	}
+	return 0, false
+}
+
+// IntCompare folds a relational operation on integers.
+func IntCompare(op Op, a, b int64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}

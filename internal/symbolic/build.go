@@ -1,0 +1,272 @@
+package symbolic
+
+import "repro/internal/ast"
+
+// Constructors with simplification. Every constructor returns an
+// interned expression; constant operands fold, and a handful of
+// algebraic identities keep pass-through parameters recognizable
+// (e.g. N+0 simplifies to N, so a formal passed through arithmetic
+// no-ops still matches the pass-through jump function).
+
+// Binary builds a binary arithmetic/relational/logical node.
+func (b *Builder) Binary(op Op, x, y *Expr) *Expr {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpPow, OpMod, OpMax, OpMin:
+		return b.arith(op, x, y)
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return b.compare(op, x, y)
+	case OpAnd, OpOr:
+		return b.logic(op, x, y)
+	}
+	return b.node(op, x, y)
+}
+
+// FromASTOp converts an ast binary operator to the symbolic Op.
+func FromASTOp(op ast.Op) Op {
+	switch op {
+	case ast.OpAdd:
+		return OpAdd
+	case ast.OpSub:
+		return OpSub
+	case ast.OpMul:
+		return OpMul
+	case ast.OpDiv:
+		return OpDiv
+	case ast.OpPow:
+		return OpPow
+	case ast.OpEq:
+		return OpEq
+	case ast.OpNe:
+		return OpNe
+	case ast.OpLt:
+		return OpLt
+	case ast.OpLe:
+		return OpLe
+	case ast.OpGt:
+		return OpGt
+	case ast.OpGe:
+		return OpGe
+	case ast.OpAnd:
+		return OpAnd
+	case ast.OpOr:
+		return OpOr
+	case ast.OpNot:
+		return OpNot
+	case ast.OpNeg:
+		return OpNeg
+	}
+	panic("symbolic: unmapped ast op")
+}
+
+func (b *Builder) arith(op Op, x, y *Expr) *Expr {
+	xc, xIsC := x.IsConst()
+	yc, yIsC := y.IsConst()
+	if xIsC && yIsC {
+		if v, ok := IntBinop(op, xc, yc); ok {
+			return b.Const(v)
+		}
+		return b.FreshOpaque() // undefined (e.g. division by zero)
+	}
+	// Identities that preserve pass-through shapes.
+	switch op {
+	case OpAdd:
+		if xIsC && xc == 0 {
+			return y
+		}
+		if yIsC && yc == 0 {
+			return x
+		}
+		// Canonicalize: constant on the right.
+		if xIsC {
+			x, y = y, x
+		}
+	case OpSub:
+		if yIsC && yc == 0 {
+			return x
+		}
+		if x == y {
+			return b.Const(0)
+		}
+	case OpMul:
+		if xIsC {
+			x, y = y, x
+			xc, xIsC, yc, yIsC = yc, yIsC, xc, xIsC
+		}
+		if yIsC {
+			switch yc {
+			case 0:
+				return b.Const(0)
+			case 1:
+				return x
+			}
+		}
+	case OpDiv:
+		if yIsC && yc == 1 {
+			return x
+		}
+		if yIsC && yc == 0 {
+			return b.FreshOpaque()
+		}
+	case OpPow:
+		if yIsC {
+			switch yc {
+			case 0:
+				return b.Const(1)
+			case 1:
+				return x
+			}
+		}
+		if xIsC && xc == 1 {
+			return b.Const(1)
+		}
+	case OpMax, OpMin:
+		if x == y {
+			return x
+		}
+		// Canonicalize commutative operands by id.
+		if x.id > y.id {
+			x, y = y, x
+		}
+	}
+	return b.node(op, x, y)
+}
+
+func (b *Builder) compare(op Op, x, y *Expr) *Expr {
+	if xc, ok := x.IsConst(); ok {
+		if yc, ok2 := y.IsConst(); ok2 {
+			return b.Bool(IntCompare(op, xc, yc))
+		}
+	}
+	if x == y && !x.opaque {
+		// x ⊙ x folds for non-opaque x (opaque values are distinct
+		// unknowns only when their identities differ, so x==x is safe
+		// even then, but stay conservative about NaN-free integers only).
+		switch op {
+		case OpEq, OpLe, OpGe:
+			return b.Bool(true)
+		case OpNe, OpLt, OpGt:
+			return b.Bool(false)
+		}
+	}
+	return b.node(op, x, y)
+}
+
+func (b *Builder) logic(op Op, x, y *Expr) *Expr {
+	xb, xIsB := x.IsBool()
+	yb, yIsB := y.IsBool()
+	switch op {
+	case OpAnd:
+		if xIsB {
+			if !xb {
+				return b.Bool(false)
+			}
+			return y
+		}
+		if yIsB {
+			if !yb {
+				return b.Bool(false)
+			}
+			return x
+		}
+	case OpOr:
+		if xIsB {
+			if xb {
+				return b.Bool(true)
+			}
+			return y
+		}
+		if yIsB {
+			if yb {
+				return b.Bool(true)
+			}
+			return x
+		}
+	}
+	if x == y {
+		return x
+	}
+	if x.id > y.id {
+		x, y = y, x
+	}
+	return b.node(op, x, y)
+}
+
+// Neg builds unary minus.
+func (b *Builder) Neg(x *Expr) *Expr {
+	if c, ok := x.IsConst(); ok {
+		return b.Const(-c)
+	}
+	if x.Op == OpNeg {
+		return x.Args[0]
+	}
+	return b.node(OpNeg, x)
+}
+
+// Not builds logical negation.
+func (b *Builder) Not(x *Expr) *Expr {
+	if v, ok := x.IsBool(); ok {
+		return b.Bool(!v)
+	}
+	if x.Op == OpNot {
+		return x.Args[0]
+	}
+	return b.node(OpNot, x)
+}
+
+// Abs builds the ABS intrinsic.
+func (b *Builder) Abs(x *Expr) *Expr {
+	if c, ok := x.IsConst(); ok {
+		if c < 0 {
+			return b.Const(-c)
+		}
+		return b.Const(c)
+	}
+	if x.Op == OpAbs {
+		return x
+	}
+	return b.node(OpAbs, x)
+}
+
+// Gamma builds the gated-SSA γ node: cond selects between t (true) and
+// f (false). Folds when the predicate is a known boolean or both arms
+// agree.
+func (b *Builder) Gamma(cond, t, f *Expr) *Expr {
+	if v, ok := cond.IsBool(); ok {
+		if v {
+			return t
+		}
+		return f
+	}
+	if t == f {
+		return t
+	}
+	return b.node(OpGamma, cond, t, f)
+}
+
+// Intrinsic builds a call to a named intrinsic over already-built
+// arguments. Variadic MAX/MIN fold pairwise.
+func (b *Builder) Intrinsic(name string, args []*Expr) *Expr {
+	switch name {
+	case "ABS", "IABS":
+		if len(args) == 1 {
+			return b.Abs(args[0])
+		}
+	case "MOD":
+		if len(args) == 2 {
+			return b.arith(OpMod, args[0], args[1])
+		}
+	case "MAX", "MIN":
+		op := OpMax
+		if name == "MIN" {
+			op = OpMin
+		}
+		if len(args) >= 1 {
+			e := args[0]
+			for _, a := range args[1:] {
+				e = b.arith(op, e, a)
+			}
+			return e
+		}
+	}
+	return b.FreshOpaque()
+}

@@ -1,0 +1,148 @@
+package symbolic
+
+import "repro/internal/lattice"
+
+// Env supplies lattice values for Param and Global leaves during jump
+// function evaluation.
+type Env func(leaf *Expr) lattice.Value
+
+// Eval evaluates a jump function under an environment, with the
+// optimistic SCCP convention: ⊤ inputs yield ⊤ (the input may still
+// become a constant), ⊥ or opaque inputs yield ⊥, and all-constant
+// inputs fold. Boolean-valued expressions evaluate to ⊥ — only integer
+// constants are propagated, as in the paper.
+func Eval(e *Expr, env Env) lattice.Value {
+	switch e.Op {
+	case OpConst:
+		return lattice.ConstValue(e.K)
+	case OpBool:
+		return lattice.BottomValue()
+	case OpOpaque:
+		return lattice.BottomValue()
+	case OpParam, OpGlobal:
+		return env(e)
+	case OpNeg:
+		v := Eval(e.Args[0], env)
+		if c, ok := v.IsConst(); ok {
+			return lattice.ConstValue(-c)
+		}
+		return v
+	case OpAbs:
+		v := Eval(e.Args[0], env)
+		if c, ok := v.IsConst(); ok {
+			if c < 0 {
+				c = -c
+			}
+			return lattice.ConstValue(c)
+		}
+		return v
+	case OpNot, OpAnd, OpOr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return lattice.BottomValue()
+	case OpGamma:
+		if v, ok := EvalBool(e.Args[0], env); ok {
+			if v {
+				return Eval(e.Args[1], env)
+			}
+			return Eval(e.Args[2], env)
+		}
+		// Predicate unknown: the value is the meet of both arms.
+		return lattice.Meet(Eval(e.Args[1], env), Eval(e.Args[2], env))
+	default: // binary arithmetic
+		x := Eval(e.Args[0], env)
+		y := Eval(e.Args[1], env)
+		if x.IsBottom() || y.IsBottom() {
+			return lattice.BottomValue()
+		}
+		if x.IsTop() || y.IsTop() {
+			return lattice.TopValue()
+		}
+		if v, ok := IntBinop(e.Op, x.Const(), y.Const()); ok {
+			return lattice.ConstValue(v)
+		}
+		return lattice.BottomValue()
+	}
+}
+
+// EvalBool evaluates a boolean-valued expression under an environment,
+// reporting whether its truth value is determined (all relevant inputs
+// are known constants).
+func EvalBool(e *Expr, env Env) (bool, bool) {
+	switch e.Op {
+	case OpBool:
+		return e.B, true
+	case OpNot:
+		if v, ok := EvalBool(e.Args[0], env); ok {
+			return !v, true
+		}
+	case OpAnd:
+		l, lok := EvalBool(e.Args[0], env)
+		r, rok := EvalBool(e.Args[1], env)
+		switch {
+		case lok && !l:
+			return false, true
+		case rok && !r:
+			return false, true
+		case lok && rok:
+			return l && r, true
+		}
+	case OpOr:
+		l, lok := EvalBool(e.Args[0], env)
+		r, rok := EvalBool(e.Args[1], env)
+		switch {
+		case lok && l:
+			return true, true
+		case rok && r:
+			return true, true
+		case lok && rok:
+			return l || r, true
+		}
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		x := Eval(e.Args[0], env)
+		y := Eval(e.Args[1], env)
+		xc, xok := x.IsConst()
+		yc, yok := y.IsConst()
+		if xok && yok {
+			return IntCompare(e.Op, xc, yc), true
+		}
+	}
+	return false, false
+}
+
+// Substitute rewrites e, replacing each Param/Global leaf by repl(leaf)
+// (which must return a non-nil expression, possibly the leaf itself).
+// Interior nodes are rebuilt through the builder, so folding reapplies:
+// substituting constants into a polynomial jump function evaluates it.
+func (b *Builder) Substitute(e *Expr, repl func(leaf *Expr) *Expr) *Expr {
+	switch e.Op {
+	case OpConst, OpBool, OpOpaque:
+		return e
+	case OpParam, OpGlobal:
+		return repl(e)
+	case OpNeg:
+		return b.Neg(b.Substitute(e.Args[0], repl))
+	case OpNot:
+		return b.Not(b.Substitute(e.Args[0], repl))
+	case OpAbs:
+		return b.Abs(b.Substitute(e.Args[0], repl))
+	case OpGamma:
+		return b.Gamma(
+			b.Substitute(e.Args[0], repl),
+			b.Substitute(e.Args[1], repl),
+			b.Substitute(e.Args[2], repl))
+	default:
+		x := b.Substitute(e.Args[0], repl)
+		y := b.Substitute(e.Args[1], repl)
+		return b.Binary(e.Op, x, y)
+	}
+}
+
+// ConstEnv returns an Env over a value map, defaulting to def for
+// leaves not present.
+func ConstEnv(vals map[*Expr]lattice.Value, def lattice.Value) Env {
+	return func(leaf *Expr) lattice.Value {
+		if v, ok := vals[leaf]; ok {
+			return v
+		}
+		return def
+	}
+}

@@ -1,0 +1,267 @@
+// Package symbolic implements hash-consed symbolic expressions over a
+// procedure's entry values (formal parameters and COMMON globals).
+//
+// These expressions are the currency of the jump-function framework:
+//   - a *forward jump function* J_s^y is a symbolic expression giving
+//     the value of actual y at call site s in terms of the caller's
+//     entry values;
+//   - a *return jump function* R_p^x is a symbolic expression giving
+//     the value of formal x on return from p in terms of p's entry
+//     values.
+//
+// Expressions are interned in a Builder, so pointer equality is
+// structural equality — this is what makes the value-numbering-based
+// construction of §3 cheap. Construction folds integer constants and
+// applies simple algebraic identities.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sem"
+)
+
+// Op enumerates symbolic expression operators.
+type Op int
+
+const (
+	OpConst  Op = iota // integer constant (K)
+	OpBool             // boolean constant (B)
+	OpParam            // entry value of a formal parameter (Param)
+	OpGlobal           // entry value of a COMMON global (Global)
+	OpOpaque           // unknown, non-constant value (K = identity)
+
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpPow
+	OpNeg
+
+	OpMod
+	OpMax
+	OpMin
+	OpAbs
+
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	OpAnd
+	OpOr
+	OpNot
+
+	// OpGamma is the gated-SSA γ function: Args are [predicate, value
+	// when true, value when false]. The paper (§4.2) observes that jump
+	// functions built on gated single-assignment form would subsume the
+	// "complete propagation" results; Gamma is what makes that possible
+	// — a merged value stays evaluable once the predicate is known.
+	OpGamma
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpBool: "bool", OpParam: "param", OpGlobal: "global",
+	OpOpaque: "opaque",
+	OpAdd:    "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpPow: "**", OpNeg: "neg",
+	OpMod: "MOD", OpMax: "MAX", OpMin: "MIN", OpAbs: "ABS",
+	OpEq: ".EQ.", OpNe: ".NE.", OpLt: ".LT.", OpLe: ".LE.", OpGt: ".GT.", OpGe: ".GE.",
+	OpAnd: ".AND.", OpOr: ".OR.", OpNot: ".NOT.", OpGamma: "γ",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Expr is an interned symbolic expression. Compare with ==.
+type Expr struct {
+	Op   Op
+	Args []*Expr
+
+	K      int64          // OpConst value; OpOpaque identity
+	B      bool           // OpBool value
+	Param  *sem.Symbol    // OpParam leaf
+	Global *sem.GlobalVar // OpGlobal leaf
+
+	id      int
+	opaque  bool // contains an OpOpaque anywhere
+	support []*Expr
+}
+
+// IsConst reports whether the expression is an integer constant.
+func (e *Expr) IsConst() (int64, bool) { return e.K, e.Op == OpConst }
+
+// IsBool reports whether the expression is a boolean constant.
+func (e *Expr) IsBool() (bool, bool) { return e.B, e.Op == OpBool }
+
+// HasOpaque reports whether any subexpression is opaque (and hence the
+// expression can never evaluate to a constant).
+func (e *Expr) HasOpaque() bool { return e.opaque }
+
+// Support returns the Param/Global leaves the expression depends on —
+// the "support" of a jump function in the paper's terminology. The
+// result is shared; callers must not modify it.
+func (e *Expr) Support() []*Expr { return e.support }
+
+// String renders the expression readably, e.g. "(+ N 1)".
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpConst:
+		return fmt.Sprintf("%d", e.K)
+	case OpBool:
+		if e.B {
+			return ".TRUE."
+		}
+		return ".FALSE."
+	case OpParam:
+		return e.Param.Name
+	case OpGlobal:
+		return e.Global.Key()
+	case OpOpaque:
+		return fmt.Sprintf("?%d", e.K)
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("(%s %s)", e.Op, strings.Join(parts, " "))
+}
+
+// Builder interns expressions. One Builder serves a whole program
+// analysis; it is not safe for concurrent use.
+type Builder struct {
+	byKey    map[string]*Expr
+	params   map[*sem.Symbol]*Expr
+	globals  map[*sem.GlobalVar]*Expr
+	opaques  map[int64]*Expr
+	consts   map[int64]*Expr
+	nextID   int
+	trueE    *Expr
+	falseE   *Expr
+	nextAnon int64 // generator for fresh opaque identities
+}
+
+// NewBuilder returns an empty interning table.
+func NewBuilder() *Builder {
+	return &Builder{
+		byKey:   make(map[string]*Expr),
+		params:  make(map[*sem.Symbol]*Expr),
+		globals: make(map[*sem.GlobalVar]*Expr),
+		opaques: make(map[int64]*Expr),
+		consts:  make(map[int64]*Expr),
+	}
+}
+
+func (b *Builder) intern(e *Expr) *Expr {
+	e.id = b.nextID
+	b.nextID++
+	// Compute derived facts once.
+	for _, a := range e.Args {
+		if a.opaque {
+			e.opaque = true
+		}
+	}
+	if e.Op == OpOpaque {
+		e.opaque = true
+	}
+	e.support = computeSupport(e)
+	return e
+}
+
+func computeSupport(e *Expr) []*Expr {
+	if e.Op == OpParam || e.Op == OpGlobal {
+		return []*Expr{e}
+	}
+	seen := map[*Expr]bool{}
+	var out []*Expr
+	for _, a := range e.Args {
+		for _, s := range a.support {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Const returns the interned constant c.
+func (b *Builder) Const(c int64) *Expr {
+	if e, ok := b.consts[c]; ok {
+		return e
+	}
+	e := b.intern(&Expr{Op: OpConst, K: c})
+	b.consts[c] = e
+	return e
+}
+
+// Bool returns the interned boolean constant.
+func (b *Builder) Bool(v bool) *Expr {
+	if v {
+		if b.trueE == nil {
+			b.trueE = b.intern(&Expr{Op: OpBool, B: true})
+		}
+		return b.trueE
+	}
+	if b.falseE == nil {
+		b.falseE = b.intern(&Expr{Op: OpBool, B: false})
+	}
+	return b.falseE
+}
+
+// ParamLeaf returns the leaf for a formal parameter's entry value.
+func (b *Builder) ParamLeaf(s *sem.Symbol) *Expr {
+	if e, ok := b.params[s]; ok {
+		return e
+	}
+	e := b.intern(&Expr{Op: OpParam, Param: s})
+	b.params[s] = e
+	return e
+}
+
+// GlobalLeaf returns the leaf for a COMMON global's entry value.
+func (b *Builder) GlobalLeaf(g *sem.GlobalVar) *Expr {
+	if e, ok := b.globals[g]; ok {
+		return e
+	}
+	e := b.intern(&Expr{Op: OpGlobal, Global: g})
+	b.globals[g] = e
+	return e
+}
+
+// Opaque returns the opaque expression with the given identity. Two
+// opaque expressions are equal iff their identities are equal.
+func (b *Builder) Opaque(id int64) *Expr {
+	if e, ok := b.opaques[id]; ok {
+		return e
+	}
+	e := b.intern(&Expr{Op: OpOpaque, K: id})
+	b.opaques[id] = e
+	return e
+}
+
+// FreshOpaque returns an opaque expression with a new identity,
+// distinct from all ids passed to Opaque (fresh ids are negative).
+func (b *Builder) FreshOpaque() *Expr {
+	b.nextAnon--
+	return b.Opaque(b.nextAnon)
+}
+
+// node interns an interior node after simplification decided to keep it.
+func (b *Builder) node(op Op, args ...*Expr) *Expr {
+	var key strings.Builder
+	fmt.Fprintf(&key, "%d", int(op))
+	for _, a := range args {
+		fmt.Fprintf(&key, ",%d", a.id)
+	}
+	k := key.String()
+	if e, ok := b.byKey[k]; ok {
+		return e
+	}
+	e := b.intern(&Expr{Op: op, Args: args})
+	b.byKey[k] = e
+	return e
+}

@@ -1,0 +1,113 @@
+package ipcp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeWithCloning(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL SOLVE(8)
+CALL SOLVE(512)
+END
+SUBROUTINE SOLVE(N)
+INTEGER N, S
+S = N * 2
+PRINT *, S
+END
+`
+	plain, err := Analyze("s.f", src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SubstitutionCount() != 0 {
+		t.Fatalf("plain count = %d, want 0 (8 ∧ 512 = ⊥)", plain.SubstitutionCount())
+	}
+
+	res, info, err := AnalyzeWithCloning("s.f", src, DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Created != 2 || info.Rounds != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Cloned) != 1 || !strings.Contains(info.Cloned[0], "SOLVE →") {
+		t.Errorf("cloned = %v", info.Cloned)
+	}
+	if res.SubstitutionCount() == 0 {
+		t.Error("cloning should recover substitutable constants")
+	}
+	// Each clone has its constant.
+	k1 := res.ConstantsOf("SOLVE_1")
+	k2 := res.ConstantsOf("SOLVE_2")
+	if len(k1) != 1 || len(k2) != 1 {
+		t.Fatalf("clone constants: %v / %v", k1, k2)
+	}
+	// Behaviour of the cloned source is unchanged.
+	before, _ := Run("a.f", src, nil)
+	after, _ := Run("b.f", info.Source, nil)
+	if before != after {
+		t.Errorf("behaviour changed:\n%q vs %q", before, after)
+	}
+}
+
+func TestAnalyzeWithCloningNoOpWhenUniform(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL S(7)
+CALL S(7)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	_, info, err := AnalyzeWithCloning("u.f", src, DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Created != 0 || info.Rounds != 0 {
+		t.Errorf("uniform sites need no cloning: %+v", info)
+	}
+	if info.Source != src {
+		t.Error("source should be untouched")
+	}
+}
+
+func TestAnalyzeWithCloningTerminates(t *testing.T) {
+	// Chained conflicts: cloning SOLVE exposes conflicts one level
+	// deeper; the loop must settle within maxRounds.
+	src := `PROGRAM MAIN
+CALL MID(1)
+CALL MID(2)
+END
+SUBROUTINE MID(K)
+INTEGER K
+CALL LEAF(K)
+END
+SUBROUTINE LEAF(N)
+INTEGER N, M
+M = N * 10
+PRINT *, M
+END
+`
+	res, info, err := AnalyzeWithCloning("c.f", src, DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rounds == 0 {
+		t.Fatal("expected at least one cloning round")
+	}
+	// After cloning MID (and then LEAF), the leaf constants surface.
+	total := 0
+	for _, ks := range res.Constants() {
+		total += len(ks)
+	}
+	if total < 4 {
+		t.Errorf("expected constants in the clones, got %v", res.Constants())
+	}
+	before, _ := Run("a.f", src, nil)
+	after, _ := Run("b.f", info.Source, nil)
+	if before != after {
+		t.Errorf("behaviour changed:\n%q vs %q", before, after)
+	}
+}

@@ -1,0 +1,405 @@
+// Package ipcp is the public API of the interprocedural constant
+// propagation library — a from-scratch implementation of the
+// jump-function framework of Callahan, Cooper, Kennedy, and Torczon
+// ("Interprocedural Constant Propagation", SIGPLAN 1986), with the jump
+// function implementations studied empirically by Grove and Torczon
+// (PLDI 1993).
+//
+// The analyzer consumes F77s, a FORTRAN 77 subset (see the README for
+// the grammar). A minimal session:
+//
+//	res, err := ipcp.Analyze("prog.f", src, ipcp.DefaultConfig())
+//	if err != nil { ... }
+//	for _, k := range res.ConstantsOf("WORK") {
+//	    fmt.Printf("%s = %d on every entry to WORK\n", k.Name, k.Value)
+//	}
+//
+// Configurations mirror the paper's experimental axes: the jump
+// function implementation (Literal, Intraprocedural, PassThrough,
+// Polynomial), interprocedural MOD information, return jump functions,
+// and iterated "complete" propagation with dead-code elimination.
+package ipcp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/clone"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/jump"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// Kind selects the forward jump function implementation (paper §3.1).
+type Kind int
+
+const (
+	// Literal: only literal constants at call sites propagate.
+	Literal Kind = iota
+	// Intraprocedural: constants proven by intraprocedural propagation
+	// and value numbering propagate (one call-graph edge at a time).
+	Intraprocedural
+	// PassThrough: additionally, formals passed through unmodified
+	// carry constants along arbitrary call paths. The paper's
+	// recommended implementation.
+	PassThrough
+	// Polynomial: actuals expressible as polynomials of the caller's
+	// entry values propagate — the most powerful (and most expensive)
+	// implementation.
+	Polynomial
+)
+
+func (k Kind) String() string { return k.internal().String() }
+
+func (k Kind) internal() jump.Kind {
+	switch k {
+	case Literal:
+		return jump.Literal
+	case Intraprocedural:
+		return jump.Intraprocedural
+	case PassThrough:
+		return jump.PassThrough
+	default:
+		return jump.Polynomial
+	}
+}
+
+// Solver selects the interprocedural propagation algorithm.
+type Solver int
+
+const (
+	// Worklist is the simple iterative scheme of the 1993 study.
+	Worklist Solver = iota
+	// BindingGraph re-evaluates a jump function only when a value in
+	// its support lowers, achieving the 1986 paper's cost bounds.
+	BindingGraph
+)
+
+// Config selects an analysis configuration.
+type Config struct {
+	// Kind is the forward jump function implementation.
+	Kind Kind
+	// UseMOD enables interprocedural MOD side-effect summaries at call
+	// sites; without them, every call kills every reference actual and
+	// every COMMON variable.
+	UseMOD bool
+	// UseReturnJFs enables return jump functions (constants flowing
+	// back out of callees).
+	UseReturnJFs bool
+	// FullSubstitution lifts the paper's restriction that a return jump
+	// function's substituted value is kept only when constant (an
+	// extension beyond the paper).
+	FullSubstitution bool
+	// Complete iterates propagation with constant-driven dead-code
+	// elimination until the solution stabilizes (paper Table 3,
+	// "Complete Propagation").
+	Complete bool
+	// Gated builds gated-SSA (γ) jump functions, realizing the paper's
+	// suggestion that a GSA-based generator would subsume complete
+	// propagation in a single round (an extension; most useful with
+	// Kind Polynomial).
+	Gated bool
+	// Solver selects the propagation algorithm.
+	Solver Solver
+}
+
+// DefaultConfig returns the paper's recommended configuration:
+// pass-through jump functions with MOD information and return jump
+// functions.
+func DefaultConfig() Config {
+	return Config{Kind: PassThrough, UseMOD: true, UseReturnJFs: true}
+}
+
+func (c Config) internal() core.Config {
+	out := core.Config{
+		Jump: jump.Config{
+			Kind:             c.Kind.internal(),
+			UseMOD:           c.UseMOD,
+			UseReturnJFs:     c.UseReturnJFs,
+			FullSubstitution: c.FullSubstitution,
+			Gated:            c.Gated,
+		},
+		Complete: c.Complete,
+	}
+	if c.Solver == BindingGraph {
+		out.Solver = core.SolverBinding
+	}
+	return out
+}
+
+// Constant is one entry of a CONSTANTS(p) set: the named parameter or
+// COMMON variable always holds Value on entry to Procedure.
+type Constant struct {
+	Procedure string
+	Name      string
+	Value     int64
+	// IsGlobal marks COMMON variables (Name is the canonical member
+	// name; Block its COMMON block).
+	IsGlobal bool
+	Block    string
+	// Referenced reports whether the procedure actually reads the value.
+	// Constants with Referenced == false are "known but irrelevant"
+	// (Metzger & Stroud) — they contribute nothing to optimization.
+	Referenced bool
+}
+
+func (c Constant) String() string {
+	return fmt.Sprintf("%s: (%s, %d)", c.Procedure, c.Name, c.Value)
+}
+
+// Result is a completed analysis.
+type Result struct {
+	analysis *core.Analysis
+	file     *ast.File
+	// Warnings holds non-fatal front-end diagnostics.
+	Warnings []string
+}
+
+// Analyze parses, checks, and analyzes an F77s program.
+func Analyze(filename, src string, cfg Config) (*Result, error) {
+	var diags source.ErrorList
+	f := parser.ParseSource(filename, src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		analysis: core.AnalyzeProgram(prog, cfg.internal()),
+		file:     f,
+	}
+	for _, d := range diags.Diags {
+		res.Warnings = append(res.Warnings, d.String())
+	}
+	return res, nil
+}
+
+// Procedures lists the program's procedure names in source order.
+func (r *Result) Procedures() []string {
+	var out []string
+	for _, p := range r.analysis.Prog.Order {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// ConstantsOf returns CONSTANTS(p) for the named procedure, sorted by
+// name (nil if the procedure does not exist or has no constants).
+func (r *Result) ConstantsOf(procedure string) []Constant {
+	p := r.analysis.Prog.Procs[strings.ToUpper(procedure)]
+	if p == nil {
+		return nil
+	}
+	return convertConstants(r.analysis.Constants(p))
+}
+
+// Constants returns every procedure's CONSTANTS set.
+func (r *Result) Constants() map[string][]Constant {
+	out := make(map[string][]Constant)
+	for _, p := range r.analysis.Prog.Order {
+		if ks := convertConstants(r.analysis.Constants(p)); len(ks) > 0 {
+			out[p.Name] = ks
+		}
+	}
+	return out
+}
+
+func convertConstants(in []core.Constant) []Constant {
+	var out []Constant
+	for _, k := range in {
+		c := Constant{Procedure: k.Proc.Name, Name: k.Name, Value: k.Value, Referenced: k.Referenced}
+		if k.Global != nil {
+			c.IsGlobal = true
+			c.Block = k.Global.Block
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SubstitutionCount reports how many constant uses the analyzer would
+// substitute into the program text — the effectiveness metric reported
+// in the paper's tables.
+func (r *Result) SubstitutionCount() int {
+	return r.analysis.Substitute().Total
+}
+
+// SubstitutionCounts reports the per-procedure breakdown.
+func (r *Result) SubstitutionCounts() map[string]int {
+	res := r.analysis.Substitute()
+	out := make(map[string]int)
+	for p, n := range res.PerProc {
+		if n > 0 {
+			out[p.Name] = n
+		}
+	}
+	return out
+}
+
+// TransformedSource returns the program with every discovered constant
+// textually substituted (the analyzer's optional output, §4.1).
+func (r *Result) TransformedSource() string {
+	return r.analysis.TransformedSource(r.file)
+}
+
+// JumpFunctions renders every call site's forward jump functions and
+// every procedure's return jump functions, in source order — a window
+// into the framework's intermediate artifacts (useful for debugging
+// and teaching).
+func (r *Result) JumpFunctions() []string {
+	var out []string
+	funcs := r.analysis.Funcs
+	for _, p := range r.analysis.Prog.Order {
+		pf := funcs.Procs[p]
+		if pf == nil {
+			continue
+		}
+		for _, sf := range pf.Sites {
+			line := sf.String()
+			if sf.Dead {
+				line += " [dead]"
+			}
+			out = append(out, line)
+		}
+		if sum := funcs.Returns[p]; sum != nil {
+			var parts []string
+			for i, f := range p.Formals {
+				if e := sum.Formals[i]; e != nil {
+					parts = append(parts, fmt.Sprintf("R[%s]=%s", f.Name, e))
+				}
+			}
+			var gkeys []string
+			for g := range sum.Globals {
+				gkeys = append(gkeys, g.Key())
+			}
+			sort.Strings(gkeys)
+			for _, k := range gkeys {
+				for g, e := range sum.Globals {
+					if g.Key() == k && e != nil {
+						parts = append(parts, fmt.Sprintf("R[%s]=%s", k, e))
+					}
+				}
+			}
+			if sum.Result != nil {
+				parts = append(parts, fmt.Sprintf("R[result]=%s", sum.Result))
+			}
+			if len(parts) > 0 {
+				out = append(out, fmt.Sprintf("returns %s: %s", p.Name, strings.Join(parts, " ")))
+			}
+		}
+	}
+	return out
+}
+
+// Stats reports solver work counters.
+func (r *Result) Stats() (jfEvaluations, lowerings, rounds int) {
+	s := r.analysis.Stats
+	return s.JFEvaluations, s.Lowerings, s.Rounds
+}
+
+// SourceFile is one input file for AnalyzeFiles.
+type SourceFile struct {
+	Name string
+	Src  string
+}
+
+// AnalyzeFiles analyzes a program whose units are spread over several
+// files (the usual layout for FORTRAN projects). Units from all files
+// share one program: COMMON blocks link across files and any file may
+// call any other's procedures.
+func AnalyzeFiles(files []SourceFile, cfg Config) (*Result, error) {
+	var diags source.ErrorList
+	merged := &ast.File{}
+	for _, sf := range files {
+		f := parser.ParseFile(source.NewFile(sf.Name, sf.Src), &diags)
+		if merged.Source == nil {
+			merged.Source = f.Source
+		}
+		merged.Units = append(merged.Units, f.Units...)
+	}
+	if len(merged.Units) == 0 {
+		return nil, fmt.Errorf("ipcp: no program units in %d file(s)", len(files))
+	}
+	prog := sem.Analyze(merged, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		analysis: core.AnalyzeProgram(prog, cfg.internal()),
+		file:     merged,
+	}
+	for _, d := range diags.Diags {
+		res.Warnings = append(res.Warnings, d.String())
+	}
+	return res, nil
+}
+
+// CloneInfo reports what AnalyzeWithCloning did.
+type CloneInfo struct {
+	// Rounds is the number of clone-and-reanalyze passes performed.
+	Rounds int
+	// Created is the total number of procedure clones.
+	Created int
+	// Cloned lists "PROC → PROC_1, PROC_2, …" descriptions.
+	Cloned []string
+	// Source is the final, cloned program text.
+	Source string
+}
+
+// AnalyzeWithCloning runs interprocedural constant propagation with
+// goal-directed procedure cloning (Metzger & Stroud; Cooper, Hall &
+// Kennedy): when different call sites deliver different constants to
+// the same procedure — values the lattice meet would destroy — the
+// procedure is cloned per constant context and the analysis reruns,
+// until no profitable clone remains (or maxRounds passes have run).
+func AnalyzeWithCloning(filename, src string, cfg Config, maxRounds int) (*Result, *CloneInfo, error) {
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+	info := &CloneInfo{Source: src}
+	cur := src
+	for round := 0; ; round++ {
+		res, err := Analyze(filename, cur, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if round >= maxRounds {
+			return res, info, nil
+		}
+		next, report := clone.Apply(res.analysis, res.file, clone.Options{})
+		if report.Created == 0 {
+			return res, info, nil
+		}
+		info.Rounds++
+		info.Created += report.Created
+		for _, d := range report.Decisions {
+			info.Cloned = append(info.Cloned, fmt.Sprintf("%s → %s", d.Proc, strings.Join(d.Clones, ", ")))
+		}
+		info.Source = next
+		cur = next
+	}
+}
+
+// Run executes an F77s program under the reference interpreter,
+// supplying input values to READ statements, and returns its printed
+// output. It is exposed for testing and for building tooling around the
+// analyzer (the examples use it to demonstrate that transformed
+// programs behave identically).
+func Run(filename, src string, input []int64) (string, error) {
+	var diags source.ErrorList
+	f := parser.ParseSource(filename, src, &diags)
+	prog := sem.Analyze(f, &diags)
+	if err := diags.Err(); err != nil {
+		return "", err
+	}
+	res, err := interp.Run(prog, interp.Options{Input: input})
+	if err != nil {
+		return "", err
+	}
+	return res.Output, nil
+}
