@@ -1,0 +1,33 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-fuzz the two native targets; both are seeded from
+# internal/core/testdata/*.f and must stay crash-free.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser
+	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) ./ipcp
+
+# The full gate: what CI (and a pre-commit run) should pass.
+check: vet build race fuzz
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean -testcache

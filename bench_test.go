@@ -151,7 +151,10 @@ func BenchmarkJumpFunctionConstruction(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sb := symbolic.NewBuilder()
-				fns := jump.Build(cg, mod, sb, jump.Config{Kind: kind, UseMOD: true, UseReturnJFs: true}, nil)
+				fns, err := jump.Build(cg, mod, sb, jump.Config{Kind: kind, UseMOD: true, UseReturnJFs: true}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(fns.Procs) == 0 {
 					b.Fatal("no jump functions")
 				}

@@ -7,11 +7,15 @@
 //	ipcp-tables -figure1
 //	ipcp-tables -table1 -table3
 //	ipcp-tables -dump ocean # print a suite program's source
+//
+// Every failure exits with status 1 and a one-line diagnostic; the
+// command never prints a stack trace.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/report"
@@ -19,63 +23,93 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive
+// every error path in-process. It never panics: internal faults are
+// reported as a one-line diagnostic and exit status 1.
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "ipcp-tables: internal error: %v\n", r)
+			status = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("ipcp-tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig1  = flag.Bool("figure1", false, "print Figure 1 (the lattice)")
-		t1    = flag.Bool("table1", false, "print Table 1 (program characteristics)")
-		t2    = flag.Bool("table2", false, "print Table 2 (jump function comparison)")
-		t3    = flag.Bool("table3", false, "print Table 3 (technique comparison)")
-		dump  = flag.String("dump", "", "print the synthesized source of one suite program")
-		check = flag.Bool("check", false, "verify the paper's qualitative claims against fresh tables")
-		csv   = flag.String("csv", "", "emit a table as CSV: table2|table3")
+		fig1  = fs.Bool("figure1", false, "print Figure 1 (the lattice)")
+		t1    = fs.Bool("table1", false, "print Table 1 (program characteristics)")
+		t2    = fs.Bool("table2", false, "print Table 2 (jump function comparison)")
+		t3    = fs.Bool("table3", false, "print Table 3 (technique comparison)")
+		dump  = fs.String("dump", "", "print the synthesized source of one suite program")
+		check = fs.Bool("check", false, "verify the paper's qualitative claims against fresh tables")
+		csv   = fs.String("csv", "", "emit a table as CSV: table2|table3")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		// The flag set already printed the one-line diagnostic and usage.
+		return 1
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ipcp-tables: unexpected argument %q\n", fs.Arg(0))
+		return 1
+	}
 
 	if *dump != "" {
 		spec, ok := suite.ByName(*dump)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ipcp-tables: unknown program %q (have %v)\n", *dump, suite.Names())
-			os.Exit(2)
+			fmt.Fprintf(stderr, "ipcp-tables: unknown program %q (have %v)\n", *dump, suite.Names())
+			return 1
 		}
-		fmt.Print(suite.Source(spec))
-		return
+		fmt.Fprint(stdout, suite.Source(spec))
+		return 0
 	}
 
 	if *check {
-		if err := report.Check(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "ipcp-tables:", err)
-			os.Exit(1)
+		if err := report.Check(stdout); err != nil {
+			fmt.Fprintln(stderr, "ipcp-tables:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *csv != "" {
 		var err error
 		switch *csv {
 		case "table2":
-			err = report.Table2CSV(os.Stdout)
+			err = report.Table2CSV(stdout)
 		case "table3":
-			err = report.Table3CSV(os.Stdout)
+			err = report.Table3CSV(stdout)
 		default:
 			err = fmt.Errorf("unknown -csv table %q", *csv)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipcp-tables:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "ipcp-tables:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	any := *fig1 || *t1 || *t2 || *t3
-	run := func(on bool, f func() error) {
-		if !any || on {
-			if err := f(); err != nil {
-				fmt.Fprintln(os.Stderr, "ipcp-tables:", err)
-				os.Exit(1)
-			}
-			fmt.Println()
+	failed := false
+	emit := func(on bool, f func() error) {
+		if failed || (any && !on) {
+			return
 		}
+		if err := f(); err != nil {
+			fmt.Fprintln(stderr, "ipcp-tables:", err)
+			failed = true
+			return
+		}
+		fmt.Fprintln(stdout)
 	}
-	run(*fig1, func() error { return report.Figure1(os.Stdout) })
-	run(*t1, func() error { return report.Table1(os.Stdout) })
-	run(*t2, func() error { return report.Table2(os.Stdout) })
-	run(*t3, func() error { return report.Table3(os.Stdout) })
+	emit(*fig1, func() error { return report.Figure1(stdout) })
+	emit(*t1, func() error { return report.Table1(stdout) })
+	emit(*t2, func() error { return report.Table2(stdout) })
+	emit(*t3, func() error { return report.Table3(stdout) })
+	if failed {
+		return 1
+	}
+	return 0
 }

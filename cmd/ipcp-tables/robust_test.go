@@ -1,0 +1,63 @@
+package main
+
+// Error-path contract tests: every failure exits with status 1 and a
+// one-line diagnostic — never a stack trace.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runTables drives run() in-process and returns (status, stdout, stderr).
+func runTables(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	status := run(args, &out, &errb)
+	return status, out.String(), errb.String()
+}
+
+func assertTablesFailure(t *testing.T, status int, stderr string) {
+	t.Helper()
+	if status != 1 {
+		t.Errorf("exit status = %d, want 1", status)
+	}
+	if strings.TrimSpace(stderr) == "" {
+		t.Error("no diagnostic on stderr")
+	}
+	if strings.Contains(stderr, "goroutine ") || strings.Contains(stderr, "runtime.gopanic") {
+		t.Errorf("stderr contains a stack trace:\n%s", stderr)
+	}
+}
+
+func TestTablesUnknownFlag(t *testing.T) {
+	status, _, stderr := runTables("-definitely-not-a-flag")
+	assertTablesFailure(t, status, stderr)
+}
+
+func TestTablesUnknownDump(t *testing.T) {
+	status, _, stderr := runTables("-dump", "bogus")
+	assertTablesFailure(t, status, stderr)
+	if !strings.Contains(stderr, "bogus") {
+		t.Errorf("diagnostic does not name the program: %q", stderr)
+	}
+}
+
+func TestTablesUnknownCSV(t *testing.T) {
+	status, _, stderr := runTables("-csv", "bogus")
+	assertTablesFailure(t, status, stderr)
+}
+
+func TestTablesUnexpectedArgument(t *testing.T) {
+	status, _, stderr := runTables("stray")
+	assertTablesFailure(t, status, stderr)
+}
+
+func TestTablesFigure1Status(t *testing.T) {
+	status, stdout, stderr := runTables("-figure1")
+	if status != 0 {
+		t.Fatalf("exit status = %d, stderr: %s", status, stderr)
+	}
+	if !strings.Contains(stdout, "Figure 1") {
+		t.Errorf("stdout:\n%s", stdout)
+	}
+}

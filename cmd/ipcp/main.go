@@ -16,9 +16,21 @@
 //	-solver worklist|binding                    propagation algorithm
 //	-transform                                  print the transformed source
 //	-stats                                      print solver statistics
+//
+// Resource budgets (the analysis degrades soundly when exhausted,
+// reporting each step on stderr):
+//
+//	-timeout 5s      wall-clock budget
+//	-maxsteps N      cap on solver jump-function evaluations
+//	-maxrounds N     cap on complete-propagation rounds
+//	-maxexpr N       cap on jump-function expression size
+//
+// Every failure exits with status 1 and a one-line diagnostic; the
+// command never prints a stack trace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -28,41 +40,68 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive
+// every error path in-process. It never panics: internal faults are
+// reported as a one-line diagnostic and exit status 1.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "ipcp: internal error: %v\n", r)
+			status = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("ipcp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jf        = flag.String("jf", "passthrough", "jump function: literal|intra|passthrough|polynomial")
-		useMod    = flag.Bool("mod", true, "use interprocedural MOD information")
-		useRet    = flag.Bool("ret", true, "use return jump functions")
-		fullSubst = flag.Bool("fullsubst", false, "keep symbolic return jump function results (extension)")
-		complete  = flag.Bool("complete", false, "iterate propagation with dead code elimination")
-		gated     = flag.Bool("gated", false, "gated-SSA jump functions (subsumes -complete in one round; extension)")
-		doClone   = flag.Bool("clone", false, "procedure cloning guided by constants (extension)")
-		solver    = flag.String("solver", "worklist", "solver: worklist|binding")
-		transform = flag.Bool("transform", false, "print the transformed source")
-		jumps     = flag.Bool("jumps", false, "print the constructed jump functions")
-		stats     = flag.Bool("stats", false, "print solver statistics")
+		jf        = fs.String("jf", "passthrough", "jump function: literal|intra|passthrough|polynomial")
+		useMod    = fs.Bool("mod", true, "use interprocedural MOD information")
+		useRet    = fs.Bool("ret", true, "use return jump functions")
+		fullSubst = fs.Bool("fullsubst", false, "keep symbolic return jump function results (extension)")
+		complete  = fs.Bool("complete", false, "iterate propagation with dead code elimination")
+		gated     = fs.Bool("gated", false, "gated-SSA jump functions (subsumes -complete in one round; extension)")
+		doClone   = fs.Bool("clone", false, "procedure cloning guided by constants (extension)")
+		solver    = fs.String("solver", "worklist", "solver: worklist|binding")
+		transform = fs.Bool("transform", false, "print the transformed source")
+		jumps     = fs.Bool("jumps", false, "print the constructed jump functions")
+		stats     = fs.Bool("stats", false, "print solver statistics")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited; exhaustion degrades, never fails)")
+		maxSteps  = fs.Int("maxsteps", 0, "cap on solver jump-function evaluations (0 = unlimited)")
+		maxRounds = fs.Int("maxrounds", 0, "cap on complete-propagation rounds (0 = driver default)")
+		maxExpr   = fs.Int("maxexpr", 0, "cap on jump-function expression size in nodes (0 = unlimited)")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ipcp [flags] file.f  (use - for stdin)")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		// The flag set already printed the one-line diagnostic and usage.
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: ipcp [flags] file.f  (use - for stdin)")
+		fs.PrintDefaults()
+		return 1
 	}
 
-	name := flag.Arg(0)
+	name := fs.Arg(0)
 	var src []byte
 	var err error
 	if name == "-" {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 		name = "<stdin>"
 	} else {
 		src, err = os.ReadFile(name)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipcp:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ipcp:", err)
+		return 1
 	}
 
-	cfg := ipcp.Config{UseMOD: *useMod, UseReturnJFs: *useRet, FullSubstitution: *fullSubst, Complete: *complete, Gated: *gated}
+	cfg := ipcp.Config{
+		UseMOD: *useMod, UseReturnJFs: *useRet, FullSubstitution: *fullSubst,
+		Complete: *complete, Gated: *gated,
+		Budget: ipcp.Budget{MaxSolverSteps: *maxSteps, MaxRounds: *maxRounds, MaxJFExprSize: *maxExpr},
+	}
 	switch *jf {
 	case "literal":
 		cfg.Kind = ipcp.Literal
@@ -73,8 +112,8 @@ func main() {
 	case "polynomial":
 		cfg.Kind = ipcp.Polynomial
 	default:
-		fmt.Fprintf(os.Stderr, "ipcp: unknown jump function %q\n", *jf)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ipcp: unknown jump function %q\n", *jf)
+		return 1
 	}
 	switch *solver {
 	case "worklist":
@@ -82,8 +121,15 @@ func main() {
 	case "binding":
 		cfg.Solver = ipcp.BindingGraph
 	default:
-		fmt.Fprintf(os.Stderr, "ipcp: unknown solver %q\n", *solver)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ipcp: unknown solver %q\n", *solver)
+		return 1
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var res *ipcp.Result
@@ -91,33 +137,39 @@ func main() {
 	if *doClone {
 		res, cloneInfo, err = ipcp.AnalyzeWithCloning(name, string(src), cfg, 3)
 	} else {
-		res, err = ipcp.Analyze(name, string(src), cfg)
+		res, err = ipcp.AnalyzeContext(ctx, name, string(src), cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		// *ipcp.InternalError stringifies to one line (phase + value);
+		// the stack stays inside the error value.
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(res.Procedures()) == 0 {
+		fmt.Fprintln(stderr, "ipcp: no program units found")
+		return 1
 	}
 	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, w)
+		fmt.Fprintln(stderr, w)
 	}
 	if cloneInfo != nil {
 		for _, c := range cloneInfo.Cloned {
-			fmt.Printf("cloned: %s\n", c)
+			fmt.Fprintf(stdout, "cloned: %s\n", c)
 		}
 	}
 
 	if *transform {
-		fmt.Print(res.TransformedSource())
-		return
+		fmt.Fprint(stdout, res.TransformedSource())
+		return 0
 	}
 	if *jumps {
 		for _, line := range res.JumpFunctions() {
-			fmt.Println(line)
+			fmt.Fprintln(stdout, line)
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("configuration: %s jump functions, MOD=%v, return JFs=%v, complete=%v\n",
+	fmt.Fprintf(stdout, "configuration: %s jump functions, MOD=%v, return JFs=%v, complete=%v\n",
 		cfg.Kind, cfg.UseMOD, cfg.UseReturnJFs, cfg.Complete)
 	total := 0
 	for _, proc := range res.Procedures() {
@@ -125,21 +177,22 @@ func main() {
 		if len(ks) == 0 {
 			continue
 		}
-		fmt.Printf("CONSTANTS(%s):", proc)
+		fmt.Fprintf(stdout, "CONSTANTS(%s):", proc)
 		for _, k := range ks {
 			tag := ""
 			if k.IsGlobal {
 				tag = fmt.Sprintf(" [/%s/]", k.Block)
 			}
-			fmt.Printf(" (%s, %d)%s", k.Name, k.Value, tag)
+			fmt.Fprintf(stdout, " (%s, %d)%s", k.Name, k.Value, tag)
 			total++
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("%d constant parameter/global entries; %d uses substitutable\n",
+	fmt.Fprintf(stdout, "%d constant parameter/global entries; %d uses substitutable\n",
 		total, res.SubstitutionCount())
 	if *stats {
 		jfe, low, rounds := res.Stats()
-		fmt.Printf("stats: %d jump function evaluations, %d lattice lowerings, %d round(s)\n", jfe, low, rounds)
+		fmt.Fprintf(stdout, "stats: %d jump function evaluations, %d lattice lowerings, %d round(s)\n", jfe, low, rounds)
 	}
+	return 0
 }

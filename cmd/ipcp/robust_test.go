@@ -1,0 +1,180 @@
+package main
+
+// Error-path contract tests: every failure exits with status 1 and a
+// one-line diagnostic — never a stack trace. These drive run()
+// in-process (no subprocess), so the fault-injection hooks work too.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+const goodSrc = `PROGRAM MAIN
+CALL WORK(7)
+END
+SUBROUTINE WORK(N)
+INTEGER N
+PRINT *, N
+END
+`
+
+// failingReader models an unreadable stdin.
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("stdin unreadable") }
+
+// runCLI drives run() in-process and returns (status, stdout, stderr).
+// A nil stdin is unreadable; a non-nil one supplies program text.
+func runCLI(t *testing.T, stdin *string, args ...string) (int, string, string) {
+	t.Helper()
+	var in interface{ Read([]byte) (int, error) } = failingReader{}
+	if stdin != nil {
+		in = strings.NewReader(*stdin)
+	}
+	var out, errb bytes.Buffer
+	status := run(args, in, &out, &errb)
+	return status, out.String(), errb.String()
+}
+
+// assertOneLineFailure checks the failure contract: exit status 1, a
+// non-empty diagnostic, and no stack trace.
+func assertOneLineFailure(t *testing.T, status int, stderr string) {
+	t.Helper()
+	if status != 1 {
+		t.Errorf("exit status = %d, want 1", status)
+	}
+	if strings.TrimSpace(stderr) == "" {
+		t.Error("no diagnostic on stderr")
+	}
+	if strings.Contains(stderr, "goroutine ") || strings.Contains(stderr, "runtime.gopanic") {
+		t.Errorf("stderr contains a stack trace:\n%s", stderr)
+	}
+}
+
+func TestMissingFileDiagnostic(t *testing.T) {
+	status, _, stderr := runCLI(t, nil, filepath.Join(t.TempDir(), "nope.f"))
+	assertOneLineFailure(t, status, stderr)
+	if !strings.Contains(stderr, "nope.f") {
+		t.Errorf("diagnostic does not name the file: %q", stderr)
+	}
+	if n := strings.Count(strings.TrimRight(stderr, "\n"), "\n"); n != 0 {
+		t.Errorf("diagnostic spans %d lines, want 1: %q", n+1, stderr)
+	}
+}
+
+func TestDirectoryAsFileDiagnostic(t *testing.T) {
+	status, _, stderr := runCLI(t, nil, t.TempDir())
+	assertOneLineFailure(t, status, stderr)
+}
+
+func TestUnreadableStdinDiagnostic(t *testing.T) {
+	status, _, stderr := runCLI(t, nil, "-")
+	assertOneLineFailure(t, status, stderr)
+	if !strings.Contains(stderr, "stdin unreadable") {
+		t.Errorf("diagnostic does not surface the read error: %q", stderr)
+	}
+}
+
+func TestEmptyStdinDiagnostic(t *testing.T) {
+	empty := ""
+	status, _, stderr := runCLI(t, &empty, "-")
+	assertOneLineFailure(t, status, stderr)
+	if !strings.Contains(stderr, "no program units") {
+		t.Errorf("diagnostic: %q", stderr)
+	}
+}
+
+func TestMalformedSourceDiagnostic(t *testing.T) {
+	bad := "PROGRAM MAIN\nX = )((\nEND\n"
+	status, _, stderr := runCLI(t, &bad, "-")
+	assertOneLineFailure(t, status, stderr)
+}
+
+func TestUnknownFlagDiagnostic(t *testing.T) {
+	status, _, stderr := runCLI(t, nil, "-definitely-not-a-flag", "x.f")
+	assertOneLineFailure(t, status, stderr)
+}
+
+func TestUnknownJumpFunctionDiagnostic(t *testing.T) {
+	status, _, stderr := runCLI(t, nil, "-jf", "magic", "x.f")
+	assertOneLineFailure(t, status, stderr)
+}
+
+func TestUnknownSolverDiagnostic(t *testing.T) {
+	src := goodSrc
+	status, _, stderr := runCLI(t, &src, "-solver", "quantum", "-")
+	assertOneLineFailure(t, status, stderr)
+}
+
+func TestNoArgumentsDiagnostic(t *testing.T) {
+	status, _, stderr := runCLI(t, nil)
+	assertOneLineFailure(t, status, stderr)
+}
+
+// TestInternalPanicIsOneLine: an analyzer bug (simulated via fault
+// injection) must surface as a one-line internal-error diagnostic, not
+// a crash dump.
+func TestInternalPanicIsOneLine(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	remove := guard.Set("sem", func() error { return errors.New("injected sem fault") })
+	defer remove()
+	src := goodSrc
+	status, _, stderr := runCLI(t, &src, "-")
+	assertOneLineFailure(t, status, stderr)
+	if !strings.Contains(stderr, "internal error") {
+		t.Errorf("diagnostic does not say internal error: %q", stderr)
+	}
+}
+
+func TestSuccessStatusZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.f")
+	if err := os.WriteFile(path, []byte(goodSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, stdout, stderr := runCLI(t, nil, path)
+	if status != 0 {
+		t.Fatalf("exit status = %d, stderr: %s", status, stderr)
+	}
+	if !strings.Contains(stdout, "CONSTANTS(WORK)") {
+		t.Errorf("stdout missing CONSTANTS(WORK):\n%s", stdout)
+	}
+}
+
+// TestBudgetFlagsDegradeOnStderr: budget exhaustion is not a failure —
+// the run succeeds with a degradation warning on stderr.
+func TestBudgetFlagsDegradeOnStderr(t *testing.T) {
+	// Two formals at the call site guarantee the solver needs more than
+	// one jump-function evaluation, so -maxsteps 1 must exhaust.
+	src := `PROGRAM MAIN
+CALL WORK(7, 9)
+END
+SUBROUTINE WORK(N, M)
+INTEGER N, M
+PRINT *, N + M
+END
+`
+	status, stdout, stderr := runCLI(t, &src, "-maxsteps", "1", "-")
+	if status != 0 {
+		t.Fatalf("exit status = %d (budget exhaustion must degrade, not fail), stderr: %s", status, stderr)
+	}
+	if !strings.Contains(stderr, "degraded [solver-steps]") {
+		t.Errorf("stderr missing degradation warning:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "substitutable") {
+		t.Errorf("stdout missing summary:\n%s", stdout)
+	}
+}
+
+func TestTimeoutFlagAccepted(t *testing.T) {
+	src := goodSrc
+	status, _, stderr := runCLI(t, &src, "-timeout", "30s", "-")
+	if status != 0 {
+		t.Fatalf("exit status = %d, stderr: %s", status, stderr)
+	}
+}

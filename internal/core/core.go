@@ -17,6 +17,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -24,6 +26,8 @@ import (
 	"repro/internal/ast"
 	"repro/internal/callgraph"
 	"repro/internal/dce"
+	"repro/internal/guard"
+	"repro/internal/intra"
 	"repro/internal/jump"
 	"repro/internal/lattice"
 	"repro/internal/modref"
@@ -63,6 +67,11 @@ type Config struct {
 	// paper observed a single extra round sufficed).
 	MaxRounds int
 	Solver    SolverKind
+	// Budget bounds the work of one analysis. On exhaustion the driver
+	// degrades along the sound chain Polynomial → PassThrough →
+	// Intraprocedural → Literal (and complete → single round), recording
+	// a Warning per step; the zero Budget is unlimited.
+	Budget guard.Budget
 }
 
 // DefaultConfig is pass-through + MOD + return jump functions — the
@@ -102,6 +111,23 @@ type Stats struct {
 	DeadInstrs int
 }
 
+// Warning describes one step of graceful degradation: which budget axis
+// ran out, the configuration that exhausted it, and the sound fallback
+// the analysis continued with.
+type Warning struct {
+	Axis guard.Axis
+	// From is the configuration (or behavior) that exhausted the budget.
+	From string
+	// To is the sound configuration fallen back to; "no-constants" means
+	// the all-⊥ solution (every fallback was spent).
+	To     string
+	Detail string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("degraded [%s]: %s → %s (%s)", w.Axis, w.From, w.To, w.Detail)
+}
+
 // Analysis is the result of interprocedural constant propagation.
 type Analysis struct {
 	Config Config
@@ -111,26 +137,120 @@ type Analysis struct {
 	Funcs  *jump.Functions
 	Vals   *Values
 	Stats  Stats
+	// Warnings lists graceful-degradation steps taken to stay within
+	// Config.Budget (empty when the analysis ran to completion as
+	// configured).
+	Warnings []Warning
 
 	builder *symbolic.Builder
 }
 
+// Degraded reports whether any budget axis forced the analysis below
+// its requested configuration.
+func (a *Analysis) Degraded() bool { return len(a.Warnings) > 0 }
+
 // AnalyzeProgram runs the full interprocedural analysis over an
 // analyzed program.
 func AnalyzeProgram(prog *sem.Program, cfgg Config) *Analysis {
+	return AnalyzeProgramContext(context.Background(), prog, cfgg)
+}
+
+// AnalyzeProgramContext is AnalyzeProgram under a context deadline and
+// the configuration's Budget. It never fails: on budget exhaustion it
+// retries with the next cheaper configuration in the sound chain
+// (complete → single round, gated off, then Polynomial → PassThrough →
+// Intraprocedural → Literal), and when even the cheapest configuration
+// cannot finish it returns the all-⊥ "no constants" solution. Every
+// step is recorded in the result's Warnings.
+func AnalyzeProgramContext(ctx context.Context, prog *sem.Program, cfgg Config) *Analysis {
 	if cfgg.MaxRounds <= 0 {
 		cfgg.MaxRounds = 4
 	}
+	var warns []Warning
+	attempt := cfgg
+	for {
+		a, err := analyzeAttempt(ctx, prog, attempt)
+		if err == nil {
+			a.Warnings = append(warns, a.Warnings...)
+			return a
+		}
+		next, ok := degrade(attempt)
+		w := Warning{Axis: axisOf(err), From: describeConfig(attempt), To: "no-constants", Detail: err.Error()}
+		if ok {
+			w.To = describeConfig(next)
+		}
+		warns = append(warns, w)
+		if !ok {
+			a := bottomAnalysis(prog, attempt)
+			a.Warnings = warns
+			return a
+		}
+		attempt = next
+	}
+}
+
+// degrade returns the next cheaper configuration in the sound fallback
+// chain; ok is false when the configuration is already minimal.
+func degrade(c Config) (Config, bool) {
+	switch {
+	case c.Complete:
+		c.Complete = false
+	case c.Jump.Gated:
+		c.Jump.Gated = false
+	case c.Jump.Kind > jump.Literal:
+		c.Jump.Kind--
+	default:
+		return c, false
+	}
+	return c, true
+}
+
+// describeConfig names a configuration for degradation warnings.
+func describeConfig(c Config) string {
+	s := c.Jump.Kind.String()
+	if c.Jump.Gated {
+		s += "+gated"
+	}
+	if c.Complete {
+		s += "+complete"
+	}
+	return s
+}
+
+// axisOf extracts the budget axis from an attempt error.
+func axisOf(err error) guard.Axis {
+	var ex *guard.Exhausted
+	if errors.As(err, &ex) {
+		return ex.Axis
+	}
+	return guard.Axis("injected")
+}
+
+// analyzeAttempt runs one analysis attempt under one configuration,
+// reporting *guard.Exhausted when a budget axis runs out mid-flight.
+func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analysis, error) {
+	chk := guard.NewChecker(ctx, cfgg.Budget)
 	a := &Analysis{
 		Config:  cfgg,
 		Prog:    prog,
 		Graph:   callgraph.Build(prog),
-		Mod:     nil,
 		builder: symbolic.NewBuilder(),
+	}
+	if cfgg.Budget.MaxExprSize > 0 {
+		a.builder.SetMaxSize(cfgg.Budget.MaxExprSize)
 	}
 	a.Mod = modref.Compute(a.Graph)
 
 	init := DataInits(prog)
+
+	// The complete-propagation round cap: the configuration's safety net,
+	// tightened further by the budget's rounds axis.
+	maxRounds := cfgg.MaxRounds
+	roundsCapped := false
+	if b := cfgg.Budget.MaxRounds; b > 0 && b < maxRounds {
+		maxRounds = b
+		roundsCapped = true
+	}
 
 	var entry jump.EntryEnv
 	prune := false
@@ -138,10 +258,31 @@ func AnalyzeProgram(prog *sem.Program, cfgg Config) *Analysis {
 	for round := 0; ; round++ {
 		jc := cfgg.Jump
 		jc.Prune = prune
-		a.Funcs = jump.Build(a.Graph, a.Mod, a.builder, jc, entry)
-		a.Vals = a.solve(init)
+		jc.Check = func() error { return chk.Deadline("jump") }
+		fns, err := jump.Build(a.Graph, a.Mod, a.builder, jc, entry)
+		if err != nil {
+			return nil, err
+		}
+		a.Funcs = fns
+		vals, err := a.solve(init, chk)
+		if err != nil {
+			return nil, err
+		}
+		a.Vals = vals
 		a.Stats.Rounds = round + 1
-		if !cfgg.Complete || round+1 >= cfgg.MaxRounds {
+		if !cfgg.Complete || round+1 >= maxRounds {
+			// Each round's solution is a sound fixed point; stopping at
+			// the budget's round cap is graceful degradation, not an
+			// abort — note it and keep the last solution.
+			if cfgg.Complete && roundsCapped && round+1 >= maxRounds && (prev == nil || !a.Vals.Equal(prev)) {
+				a.Warnings = append(a.Warnings, Warning{
+					Axis: guard.AxisRounds,
+					From: describeConfig(cfgg),
+					To:   fmt.Sprintf("%s (stopped after %d round(s))", describeConfig(cfgg), maxRounds),
+					Detail: fmt.Sprintf("complete propagation truncated at round cap %d before stabilizing",
+						maxRounds),
+				})
+			}
 			break
 		}
 		if prev != nil && a.Vals.Equal(prev) {
@@ -152,18 +293,51 @@ func AnalyzeProgram(prog *sem.Program, cfgg Config) *Analysis {
 		prune = true
 	}
 
+	if t := a.builder.Truncated(); t > 0 {
+		a.Warnings = append(a.Warnings, Warning{
+			Axis: guard.AxisExprSize,
+			From: describeConfig(cfgg),
+			To:   describeConfig(cfgg),
+			Detail: fmt.Sprintf("%d jump-function expression(s) over size cap %d degraded to ⊥",
+				t, cfgg.Budget.MaxExprSize),
+		})
+	}
+
 	if cfgg.Complete {
 		a.Stats.DeadInstrs = a.countDeadInstrs()
 	}
+	return a, nil
+}
+
+// bottomAnalysis is the final fallback: the all-⊥ solution, trivially
+// sound (it claims no constants). Substitution over it still performs
+// the purely intraprocedural pass, which needs no solver iteration.
+func bottomAnalysis(prog *sem.Program, cfgg Config) *Analysis {
+	a := &Analysis{
+		Config:  cfgg,
+		Prog:    prog,
+		Graph:   callgraph.Build(prog),
+		builder: symbolic.NewBuilder(),
+	}
+	a.Mod = modref.Compute(a.Graph)
+	a.Funcs = &jump.Functions{
+		Config:  cfgg.Jump,
+		Graph:   a.Graph,
+		Mod:     a.Mod,
+		Builder: a.builder,
+		Returns: make(map[*sem.Procedure]*intra.ReturnSummary),
+		Procs:   make(map[*sem.Procedure]*jump.ProcFunctions),
+	}
+	a.Vals = BottomValues(prog)
 	return a
 }
 
-func (a *Analysis) solve(init map[*sem.GlobalVar]lattice.Value) *Values {
+func (a *Analysis) solve(init map[*sem.GlobalVar]lattice.Value, chk *guard.Checker) (*Values, error) {
 	switch a.Config.Solver {
 	case SolverBinding:
-		return a.solveBinding(init)
+		return a.solveBinding(init, chk)
 	default:
-		return a.solveWorklist(init)
+		return a.solveWorklist(init, chk)
 	}
 }
 
@@ -231,7 +405,13 @@ func (a *Analysis) Substitute() *subst.Result {
 // TransformedSource returns the program text with every substituted use
 // replaced by its constant (the analyzer's optional output).
 func (a *Analysis) TransformedSource(f *ast.File) string {
-	res := a.Substitute()
+	return RenderSubstituted(f, a.Substitute())
+}
+
+// RenderSubstituted writes the program text with an already-computed
+// substitution applied (so callers can cache one subst.Result for both
+// counting and rendering).
+func RenderSubstituted(f *ast.File, res *subst.Result) string {
 	var b strings.Builder
 	_ = ast.WriteFileSubst(&b, f, res.Replacements)
 	return b.String()
@@ -316,6 +496,24 @@ func NewValues(prog *sem.Program) *Values {
 			gm[g] = lattice.TopValue()
 		}
 		v.globals[p] = gm
+	}
+	return v
+}
+
+// BottomValues returns the all-⊥ VAL sets: the trivially sound
+// "no constants anywhere" solution used when every budget fallback has
+// been spent.
+func BottomValues(prog *sem.Program) *Values {
+	v := NewValues(prog)
+	for _, p := range prog.Order {
+		fs := v.formals[p]
+		for i := range fs {
+			fs[i] = lattice.BottomValue()
+		}
+		gm := v.globals[p]
+		for g := range gm {
+			gm[g] = lattice.BottomValue()
+		}
 	}
 	return v
 }

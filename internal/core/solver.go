@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/guard"
 	"repro/internal/lattice"
 	"repro/internal/sem"
 	"repro/internal/symbolic"
@@ -41,8 +42,13 @@ func (a *Analysis) seed(vals *Values, init map[*sem.GlobalVar]lattice.Value) {
 // solveWorklist iterates procedure-at-a-time: when VAL(p) changes, all
 // call sites in p are re-evaluated. Simple and, as the paper notes for
 // its own implementation, "even with this less efficient solver, the
-// problems converged quickly".
-func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value) *Values {
+// problems converged quickly". It aborts with *guard.Exhausted when the
+// checker's step or deadline budget runs out.
+func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *guard.Checker) (*Values, error) {
+	defer guard.Repanic("solve")
+	if err := guard.Inject("solve"); err != nil {
+		return nil, err
+	}
 	vals := NewValues(a.Prog)
 	a.seed(vals, init)
 
@@ -62,6 +68,9 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value) *Values 
 	}
 
 	for len(work) > 0 {
+		if err := chk.Steps("solve", a.Stats.JFEvaluations); err != nil {
+			return nil, err
+		}
 		p := work[0]
 		work = work[1:]
 		inWork[p] = false
@@ -92,7 +101,7 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value) *Values 
 			}
 		}
 	}
-	return vals
+	return vals, nil
 }
 
 // ---------------------------------------------------------------------
@@ -120,8 +129,13 @@ type jfInstance struct {
 // With the shallow lattice (each slot lowers at most twice) the total
 // work is O(Σ_s Σ_y cost(J_s^y) · |support(J_s^y)|), and O(Σ cost) for
 // the pass-through family whose supports have at most one element —
-// the bounds of §3.1.5.
-func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value) *Values {
+// the bounds of §3.1.5. Aborts with *guard.Exhausted when the checker's
+// step or deadline budget runs out.
+func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guard.Checker) (*Values, error) {
+	defer guard.Repanic("solve")
+	if err := guard.Inject("solve"); err != nil {
+		return nil, err
+	}
 	vals := NewValues(a.Prog)
 
 	// Collect jump function instances and the dependence index.
@@ -192,10 +206,16 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value) *Values {
 	// Initial evaluation of every jump function (support values may be
 	// ⊤; constants and ⊥ propagate immediately).
 	for _, inst := range instances {
+		if err := chk.Steps("solve", a.Stats.JFEvaluations); err != nil {
+			return nil, err
+		}
 		evalInstance(inst)
 	}
 
 	for len(work) > 0 {
+		if err := chk.Steps("solve", a.Stats.JFEvaluations); err != nil {
+			return nil, err
+		}
 		k := work[0]
 		work = work[1:]
 		inWork[k] = false
@@ -203,7 +223,7 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value) *Values {
 			evalInstance(instances[idx])
 		}
 	}
-	return vals
+	return vals, nil
 }
 
 func leafSlot(p *sem.Procedure, leaf *symbolic.Expr) slotKey {

@@ -1,0 +1,75 @@
+package guard
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvFailPoints is the environment variable that must be non-empty for
+// fail points to arm. Production processes never set it, so the hooks
+// compile to a single atomic load on the hot path.
+const EnvFailPoints = "IPCP_FAILPOINTS"
+
+// Hook is a fault-injection action. It may panic (to inject a crash) or
+// return an error (to inject budget exhaustion at sites that handle
+// errors).
+type Hook func() error
+
+var (
+	fpArmed atomic.Int32
+	fpMu    sync.Mutex
+	fpHooks map[string]Hook
+)
+
+// Enabled reports whether fault injection is switched on for this
+// process (the IPCP_FAILPOINTS environment variable is non-empty).
+func Enabled() bool { return os.Getenv(EnvFailPoints) != "" }
+
+// Set arms a fail point at the named site and returns a function that
+// disarms it. It is a no-op (returning a no-op disarm) unless Enabled.
+func Set(site string, h Hook) (remove func()) {
+	if !Enabled() {
+		return func() {}
+	}
+	fpMu.Lock()
+	if fpHooks == nil {
+		fpHooks = make(map[string]Hook)
+	}
+	fpHooks[site] = h
+	fpMu.Unlock()
+	fpArmed.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			fpMu.Lock()
+			delete(fpHooks, site)
+			fpMu.Unlock()
+			fpArmed.Add(-1)
+		})
+	}
+}
+
+// Inject runs the hook armed at site, if any, and returns its error.
+// Sites that can propagate errors (the solvers) use it so tests can
+// inject budget exhaustion; an armed hook may also panic.
+func Inject(site string) error {
+	if fpArmed.Load() == 0 {
+		return nil
+	}
+	fpMu.Lock()
+	h := fpHooks[site]
+	fpMu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h()
+}
+
+// InjectPanic is Inject for sites with no error path: a hook-returned
+// error is raised as a panic (and then captured by the phase's Repanic).
+func InjectPanic(site string) {
+	if err := Inject(site); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package guard is the fault-tolerance layer of the analyzer. It has
+// three concerns, all deliberately small and dependency-free so every
+// other package can use them:
+//
+//   - Resource budgets (Budget, Checker): a wall-clock deadline carried
+//     by a context.Context, a cap on solver work, a cap on
+//     complete-propagation rounds, and a cap on jump-function
+//     expression size. Budget exhaustion is reported as *Exhausted so
+//     the driver can degrade to a cheaper-but-sound configuration
+//     instead of hanging or crashing.
+//
+//   - Panic attribution (Repanic, PanicError): each pipeline phase
+//     wraps itself with `defer guard.Repanic("phase")`; a panic
+//     escaping the phase is re-panicked as a *PanicError carrying the
+//     phase name, the program unit being processed, and the stack at
+//     the point of failure. The public API (package ipcp) recovers the
+//     wrapped value and returns it as a structured internal error —
+//     library users never see a raw panic.
+//
+//   - Fault injection (Inject, InjectPanic, Set): test-only hooks,
+//     enabled by the IPCP_FAILPOINTS environment variable, that let the
+//     test suite inject panics, budget exhaustion, and malformed values
+//     into each phase to prove recovery and degradation actually work.
+package guard
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+)
+
+// Axis names a budget dimension; it appears in Exhausted errors and in
+// degradation warnings so callers can tell what ran out.
+type Axis string
+
+const (
+	// AxisDeadline is the wall-clock budget (context deadline or
+	// cancellation).
+	AxisDeadline Axis = "deadline"
+	// AxisSolverSteps is the cap on jump-function evaluations performed
+	// by the interprocedural solver.
+	AxisSolverSteps Axis = "solver-steps"
+	// AxisRounds is the cap on complete-propagation rounds.
+	AxisRounds Axis = "rounds"
+	// AxisExprSize is the cap on jump-function expression size
+	// (symbolic nodes per expression).
+	AxisExprSize Axis = "jf-expr-size"
+)
+
+// Budget bounds the work one analysis may perform. The zero Budget is
+// unlimited on every axis; the deadline axis is carried separately by
+// the context given to NewChecker.
+type Budget struct {
+	// MaxSolverSteps caps jump-function evaluations across the whole
+	// interprocedural propagation (0 = unlimited).
+	MaxSolverSteps int
+	// MaxRounds caps complete-propagation rounds (0 = unlimited, i.e.
+	// the driver's own safety net applies).
+	MaxRounds int
+	// MaxExprSize caps the node count of any one symbolic jump-function
+	// expression; larger expressions degrade to opaque (⊥), which is
+	// sound (0 = unlimited).
+	MaxExprSize int
+}
+
+// Exhausted reports that a budget axis ran out. It is an error, not a
+// panic: the analysis driver catches it and degrades the configuration.
+type Exhausted struct {
+	Axis  Axis
+	Limit int    // the configured limit (0 for the deadline axis)
+	Cause error  // non-nil for the deadline axis (context error)
+	Site  string // pipeline site that noticed, e.g. "solve"
+}
+
+func (e *Exhausted) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("guard: %s budget exhausted at %s: %v", e.Axis, e.Site, e.Cause)
+	}
+	return fmt.Sprintf("guard: %s budget exhausted at %s (limit %d)", e.Axis, e.Site, e.Limit)
+}
+
+// Checker enforces a Budget plus a context deadline during an analysis
+// attempt. It is not safe for concurrent use; each attempt gets its own.
+type Checker struct {
+	ctx    context.Context
+	budget Budget
+}
+
+// NewChecker returns a Checker over ctx and b. A nil ctx means no
+// deadline.
+func NewChecker(ctx context.Context, b Budget) *Checker {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Checker{ctx: ctx, budget: b}
+}
+
+// Budget returns the checker's budget.
+func (c *Checker) Budget() Budget { return c.budget }
+
+// Steps checks the solver-step and deadline axes given the current step
+// count; it returns *Exhausted when either is out.
+func (c *Checker) Steps(site string, steps int) error {
+	if c == nil {
+		return nil
+	}
+	if c.budget.MaxSolverSteps > 0 && steps > c.budget.MaxSolverSteps {
+		return &Exhausted{Axis: AxisSolverSteps, Limit: c.budget.MaxSolverSteps, Site: site}
+	}
+	return c.Deadline(site)
+}
+
+// Deadline checks only the wall-clock axis.
+func (c *Checker) Deadline(site string) error {
+	if c == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return &Exhausted{Axis: AxisDeadline, Cause: err, Site: site}
+	}
+	return nil
+}
+
+// PanicError is a panic captured at a phase boundary. Re-panicked by
+// Repanic so the outermost recover sees the innermost phase.
+type PanicError struct {
+	Site  string // pipeline phase: lex, parse, sem, jump, solve, subst, ...
+	Unit  string // program unit being processed, when known
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Unit != "" {
+		return fmt.Sprintf("guard: panic in %s (unit %s): %v", e.Site, e.Unit, e.Value)
+	}
+	return fmt.Sprintf("guard: panic in %s: %v", e.Site, e.Value)
+}
+
+// Repanic is deferred at a phase boundary: it converts an escaping
+// panic into a *PanicError carrying the phase (and optional program
+// unit), preserving an already-wrapped inner panic so attribution
+// points at the innermost phase.
+//
+//	defer guard.Repanic("solve")
+func Repanic(site string, unit ...string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if pe, ok := r.(*PanicError); ok {
+		panic(pe) // innermost attribution wins
+	}
+	pe := &PanicError{Site: site, Value: r, Stack: debug.Stack()}
+	if len(unit) > 0 {
+		pe.Unit = unit[0]
+	}
+	panic(pe)
+}

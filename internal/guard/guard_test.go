@@ -1,0 +1,126 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckerUnlimited(t *testing.T) {
+	c := NewChecker(nil, Budget{})
+	for i := 0; i < 1000; i++ {
+		if err := c.Steps("solve", i); err != nil {
+			t.Fatalf("unlimited budget exhausted at step %d: %v", i, err)
+		}
+	}
+	var nilC *Checker
+	if err := nilC.Steps("solve", 1<<30); err != nil {
+		t.Fatalf("nil checker must be unlimited, got %v", err)
+	}
+}
+
+func TestCheckerSteps(t *testing.T) {
+	c := NewChecker(context.Background(), Budget{MaxSolverSteps: 10})
+	if err := c.Steps("solve", 10); err != nil {
+		t.Fatalf("at the limit should pass: %v", err)
+	}
+	err := c.Steps("solve", 11)
+	var ex *Exhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *Exhausted, got %v", err)
+	}
+	if ex.Axis != AxisSolverSteps || ex.Limit != 10 || ex.Site != "solve" {
+		t.Errorf("bad exhaustion: %+v", ex)
+	}
+	if !strings.Contains(ex.Error(), "solver-steps") {
+		t.Errorf("error text should name the axis: %q", ex.Error())
+	}
+}
+
+func TestCheckerDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c := NewChecker(ctx, Budget{})
+	err := c.Steps("solve", 0)
+	var ex *Exhausted
+	if !errors.As(err, &ex) || ex.Axis != AxisDeadline {
+		t.Fatalf("want deadline exhaustion, got %v", err)
+	}
+	if ex.Cause == nil {
+		t.Error("deadline exhaustion should carry the context error")
+	}
+}
+
+func TestRepanicWrapsInnermost(t *testing.T) {
+	inner := func() {
+		defer Repanic("lex")
+		panic("boom")
+	}
+	outer := func() {
+		defer Repanic("parse", "MAIN")
+		inner()
+	}
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("want *PanicError, got %T %v", r, r)
+		}
+		if pe.Site != "lex" {
+			t.Errorf("innermost site must win, got %q", pe.Site)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("panic value lost: %v", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("stack not captured")
+		}
+	}()
+	outer()
+}
+
+func TestRepanicNoPanic(t *testing.T) {
+	func() {
+		defer Repanic("solve")
+	}() // must not panic on the no-panic path
+}
+
+func TestFailPointsDisabledWithoutEnv(t *testing.T) {
+	if Enabled() {
+		t.Skip("IPCP_FAILPOINTS set in environment")
+	}
+	remove := Set("solve", func() error { return errors.New("injected") })
+	defer remove()
+	if err := Inject("solve"); err != nil {
+		t.Fatalf("fail points must stay dormant without %s: %v", EnvFailPoints, err)
+	}
+}
+
+func TestFailPointsInject(t *testing.T) {
+	t.Setenv(EnvFailPoints, "1")
+	remove := Set("solve", func() error { return &Exhausted{Axis: AxisSolverSteps, Limit: 1, Site: "solve"} })
+	if err := Inject("solve"); err == nil {
+		t.Fatal("armed fail point did not fire")
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	remove()
+	remove() // disarming twice is safe
+	if err := Inject("solve"); err != nil {
+		t.Fatalf("disarmed fail point fired: %v", err)
+	}
+}
+
+func TestInjectPanicRaisesError(t *testing.T) {
+	t.Setenv(EnvFailPoints, "1")
+	defer Set("sem", func() error { return errors.New("injected sem fault") })()
+	defer func() {
+		if recover() == nil {
+			t.Error("InjectPanic should panic on a hook error")
+		}
+	}()
+	InjectPanic("sem")
+}

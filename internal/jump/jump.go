@@ -36,6 +36,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/cfg"
 	"repro/internal/dom"
+	"repro/internal/guard"
 	"repro/internal/intra"
 	"repro/internal/modref"
 	"repro/internal/sem"
@@ -87,6 +88,10 @@ type Config struct {
 	// paper's §4.2 suggestion — an extension that subsumes complete
 	// propagation without iterating). Meaningful with Kind Polynomial.
 	Gated bool
+	// Check, when non-nil, is consulted between procedures during
+	// construction; a non-nil return (typically *guard.Exhausted) aborts
+	// Build with that error so the driver can degrade the configuration.
+	Check func() error
 }
 
 // DefaultConfig is the paper's recommended configuration: pass-through
@@ -135,8 +140,12 @@ type EntryEnv func(p *sem.Procedure) map[ssa.Var]int64
 
 // Build constructs return and forward jump functions for the whole
 // program, in the paper's phase order: return jump functions bottom-up,
-// then forward jump functions.
-func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Config, entry EntryEnv) *Functions {
+// then forward jump functions. It returns an error only when
+// cfgr.Check reports budget exhaustion; internal panics are re-raised
+// tagged with the phase and the procedure being analyzed.
+func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Config, entry EntryEnv) (*Functions, error) {
+	defer guard.Repanic("jump")
+	guard.InjectPanic("jump")
 	if b == nil {
 		b = symbolic.NewBuilder()
 	}
@@ -150,10 +159,22 @@ func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Conf
 	}
 	builder := &fnBuilder{fns: fns, entry: entry}
 	if cfgr.UseReturnJFs {
-		builder.buildReturns()
+		if err := builder.buildReturns(); err != nil {
+			return nil, err
+		}
 	}
-	builder.buildForwards()
-	return fns
+	if err := builder.buildForwards(); err != nil {
+		return nil, err
+	}
+	return fns, nil
+}
+
+// check consults the configured budget hook between procedures.
+func (fb *fnBuilder) check() error {
+	if fb.fns.Config.Check == nil {
+		return nil
+	}
+	return fb.fns.Config.Check()
 }
 
 type fnBuilder struct {
@@ -224,12 +245,15 @@ func (fb *fnBuilder) analyzeProc(n *callgraph.Node) (*ssa.Func, *intra.Result) {
 
 // buildReturns walks the call graph bottom-up, producing a
 // ReturnSummary per non-recursive procedure (paper §4.1, first phase).
-func (fb *fnBuilder) buildReturns() {
+func (fb *fnBuilder) buildReturns() error {
 	for _, n := range fb.fns.Graph.BottomUp() {
 		if n.Recursive {
 			continue // conservative: no return jump functions
 		}
-		fn, res := fb.analyzeProc(n)
+		if err := fb.check(); err != nil {
+			return err
+		}
+		fn, res := fb.analyzeProcGuarded(n)
 		sum := &intra.ReturnSummary{
 			Proc:    n.Proc,
 			Formals: make(map[int]*symbolic.Expr),
@@ -256,6 +280,14 @@ func (fb *fnBuilder) buildReturns() {
 		}
 		fb.fns.Returns[n.Proc] = sum
 	}
+	return nil
+}
+
+// analyzeProcGuarded is analyzeProc with panic attribution: a panic in
+// the SSA/value-numbering engine is tagged with the procedure's name.
+func (fb *fnBuilder) analyzeProcGuarded(n *callgraph.Node) (*ssa.Func, *intra.Result) {
+	defer guard.Repanic("jump", n.Proc.Name)
+	return fb.analyzeProc(n)
 }
 
 // usableExit filters an exit expression down to a valid return jump
@@ -277,9 +309,12 @@ func usableExit(res *intra.Result, v *ssa.Value) *symbolic.Expr {
 // buildForwards constructs the per-site forward jump functions
 // (paper §4.1, second phase; a top-down pass, though with return
 // summaries fixed the order no longer matters).
-func (fb *fnBuilder) buildForwards() {
+func (fb *fnBuilder) buildForwards() error {
 	for _, n := range fb.fns.Graph.TopDown() {
-		fn, res := fb.analyzeProc(n)
+		if err := fb.check(); err != nil {
+			return err
+		}
+		fn, res := fb.analyzeProcGuarded(n)
 		pf := &ProcFunctions{Proc: n.Proc, SSA: fn, Intra: res}
 		for _, site := range fn.Graph.Sites {
 			calleeNode := fb.fns.Graph.Nodes[site.Callee]
@@ -290,6 +325,7 @@ func (fb *fnBuilder) buildForwards() {
 		}
 		fb.fns.Procs[n.Proc] = pf
 	}
+	return nil
 }
 
 func (fb *fnBuilder) siteFunctions(fn *ssa.Func, res *intra.Result, site *cfg.CallSite, callee *sem.Procedure) *SiteFunctions {

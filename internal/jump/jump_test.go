@@ -22,7 +22,11 @@ func buildFns(t *testing.T, src string, cfg Config) (*Functions, *sem.Program) {
 	}
 	cg := callgraph.Build(prog)
 	mod := modref.Compute(cg)
-	return Build(cg, mod, symbolic.NewBuilder(), cfg, nil), prog
+	fns, err := Build(cg, mod, symbolic.NewBuilder(), cfg, nil)
+	if err != nil {
+		t.Fatalf("jump.Build: %v", err)
+	}
+	return fns, prog
 }
 
 // siteOf finds the jump functions for caller's idx-th call site.

@@ -1,0 +1,24 @@
+package lattice
+
+import "testing"
+
+func TestConstOK(t *testing.T) {
+	if c, ok := ConstValue(7).ConstOK(); !ok || c != 7 {
+		t.Errorf("ConstValue(7).ConstOK() = (%d, %v)", c, ok)
+	}
+	if c, ok := TopValue().ConstOK(); ok || c != 0 {
+		t.Errorf("TopValue().ConstOK() = (%d, %v), want (0, false)", c, ok)
+	}
+	if c, ok := BottomValue().ConstOK(); ok || c != 0 {
+		t.Errorf("BottomValue().ConstOK() = (%d, %v), want (0, false)", c, ok)
+	}
+}
+
+func TestConstStillPanicsOnMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Const() on ⊥ must panic (the proven-constant fast path)")
+		}
+	}()
+	_ = BottomValue().Const()
+}

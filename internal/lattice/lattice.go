@@ -50,7 +50,20 @@ func (v Value) IsBottom() bool { return v.level == Bottom }
 // IsConst reports whether v is a constant, returning it.
 func (v Value) IsConst() (int64, bool) { return v.c, v.level == Const }
 
-// Const returns the constant; it panics unless IsConst.
+// ConstOK is the checked accessor for the constant: it returns the
+// value and true when v is a constant, and (0, false) otherwise. Use it
+// anywhere v's level has not already been proven Const.
+func (v Value) ConstOK() (int64, bool) {
+	if v.level != Const {
+		return 0, false
+	}
+	return v.c, true
+}
+
+// Const returns the constant; it panics unless IsConst. It is the fast
+// path for contexts that have already proven v constant — all other
+// callers must use ConstOK (or IsConst) so that a malformed value
+// degrades recoverably instead of crashing the analysis.
 func (v Value) Const() int64 {
 	if v.level != Const {
 		panic("lattice: Const() on non-constant value " + v.String())

@@ -3,6 +3,7 @@ package lexer
 import (
 	"strings"
 
+	"repro/internal/guard"
 	"repro/internal/source"
 )
 
@@ -24,6 +25,8 @@ func New(file *source.File, diags *source.ErrorList) *Lexer {
 // token. Comment lines vanish; every non-empty statement line produces a
 // trailing NEWLINE token.
 func Tokenize(file *source.File, diags *source.ErrorList) []Token {
+	defer guard.Repanic("lex")
+	guard.InjectPanic("lex")
 	lx := New(file, diags)
 	var toks []Token
 	for {

@@ -1,12 +1,40 @@
 package parser
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/ast"
 	"repro/internal/sem"
 	"repro/internal/source"
 )
+
+// FuzzParse: the parser must terminate without panicking on arbitrary
+// input, respecting the nesting and size guards. Seeded from the core
+// analysis corpus (internal/core/testdata/*.f).
+//
+// Run the corpus with `go test`; explore with `go test -fuzz FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "core", "testdata", "*.f"))
+	if len(seeds) == 0 {
+		f.Fatal("no seed corpus under ../core/testdata")
+	}
+	for _, path := range seeds {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var diags source.ErrorList
+		file := ParseSource("fuzz.f", src, &diags)
+		if file == nil {
+			t.Fatal("ParseSource returned nil file")
+		}
+	})
+}
 
 // FuzzFrontEnd: lexing, parsing, and semantic analysis must never panic
 // on arbitrary input, and for accepted programs the writer's output must

@@ -1,0 +1,98 @@
+package parser
+
+// Hardening tests for the parser's adversarial-input guards: bounded
+// nesting depth, bounded input size, and guaranteed termination.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// parseNoPanic parses src asserting the front end returns (rather than
+// overflowing the stack or hanging) and reports errors when wantErr.
+func parseNoPanic(t *testing.T, name, src string, wantErr bool) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s panicked: %v", name, r)
+		}
+	}()
+	var diags source.ErrorList
+	f := ParseSource(name, src, &diags)
+	sem.Analyze(f, &diags)
+	if wantErr && !diags.HasErrors() {
+		t.Errorf("%s: expected diagnostics, got none", name)
+	}
+	if !wantErr && diags.HasErrors() {
+		t.Errorf("%s: unexpected diagnostics:\n%s", name, diags.Error())
+	}
+}
+
+func TestDeepParenNesting(t *testing.T) {
+	depth := 100_000
+	src := "PROGRAM MAIN\nINTEGER X\nX = " +
+		strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + "\nEND\n"
+	parseNoPanic(t, "parens.f", src, true)
+}
+
+func TestDeepUnaryNesting(t *testing.T) {
+	src := "PROGRAM MAIN\nINTEGER X\nX = " + strings.Repeat("-", 100_000) + "1\nEND\n"
+	parseNoPanic(t, "unary.f", src, true)
+}
+
+func TestDeepNotNesting(t *testing.T) {
+	src := "PROGRAM MAIN\nLOGICAL L\nL = " + strings.Repeat(".NOT. ", 50_000) + ".TRUE.\nEND\n"
+	parseNoPanic(t, "not.f", src, true)
+}
+
+func TestDeepExponentNesting(t *testing.T) {
+	// ** is right-associative: each step recurses into power().
+	src := "PROGRAM MAIN\nINTEGER X\nX = " + strings.Repeat("2 ** ", 50_000) + "2\nEND\n"
+	parseNoPanic(t, "power.f", src, true)
+}
+
+func TestDeepBlockNesting(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("PROGRAM MAIN\nINTEGER X\nX = 1\n")
+	const depth = 20_000
+	for i := 0; i < depth; i++ {
+		b.WriteString("IF (X .GT. 0) THEN\n")
+	}
+	b.WriteString("X = 2\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("ENDIF\n")
+	}
+	b.WriteString("END\n")
+	parseNoPanic(t, "blocks.f", b.String(), true)
+}
+
+func TestNestingBelowCapStillParses(t *testing.T) {
+	depth := 50
+	src := "PROGRAM MAIN\nINTEGER X\nX = " +
+		strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + "\nEND\n"
+	parseNoPanic(t, "shallow.f", src, false)
+}
+
+func TestOversizedSourceRejected(t *testing.T) {
+	src := "PROGRAM MAIN\nC " + strings.Repeat("x", MaxSourceBytes) + "\nEND\n"
+	var diags source.ErrorList
+	f := ParseSource("huge.f", src, &diags)
+	if !diags.HasErrors() {
+		t.Error("oversized source accepted without diagnostics")
+	}
+	if len(f.Units) != 0 {
+		t.Errorf("oversized source produced %d units, want 0", len(f.Units))
+	}
+}
+
+func TestSourceAtLimitAccepted(t *testing.T) {
+	pad := MaxSourceBytes - 64
+	src := "PROGRAM MAIN\nC " + strings.Repeat("x", pad) + "\nEND\n"
+	if len(src) > MaxSourceBytes {
+		t.Fatalf("test bug: source is %d bytes", len(src))
+	}
+	parseNoPanic(t, "atlimit.f", src, false)
+}

@@ -8,13 +8,34 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/guard"
 	"repro/internal/lexer"
 	"repro/internal/source"
+)
+
+// Hardening limits. Arbitrary input must never exhaust the stack or
+// pin the front end: oversized files are rejected with a diagnostic,
+// and nesting beyond MaxNestingDepth degrades to placeholder
+// expressions (the recursion stops; each capped parse still consumes a
+// token, so termination is guaranteed).
+const (
+	// MaxSourceBytes is the largest source file the parser accepts.
+	MaxSourceBytes = 4 << 20
+	// MaxNestingDepth bounds combined expression and block-statement
+	// nesting. It also protects every downstream tree walker (sem,
+	// writer, symbolic construction), which recurse over the AST.
+	MaxNestingDepth = 500
 )
 
 // ParseFile lexes and parses one source file. Diagnostics go to diags;
 // the returned file contains every unit that parsed well enough to keep.
 func ParseFile(file *source.File, diags *source.ErrorList) *ast.File {
+	defer guard.Repanic("parse")
+	guard.InjectPanic("parse")
+	if len(file.Content) > MaxSourceBytes {
+		diags.Errorf(file.Pos(0), "source exceeds %d bytes (%d); refusing to parse", MaxSourceBytes, len(file.Content))
+		return &ast.File{Source: file}
+	}
 	p := &parser{
 		file:  file,
 		toks:  lexer.Tokenize(file, diags),
@@ -40,6 +61,29 @@ type parser struct {
 	toks  []lexer.Token
 	i     int
 	diags *source.ErrorList
+
+	depth    int  // current expression/block nesting
+	depthErr bool // depth diagnostic already emitted (report once)
+}
+
+// nested runs f one nesting level deeper. Past MaxNestingDepth it stops
+// recursing: it reports the overflow once, consumes one token (progress
+// guarantee), and yields a placeholder zero so parsing can continue.
+func (p *parser) nested(f func() ast.Expr) ast.Expr {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > MaxNestingDepth {
+		if !p.depthErr {
+			p.depthErr = true
+			p.errorf("nesting exceeds %d levels", MaxNestingDepth)
+		}
+		pos := p.pos()
+		if !p.at(lexer.NEWLINE) && !p.at(lexer.EOF) {
+			p.next()
+		}
+		return &ast.IntLit{Position: pos, Value: 0}
+	}
+	return f()
 }
 
 func (p *parser) tok() lexer.Token     { return p.toks[p.i] }
@@ -388,9 +432,22 @@ func (p *parser) statement() ast.Stmt {
 func (p *parser) simpleOrCompound() ast.Stmt {
 	pos := p.pos()
 	switch p.tok().Kind {
-	case lexer.KwIf:
-		return p.ifStmt(pos)
-	case lexer.KwDo:
+	case lexer.KwIf, lexer.KwDo:
+		// Block statements recurse into stmtList; cap their nesting with
+		// the same counter as expressions.
+		p.depth++
+		defer func() { p.depth-- }()
+		if p.depth > MaxNestingDepth {
+			if !p.depthErr {
+				p.depthErr = true
+				p.errorf("nesting exceeds %d levels", MaxNestingDepth)
+			}
+			p.skipLine()
+			return nil
+		}
+		if p.at(lexer.KwIf) {
+			return p.ifStmt(pos)
+		}
 		return p.doStmt(pos)
 	default:
 		s := p.simpleStmt(pos)
@@ -677,7 +734,7 @@ func (p *parser) signedConstant() ast.Expr {
 // ---------------------------------------------------------------------
 // Expressions
 
-func (p *parser) expr() ast.Expr { return p.orExpr() }
+func (p *parser) expr() ast.Expr { return p.nested(p.orExpr) }
 
 func (p *parser) orExpr() ast.Expr {
 	x := p.andExpr()
@@ -703,7 +760,7 @@ func (p *parser) notExpr() ast.Expr {
 	if p.at(lexer.NOT) {
 		pos := p.pos()
 		p.next()
-		return &ast.Unary{Position: pos, Op: ast.OpNot, X: p.notExpr()}
+		return &ast.Unary{Position: pos, Op: ast.OpNot, X: p.nested(p.notExpr)}
 	}
 	return p.relExpr()
 }
@@ -774,9 +831,9 @@ func (p *parser) power() ast.Expr {
 		if p.at(lexer.MINUS) {
 			mpos := p.pos()
 			p.next()
-			y = &ast.Unary{Position: mpos, Op: ast.OpNeg, X: p.power()}
+			y = &ast.Unary{Position: mpos, Op: ast.OpNeg, X: p.nested(p.power)}
 		} else {
-			y = p.power()
+			y = p.nested(p.power)
 		}
 		return &ast.Binary{Position: pos, Op: ast.OpPow, X: x, Y: y}
 	}

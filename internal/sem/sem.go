@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/ast"
+	"repro/internal/guard"
 	"repro/internal/source"
 )
 
@@ -190,6 +191,8 @@ func (pr *Program) Globals() []*GlobalVar {
 // Program (possibly partial); callers should check diags for errors
 // before trusting it.
 func Analyze(file *ast.File, diags *source.ErrorList) *Program {
+	defer guard.Repanic("sem")
+	guard.InjectPanic("sem")
 	a := &analyzer{
 		prog: &Program{
 			File:         file,

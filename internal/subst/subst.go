@@ -17,6 +17,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/callgraph"
 	"repro/internal/dom"
+	"repro/internal/guard"
 	"repro/internal/intra"
 	"repro/internal/modref"
 	"repro/internal/sem"
@@ -63,6 +64,8 @@ type Result struct {
 // Run counts (and records) constant substitutions for the whole
 // program under the given configuration.
 func Run(cg *callgraph.Graph, mod *modref.Info, opts Options) *Result {
+	defer guard.Repanic("subst")
+	guard.InjectPanic("subst")
 	if opts.Builder == nil {
 		opts.Builder = symbolic.NewBuilder()
 	}
@@ -71,11 +74,17 @@ func Run(cg *callgraph.Graph, mod *modref.Info, opts Options) *Result {
 		Replacements: make(map[ast.Expr]string),
 	}
 	for idx, n := range cg.Order {
-		count := substProc(cg, mod, n, int64(idx+1)<<32, opts, res.Replacements)
+		count := substProcGuarded(cg, mod, n, int64(idx+1)<<32, opts, res.Replacements)
 		res.PerProc[n.Proc] = count
 		res.Total += count
 	}
 	return res
+}
+
+// substProcGuarded tags panics with the failing procedure's name.
+func substProcGuarded(cg *callgraph.Graph, mod *modref.Info, n *callgraph.Node, opaqueBase int64, opts Options, repl map[ast.Expr]string) int {
+	defer guard.Repanic("subst", n.Proc.Name)
+	return substProc(cg, mod, n, opaqueBase, opts, repl)
 }
 
 func substProc(cg *callgraph.Graph, mod *modref.Info, n *callgraph.Node, opaqueBase int64, opts Options, repl map[ast.Expr]string) int {

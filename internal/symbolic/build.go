@@ -8,9 +8,14 @@ import "repro/internal/ast"
 // (e.g. N+0 simplifies to N, so a formal passed through arithmetic
 // no-ops still matches the pass-through jump function).
 
-// Binary builds a binary arithmetic/relational/logical node.
+// Binary builds a binary arithmetic/relational/logical node. OpInvalid
+// (an operator FromASTOp could not map) yields a fresh opaque value, so
+// an internal inconsistency degrades to a non-constant jump function
+// rather than killing the process.
 func (b *Builder) Binary(op Op, x, y *Expr) *Expr {
 	switch op {
+	case OpInvalid:
+		return b.FreshOpaque()
 	case OpAdd, OpSub, OpMul, OpDiv, OpPow, OpMod, OpMax, OpMin:
 		return b.arith(op, x, y)
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
@@ -21,7 +26,10 @@ func (b *Builder) Binary(op Op, x, y *Expr) *Expr {
 	return b.node(op, x, y)
 }
 
-// FromASTOp converts an ast binary operator to the symbolic Op.
+// FromASTOp converts an ast binary operator to the symbolic Op. An
+// operator with no mapping returns OpInvalid (which Binary turns into
+// an opaque, non-constant value); it never panics, so a front-end bug
+// cannot crash an analysis.
 func FromASTOp(op ast.Op) Op {
 	switch op {
 	case ast.OpAdd:
@@ -55,7 +63,7 @@ func FromASTOp(op ast.Op) Op {
 	case ast.OpNeg:
 		return OpNeg
 	}
-	panic("symbolic: unmapped ast op")
+	return OpInvalid
 }
 
 func (b *Builder) arith(op Op, x, y *Expr) *Expr {

@@ -56,7 +56,14 @@ func Eval(e *Expr, env Env) lattice.Value {
 		if x.IsTop() || y.IsTop() {
 			return lattice.TopValue()
 		}
-		if v, ok := IntBinop(e.Op, x.Const(), y.Const()); ok {
+		// Both sides are constants here; ConstOK keeps a malformed
+		// environment value recoverable (⊥) rather than panicking.
+		xc, xok := x.ConstOK()
+		yc, yok := y.ConstOK()
+		if !xok || !yok {
+			return lattice.BottomValue()
+		}
+		if v, ok := IntBinop(e.Op, xc, yc); ok {
 			return lattice.ConstValue(v)
 		}
 		return lattice.BottomValue()

@@ -26,6 +26,12 @@ import (
 // Op enumerates symbolic expression operators.
 type Op int
 
+// OpInvalid is returned by FromASTOp for an operator with no symbolic
+// counterpart. Builder.Binary maps it to a fresh opaque value, so an
+// unmapped operator degrades to a non-constant jump function instead of
+// crashing the analysis.
+const OpInvalid Op = -1
+
 const (
 	OpConst  Op = iota // integer constant (K)
 	OpBool             // boolean constant (B)
@@ -65,7 +71,8 @@ const (
 )
 
 var opNames = map[Op]string{
-	OpConst: "const", OpBool: "bool", OpParam: "param", OpGlobal: "global",
+	OpInvalid: "invalid",
+	OpConst:   "const", OpBool: "bool", OpParam: "param", OpGlobal: "global",
 	OpOpaque: "opaque",
 	OpAdd:    "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpPow: "**", OpNeg: "neg",
 	OpMod: "MOD", OpMax: "MAX", OpMin: "MIN", OpAbs: "ABS",
@@ -86,9 +93,14 @@ type Expr struct {
 	Global *sem.GlobalVar // OpGlobal leaf
 
 	id      int
+	size    int  // node count, this node included
 	opaque  bool // contains an OpOpaque anywhere
 	support []*Expr
 }
+
+// Size returns the expression's node count (leaves are size 1). Shared
+// subexpressions count once per occurrence, matching evaluation cost.
+func (e *Expr) Size() int { return e.size }
 
 // IsConst reports whether the expression is an integer constant.
 func (e *Expr) IsConst() (int64, bool) { return e.K, e.Op == OpConst }
@@ -141,7 +153,20 @@ type Builder struct {
 	trueE    *Expr
 	falseE   *Expr
 	nextAnon int64 // generator for fresh opaque identities
+
+	maxSize   int // expression-size budget; 0 = unlimited
+	truncated int // expressions degraded to opaque by the budget
 }
+
+// SetMaxSize installs an expression-size budget: any interior node
+// whose node count would exceed n is replaced by a fresh opaque value
+// (which evaluates to ⊥ — a sound under-approximation). n <= 0 removes
+// the budget.
+func (b *Builder) SetMaxSize(n int) { b.maxSize = n }
+
+// Truncated reports how many expressions the size budget degraded to
+// opaque since the builder was created.
+func (b *Builder) Truncated() int { return b.truncated }
 
 // NewBuilder returns an empty interning table.
 func NewBuilder() *Builder {
@@ -158,7 +183,9 @@ func (b *Builder) intern(e *Expr) *Expr {
 	e.id = b.nextID
 	b.nextID++
 	// Compute derived facts once.
+	e.size = 1
 	for _, a := range e.Args {
+		e.size += a.size
 		if a.opaque {
 			e.opaque = true
 		}
@@ -252,6 +279,16 @@ func (b *Builder) FreshOpaque() *Expr {
 
 // node interns an interior node after simplification decided to keep it.
 func (b *Builder) node(op Op, args ...*Expr) *Expr {
+	if b.maxSize > 0 {
+		size := 1
+		for _, a := range args {
+			size += a.size
+		}
+		if size > b.maxSize {
+			b.truncated++
+			return b.FreshOpaque()
+		}
+	}
 	var key strings.Builder
 	fmt.Fprintf(&key, "%d", int(op))
 	for _, a := range args {

@@ -1,0 +1,84 @@
+package ipcp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDegradationOrderingIsSound checks the invariant the graceful-
+// degradation chain relies on: every fallback step is sound, i.e. a
+// cheaper configuration only ever *loses* constants relative to the
+// richer one it replaces. For each testdata program and each adjacent
+// pair along the chain
+//
+//	Polynomial → PassThrough → Intraprocedural → Literal
+//
+// (and complete → single-round propagation), the cheaper CONSTANTS
+// sets must be subsets of the richer ones.
+func TestDegradationOrderingIsSound(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "internal", "core", "testdata", "*.f"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+
+	kindChain := []Kind{Polynomial, PassThrough, Intraprocedural, Literal}
+
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			// The jump-function kind chain.
+			results := make([]*Result, len(kindChain))
+			for i, k := range kindChain {
+				cfg := DefaultConfig()
+				cfg.Kind = k
+				res, err := Analyze(name, string(src), cfg)
+				if err != nil {
+					t.Fatalf("kind %v: %v", k, err)
+				}
+				results[i] = res
+			}
+			for i := 1; i < len(kindChain); i++ {
+				richer, cheaper := results[i-1], results[i]
+				label := fmt.Sprintf("%v ⊆ %v", kindChain[i], kindChain[i-1])
+				assertConstantsSubset(t, label, cheaper, richer)
+				if c, r := cheaper.SubstitutionCount(), richer.SubstitutionCount(); c > r {
+					t.Errorf("%s: substitution count grew on fallback: %d > %d", label, c, r)
+				}
+			}
+
+			// The complete → single-round step (the rounds-axis fallback).
+			complete := DefaultConfig()
+			complete.Kind = Polynomial
+			complete.Complete = true
+			full, err := Analyze(name, string(src), complete)
+			if err != nil {
+				t.Fatalf("complete: %v", err)
+			}
+			single := complete
+			single.Complete = false
+			one, err := Analyze(name, string(src), single)
+			if err != nil {
+				t.Fatalf("single-round: %v", err)
+			}
+			assertConstantsSubset(t, "single-round ⊆ complete", one, full)
+		})
+	}
+}
+
+// assertConstantsSubset fails unless every CONSTANTS entry of sub is
+// present in super, procedure by procedure.
+func assertConstantsSubset(t *testing.T, label string, sub, super *Result) {
+	t.Helper()
+	superSets := super.Constants()
+	for proc, ks := range sub.Constants() {
+		if !subsetOf(ks, superSets[proc]) {
+			t.Errorf("%s violated for %s: %v ⊄ %v", label, proc, ks, superSets[proc])
+		}
+	}
+}

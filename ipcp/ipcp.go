@@ -21,6 +21,7 @@
 package ipcp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/source"
+	"repro/internal/subst"
 )
 
 // Kind selects the forward jump function implementation (paper §3.1).
@@ -106,6 +108,10 @@ type Config struct {
 	Gated bool
 	// Solver selects the propagation algorithm.
 	Solver Solver
+	// Budget bounds the analysis's resource consumption; the zero value
+	// is unlimited. On exhaustion the analysis degrades soundly rather
+	// than failing (see Result.Degradations).
+	Budget Budget
 }
 
 // DefaultConfig returns the paper's recommended configuration:
@@ -125,6 +131,7 @@ func (c Config) internal() core.Config {
 			Gated:            c.Gated,
 		},
 		Complete: c.Complete,
+		Budget:   c.Budget.internal(),
 	}
 	if c.Solver == BindingGraph {
 		out.Solver = core.SolverBinding
@@ -156,24 +163,60 @@ func (c Constant) String() string {
 type Result struct {
 	analysis *core.Analysis
 	file     *ast.File
-	// Warnings holds non-fatal front-end diagnostics.
+	subst    *subst.Result
+	// Warnings holds non-fatal front-end diagnostics plus a rendered
+	// line for each graceful-degradation step (see Degradations).
 	Warnings []string
+	// Degradations lists the budget-driven fallbacks the analyzer took,
+	// in order; empty when the analysis ran to completion as configured.
+	Degradations []Warning
 }
 
-// Analyze parses, checks, and analyzes an F77s program.
+// Degraded reports whether any budget axis forced a fallback.
+func (r *Result) Degraded() bool { return len(r.Degradations) > 0 }
+
+// Analyze parses, checks, and analyzes an F77s program. Internal
+// faults surface as *InternalError, never as panics.
 func Analyze(filename, src string, cfg Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), filename, src, cfg)
+}
+
+// AnalyzeContext is Analyze with a context: cancellation or deadline
+// expiry does not abort the analysis but bounds it — the analyzer falls
+// back along a sound degradation chain and reports each step in
+// Result.Degradations.
+func AnalyzeContext(ctx context.Context, filename, src string, cfg Config) (res *Result, err error) {
+	defer recoverInternal(&err)
 	var diags source.ErrorList
 	f := parser.ParseSource(filename, src, &diags)
-	prog := sem.Analyze(f, &diags)
+	return finishAnalysis(ctx, f, &diags, cfg)
+}
+
+// finishAnalysis runs the back half of the pipeline (sem → analysis →
+// substitution) shared by AnalyzeContext and AnalyzeFilesContext. The
+// caller holds the recoverInternal barrier.
+func finishAnalysis(ctx context.Context, f *ast.File, diags *source.ErrorList, cfg Config) (*Result, error) {
+	prog := sem.Analyze(f, diags)
 	if err := diags.Err(); err != nil {
 		return nil, err
 	}
+	analysis := core.AnalyzeProgramContext(ctx, prog, cfg.internal())
 	res := &Result{
-		analysis: core.AnalyzeProgram(prog, cfg.internal()),
+		analysis: analysis,
 		file:     f,
+		// Substitution runs eagerly so its faults surface here as
+		// *InternalError (and so repeated Result queries share one
+		// computation).
+		subst: analysis.Substitute(),
 	}
 	for _, d := range diags.Diags {
 		res.Warnings = append(res.Warnings, d.String())
+	}
+	for _, w := range analysis.Warnings {
+		res.Degradations = append(res.Degradations, Warning{
+			Axis: string(w.Axis), From: w.From, To: w.To, Detail: w.Detail,
+		})
+		res.Warnings = append(res.Warnings, w.String())
 	}
 	return res, nil
 }
@@ -226,14 +269,13 @@ func convertConstants(in []core.Constant) []Constant {
 // substitute into the program text — the effectiveness metric reported
 // in the paper's tables.
 func (r *Result) SubstitutionCount() int {
-	return r.analysis.Substitute().Total
+	return r.subst.Total
 }
 
 // SubstitutionCounts reports the per-procedure breakdown.
 func (r *Result) SubstitutionCounts() map[string]int {
-	res := r.analysis.Substitute()
 	out := make(map[string]int)
-	for p, n := range res.PerProc {
+	for p, n := range r.subst.PerProc {
 		if n > 0 {
 			out[p.Name] = n
 		}
@@ -244,7 +286,7 @@ func (r *Result) SubstitutionCounts() map[string]int {
 // TransformedSource returns the program with every discovered constant
 // textually substituted (the analyzer's optional output, §4.1).
 func (r *Result) TransformedSource() string {
-	return r.analysis.TransformedSource(r.file)
+	return core.RenderSubstituted(r.file, r.subst)
 }
 
 // JumpFunctions renders every call site's forward jump functions and
@@ -313,6 +355,13 @@ type SourceFile struct {
 // share one program: COMMON blocks link across files and any file may
 // call any other's procedures.
 func AnalyzeFiles(files []SourceFile, cfg Config) (*Result, error) {
+	return AnalyzeFilesContext(context.Background(), files, cfg)
+}
+
+// AnalyzeFilesContext is AnalyzeFiles with a context bounding the
+// analysis (see AnalyzeContext).
+func AnalyzeFilesContext(ctx context.Context, files []SourceFile, cfg Config) (res *Result, err error) {
+	defer recoverInternal(&err)
 	var diags source.ErrorList
 	merged := &ast.File{}
 	for _, sf := range files {
@@ -325,18 +374,7 @@ func AnalyzeFiles(files []SourceFile, cfg Config) (*Result, error) {
 	if len(merged.Units) == 0 {
 		return nil, fmt.Errorf("ipcp: no program units in %d file(s)", len(files))
 	}
-	prog := sem.Analyze(merged, &diags)
-	if err := diags.Err(); err != nil {
-		return nil, err
-	}
-	res := &Result{
-		analysis: core.AnalyzeProgram(prog, cfg.internal()),
-		file:     merged,
-	}
-	for _, d := range diags.Diags {
-		res.Warnings = append(res.Warnings, d.String())
-	}
-	return res, nil
+	return finishAnalysis(ctx, merged, &diags, cfg)
 }
 
 // CloneInfo reports what AnalyzeWithCloning did.
@@ -390,7 +428,8 @@ func AnalyzeWithCloning(filename, src string, cfg Config, maxRounds int) (*Resul
 // output. It is exposed for testing and for building tooling around the
 // analyzer (the examples use it to demonstrate that transformed
 // programs behave identically).
-func Run(filename, src string, input []int64) (string, error) {
+func Run(filename, src string, input []int64) (out string, err error) {
+	defer recoverInternal(&err)
 	var diags source.ErrorList
 	f := parser.ParseSource(filename, src, &diags)
 	prog := sem.Analyze(f, &diags)
