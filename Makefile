@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check bench clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check clean
 
 all: check
 
@@ -23,11 +23,24 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) ./ipcp
 
-# The full gate: what CI (and a pre-commit run) should pass.
+# The full gate: what CI (and a pre-commit run) should pass. race runs
+# the whole suite under the race detector, including the parallel
+# pipeline tests (ipcp.TestParallelMatchesSerial and friends).
 check: vet build race fuzz
 
+# Write the benchmark baseline: ns/op, allocs/op, and MB/s per exhibit
+# plus the serial-vs-parallel sweep speedup, as BENCH_ipcp.json.
 bench:
+	$(GO) run ./cmd/ipcp-bench -out BENCH_ipcp.json
+
+# The raw Go benchmarks (per-exhibit and parallelism sweeps).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the baseline and gate on the sweep speedup. The gate is
+# skipped automatically on machines with fewer than 4 CPUs.
+bench-check:
+	$(GO) run ./cmd/ipcp-bench -out BENCH_ipcp.json -min-speedup 2
 
 clean:
 	$(GO) clean -testcache

@@ -19,6 +19,7 @@ import (
 	"repro/internal/lexer"
 	"repro/internal/modref"
 	"repro/internal/parser"
+	"repro/internal/report"
 	"repro/internal/sem"
 	"repro/internal/source"
 	"repro/internal/ssa"
@@ -236,6 +237,48 @@ func BenchmarkFrontEnd(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------
+// Parallel pipeline: the whole public analysis and the exhibit sweep at
+// explicit worker counts. Output is bit-identical at every setting
+// (ipcp.TestParallelMatchesSerial); these measure what the workers buy.
+
+func BenchmarkParallelAnalyze(b *testing.B) {
+	spec, ok := suite.ByName("spec77")
+	if !ok {
+		b.Fatal("no suite program spec77")
+	}
+	src := suite.Source(spec)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := ipcppkg.Config{Kind: ipcppkg.Polynomial, UseMOD: true, UseReturnJFs: true, Parallelism: workers}
+			b.ReportAllocs()
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := ipcppkg.Analyze("spec77.f", src, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := report.ComputeTable2With(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,281 @@
+// Command ipcp-bench measures the analysis pipeline and writes a
+// machine-readable baseline, BENCH_ipcp.json, so regressions show up as
+// a diff rather than a feeling. It records ns/op, allocs/op, and (for
+// byte-oriented phases) MB/s per exhibit, plus the wall-clock time of
+// the full Table 2 sweep run serially and in parallel and the resulting
+// speedup.
+//
+// Usage:
+//
+//	ipcp-bench                      # write BENCH_ipcp.json in the cwd
+//	ipcp-bench -out path.json
+//	ipcp-bench -min-speedup 2      # also gate on sweep speedup (needs >= 4 CPUs)
+//
+// The speedup gate is skipped with a notice when GOMAXPROCS < 4: on a
+// one- or two-core machine the parallel sweep cannot be expected to win,
+// and the paper's determinism guarantee (identical output at every
+// parallelism) is what the tests enforce instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/lattice"
+	"repro/internal/report"
+	"repro/internal/suite"
+	"repro/ipcp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Exhibit is one benchmark's measurement.
+type Exhibit struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// Sweep records the serial-vs-parallel Table 2 sweep comparison.
+type Sweep struct {
+	Workers    int     `json:"workers"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Baseline is the BENCH_ipcp.json document.
+type Baseline struct {
+	GoVersion  string    `json:"go_version"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Exhibits   []Exhibit `json:"exhibits"`
+	Sweep      Sweep     `json:"sweep"`
+}
+
+func run(args []string, stdout, stderr io.Writer) (status int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(stderr, "ipcp-bench: internal error: %v\n", r)
+			status = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("ipcp-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("out", "BENCH_ipcp.json", "where to write the baseline ('-' for stdout)")
+		minSpeedup = fs.Float64("min-speedup", 0, "fail unless the parallel sweep is at least this much faster (0 = no gate; skipped below 4 CPUs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ipcp-bench: unexpected argument %q\n", fs.Arg(0))
+		return 1
+	}
+
+	base, err := measure(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ipcp-bench:", err)
+		return 1
+	}
+
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "ipcp-bench:", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := stdout.Write(blob); err != nil {
+			fmt.Fprintln(stderr, "ipcp-bench:", err)
+			return 1
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(stderr, "ipcp-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d exhibits, sweep speedup %.2fx on %d workers)\n",
+			*out, len(base.Exhibits), base.Sweep.Speedup, base.Sweep.Workers)
+	}
+
+	if *minSpeedup > 0 {
+		if base.GoMaxProcs < 4 {
+			fmt.Fprintf(stdout, "speedup gate skipped: GOMAXPROCS=%d < 4\n", base.GoMaxProcs)
+		} else if base.Sweep.Speedup < *minSpeedup {
+			fmt.Fprintf(stderr, "ipcp-bench: sweep speedup %.2fx below required %.2fx\n",
+				base.Sweep.Speedup, *minSpeedup)
+			return 1
+		} else {
+			fmt.Fprintf(stdout, "speedup gate passed: %.2fx >= %.2fx\n", base.Sweep.Speedup, *minSpeedup)
+		}
+	}
+	return 0
+}
+
+// bench runs one benchmark function under the testing harness and
+// converts its result into an Exhibit. bytes, when non-zero, is the
+// input size an iteration processes, and yields MB/s.
+func bench(name string, bytes int64, f func(b *testing.B)) Exhibit {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if bytes > 0 {
+			b.SetBytes(bytes)
+		}
+		f(b)
+	})
+	e := Exhibit{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if bytes > 0 && r.T > 0 {
+		e.MBPerSec = float64(bytes*int64(r.N)) / 1e6 / r.T.Seconds()
+	}
+	return e
+}
+
+// analyzeExhibit measures the whole public pipeline (parse, sem, jump
+// functions, propagation) on one suite program at a given parallelism.
+func analyzeExhibit(name, progName string, cfg ipcp.Config) (Exhibit, error) {
+	spec, ok := suite.ByName(progName)
+	if !ok {
+		return Exhibit{}, fmt.Errorf("no suite program %s", progName)
+	}
+	src := suite.Source(spec)
+	if _, err := ipcp.Analyze(progName+".f", src, cfg); err != nil {
+		return Exhibit{}, err
+	}
+	return bench(name, int64(len(src)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ipcp.Analyze(progName+".f", src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}), nil
+}
+
+// sweepOnce times one full uncached Table 2 sweep.
+func sweepOnce(parallelism int) (time.Duration, error) {
+	start := time.Now()
+	if _, err := report.ComputeTable2With(parallelism); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// sweepBest returns the faster of two sweep runs, damping scheduler and
+// GC noise without inflating the harness runtime.
+func sweepBest(parallelism int) (time.Duration, error) {
+	best, err := sweepOnce(parallelism)
+	if err != nil {
+		return 0, err
+	}
+	again, err := sweepOnce(parallelism)
+	if err != nil {
+		return 0, err
+	}
+	if again < best {
+		best = again
+	}
+	return best, nil
+}
+
+func measure(stderr io.Writer) (*Baseline, error) {
+	base := &Baseline{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Figure 1: lattice meets — the solver's innermost operation.
+	base.Exhibits = append(base.Exhibits, bench("figure1/meet", 0, func(b *testing.B) {
+		vals := []lattice.Value{
+			lattice.TopValue(), lattice.BottomValue(),
+			lattice.ConstValue(1), lattice.ConstValue(2), lattice.ConstValue(-7),
+		}
+		for i := 0; i < b.N; i++ {
+			v := lattice.TopValue()
+			for _, w := range vals {
+				v = lattice.Meet(v, w)
+			}
+			if !v.IsBottom() {
+				b.Fatal("meet chain should bottom out")
+			}
+		}
+	}))
+
+	// Table 1: suite synthesis and characterization throughput.
+	specs := suite.Programs()
+	var totalBytes int64
+	for _, spec := range specs {
+		totalBytes += int64(len(suite.Source(spec)))
+	}
+	base.Exhibits = append(base.Exhibits, bench("table1/characterize", totalBytes, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				src := suite.Source(spec)
+				if suite.Characterize(spec.Name, src).Procs == 0 {
+					b.Fatal("empty characterization")
+				}
+			}
+		}
+	}))
+
+	// Tables 2/3: the full pipeline on a representative large program,
+	// serially and with the per-procedure worker pool.
+	serialCfg := ipcp.Config{Kind: ipcp.Polynomial, UseMOD: true, UseReturnJFs: true, Parallelism: 1}
+	parallelCfg := serialCfg
+	parallelCfg.Parallelism = 0 // one worker per CPU
+	for _, m := range []struct {
+		name string
+		cfg  ipcp.Config
+	}{
+		{"table2/analyze-serial", serialCfg},
+		{"table2/analyze-parallel", parallelCfg},
+	} {
+		e, err := analyzeExhibit(m.name, "spec77", m.cfg)
+		if err != nil {
+			return nil, err
+		}
+		base.Exhibits = append(base.Exhibits, e)
+	}
+	completeCfg := serialCfg
+	completeCfg.Complete = true
+	e, err := analyzeExhibit("table3/complete", "matrix300", completeCfg)
+	if err != nil {
+		return nil, err
+	}
+	base.Exhibits = append(base.Exhibits, e)
+
+	// The sweep comparison: all (program, configuration) cells of
+	// Table 2, serial vs one worker per CPU.
+	base.Sweep.Workers = base.GoMaxProcs
+	serial, err := sweepBest(1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := sweepBest(0)
+	if err != nil {
+		return nil, err
+	}
+	base.Sweep.SerialNs = serial.Nanoseconds()
+	base.Sweep.ParallelNs = parallel.Nanoseconds()
+	if parallel > 0 {
+		base.Sweep.Speedup = float64(serial) / float64(parallel)
+	}
+	return base, nil
+}

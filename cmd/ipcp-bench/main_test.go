@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The full measurement run takes tens of seconds (each exhibit runs
+// under the benchmark harness for about a second), so the unit tests
+// cover the argument handling and the baseline document shape; `make
+// bench` exercises the real run.
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if got := run([]string{"-no-such-flag"}, &out, &errb); got != 1 {
+		t.Fatalf("status = %d, want 1", got)
+	}
+	if !strings.Contains(errb.String(), "no-such-flag") {
+		t.Fatalf("stderr %q does not mention the bad flag", errb.String())
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if got := run([]string{"extra"}, &out, &errb); got != 1 {
+		t.Fatalf("status = %d, want 1", got)
+	}
+	if !strings.Contains(errb.String(), "unexpected argument") {
+		t.Fatalf("stderr %q does not flag the argument", errb.String())
+	}
+}
+
+func TestBaselineRoundTrips(t *testing.T) {
+	base := Baseline{
+		GoVersion:  "go1.24.0",
+		GoMaxProcs: 4,
+		Exhibits: []Exhibit{
+			{Name: "figure1/meet", Iterations: 100, NsPerOp: 12.5, AllocsPerOp: 0},
+			{Name: "table2/analyze-serial", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 900, BytesPerOp: 4096, MBPerSec: 3.2},
+		},
+		Sweep: Sweep{Workers: 4, SerialNs: 4e9, ParallelNs: 1e9, Speedup: 4},
+	}
+	blob, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Baseline
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep.Speedup != 4 || len(got.Exhibits) != 2 || got.Exhibits[1].MBPerSec != 3.2 {
+		t.Fatalf("round trip mangled the document: %+v", got)
+	}
+}

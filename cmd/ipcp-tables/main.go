@@ -40,13 +40,14 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	fs := flag.NewFlagSet("ipcp-tables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig1  = fs.Bool("figure1", false, "print Figure 1 (the lattice)")
-		t1    = fs.Bool("table1", false, "print Table 1 (program characteristics)")
-		t2    = fs.Bool("table2", false, "print Table 2 (jump function comparison)")
-		t3    = fs.Bool("table3", false, "print Table 3 (technique comparison)")
-		dump  = fs.String("dump", "", "print the synthesized source of one suite program")
-		check = fs.Bool("check", false, "verify the paper's qualitative claims against fresh tables")
-		csv   = fs.String("csv", "", "emit a table as CSV: table2|table3")
+		fig1     = fs.Bool("figure1", false, "print Figure 1 (the lattice)")
+		t1       = fs.Bool("table1", false, "print Table 1 (program characteristics)")
+		t2       = fs.Bool("table2", false, "print Table 2 (jump function comparison)")
+		t3       = fs.Bool("table3", false, "print Table 3 (technique comparison)")
+		dump     = fs.String("dump", "", "print the synthesized source of one suite program")
+		check    = fs.Bool("check", false, "verify the paper's qualitative claims against fresh tables")
+		csv      = fs.String("csv", "", "emit a table as CSV: table2|table3")
+		parallel = fs.Int("parallel", 0, "sweep worker goroutines (0 = one per CPU, 1 = serial; tables are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		// The flag set already printed the one-line diagnostic and usage.
@@ -104,10 +105,17 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		}
 		fmt.Fprintln(stdout)
 	}
+	table2 := func() error { return report.Table2(stdout) }
+	table3 := func() error { return report.Table3(stdout) }
+	if *parallel != 0 {
+		// An explicit worker count bypasses the cached sweep.
+		table2 = func() error { return report.Table2With(stdout, *parallel) }
+		table3 = func() error { return report.Table3With(stdout, *parallel) }
+	}
 	emit(*fig1, func() error { return report.Figure1(stdout) })
 	emit(*t1, func() error { return report.Table1(stdout) })
-	emit(*t2, func() error { return report.Table2(stdout) })
-	emit(*t3, func() error { return report.Table3(stdout) })
+	emit(*t2, table2)
+	emit(*t3, table3)
 	if failed {
 		return 1
 	}

@@ -72,6 +72,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 		maxSteps  = fs.Int("maxsteps", 0, "cap on solver jump-function evaluations (0 = unlimited)")
 		maxRounds = fs.Int("maxrounds", 0, "cap on complete-propagation rounds (0 = driver default)")
 		maxExpr   = fs.Int("maxexpr", 0, "cap on jump-function expression size in nodes (0 = unlimited)")
+		parallel  = fs.Int("parallel", 0, "analysis worker goroutines (0 = one per CPU, 1 = serial; output is identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		// The flag set already printed the one-line diagnostic and usage.
@@ -100,7 +101,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 	cfg := ipcp.Config{
 		UseMOD: *useMod, UseReturnJFs: *useRet, FullSubstitution: *fullSubst,
 		Complete: *complete, Gated: *gated,
-		Budget: ipcp.Budget{MaxSolverSteps: *maxSteps, MaxRounds: *maxRounds, MaxJFExprSize: *maxExpr},
+		Budget:      ipcp.Budget{MaxSolverSteps: *maxSteps, MaxRounds: *maxRounds, MaxJFExprSize: *maxExpr},
+		Parallelism: *parallel,
 	}
 	switch *jf {
 	case "literal":

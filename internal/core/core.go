@@ -72,6 +72,11 @@ type Config struct {
 	// Intraprocedural → Literal (and complete → single round), recording
 	// a Warning per step; the zero Budget is unlimited.
 	Budget guard.Budget
+	// Parallelism bounds the worker goroutines used by the phases that
+	// fan out per procedure (jump-function construction, substitution):
+	// <= 0 selects GOMAXPROCS, 1 runs everything serially. Results are
+	// identical either way.
+	Parallelism int
 }
 
 // DefaultConfig is pass-through + MOD + return jump functions — the
@@ -143,6 +148,7 @@ type Analysis struct {
 	Warnings []Warning
 
 	builder *symbolic.Builder
+	chk     *guard.Checker
 }
 
 // Degraded reports whether any budget axis forced the analysis below
@@ -235,6 +241,7 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 		Prog:    prog,
 		Graph:   callgraph.Build(prog),
 		builder: symbolic.NewBuilder(),
+		chk:     chk,
 	}
 	if cfgg.Budget.MaxExprSize > 0 {
 		a.builder.SetMaxSize(cfgg.Budget.MaxExprSize)
@@ -259,6 +266,7 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 		jc := cfgg.Jump
 		jc.Prune = prune
 		jc.Check = func() error { return chk.Deadline("jump") }
+		jc.Parallelism = cfgg.Parallelism
 		fns, err := jump.Build(a.Graph, a.Mod, a.builder, jc, entry)
 		if err != nil {
 			return nil, err
@@ -269,7 +277,7 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 			return nil, err
 		}
 		a.Vals = vals
-		a.Stats.Rounds = round + 1
+		a.Stats.Rounds = int(chk.AddRound())
 		if !cfgg.Complete || round+1 >= maxRounds {
 			// Each round's solution is a sound fixed point; stopping at
 			// the budget's round cap is graceful degradation, not an
@@ -398,6 +406,7 @@ func (a *Analysis) Substitute() *subst.Result {
 		Prune:            a.Config.Complete,
 		Entry:            a.Vals.EntryEnv,
 		Builder:          a.builder,
+		Parallelism:      a.Config.Parallelism,
 	}
 	return subst.Run(a.Graph, a.Mod, opts)
 }
@@ -423,7 +432,9 @@ func RenderSubstituted(f *ast.File, res *subst.Result) string {
 func IntraproceduralCount(prog *sem.Program) *subst.Result {
 	cg := callgraph.Build(prog)
 	mod := modref.Compute(cg)
-	return subst.Run(cg, mod, subst.Options{UseMOD: true})
+	// Serial: this baseline runs as one cell of the table sweeps, which
+	// already fan out across cells.
+	return subst.Run(cg, mod, subst.Options{UseMOD: true, Parallelism: 1})
 }
 
 // DataInits scans all DATA statements for load-time initializations of

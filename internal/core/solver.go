@@ -8,9 +8,12 @@ import (
 )
 
 // evalJF evaluates a forward jump function under the caller's VAL set.
-// A nil jump function is the constant-⊥ function.
+// A nil jump function is the constant-⊥ function. Each evaluation is
+// accounted to the attempt's checker atomically, so the step budget
+// stays correct if a future solver fans evaluations out.
 func (a *Analysis) evalJF(jf *symbolic.Expr, env symbolic.Env) lattice.Value {
 	a.Stats.JFEvaluations++
+	a.chk.Add(1)
 	if jf == nil {
 		return lattice.BottomValue()
 	}
@@ -68,7 +71,7 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 	}
 
 	for len(work) > 0 {
-		if err := chk.Steps("solve", a.Stats.JFEvaluations); err != nil {
+		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
 		p := work[0]
@@ -206,14 +209,14 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 	// Initial evaluation of every jump function (support values may be
 	// ⊤; constants and ⊥ propagate immediately).
 	for _, inst := range instances {
-		if err := chk.Steps("solve", a.Stats.JFEvaluations); err != nil {
+		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
 		evalInstance(inst)
 	}
 
 	for len(work) > 0 {
-		if err := chk.Steps("solve", a.Stats.JFEvaluations); err != nil {
+		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
 		k := work[0]

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 )
 
 // Axis names a budget dimension; it appears in Exhausted errors and in
@@ -80,10 +81,16 @@ func (e *Exhausted) Error() string {
 }
 
 // Checker enforces a Budget plus a context deadline during an analysis
-// attempt. It is not safe for concurrent use; each attempt gets its own.
+// attempt. Each attempt gets its own Checker; one Checker is safe for
+// concurrent use from many goroutines — the parallel pipeline shares a
+// single Checker across all workers of an attempt, so the budget bounds
+// the attempt's total work, not per-worker work. Work is accounted with
+// the atomic Add/AddRound counters and checked with Check.
 type Checker struct {
 	ctx    context.Context
 	budget Budget
+	steps  atomic.Int64
+	rounds atomic.Int64
 }
 
 // NewChecker returns a Checker over ctx and b. A nil ctx means no
@@ -98,13 +105,63 @@ func NewChecker(ctx context.Context, b Budget) *Checker {
 // Budget returns the checker's budget.
 func (c *Checker) Budget() Budget { return c.budget }
 
-// Steps checks the solver-step and deadline axes given the current step
-// count; it returns *Exhausted when either is out.
+// Steps checks the solver-step and deadline axes given an externally
+// maintained step count; it returns *Exhausted when either is out. The
+// count is the caller's — prefer Add/Check, whose internal counter is
+// atomic and therefore safe when many workers account work at once.
 func (c *Checker) Steps(site string, steps int) error {
 	if c == nil {
 		return nil
 	}
 	if c.budget.MaxSolverSteps > 0 && steps > c.budget.MaxSolverSteps {
+		return &Exhausted{Axis: AxisSolverSteps, Limit: c.budget.MaxSolverSteps, Site: site}
+	}
+	return c.Deadline(site)
+}
+
+// Add atomically records n more units of solver work and returns the
+// accumulated total. Safe from any number of goroutines; pair with
+// Check to enforce the step budget.
+func (c *Checker) Add(n int) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps.Add(int64(n))
+}
+
+// Used returns the work accounted so far via Add.
+func (c *Checker) Used() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps.Load()
+}
+
+// AddRound atomically records one more complete-propagation round and
+// returns the total.
+func (c *Checker) AddRound() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.rounds.Add(1)
+}
+
+// Rounds returns the rounds accounted so far via AddRound.
+func (c *Checker) Rounds() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.rounds.Load()
+}
+
+// Check tests the accumulated step counter against the step budget and
+// the context against the deadline; it returns *Exhausted when either
+// is out. Safe for concurrent use.
+func (c *Checker) Check(site string) error {
+	if c == nil {
+		return nil
+	}
+	if c.budget.MaxSolverSteps > 0 && c.steps.Load() > int64(c.budget.MaxSolverSteps) {
 		return &Exhausted{Axis: AxisSolverSteps, Limit: c.budget.MaxSolverSteps, Site: site}
 	}
 	return c.Deadline(site)

@@ -1,0 +1,110 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCheckerConcurrentExhaustion drives one Checker's step budget to
+// exhaustion from many goroutines at once. Under `go test -race` this
+// is the regression test for the atomic step counter: the old plain-int
+// accounting raced as soon as two workers of the parallel pipeline
+// shared an attempt's Checker.
+func TestCheckerConcurrentExhaustion(t *testing.T) {
+	const (
+		workers = 16
+		perG    = 1000
+		limit   = workers * perG / 2
+	)
+	c := NewChecker(context.Background(), Budget{MaxSolverSteps: limit})
+
+	var wg sync.WaitGroup
+	exhausted := make([]bool, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+				if err := c.Check("solve"); err != nil {
+					var ex *Exhausted
+					if !errors.As(err, &ex) || ex.Axis != AxisSolverSteps {
+						t.Errorf("worker %d: got %v, want solver-steps Exhausted", w, err)
+					}
+					exhausted[w] = true
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Used(); got < int64(limit) {
+		t.Errorf("accounted %d steps, want at least the limit %d", got, limit)
+	}
+	anyExhausted := false
+	for _, e := range exhausted {
+		anyExhausted = anyExhausted || e
+	}
+	if !anyExhausted {
+		t.Error("no worker observed budget exhaustion")
+	}
+	// Every late check agrees the budget is gone (exhaustion is sticky).
+	if err := c.Check("solve"); err == nil {
+		t.Error("Check after exhaustion returned nil")
+	}
+}
+
+// TestCheckerConcurrentRounds exercises the atomic round counter.
+func TestCheckerConcurrentRounds(t *testing.T) {
+	c := NewChecker(nil, Budget{})
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.AddRound()
+		}()
+	}
+	wg.Wait()
+	if got := c.Rounds(); got != n {
+		t.Errorf("Rounds() = %d, want %d", got, n)
+	}
+}
+
+// TestCheckerConcurrentDeadline verifies cancellation propagates to
+// every concurrent checker user.
+func TestCheckerConcurrentDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewChecker(ctx, Budget{})
+	cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Check("jump"); err == nil {
+				t.Error("Check ignored a cancelled context")
+			}
+			if err := c.Deadline("jump"); err == nil {
+				t.Error("Deadline ignored a cancelled context")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestNilCheckerCounters: the nil Checker stays a no-op for the new
+// counter API, like the rest of the Checker surface.
+func TestNilCheckerCounters(t *testing.T) {
+	var c *Checker
+	if c.Add(5) != 0 || c.Used() != 0 || c.AddRound() != 0 || c.Rounds() != 0 {
+		t.Error("nil Checker counters must be zero")
+	}
+	if err := c.Check("solve"); err != nil {
+		t.Errorf("nil Checker.Check = %v", err)
+	}
+}

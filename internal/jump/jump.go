@@ -39,6 +39,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/intra"
 	"repro/internal/modref"
+	"repro/internal/par"
 	"repro/internal/sem"
 	"repro/internal/ssa"
 	"repro/internal/symbolic"
@@ -92,6 +93,12 @@ type Config struct {
 	// construction; a non-nil return (typically *guard.Exhausted) aborts
 	// Build with that error so the driver can degrade the configuration.
 	Check func() error
+	// Parallelism bounds the worker goroutines that analyze procedures
+	// concurrently: <= 0 selects one worker per CPU (GOMAXPROCS), 1 runs
+	// the serial pipeline. Results are bit-identical to the serial run:
+	// workers get private expression builders (the hash-consing tables
+	// are not goroutine-safe) and are merged in call-graph order.
+	Parallelism int
 }
 
 // DefaultConfig is the paper's recommended configuration: pass-through
@@ -157,7 +164,31 @@ func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Conf
 		Returns: make(map[*sem.Procedure]*intra.ReturnSummary),
 		Procs:   make(map[*sem.Procedure]*ProcFunctions),
 	}
-	builder := &fnBuilder{fns: fns, entry: entry}
+	builder := &fnBuilder{
+		fns:      fns,
+		entry:    entry,
+		workers:  par.Workers(cfgr.Parallelism, len(cg.Order)),
+		orderIdx: make(map[*sem.Procedure]int, len(cg.Order)),
+	}
+	for i, n := range cg.Order {
+		builder.orderIdx[n.Proc] = i
+	}
+	if builder.workers > 1 {
+		builder.prebuildSSA()
+		builder.procBuilders = make([]*symbolic.Builder, len(cg.Order))
+		for i := range builder.procBuilders {
+			pb := symbolic.NewBuilder()
+			pb.SetMaxSize(b.MaxSize())
+			builder.procBuilders[i] = pb
+		}
+		// Every worker builder is private until the final merge below, so
+		// the truncation sum observes quiescent counters.
+		defer func() {
+			for _, pb := range builder.procBuilders {
+				b.AddTruncated(pb.Truncated())
+			}
+		}()
+	}
 	if cfgr.UseReturnJFs {
 		if err := builder.buildReturns(); err != nil {
 			return nil, err
@@ -178,22 +209,61 @@ func (fb *fnBuilder) check() error {
 }
 
 type fnBuilder struct {
-	fns   *Functions
-	entry EntryEnv
+	fns      *Functions
+	entry    EntryEnv
+	workers  int
+	orderIdx map[*sem.Procedure]int
 	// ssaCache holds one SSA build per procedure: the SSA form depends
 	// only on the CFG and the kill assumptions, both fixed for a Build
 	// call, so the bottom-up (return JF) and top-down (forward JF)
 	// passes can share it.
 	ssaCache map[*callgraph.Node]*ssa.Func
+	// procBuilders (parallel mode only) gives each procedure a private
+	// expression builder: the hash-consing tables are not goroutine-safe,
+	// and expressions cross builders only through Substitute, which
+	// re-interns. Serial mode keeps the single shared builder.
+	procBuilders []*symbolic.Builder
 }
 
 func (fb *fnBuilder) opaqueBase(p *sem.Procedure) int64 {
-	for i, n := range fb.fns.Graph.Order {
-		if n.Proc == p {
-			return int64(i+1) << 32
-		}
+	if i, ok := fb.orderIdx[p]; ok {
+		return int64(i+1) << 32
 	}
 	return int64(len(fb.fns.Graph.Order)+1) << 32
+}
+
+// builderFor returns the expression builder procedure p's analysis must
+// use: its private one in parallel mode, the shared one serially.
+func (fb *fnBuilder) builderFor(p *sem.Procedure) *symbolic.Builder {
+	if fb.procBuilders != nil {
+		if i, ok := fb.orderIdx[p]; ok {
+			return fb.procBuilders[i]
+		}
+	}
+	return fb.fns.Builder
+}
+
+// prebuildSSA fills the SSA cache for every procedure concurrently.
+// ssa.Build touches only per-procedure structures (the CFG, the dom
+// tree, its own Func), so the fan-out needs no synchronization beyond
+// the per-index slots.
+func (fb *fnBuilder) prebuildSSA() {
+	order := fb.fns.Graph.Order
+	opts := ssa.Options{Globals: fb.fns.Graph.Prog.Globals()}
+	if fb.fns.Config.UseMOD {
+		opts.Kills = fb.fns.Mod.Kills
+	}
+	built := make([]*ssa.Func, len(order))
+	_ = par.ForEach(fb.workers, len(order), func(i int) error {
+		n := order[i]
+		defer guard.Repanic("jump", n.Proc.Name)
+		built[i] = ssa.Build(n.CFG, dom.Compute(n.CFG), opts)
+		return nil
+	})
+	fb.ssaCache = make(map[*callgraph.Node]*ssa.Func, len(order))
+	for i, n := range order {
+		fb.ssaCache[n] = built[i]
+	}
 }
 
 // analyzeProc runs the SSA + symbolic engine for one procedure under
@@ -214,7 +284,7 @@ func (fb *fnBuilder) analyzeProc(n *callgraph.Node) (*ssa.Func, *intra.Result) {
 	}
 
 	iopts := intra.Options{
-		Builder:          fb.fns.Builder,
+		Builder:          fb.builderFor(n.Proc),
 		OpaqueBase:       fb.opaqueBase(n.Proc),
 		Prune:            cfgr.Prune,
 		FullSubstitution: cfgr.FullSubstitution,
@@ -245,42 +315,103 @@ func (fb *fnBuilder) analyzeProc(n *callgraph.Node) (*ssa.Func, *intra.Result) {
 
 // buildReturns walks the call graph bottom-up, producing a
 // ReturnSummary per non-recursive procedure (paper §4.1, first phase).
+//
+// In parallel mode the bottom-up order relaxes to level scheduling:
+// level(p) = 1 + max level of p's callees in other SCCs, so the nodes
+// of one level have no summary dependence on each other and can be
+// analyzed concurrently. Summaries are installed serially at each level
+// barrier, so a worker only ever reads a quiescent Returns map.
 func (fb *fnBuilder) buildReturns() error {
-	for _, n := range fb.fns.Graph.BottomUp() {
-		if n.Recursive {
-			continue // conservative: no return jump functions
+	order := fb.fns.Graph.BottomUp()
+	if fb.workers <= 1 {
+		for _, n := range order {
+			if n.Recursive {
+				continue // conservative: no return jump functions
+			}
+			if err := fb.check(); err != nil {
+				return err
+			}
+			fn, res := fb.analyzeProcGuarded(n)
+			fb.fns.Returns[n.Proc] = fb.summarize(n, fn, res)
 		}
-		if err := fb.check(); err != nil {
+		return nil
+	}
+
+	// BottomUp order lists callees before callers (for nodes in distinct
+	// SCCs), so one forward sweep computes every level.
+	level := make(map[*callgraph.Node]int, len(order))
+	maxLevel := 0
+	for _, n := range order {
+		lv := 0
+		for _, site := range n.Out {
+			m := fb.fns.Graph.Nodes[site.Callee]
+			if m == nil || m.SCC == n.SCC {
+				continue
+			}
+			if l := level[m] + 1; l > lv {
+				lv = l
+			}
+		}
+		level[n] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	for lv := 0; lv <= maxLevel; lv++ {
+		var batch []*callgraph.Node
+		for _, n := range order {
+			if level[n] == lv && !n.Recursive {
+				batch = append(batch, n)
+			}
+		}
+		sums := make([]*intra.ReturnSummary, len(batch))
+		err := par.ForEach(fb.workers, len(batch), func(i int) error {
+			if err := fb.check(); err != nil {
+				return err
+			}
+			n := batch[i]
+			fn, res := fb.analyzeProcGuarded(n)
+			sums[i] = fb.summarize(n, fn, res)
+			return nil
+		})
+		if err != nil {
 			return err
 		}
-		fn, res := fb.analyzeProcGuarded(n)
-		sum := &intra.ReturnSummary{
-			Proc:    n.Proc,
-			Formals: make(map[int]*symbolic.Expr),
-			Globals: make(map[*sem.GlobalVar]*symbolic.Expr),
+		for i, n := range batch {
+			fb.fns.Returns[n.Proc] = sums[i]
 		}
-		for i, f := range n.Proc.Formals {
-			if f.IsArray || f.Type != ast.TypeInteger {
-				continue
-			}
-			if e := usableExit(res, fn.ExitVals[ssa.VarOf(f)]); e != nil {
-				sum.Formals[i] = e
-			}
-		}
-		for _, g := range fb.fns.Graph.Prog.Globals() {
-			if g.IsArray || g.Type != ast.TypeInteger {
-				continue
-			}
-			if e := usableExit(res, fn.ExitVals[ssa.GlobalVar(g)]); e != nil {
-				sum.Globals[g] = e
-			}
-		}
-		if r := n.Proc.Result; r != nil {
-			sum.Result = usableExit(res, fn.ExitVals[ssa.VarOf(r)])
-		}
-		fb.fns.Returns[n.Proc] = sum
 	}
 	return nil
+}
+
+// summarize extracts the return jump functions from one procedure's
+// exit state.
+func (fb *fnBuilder) summarize(n *callgraph.Node, fn *ssa.Func, res *intra.Result) *intra.ReturnSummary {
+	sum := &intra.ReturnSummary{
+		Proc:    n.Proc,
+		Formals: make(map[int]*symbolic.Expr),
+		Globals: make(map[*sem.GlobalVar]*symbolic.Expr),
+	}
+	for i, f := range n.Proc.Formals {
+		if f.IsArray || f.Type != ast.TypeInteger {
+			continue
+		}
+		if e := usableExit(res, fn.ExitVals[ssa.VarOf(f)]); e != nil {
+			sum.Formals[i] = e
+		}
+	}
+	for _, g := range fb.fns.Graph.Prog.Globals() {
+		if g.IsArray || g.Type != ast.TypeInteger {
+			continue
+		}
+		if e := usableExit(res, fn.ExitVals[ssa.GlobalVar(g)]); e != nil {
+			sum.Globals[g] = e
+		}
+	}
+	if r := n.Proc.Result; r != nil {
+		sum.Result = usableExit(res, fn.ExitVals[ssa.VarOf(r)])
+	}
+	return sum
 }
 
 // analyzeProcGuarded is analyzeProc with panic attribution: a panic in
@@ -308,12 +439,16 @@ func usableExit(res *intra.Result, v *ssa.Value) *symbolic.Expr {
 
 // buildForwards constructs the per-site forward jump functions
 // (paper §4.1, second phase; a top-down pass, though with return
-// summaries fixed the order no longer matters).
+// summaries fixed the order no longer matters — which is also what
+// makes the pass embarrassingly parallel).
 func (fb *fnBuilder) buildForwards() error {
-	for _, n := range fb.fns.Graph.TopDown() {
+	order := fb.fns.Graph.TopDown()
+	pfs := make([]*ProcFunctions, len(order))
+	err := par.ForEach(fb.workers, len(order), func(i int) error {
 		if err := fb.check(); err != nil {
 			return err
 		}
+		n := order[i]
 		fn, res := fb.analyzeProcGuarded(n)
 		pf := &ProcFunctions{Proc: n.Proc, SSA: fn, Intra: res}
 		for _, site := range fn.Graph.Sites {
@@ -323,7 +458,14 @@ func (fb *fnBuilder) buildForwards() error {
 			}
 			pf.Sites = append(pf.Sites, fb.siteFunctions(fn, res, site, calleeNode.Proc))
 		}
-		fb.fns.Procs[n.Proc] = pf
+		pfs[i] = pf
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, n := range order {
+		fb.fns.Procs[n.Proc] = pfs[i]
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+// Package par provides the bounded worker pools that fan the analysis
+// pipeline out across CPUs: per-unit semantic checks, per-procedure
+// SSA and jump-function construction, per-procedure substitution, and
+// the table-sweep cells all run through ForEach.
+//
+// The package is deliberately tiny and dependency-free (like guard) so
+// every layer can use it. Two invariants matter to callers:
+//
+//   - Determinism: tasks are identified by index; error selection is by
+//     lowest index, so a fan-out returns the same error a serial loop
+//     would have hit first (among the tasks that ran), regardless of
+//     scheduling.
+//
+//   - Fault attribution: a panic inside a task is re-raised on the
+//     caller's goroutine, so the guard.Repanic chain wrapping each
+//     pipeline phase observes it exactly as in the serial code path and
+//     the public API still reports a structured internal error instead
+//     of crashing the process.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob against a task count: n <= 0
+// means one worker per CPU (GOMAXPROCS); the result is clamped to
+// [1, count] (with a floor of 1 even for count == 0).
+func Workers(n, count int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > count {
+		n = count
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, count) on up to workers
+// goroutines (workers <= 0 selects GOMAXPROCS) and returns the error of
+// the lowest-indexed failing task. After a task fails or panics the
+// remaining tasks are skipped (tasks already running complete), which
+// propagates budget exhaustion and context cancellation to the whole
+// pool promptly. A panicking task wins over a higher-indexed error,
+// mirroring what a serial loop would have hit first; the panic value is
+// re-raised on the caller's goroutine.
+func ForEach(workers, count int, fn func(i int) error) error {
+	if count <= 0 {
+		return nil
+	}
+	workers = Workers(workers, count)
+	if workers == 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+
+		errIdx   = count
+		firstErr error
+		panIdx   = count
+		panVal   interface{}
+		panicked bool
+	)
+	cursor.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= count || stop.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stop.Store(true)
+							mu.Lock()
+							if i < panIdx {
+								panIdx, panVal, panicked = i, r, true
+							}
+							mu.Unlock()
+						}
+					}()
+					if err := fn(i); err != nil {
+						stop.Store(true)
+						mu.Lock()
+						if i < errIdx {
+							errIdx, firstErr = i, err
+						}
+						mu.Unlock()
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked && panIdx <= errIdx {
+		panic(panVal)
+	}
+	return firstErr
+}

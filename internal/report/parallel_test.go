@@ -1,0 +1,38 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sweep fan-out must not change a single byte of the rendered
+// tables: Table2With/Table3With at four workers must match the serial
+// render exactly.
+
+func TestTable2ParallelMatchesSerial(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := Table2With(&serial, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table2With(&parallel, 4); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("Table 2 diverges between serial and parallel sweeps\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestTable3ParallelMatchesSerial(t *testing.T) {
+	var serial, parallel strings.Builder
+	if err := Table3With(&serial, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table3With(&parallel, 4); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("Table 3 diverges between serial and parallel sweeps\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+}

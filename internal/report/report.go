@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jump"
 	"repro/internal/lattice"
+	"repro/internal/par"
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/source"
@@ -34,8 +35,15 @@ func countWith(prog *sem.Program, cfg core.Config) int {
 	return core.AnalyzeProgram(prog, cfg).Substitute().Total
 }
 
+// jc builds a sweep-cell configuration. The cell analyses run serially
+// inside (Parallelism 1): the sweep fans out across cells, and nesting
+// per-procedure workers under per-cell workers would oversubscribe the
+// machine without helping wall-clock time.
 func jc(kind jump.Kind, useMod, rjf bool) core.Config {
-	return core.Config{Jump: jump.Config{Kind: kind, UseMOD: useMod, UseReturnJFs: rjf}}
+	return core.Config{
+		Jump:        jump.Config{Kind: kind, UseMOD: useMod, UseReturnJFs: rjf},
+		Parallelism: 1,
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -151,41 +159,49 @@ var (
 // ComputeTable2 runs all six configurations over every program. The
 // suite is deterministic, so the result is computed once and cached.
 func ComputeTable2() ([]Table2Row, error) {
-	table2Once.Do(func() { table2Rows, table2Err = computeTable2() })
+	table2Once.Do(func() { table2Rows, table2Err = ComputeTable2With(0) })
 	return table2Rows, table2Err
 }
 
-func computeTable2() ([]Table2Row, error) {
+// ComputeTable2With is the uncached sweep with an explicit parallelism
+// knob (<= 0 selects GOMAXPROCS): every (program, configuration) cell is
+// an independent analysis, so the fan-out is over all cells at once, not
+// per program — six cells per program keeps the pool busy even when the
+// programs differ wildly in size. Each cell front-ends its own copy of
+// the program: an analysis builds CFGs and temporaries into the
+// sem.Program it is handed, so concurrent cells must not share one. The
+// benchmark harness uses this variant to measure serial-vs-parallel
+// sweep time.
+func ComputeTable2With(parallelism int) ([]Table2Row, error) {
 	specs := suite.Programs()
-	rows := make([]Table2Row, len(specs))
-	errs := make([]error, len(specs))
-	// Programs are independent; analyze them in parallel. Each analysis
-	// builds its own expression interner, so nothing is shared.
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec suite.Spec) {
-			defer wg.Done()
-			prog, _, err := loadProgram(spec)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			rows[i] = Table2Row{
-				Name:      spec.Name,
-				Poly:      countWith(prog, jc(jump.Polynomial, true, true)),
-				PassThru:  countWith(prog, jc(jump.PassThrough, true, true)),
-				Intra:     countWith(prog, jc(jump.Intraprocedural, true, true)),
-				Literal:   countWith(prog, jc(jump.Literal, true, true)),
-				PolyNoRet: countWith(prog, jc(jump.Polynomial, true, false)),
-				PTNoRet:   countWith(prog, jc(jump.PassThrough, true, false)),
-			}
-		}(i, spec)
+	configs := []core.Config{
+		jc(jump.Polynomial, true, true),
+		jc(jump.PassThrough, true, true),
+		jc(jump.Intraprocedural, true, true),
+		jc(jump.Literal, true, true),
+		jc(jump.Polynomial, true, false),
+		jc(jump.PassThrough, true, false),
 	}
-	wg.Wait()
-	for _, err := range errs {
+	nc := len(configs)
+	cells := make([]int, len(specs)*nc)
+	err := par.ForEach(parallelism, len(cells), func(k int) error {
+		prog, _, err := loadProgram(specs[k/nc])
 		if err != nil {
-			return nil, err
+			return err
+		}
+		cells[k] = countWith(prog, configs[k%nc])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(specs))
+	for i, spec := range specs {
+		c := cells[i*nc:]
+		rows[i] = Table2Row{
+			Name: spec.Name,
+			Poly: c[0], PassThru: c[1], Intra: c[2],
+			Literal: c[3], PolyNoRet: c[4], PTNoRet: c[5],
 		}
 	}
 	return rows, nil
@@ -198,6 +214,19 @@ func Table2(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return renderTable2(w, rows)
+}
+
+// Table2With is Table2 with an explicit sweep parallelism (uncached).
+func Table2With(w io.Writer, parallelism int) error {
+	rows, err := ComputeTable2With(parallelism)
+	if err != nil {
+		return err
+	}
+	return renderTable2(w, rows)
+}
+
+func renderTable2(w io.Writer, rows []Table2Row) error {
 	fmt.Fprintln(w, "Table 2: constants found through use of jump functions")
 	fmt.Fprintln(w, "                    ---- using return JFs ----   -- no return JFs --")
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s\n",
@@ -226,40 +255,45 @@ type Table3Row struct {
 // ComputeTable3 runs the four techniques over every program (cached,
 // like ComputeTable2).
 func ComputeTable3() ([]Table3Row, error) {
-	table3Once.Do(func() { table3Rows, table3Err = computeTable3() })
+	table3Once.Do(func() { table3Rows, table3Err = ComputeTable3With(0) })
 	return table3Rows, table3Err
 }
 
-func computeTable3() ([]Table3Row, error) {
+// ComputeTable3With is the uncached Table 3 sweep with an explicit
+// parallelism knob, fanning out over all (program, technique) cells —
+// each on its own front-ended program copy — like ComputeTable2With.
+func ComputeTable3With(parallelism int) ([]Table3Row, error) {
 	specs := suite.Programs()
-	rows := make([]Table3Row, len(specs))
-	errs := make([]error, len(specs))
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec suite.Spec) {
-			defer wg.Done()
-			prog, _, err := loadProgram(spec)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			complete := jc(jump.Polynomial, true, true)
-			complete.Complete = true
-			rows[i] = Table3Row{
-				Name:      spec.Name,
-				NoMOD:     countWith(prog, jc(jump.Polynomial, false, true)),
-				WithMOD:   countWith(prog, jc(jump.Polynomial, true, true)),
-				Complete:  countWith(prog, complete),
-				IntraOnly: core.IntraproceduralCount(prog).Total,
-			}
-		}(i, spec)
+	complete := jc(jump.Polynomial, true, true)
+	complete.Complete = true
+	configs := []core.Config{
+		jc(jump.Polynomial, false, true),
+		jc(jump.Polynomial, true, true),
+		complete,
+		{}, // placeholder: the intraprocedural baseline has its own entry point
 	}
-	wg.Wait()
-	for _, err := range errs {
+	nc := len(configs)
+	cells := make([]int, len(specs)*nc)
+	err := par.ForEach(parallelism, len(cells), func(k int) error {
+		i, j := k/nc, k%nc
+		prog, _, err := loadProgram(specs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		if j == nc-1 {
+			cells[k] = core.IntraproceduralCount(prog).Total
+		} else {
+			cells[k] = countWith(prog, configs[j])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(specs))
+	for i, spec := range specs {
+		c := cells[i*nc:]
+		rows[i] = Table3Row{Name: spec.Name, NoMOD: c[0], WithMOD: c[1], Complete: c[2], IntraOnly: c[3]}
 	}
 	return rows, nil
 }
@@ -270,6 +304,19 @@ func Table3(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return renderTable3(w, rows)
+}
+
+// Table3With is Table3 with an explicit sweep parallelism (uncached).
+func Table3With(w io.Writer, parallelism int) error {
+	rows, err := ComputeTable3With(parallelism)
+	if err != nil {
+		return err
+	}
+	return renderTable3(w, rows)
+}
+
+func renderTable3(w io.Writer, rows []Table3Row) error {
 	fmt.Fprintln(w, "Table 3: comparison of most precise jump function with other propagation techniques")
 	fmt.Fprintf(w, "%-12s %14s %14s %14s %16s\n",
 		"Program", "Poly w/o MOD", "Poly w/ MOD", "Complete", "Intraprocedural")

@@ -147,19 +147,19 @@ func (a *analyzer) checkLvalue(p *Procedure, e ast.Expr) ast.BaseType {
 		if s.IsArray {
 			a.errorf(x.Pos(), "array %s assigned without subscripts", x.Name)
 		}
-		a.prog.exprTypes[e] = s.Type
+		a.exprTypes[e] = s.Type
 		return s.Type
 	case *ast.Apply:
 		// Must be an array element on the left-hand side.
 		s, ok := p.Symbols[x.Name]
 		if !ok || !s.IsArray {
 			a.errorf(x.Pos(), "%s is not an array", x.Name)
-			a.prog.exprTypes[e] = ast.TypeNone
+			a.exprTypes[e] = ast.TypeNone
 			return ast.TypeNone
 		}
-		a.prog.applyKinds[x] = ApplyArray
+		a.applyKinds[x] = ApplyArray
 		a.checkSubscripts(p, x, s)
-		a.prog.exprTypes[e] = s.Type
+		a.exprTypes[e] = s.Type
 		return s.Type
 	}
 	a.errorf(e.Pos(), "invalid assignment target")
@@ -220,7 +220,7 @@ func (a *analyzer) checkCall(p *Procedure, pos source.Position, name string, arg
 // program's side tables.
 func (a *analyzer) exprType(p *Procedure, e ast.Expr) ast.BaseType {
 	t := a.exprType1(p, e)
-	a.prog.exprTypes[e] = t
+	a.exprTypes[e] = t
 	return t
 }
 
@@ -292,13 +292,13 @@ func (a *analyzer) exprType1(p *Procedure, e ast.Expr) ast.BaseType {
 func (a *analyzer) applyType(p *Procedure, x *ast.Apply) ast.BaseType {
 	// 1. Array element, if the name is a declared array.
 	if s, ok := p.Symbols[x.Name]; ok && s.IsArray {
-		a.prog.applyKinds[x] = ApplyArray
+		a.applyKinds[x] = ApplyArray
 		a.checkSubscripts(p, x, s)
 		return s.Type
 	}
 	// 2. Intrinsic.
 	if in, ok := Intrinsics[x.Name]; ok {
-		a.prog.applyKinds[x] = ApplyIntrinsic
+		a.applyKinds[x] = ApplyIntrinsic
 		if len(x.Args) < in.MinArgs || (in.MaxArgs >= 0 && len(x.Args) > in.MaxArgs) {
 			a.errorf(x.Pos(), "intrinsic %s called with %d argument(s)", x.Name, len(x.Args))
 		}
@@ -319,7 +319,7 @@ func (a *analyzer) applyType(p *Procedure, x *ast.Apply) ast.BaseType {
 	}
 	// 3. User function.
 	if _, ok := a.prog.Procs[x.Name]; ok {
-		a.prog.applyKinds[x] = ApplyCall
+		a.applyKinds[x] = ApplyCall
 		return a.checkCall(p, x.Pos(), x.Name, x.Args, true)
 	}
 	a.errorf(x.Pos(), "%s is neither an array, an intrinsic, nor a defined function", x.Name)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/guard"
+	"repro/internal/par"
 	"repro/internal/source"
 )
 
@@ -191,24 +192,60 @@ func (pr *Program) Globals() []*GlobalVar {
 // Program (possibly partial); callers should check diags for errors
 // before trusting it.
 func Analyze(file *ast.File, diags *source.ErrorList) *Program {
+	return AnalyzeParallel(file, diags, 1)
+}
+
+// AnalyzeParallel is Analyze with the body-checking pass (pass 3) fanned
+// out over up to workers goroutines (<= 0 selects GOMAXPROCS, 1 is the
+// serial pass). Passes 1 and 2 stay serial: they mutate program-wide
+// state (unit registration, COMMON block layouts). Pass 3 touches only
+// its own unit's symbols plus read-only facts fixed by pass 2 (callee
+// formal lists, unit kinds, result types), so units are independent;
+// each worker records types, apply resolutions, and diagnostics in a
+// private shard, merged in unit order so output is identical to the
+// serial pass.
+func AnalyzeParallel(file *ast.File, diags *source.ErrorList, workers int) *Program {
 	defer guard.Repanic("sem")
 	guard.InjectPanic("sem")
-	a := &analyzer{
-		prog: &Program{
-			File:         file,
-			Procs:        make(map[string]*Procedure),
-			CommonBlocks: make(map[string][]*GlobalVar),
-			applyKinds:   make(map[*ast.Apply]ApplyKind),
-			exprTypes:    make(map[ast.Expr]ast.BaseType),
-		},
-		diags: diags,
+	prog := &Program{
+		File:         file,
+		Procs:        make(map[string]*Procedure),
+		CommonBlocks: make(map[string][]*GlobalVar),
+		applyKinds:   make(map[*ast.Apply]ApplyKind),
+		exprTypes:    make(map[ast.Expr]ast.BaseType),
 	}
+	a := &analyzer{prog: prog, diags: diags, applyKinds: prog.applyKinds, exprTypes: prog.exprTypes}
 	a.collectUnits()
 	for _, p := range a.prog.Order {
 		a.declareSymbols(p)
 	}
-	for _, p := range a.prog.Order {
-		a.checkBody(p)
+	n := len(a.prog.Order)
+	if par.Workers(workers, n) <= 1 {
+		for _, p := range a.prog.Order {
+			a.checkBodyGuarded(p)
+		}
+		return a.prog
+	}
+	shards := make([]*analyzer, n)
+	_ = par.ForEach(workers, n, func(i int) error {
+		sh := &analyzer{
+			prog:       prog,
+			diags:      &source.ErrorList{},
+			applyKinds: make(map[*ast.Apply]ApplyKind),
+			exprTypes:  make(map[ast.Expr]ast.BaseType),
+		}
+		shards[i] = sh
+		sh.checkBodyGuarded(prog.Order[i])
+		return nil
+	})
+	for _, sh := range shards {
+		for k, v := range sh.applyKinds {
+			prog.applyKinds[k] = v
+		}
+		for k, v := range sh.exprTypes {
+			prog.exprTypes[k] = v
+		}
+		diags.Diags = append(diags.Diags, sh.diags.Diags...)
 	}
 	return a.prog
 }
@@ -216,6 +253,19 @@ func Analyze(file *ast.File, diags *source.ErrorList) *Program {
 type analyzer struct {
 	prog  *Program
 	diags *source.ErrorList
+	// applyKinds and exprTypes are the side-table sinks for pass 3: they
+	// alias prog's maps in serial mode, and per-unit shards in parallel
+	// mode (an AST node belongs to exactly one unit, so shards are
+	// disjoint and merge without conflicts).
+	applyKinds map[*ast.Apply]ApplyKind
+	exprTypes  map[ast.Expr]ast.BaseType
+}
+
+// checkBodyGuarded tags panics during body checking with the unit name,
+// so fault attribution survives both the serial and the parallel pass.
+func (a *analyzer) checkBodyGuarded(p *Procedure) {
+	defer guard.Repanic("sem", p.Name)
+	a.checkBody(p)
 }
 
 func (a *analyzer) errorf(pos source.Position, format string, args ...interface{}) {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/intra"
 	"repro/internal/modref"
+	"repro/internal/par"
 	"repro/internal/sem"
 	"repro/internal/ssa"
 	"repro/internal/symbolic"
@@ -47,6 +48,11 @@ type Options struct {
 	// Builder is the shared expression interner (one is created when
 	// nil).
 	Builder *symbolic.Builder
+	// Parallelism bounds the worker goroutines counting procedures
+	// concurrently: <= 0 selects GOMAXPROCS, 1 is serial. Counts and
+	// replacements are identical either way (procedures are independent;
+	// workers get private builders and merge in call-graph order).
+	Parallelism int
 }
 
 // Result reports what was (or would be) substituted.
@@ -73,10 +79,34 @@ func Run(cg *callgraph.Graph, mod *modref.Info, opts Options) *Result {
 		PerProc:      make(map[*sem.Procedure]int),
 		Replacements: make(map[ast.Expr]string),
 	}
-	for idx, n := range cg.Order {
-		count := substProcGuarded(cg, mod, n, int64(idx+1)<<32, opts, res.Replacements)
-		res.PerProc[n.Proc] = count
-		res.Total += count
+	workers := par.Workers(opts.Parallelism, len(cg.Order))
+	counts := make([]int, len(cg.Order))
+	repls := make([]map[ast.Expr]string, len(cg.Order))
+	workerBuilders := make([]*symbolic.Builder, len(cg.Order))
+	_ = par.ForEach(workers, len(cg.Order), func(i int) error {
+		popts := opts
+		if workers > 1 {
+			// Private interner per procedure: the hash-consing tables are
+			// not goroutine-safe. Replacement keys are this procedure's own
+			// AST nodes, so per-procedure maps merge without collisions.
+			pb := symbolic.NewBuilder()
+			pb.SetMaxSize(opts.Builder.MaxSize())
+			popts.Builder = pb
+			workerBuilders[i] = pb
+		}
+		repls[i] = make(map[ast.Expr]string)
+		counts[i] = substProcGuarded(cg, mod, cg.Order[i], int64(i+1)<<32, popts, repls[i])
+		return nil
+	})
+	for i, n := range cg.Order {
+		if pb := workerBuilders[i]; pb != nil {
+			opts.Builder.AddTruncated(pb.Truncated())
+		}
+		res.PerProc[n.Proc] = counts[i]
+		res.Total += counts[i]
+		for k, v := range repls[i] {
+			res.Replacements[k] = v
+		}
 	}
 	return res
 }

@@ -131,8 +131,11 @@ func (b *Builder) arith(op Op, x, y *Expr) *Expr {
 		if x == y {
 			return x
 		}
-		// Canonicalize commutative operands by id.
-		if x.id > y.id {
+		// Canonicalize commutative operands structurally: interning ids
+		// differ between per-worker builders, so an id-based order would
+		// make parallel runs intern (MAX a b) where serial runs intern
+		// (MAX b a).
+		if StructCompare(x, y) > 0 {
 			x, y = y, x
 		}
 	}
@@ -193,7 +196,7 @@ func (b *Builder) logic(op Op, x, y *Expr) *Expr {
 	if x == y {
 		return x
 	}
-	if x.id > y.id {
+	if StructCompare(x, y) > 0 {
 		x, y = y, x
 	}
 	return b.node(op, x, y)

@@ -121,8 +121,18 @@ func EvalBool(e *Expr, env Env) (bool, bool) {
 // substituting constants into a polynomial jump function evaluates it.
 func (b *Builder) Substitute(e *Expr, repl func(leaf *Expr) *Expr) *Expr {
 	switch e.Op {
-	case OpConst, OpBool, OpOpaque:
-		return e
+	// Re-intern leaves through b rather than returning e: e may come
+	// from a different worker's builder (e.g. a callee return summary
+	// built in parallel), and a foreign *Expr would corrupt b's
+	// hash-consing, which keys interior nodes on argument ids. Opaque
+	// identities are process-unique (per-procedure bases plus identity),
+	// so re-interning by K preserves distinctness.
+	case OpConst:
+		return b.Const(e.K)
+	case OpBool:
+		return b.Bool(e.B)
+	case OpOpaque:
+		return b.Opaque(e.K)
 	case OpParam, OpGlobal:
 		return repl(e)
 	case OpNeg:

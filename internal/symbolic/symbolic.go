@@ -164,9 +164,26 @@ type Builder struct {
 // the budget.
 func (b *Builder) SetMaxSize(n int) { b.maxSize = n }
 
+// MaxSize returns the current expression-size budget (0 = unlimited),
+// so per-worker builders can inherit the primary builder's cap.
+func (b *Builder) MaxSize() int { return b.maxSize }
+
 // Truncated reports how many expressions the size budget degraded to
-// opaque since the builder was created.
+// opaque since the builder was created (including counts folded in via
+// AddTruncated).
 func (b *Builder) Truncated() int { return b.truncated }
+
+// AddTruncated folds n more truncation events into the builder's count.
+// The parallel pipeline gives each worker its own Builder (the
+// hash-consing maps are not goroutine-safe); after the workers join,
+// their truncation counts are summed into the primary builder so the
+// degradation warning reports the whole program's count, not one
+// shard's. Call only after the contributing workers have finished.
+func (b *Builder) AddTruncated(n int) {
+	if n > 0 {
+		b.truncated += n
+	}
+}
 
 // NewBuilder returns an empty interning table.
 func NewBuilder() *Builder {
@@ -211,8 +228,72 @@ func computeSupport(e *Expr) []*Expr {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	// Order structurally, not by interning id: ids depend on which
+	// Builder interned the leaf first, and the parallel pipeline builds
+	// expressions in per-worker Builders. A structural order keeps the
+	// support — and everything downstream of it, like the binding-graph
+	// solver's evaluation order — identical between serial and parallel
+	// runs.
+	sort.Slice(out, func(i, j int) bool { return StructCompare(out[i], out[j]) < 0 })
 	return out
+}
+
+// StructCompare totally orders expressions by structure alone,
+// independent of the Builder that interned them: by operator, then leaf
+// payload, then arity, then arguments recursively. Within one Builder
+// it is consistent with (but coarser than — never equal for distinct
+// interned exprs of the same builder, since interning is structural)
+// pointer identity.
+func StructCompare(x, y *Expr) int {
+	if x == y {
+		return 0
+	}
+	if x.Op != y.Op {
+		if x.Op < y.Op {
+			return -1
+		}
+		return 1
+	}
+	cmpInt64 := func(a, b int64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	switch x.Op {
+	case OpConst, OpOpaque:
+		return cmpInt64(x.K, y.K)
+	case OpBool:
+		switch {
+		case x.B == y.B:
+			return 0
+		case y.B:
+			return -1
+		}
+		return 1
+	case OpParam:
+		if c := cmpInt64(int64(x.Param.FormalIndex), int64(y.Param.FormalIndex)); c != 0 {
+			return c
+		}
+		return strings.Compare(x.Param.Name, y.Param.Name)
+	case OpGlobal:
+		if c := strings.Compare(x.Global.Block, y.Global.Block); c != 0 {
+			return c
+		}
+		return cmpInt64(int64(x.Global.Index), int64(y.Global.Index))
+	}
+	if c := cmpInt64(int64(len(x.Args)), int64(len(y.Args))); c != 0 {
+		return c
+	}
+	for i := range x.Args {
+		if c := StructCompare(x.Args[i], y.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
 }
 
 // Const returns the interned constant c.

@@ -112,6 +112,14 @@ type Config struct {
 	// is unlimited. On exhaustion the analysis degrades soundly rather
 	// than failing (see Result.Degradations).
 	Budget Budget
+	// Parallelism bounds the worker goroutines used by the phases that
+	// fan out per program unit (semantic checking, jump-function
+	// construction, substitution counting): <= 0 selects one worker per
+	// CPU, 1 runs the pipeline serially. Every Result field — constants,
+	// substitution counts, transformed source, solver statistics — is
+	// bit-identical across all settings; the knob trades only wall-clock
+	// time for cores.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's recommended configuration:
@@ -130,8 +138,9 @@ func (c Config) internal() core.Config {
 			FullSubstitution: c.FullSubstitution,
 			Gated:            c.Gated,
 		},
-		Complete: c.Complete,
-		Budget:   c.Budget.internal(),
+		Complete:    c.Complete,
+		Budget:      c.Budget.internal(),
+		Parallelism: c.Parallelism,
 	}
 	if c.Solver == BindingGraph {
 		out.Solver = core.SolverBinding
@@ -196,7 +205,7 @@ func AnalyzeContext(ctx context.Context, filename, src string, cfg Config) (res 
 // substitution) shared by AnalyzeContext and AnalyzeFilesContext. The
 // caller holds the recoverInternal barrier.
 func finishAnalysis(ctx context.Context, f *ast.File, diags *source.ErrorList, cfg Config) (*Result, error) {
-	prog := sem.Analyze(f, diags)
+	prog := sem.AnalyzeParallel(f, diags, cfg.Parallelism)
 	if err := diags.Err(); err != nil {
 		return nil, err
 	}
