@@ -1,7 +1,9 @@
 GO ?= go
 FUZZTIME ?= 10s
+SOAK_DURATION ?= 30s
+SOAK_CLIENTS ?= 12
 
-.PHONY: all build vet test race fuzz check bench bench-go bench-check clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check serve soak clean
 
 all: check
 
@@ -41,6 +43,21 @@ bench-go:
 # skipped automatically on machines with fewer than 4 CPUs.
 bench-check:
 	$(GO) run ./cmd/ipcp-bench -out BENCH_ipcp.json -min-speedup 2
+
+# Run the crash-only analysis service on :8077 (see docs/robustness.md
+# for the endpoint and tuning reference).
+serve:
+	$(GO) run ./cmd/ipcp-serve
+
+# Chaos soak: hammer a live server with $(SOAK_CLIENTS) concurrent
+# clients for $(SOAK_DURATION) while faults cycle through every pipeline
+# phase. Passes only if the server never exits, answers every request
+# with well-formed JSON from the documented status set, trips and
+# recovers its circuit breaker, and drains back to the baseline
+# goroutine count.
+soak:
+	IPCP_SOAK_DURATION=$(SOAK_DURATION) IPCP_SOAK_CLIENTS=$(SOAK_CLIENTS) \
+		$(GO) test -count=1 -run TestChaosSoak -v ./internal/serve
 
 clean:
 	$(GO) clean -testcache

@@ -48,17 +48,26 @@ type Exhibit struct {
 }
 
 // Sweep records the serial-vs-parallel Table 2 sweep comparison.
+// Workers is the resolved worker count the parallel sweep actually ran
+// with (Parallelism 0 resolves to one worker per CPU), so a baseline
+// taken on a small machine cannot masquerade as a parallelism result.
 type Sweep struct {
 	Workers    int     `json:"workers"`
 	SerialNs   int64   `json:"serial_ns"`
 	ParallelNs int64   `json:"parallel_ns"`
 	Speedup    float64 `json:"speedup"`
+	// Note explains measurements that were elided rather than taken: on
+	// a single-CPU machine the "parallel" sweep resolves to the serial
+	// code path, so re-measuring it records scheduler noise as a bogus
+	// speedup (or slowdown); the baseline pins 1.0 instead.
+	Note string `json:"note,omitempty"`
 }
 
 // Baseline is the BENCH_ipcp.json document.
 type Baseline struct {
 	GoVersion  string    `json:"go_version"`
 	GoMaxProcs int       `json:"gomaxprocs"`
+	CPUs       int       `json:"cpus"`
 	Exhibits   []Exhibit `json:"exhibits"`
 	Sweep      Sweep     `json:"sweep"`
 }
@@ -199,6 +208,7 @@ func measure(stderr io.Writer) (*Baseline, error) {
 	base := &Baseline{
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
 	}
 
 	// Figure 1: lattice meets — the solver's innermost operation.
@@ -238,15 +248,26 @@ func measure(stderr io.Writer) (*Baseline, error) {
 	// Tables 2/3: the full pipeline on a representative large program,
 	// serially and with the per-procedure worker pool.
 	serialCfg := ipcp.Config{Kind: ipcp.Polynomial, UseMOD: true, UseReturnJFs: true, Parallelism: 1}
-	parallelCfg := serialCfg
-	parallelCfg.Parallelism = 0 // one worker per CPU
-	for _, m := range []struct {
+	measurements := []struct {
 		name string
 		cfg  ipcp.Config
 	}{
 		{"table2/analyze-serial", serialCfg},
-		{"table2/analyze-parallel", parallelCfg},
-	} {
+	}
+	// Parallelism 0 resolves to one worker per CPU; with a single CPU
+	// that is the serial path again, and a duplicate exhibit would just
+	// be noise with a misleading name.
+	if base.GoMaxProcs > 1 {
+		parallelCfg := serialCfg
+		parallelCfg.Parallelism = 0
+		measurements = append(measurements, struct {
+			name string
+			cfg  ipcp.Config
+		}{"table2/analyze-parallel", parallelCfg})
+	} else {
+		fmt.Fprintf(stderr, "ipcp-bench: GOMAXPROCS=1: skipping table2/analyze-parallel (identical to serial path)\n")
+	}
+	for _, m := range measurements {
 		e, err := analyzeExhibit(m.name, "spec77", m.cfg)
 		if err != nil {
 			return nil, err
@@ -268,11 +289,18 @@ func measure(stderr io.Writer) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	base.Sweep.SerialNs = serial.Nanoseconds()
+	if base.GoMaxProcs <= 1 {
+		base.Sweep.ParallelNs = serial.Nanoseconds()
+		base.Sweep.Speedup = 1.0
+		base.Sweep.Note = "single CPU: the parallel sweep resolves to the serial path; not re-measured"
+		fmt.Fprintf(stderr, "ipcp-bench: GOMAXPROCS=1: %s\n", base.Sweep.Note)
+		return base, nil
+	}
 	parallel, err := sweepBest(0)
 	if err != nil {
 		return nil, err
 	}
-	base.Sweep.SerialNs = serial.Nanoseconds()
 	base.Sweep.ParallelNs = parallel.Nanoseconds()
 	if parallel > 0 {
 		base.Sweep.Speedup = float64(serial) / float64(parallel)

@@ -35,6 +35,7 @@ func TestBaselineRoundTrips(t *testing.T) {
 	base := Baseline{
 		GoVersion:  "go1.24.0",
 		GoMaxProcs: 4,
+		CPUs:       4,
 		Exhibits: []Exhibit{
 			{Name: "figure1/meet", Iterations: 100, NsPerOp: 12.5, AllocsPerOp: 0},
 			{Name: "table2/analyze-serial", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 900, BytesPerOp: 4096, MBPerSec: 3.2},
@@ -51,5 +52,27 @@ func TestBaselineRoundTrips(t *testing.T) {
 	}
 	if got.Sweep.Speedup != 4 || len(got.Exhibits) != 2 || got.Exhibits[1].MBPerSec != 3.2 {
 		t.Fatalf("round trip mangled the document: %+v", got)
+	}
+	if got.CPUs != 4 {
+		t.Fatalf("CPUs did not round trip: %+v", got)
+	}
+}
+
+// TestSingleCPUSweepNote pins the honesty contract for single-CPU
+// baselines: a sweep that was not re-measured must say so and claim
+// exactly 1.0, never a noise-derived speedup.
+func TestSingleCPUSweepNote(t *testing.T) {
+	s := Sweep{Workers: 1, SerialNs: 1e9, ParallelNs: 1e9, Speedup: 1,
+		Note: "single CPU: the parallel sweep resolves to the serial path; not re-measured"}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Sweep
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Note == "" || got.Speedup != 1 || got.SerialNs != got.ParallelNs {
+		t.Fatalf("single-CPU sweep document mangled: %+v", got)
 	}
 }

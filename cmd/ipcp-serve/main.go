@@ -1,0 +1,118 @@
+// Command ipcp-serve exposes the analyzer as a crash-only HTTP
+// analysis service (see internal/serve and docs/robustness.md).
+//
+// Usage:
+//
+//	ipcp-serve [flags]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   analyze an F77s program (JSON in, JSON out)
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 once draining)
+//	GET  /statsz       counters, gauges, and the breaker snapshot
+//
+// Flags tune the availability machinery:
+//
+//	-addr :8077                 listen address
+//	-concurrency N              analyses running at once (default GOMAXPROCS)
+//	-queue N                    admitted requests waiting beyond that (default 2N)
+//	-timeout 10s                per-request wall-clock budget, retries included
+//	-drain 5s                   graceful-shutdown drain budget
+//	-retries 3                  max re-runs of a transiently failed analysis
+//	-breaker-threshold 5        consecutive internal failures that trip the circuit
+//	-breaker-cooldown 2s        open time before the circuit half-opens
+//	-parallel 1                 per-request analysis worker count
+//
+// SIGINT/SIGTERM begin a graceful drain: readiness flips, in-flight
+// requests get the drain budget to finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive it
+// in-process; it returns when ctx is cancelled (graceful drain) or the
+// listener fails.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ipcp-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8077", "listen address")
+		concurrency = fs.Int("concurrency", 0, "analyses running at once (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "admitted requests waiting beyond -concurrency (0 = 2x)")
+		timeout     = fs.Duration("timeout", 10*time.Second, "per-request wall-clock budget")
+		drain       = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+		retries     = fs.Int("retries", 3, "max re-runs of a transiently failed analysis")
+		brThreshold = fs.Int("breaker-threshold", 5, "consecutive internal failures that trip the circuit")
+		brCooldown  = fs.Duration("breaker-cooldown", 2*time.Second, "open time before the circuit half-opens")
+		parallel    = fs.Int("parallel", 1, "per-request analysis worker count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ipcp-serve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	s := serve.New(serve.Config{
+		MaxConcurrency:      *concurrency,
+		QueueDepth:          *queue,
+		RequestTimeout:      *timeout,
+		DrainTimeout:        *drain,
+		MaxRetries:          *retries,
+		BreakerThreshold:    *brThreshold,
+		BreakerCooldown:     *brCooldown,
+		AnalysisParallelism: *parallel,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ipcp-serve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ipcp-serve: listening on %s\n", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		// The listener died out from under us — nothing to drain.
+		fmt.Fprintf(stderr, "ipcp-serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "ipcp-serve: draining")
+	if err := s.Shutdown(context.Background()); err != nil {
+		fmt.Fprintf(stderr, "ipcp-serve: drain incomplete: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "ipcp-serve: %v\n", err)
+		return 1
+	}
+	st := s.Stats()
+	fmt.Fprintf(stdout, "ipcp-serve: served %d requests (%d ok, %d degraded, %d shed, %d input errors, %d internal failures, breaker trips %d)\n",
+		st.Requests, st.OK, st.Degraded, st.Shed, st.InputErrors, st.InternalFails, st.Breaker.Trips)
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run's stdout while run is still
+// writing to it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s]+)`)
+
+// TestServeAnalyzeAndDrain boots the binary in-process on an ephemeral
+// port, analyzes one program over real HTTP, then cancels the context
+// and expects a graceful exit with a shutdown summary.
+func TestServeAnalyzeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-timeout", "5s"}, &stdout, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := `{"source": "PROGRAM MAIN\nINTEGER K\nK = 2 + 3\nCALL WORK(K, 7)\nEND\nSUBROUTINE WORK(N, M)\nINTEGER N, M\nPRINT *, N + M\nEND\n"}`
+	resp, err := http.Post("http://"+addr+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	var ar struct {
+		Status    string                       `json:"status"`
+		Constants map[string][]json.RawMessage `json:"constants"`
+	}
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatalf("bad response body: %v\n%s", err, data)
+	}
+	if ar.Status != "ok" || len(ar.Constants["WORK"]) != 2 {
+		t.Fatalf("response: %s", data)
+	}
+
+	cancel()
+	select {
+	case status := <-done:
+		if status != 0 {
+			t.Fatalf("run exited %d; stderr=%q", status, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "served 1 requests") {
+		t.Fatalf("shutdown summary missing from stdout: %q", out)
+	}
+}
+
+// TestBadFlags: unparseable flags and stray arguments exit 2 without
+// binding a socket.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if status := run(context.Background(), []string{"-nope"}, &stdout, &stderr); status != 2 {
+		t.Fatalf("bad flag: exit %d", status)
+	}
+	if status := run(context.Background(), []string{"extra"}, &stdout, &stderr); status != 2 {
+		t.Fatalf("stray arg: exit %d", status)
+	}
+}

@@ -77,6 +77,12 @@ type Config struct {
 	// <= 0 selects GOMAXPROCS, 1 runs everything serially. Results are
 	// identical either way.
 	Parallelism int
+	// FailFast disables the in-driver degradation chain: the first
+	// budget or deadline exhaustion aborts the analysis with the
+	// *guard.Exhausted error instead of retrying cheaper configurations.
+	// Callers that own their own retry policy (the analysis service) use
+	// this to keep one attempt per configuration under their control.
+	FailFast bool
 }
 
 // DefaultConfig is pass-through + MOD + return jump functions — the
@@ -169,8 +175,23 @@ func AnalyzeProgram(prog *sem.Program, cfgg Config) *Analysis {
 // cannot finish it returns the all-⊥ "no constants" solution. Every
 // step is recorded in the result's Warnings.
 func AnalyzeProgramContext(ctx context.Context, prog *sem.Program, cfgg Config) *Analysis {
+	cfgg.FailFast = false
+	a, _ := AnalyzeProgramErr(ctx, prog, cfgg)
+	return a
+}
+
+// AnalyzeProgramErr is AnalyzeProgramContext with the FailFast knob
+// honored: with FailFast set it runs exactly one attempt at the given
+// configuration and returns the *guard.Exhausted (or injected) error on
+// exhaustion, leaving retry-at-a-cheaper-configuration policy to the
+// caller. Without FailFast the error is always nil and the degradation
+// chain applies as in AnalyzeProgramContext.
+func AnalyzeProgramErr(ctx context.Context, prog *sem.Program, cfgg Config) (*Analysis, error) {
 	if cfgg.MaxRounds <= 0 {
 		cfgg.MaxRounds = 4
+	}
+	if cfgg.FailFast {
+		return analyzeAttempt(ctx, prog, cfgg)
 	}
 	var warns []Warning
 	attempt := cfgg
@@ -178,7 +199,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *sem.Program, cfgg Config) 
 		a, err := analyzeAttempt(ctx, prog, attempt)
 		if err == nil {
 			a.Warnings = append(warns, a.Warnings...)
-			return a
+			return a, nil
 		}
 		next, ok := degrade(attempt)
 		w := Warning{Axis: axisOf(err), From: describeConfig(attempt), To: "no-constants", Detail: err.Error()}
@@ -189,7 +210,7 @@ func AnalyzeProgramContext(ctx context.Context, prog *sem.Program, cfgg Config) 
 		if !ok {
 			a := bottomAnalysis(prog, attempt)
 			a.Warnings = warns
-			return a
+			return a, nil
 		}
 		attempt = next
 	}
@@ -267,7 +288,7 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 		jc.Prune = prune
 		jc.Check = func() error { return chk.Deadline("jump") }
 		jc.Parallelism = cfgg.Parallelism
-		fns, err := jump.Build(a.Graph, a.Mod, a.builder, jc, entry)
+		fns, err := jump.Build(ctx, a.Graph, a.Mod, a.builder, jc, entry)
 		if err != nil {
 			return nil, err
 		}

@@ -80,6 +80,11 @@ func (e *Exhausted) Error() string {
 	return fmt.Sprintf("guard: %s budget exhausted at %s (limit %d)", e.Axis, e.Site, e.Limit)
 }
 
+// Unwrap exposes the cause (the context error on the deadline axis) so
+// errors.Is can see context.Canceled / context.DeadlineExceeded through
+// an Exhausted.
+func (e *Exhausted) Unwrap() error { return e.Cause }
+
 // Checker enforces a Budget plus a context deadline during an analysis
 // attempt. Each attempt gets its own Checker; one Checker is safe for
 // concurrent use from many goroutines — the parallel pipeline shares a

@@ -28,6 +28,8 @@
 package jump
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -148,9 +150,13 @@ type EntryEnv func(p *sem.Procedure) map[ssa.Var]int64
 // Build constructs return and forward jump functions for the whole
 // program, in the paper's phase order: return jump functions bottom-up,
 // then forward jump functions. It returns an error only when
-// cfgr.Check reports budget exhaustion; internal panics are re-raised
-// tagged with the phase and the procedure being analyzed.
-func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Config, entry EntryEnv) (*Functions, error) {
+// cfgr.Check reports budget exhaustion or ctx is cancelled (both
+// surface as *guard.Exhausted so the driver can degrade the
+// configuration); internal panics are re-raised tagged with the phase
+// and the procedure being analyzed. Worker pools observe ctx between
+// procedures, so a cancelled build stops claiming work instead of
+// analyzing the whole program. A nil ctx never cancels.
+func Build(ctx context.Context, cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Config, entry EntryEnv) (*Functions, error) {
 	defer guard.Repanic("jump")
 	guard.InjectPanic("jump")
 	if b == nil {
@@ -166,6 +172,7 @@ func Build(cg *callgraph.Graph, mod *modref.Info, b *symbolic.Builder, cfgr Conf
 	}
 	builder := &fnBuilder{
 		fns:      fns,
+		ctx:      ctx,
 		entry:    entry,
 		workers:  par.Workers(cfgr.Parallelism, len(cg.Order)),
 		orderIdx: make(map[*sem.Procedure]int, len(cg.Order)),
@@ -208,8 +215,35 @@ func (fb *fnBuilder) check() error {
 	return fb.fns.Config.Check()
 }
 
+// ctxErr reports the build context's cancellation as *guard.Exhausted.
+func (fb *fnBuilder) ctxErr() error {
+	if fb.ctx == nil {
+		return nil
+	}
+	if err := fb.ctx.Err(); err != nil {
+		return &guard.Exhausted{Axis: guard.AxisDeadline, Cause: err, Site: "jump"}
+	}
+	return nil
+}
+
+// forEach fans fn out over the build's worker pool under its context,
+// normalizing a raw context error (the pool stopped claiming tasks)
+// into the same *guard.Exhausted a task-level deadline check produces,
+// so the degradation driver sees one error shape either way.
+func (fb *fnBuilder) forEach(count int, fn func(i int) error) error {
+	err := par.ForEachCtx(fb.ctx, fb.workers, count, fn)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &guard.Exhausted{Axis: guard.AxisDeadline, Cause: err, Site: "jump"}
+	}
+	return err
+}
+
 type fnBuilder struct {
 	fns      *Functions
+	ctx      context.Context
 	entry    EntryEnv
 	workers  int
 	orderIdx map[*sem.Procedure]int
@@ -254,7 +288,9 @@ func (fb *fnBuilder) prebuildSSA() {
 		opts.Kills = fb.fns.Mod.Kills
 	}
 	built := make([]*ssa.Func, len(order))
-	_ = par.ForEach(fb.workers, len(order), func(i int) error {
+	// A cancelled prebuild leaves nil cache slots; analyzeProc fills them
+	// lazily, and the passes that follow observe the context themselves.
+	_ = par.ForEachCtx(fb.ctx, fb.workers, len(order), func(i int) error {
 		n := order[i]
 		defer guard.Repanic("jump", n.Proc.Name)
 		built[i] = ssa.Build(n.CFG, dom.Compute(n.CFG), opts)
@@ -328,6 +364,9 @@ func (fb *fnBuilder) buildReturns() error {
 			if n.Recursive {
 				continue // conservative: no return jump functions
 			}
+			if err := fb.ctxErr(); err != nil {
+				return err
+			}
 			if err := fb.check(); err != nil {
 				return err
 			}
@@ -365,7 +404,7 @@ func (fb *fnBuilder) buildReturns() error {
 			}
 		}
 		sums := make([]*intra.ReturnSummary, len(batch))
-		err := par.ForEach(fb.workers, len(batch), func(i int) error {
+		err := fb.forEach(len(batch), func(i int) error {
 			if err := fb.check(); err != nil {
 				return err
 			}
@@ -444,7 +483,7 @@ func usableExit(res *intra.Result, v *ssa.Value) *symbolic.Expr {
 func (fb *fnBuilder) buildForwards() error {
 	order := fb.fns.Graph.TopDown()
 	pfs := make([]*ProcFunctions, len(order))
-	err := par.ForEach(fb.workers, len(order), func(i int) error {
+	err := fb.forEach(len(order), func(i int) error {
 		if err := fb.check(); err != nil {
 			return err
 		}

@@ -22,7 +22,7 @@ func buildFns(t *testing.T, src string, cfg Config) (*Functions, *sem.Program) {
 	}
 	cg := callgraph.Build(prog)
 	mod := modref.Compute(cg)
-	fns, err := Build(cg, mod, symbolic.NewBuilder(), cfg, nil)
+	fns, err := Build(nil, cg, mod, symbolic.NewBuilder(), cfg, nil)
 	if err != nil {
 		t.Fatalf("jump.Build: %v", err)
 	}

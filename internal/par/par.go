@@ -19,6 +19,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -49,15 +50,51 @@ func Workers(n, count int) int {
 // mirroring what a serial loop would have hit first; the panic value is
 // re-raised on the caller's goroutine.
 func ForEach(workers, count int, fn func(i int) error) error {
+	return ForEachCtx(nil, workers, count, fn)
+}
+
+// ForEachCtx is ForEach bounded by a context: every worker observes
+// ctx.Done() between tasks, so a cancelled or deadline-exceeded fan-out
+// stops claiming new tasks instead of finishing the whole batch. Tasks
+// already running complete (fn is never interrupted mid-flight).
+//
+// The error contract extends ForEach's: a task panic is re-raised
+// first; otherwise the lowest-indexed task error wins (cancellation
+// usually surfaces there too, as the tasks' own budget checks fail);
+// otherwise, if the context was cancelled — whether or not any tasks
+// were skipped — ctx.Err() is returned so a partial fan-out can never
+// be mistaken for a completed one. A nil ctx means no cancellation.
+func ForEachCtx(ctx context.Context, workers, count int, fn func(i int) error) error {
 	if count <= 0 {
 		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	workers = Workers(workers, count)
 	if workers == 1 {
 		for i := 0; i < count; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
+		}
+		if cancelled() {
+			return ctx.Err()
 		}
 		return nil
 	}
@@ -80,6 +117,9 @@ func ForEach(workers, count int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled() {
+					return
+				}
 				i := int(cursor.Add(1))
 				if i >= count || stop.Load() {
 					return
@@ -111,5 +151,11 @@ func ForEach(workers, count int, fn func(i int) error) error {
 	if panicked && panIdx <= errIdx {
 		panic(panVal)
 	}
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cancelled() {
+		return ctx.Err()
+	}
+	return nil
 }

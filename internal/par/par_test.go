@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
@@ -99,5 +100,71 @@ func TestForEachPanicPropagates(t *testing.T) {
 func TestForEachZeroCount(t *testing.T) {
 	if err := ForEach(4, 0, func(i int) error { t.Fatal("task ran"); return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForEachCtxCancelMidFanout(t *testing.T) {
+	// A cancellation fired from inside task 8 must stop the pool from
+	// claiming the rest of the batch: workers observe ctx.Done() between
+	// tasks, so at most the tasks already in flight complete.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, workers, 1000, func(i int) error {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= 1000 || got < 8 {
+			t.Fatalf("workers=%d: %d tasks ran after mid-fan-out cancel, want a handful", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			t.Errorf("workers=%d: task %d ran under a dead context", workers, i)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestForEachCtxTaskErrorWinsOverCancel(t *testing.T) {
+	// When a task has already failed, its error is more informative than
+	// the raw context error (the pipeline's budget checks wrap it with
+	// the site that noticed); the pool must prefer it.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 1, 10, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want task error", err)
+	}
+}
+
+func TestForEachCtxNilCtxCompletes(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForEachCtx(nil, 4, 50, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran.Load())
 	}
 }

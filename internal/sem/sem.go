@@ -6,6 +6,7 @@
 package sem
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -205,6 +206,18 @@ func Analyze(file *ast.File, diags *source.ErrorList) *Program {
 // private shard, merged in unit order so output is identical to the
 // serial pass.
 func AnalyzeParallel(file *ast.File, diags *source.ErrorList, workers int) *Program {
+	prog, _ := AnalyzeParallelCtx(nil, file, diags, workers)
+	return prog
+}
+
+// AnalyzeParallelCtx is AnalyzeParallel bounded by a context: workers
+// observe ctx.Done() between units, so a cancelled or deadline-exceeded
+// analysis stops burning CPU instead of checking every remaining body.
+// A cancelled pass returns a nil Program and *guard.Exhausted on the
+// deadline axis — a partially checked Program is never handed out,
+// because downstream phases would treat missing type facts as bugs. A
+// nil ctx never cancels.
+func AnalyzeParallelCtx(ctx context.Context, file *ast.File, diags *source.ErrorList, workers int) (*Program, error) {
 	defer guard.Repanic("sem")
 	guard.InjectPanic("sem")
 	prog := &Program{
@@ -222,12 +235,17 @@ func AnalyzeParallel(file *ast.File, diags *source.ErrorList, workers int) *Prog
 	n := len(a.prog.Order)
 	if par.Workers(workers, n) <= 1 {
 		for _, p := range a.prog.Order {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, &guard.Exhausted{Axis: guard.AxisDeadline, Cause: err, Site: "sem"}
+				}
+			}
 			a.checkBodyGuarded(p)
 		}
-		return a.prog
+		return a.prog, nil
 	}
 	shards := make([]*analyzer, n)
-	_ = par.ForEach(workers, n, func(i int) error {
+	err := par.ForEachCtx(ctx, workers, n, func(i int) error {
 		sh := &analyzer{
 			prog:       prog,
 			diags:      &source.ErrorList{},
@@ -238,6 +256,9 @@ func AnalyzeParallel(file *ast.File, diags *source.ErrorList, workers int) *Prog
 		sh.checkBodyGuarded(prog.Order[i])
 		return nil
 	})
+	if err != nil {
+		return nil, &guard.Exhausted{Axis: guard.AxisDeadline, Cause: err, Site: "sem"}
+	}
 	for _, sh := range shards {
 		for k, v := range sh.applyKinds {
 			prog.applyKinds[k] = v
@@ -247,7 +268,7 @@ func AnalyzeParallel(file *ast.File, diags *source.ErrorList, workers int) *Prog
 		}
 		diags.Diags = append(diags.Diags, sh.diags.Diags...)
 	}
-	return a.prog
+	return a.prog, nil
 }
 
 type analyzer struct {

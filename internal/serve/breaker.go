@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the service's circuit breaker. It watches internal-failure
+// classes ("panic:<phase>", "exhausted:<axis>") — never user input
+// errors — and trips to fail-fast rejection when failures become
+// systemic: threshold consecutive failures opens the circuit, a
+// cooldown later it half-opens and admits one probe request at a time,
+// and probes consecutive probe successes close it again. A probe
+// failure reopens the circuit for another cooldown.
+//
+// The accounting contract: every request admitted by Allow must report
+// back exactly once, via Success, Failure, or Neutral (user-fault
+// outcomes that prove nothing about the analyzer's health).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probes    int
+	now       func() time.Time // test seam
+
+	mu             sync.Mutex
+	state          breakerState
+	consecFails    int
+	openedAt       time.Time
+	probeInFlight  bool
+	probeSuccesses int
+	trips          int64
+	reopens        int64
+	lastTripClass  string
+	failsByClass   map[string]int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, probes int) *breaker {
+	return &breaker{
+		threshold:    threshold,
+		cooldown:     cooldown,
+		probes:       probes,
+		now:          time.Now,
+		failsByClass: make(map[string]int64),
+	}
+}
+
+// Allow reports whether a request may proceed. When it refuses, the
+// returned duration is the suggested Retry-After.
+func (b *breaker) Allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		b.state = breakerHalfOpen
+		b.probeSuccesses = 0
+		b.probeInFlight = false
+		fallthrough
+	default: // half-open
+		if b.probeInFlight {
+			return false, b.cooldown / 4
+		}
+		b.probeInFlight = true
+		return true, 0
+	}
+}
+
+// Success reports a healthy completion of an admitted request.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.consecFails = 0
+	case breakerHalfOpen:
+		b.probeInFlight = false
+		b.probeSuccesses++
+		if b.probeSuccesses >= b.probes {
+			b.state = breakerClosed
+			b.consecFails = 0
+		}
+	}
+}
+
+// Failure reports an internal failure of an admitted request, keyed by
+// class ("panic:solve", "exhausted:deadline", ...).
+func (b *breaker) Failure(class string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failsByClass[class]++
+	switch b.state {
+	case breakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.trips++
+			b.lastTripClass = class
+		}
+	case breakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.reopens++
+		b.lastTripClass = class
+		b.probeInFlight = false
+	}
+}
+
+// Neutral releases an admitted request whose outcome says nothing about
+// analyzer health (malformed program, client disconnect): probe slots
+// free up, failure streaks neither grow nor reset.
+func (b *breaker) Neutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probeInFlight = false
+	}
+}
+
+// BreakerSnapshot is the /statsz view of the circuit.
+type BreakerSnapshot struct {
+	State            string           `json:"state"`
+	ConsecutiveFails int              `json:"consecutive_failures"`
+	Trips            int64            `json:"trips"`
+	Reopens          int64            `json:"reopens"`
+	LastTripClass    string           `json:"last_trip_class,omitempty"`
+	FailuresByClass  map[string]int64 `json:"failures_by_class,omitempty"`
+}
+
+// Snapshot copies the breaker's counters for /statsz.
+func (b *breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		State:            b.state.String(),
+		ConsecutiveFails: b.consecFails,
+		Trips:            b.trips,
+		Reopens:          b.reopens,
+		LastTripClass:    b.lastTripClass,
+	}
+	if len(b.failsByClass) > 0 {
+		s.FailuresByClass = make(map[string]int64, len(b.failsByClass))
+		for k, v := range b.failsByClass {
+			s.FailuresByClass[k] = v
+		}
+	}
+	return s
+}

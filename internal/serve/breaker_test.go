@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's now() seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration, probes int) (*breaker, *fakeClock) {
+	b := newBreaker(threshold, cooldown, probes)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func mustAllow(t *testing.T, b *breaker) {
+	t.Helper()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatalf("Allow refused in state %s", b.Snapshot().State)
+	}
+}
+
+func mustRefuse(t *testing.T, b *breaker) time.Duration {
+	t.Helper()
+	ok, after := b.Allow()
+	if ok {
+		t.Fatalf("Allow admitted in state %s, want refusal", b.Snapshot().State)
+	}
+	return after
+}
+
+// TestBreakerTripsAtThreshold: exactly threshold consecutive failures
+// open the circuit; a success in between resets the streak.
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, 1)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b)
+		b.Failure("panic:solve")
+	}
+	// A success wipes the streak: two more failures must not trip.
+	mustAllow(t, b)
+	b.Success()
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b)
+		b.Failure("panic:solve")
+	}
+	if s := b.Snapshot(); s.State != "closed" || s.Trips != 0 {
+		t.Fatalf("breaker tripped early: %+v", s)
+	}
+	mustAllow(t, b)
+	b.Failure("panic:solve")
+	s := b.Snapshot()
+	if s.State != "open" || s.Trips != 1 || s.LastTripClass != "panic:solve" {
+		t.Fatalf("breaker did not trip at threshold: %+v", s)
+	}
+}
+
+// TestBreakerOpenRejectsWithRetryAfter: while open, Allow refuses with
+// the remaining cooldown.
+func TestBreakerOpenRejectsWithRetryAfter(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Second, 1)
+	mustAllow(t, b)
+	b.Failure("exhausted:solver-steps")
+	after := mustRefuse(t, b)
+	if after != 10*time.Second {
+		t.Fatalf("Retry-After = %v, want 10s", after)
+	}
+	clk.advance(4 * time.Second)
+	if after := mustRefuse(t, b); after != 6*time.Second {
+		t.Fatalf("Retry-After = %v, want 6s", after)
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe: after the cooldown one probe is
+// admitted at a time; concurrent requests are refused until the probe
+// reports back.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 2)
+	mustAllow(t, b)
+	b.Failure("panic:jump")
+	clk.advance(time.Second)
+
+	mustAllow(t, b) // the probe
+	mustRefuse(t, b)
+	b.Success() // probe 1 of 2 succeeds: still half-open
+	if s := b.Snapshot(); s.State != "half-open" {
+		t.Fatalf("state = %s after 1/2 probes, want half-open", s.State)
+	}
+	mustAllow(t, b)
+	b.Success() // probe 2 of 2: closed
+	if s := b.Snapshot(); s.State != "closed" {
+		t.Fatalf("state = %s after probes, want closed", s.State)
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe sends the circuit
+// straight back to open for a fresh cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 1)
+	mustAllow(t, b)
+	b.Failure("panic:solve")
+	clk.advance(time.Second)
+	mustAllow(t, b)
+	b.Failure("panic:solve")
+	s := b.Snapshot()
+	if s.State != "open" || s.Reopens != 1 {
+		t.Fatalf("probe failure did not reopen: %+v", s)
+	}
+	mustRefuse(t, b)
+	// And the path back still works.
+	clk.advance(time.Second)
+	mustAllow(t, b)
+	b.Success()
+	if s := b.Snapshot(); s.State != "closed" {
+		t.Fatalf("state = %s, want closed", s.State)
+	}
+}
+
+// TestBreakerNeutralReleasesProbe: a user-fault outcome frees the probe
+// slot without a health verdict in either direction.
+func TestBreakerNeutralReleasesProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 1)
+	mustAllow(t, b)
+	b.Failure("panic:sem")
+	clk.advance(time.Second)
+	mustAllow(t, b)
+	b.Neutral() // probe turned out to be a 422: no verdict
+	if s := b.Snapshot(); s.State != "half-open" {
+		t.Fatalf("state = %s after neutral probe, want half-open", s.State)
+	}
+	mustAllow(t, b) // slot must be free again
+	b.Success()
+	if s := b.Snapshot(); s.State != "closed" {
+		t.Fatalf("state = %s, want closed", s.State)
+	}
+}

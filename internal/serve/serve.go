@@ -1,0 +1,714 @@
+// Package serve wraps the analyzer in a crash-only HTTP analysis
+// service. The library already guarantees that one analysis never
+// panics the process (internal/guard); this package turns that into
+// availability guarantees for a long-running process handling many
+// hostile requests at once:
+//
+//   - Admission control: a bounded work queue (MaxConcurrency workers,
+//     QueueDepth waiters) that sheds overload with 429 + Retry-After
+//     instead of accumulating goroutines.
+//   - Per-request deadlines: every analysis runs under a context
+//     deadline wired through ipcp.AnalyzeContext in FailFast mode, so a
+//     slow request dies cleanly instead of wedging a worker.
+//   - Retry with degradation: transiently failed requests are re-run
+//     with capped, jittered exponential backoff at progressively
+//     cheaper configurations (the guard layer's Polynomial →
+//     PassThrough → Intraprocedural → Literal chain) before giving up.
+//   - Circuit breaking: consecutive internal failures trip the breaker
+//     to fail-fast 503s; after a cooldown it half-opens and probes its
+//     way back to closed.
+//   - Observability and lifecycle: /healthz, /readyz, a /statsz counter
+//     snapshot, and graceful shutdown that drains in-flight work under
+//     a drain deadline.
+//
+// Every response is JSON; the only status codes a well-formed request
+// can see are 200 (ok or degraded), 422 (program errors), 429 (shed),
+// and 503 (breaker open, draining, deadline, or internal failure after
+// retries). Malformed HTTP/JSON gets 400/405.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/ipcp"
+)
+
+// Config tunes the service. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// MaxConcurrency is the number of analyses that may run at once
+	// (default GOMAXPROCS).
+	MaxConcurrency int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the ones running; anything past MaxConcurrency+QueueDepth
+	// is shed with 429 (default 2*MaxConcurrency).
+	QueueDepth int
+	// RequestTimeout caps one request's wall clock, retries included
+	// (default 10s). A request's timeout_ms may shorten it, never
+	// lengthen it.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 5s).
+	DrainTimeout time.Duration
+	// MaxRetries caps re-runs after a transient failure (default 3).
+	MaxRetries int
+	// RetryBaseDelay and RetryMaxDelay shape the capped, jittered
+	// exponential backoff between attempts (defaults 5ms and 250ms).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold is the consecutive internal failures that trip
+	// the circuit (default 5); BreakerCooldown is how long it stays open
+	// before half-opening (default 2s); BreakerProbes is the consecutive
+	// probe successes that close it again (default 2).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	BreakerProbes    int
+	// AnalysisParallelism is the per-request ipcp.Config.Parallelism
+	// (default 1: each analysis runs serially; the service gets its
+	// parallelism from concurrent requests, not nested worker pools).
+	AnalysisParallelism int
+	// MaxBodyBytes caps the request body (default 8 MiB — comfortably
+	// above the parser's own 4 MiB source cap).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrency
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 5 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 250 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 2
+	}
+	if c.AnalysisParallelism == 0 {
+		c.AnalysisParallelism = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the crash-only analysis service.
+type Server struct {
+	cfg      Config
+	sem      chan struct{}
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	draining atomic.Bool
+	breaker  *breaker
+	started  time.Time
+	http     *http.Server
+
+	// test seams
+	sleep  func(ctx context.Context, d time.Duration)
+	jitter func() float64
+
+	stats serverStats
+}
+
+// serverStats is the /statsz counter set. All counters are monotonic.
+type serverStats struct {
+	requests     atomic.Int64 // POST /v1/analyze received
+	ok           atomic.Int64 // 200, no degradation
+	degraded     atomic.Int64 // 200 with degradations
+	shed         atomic.Int64 // 429
+	badRequests  atomic.Int64 // 400/405
+	inputErrors  atomic.Int64 // 422
+	breakeropen  atomic.Int64 // 503 rejected by open breaker
+	drainRejects atomic.Int64 // 503 while draining
+	deadline     atomic.Int64 // 503 deadline exhausted
+	internal     atomic.Int64 // 503 internal failure after retries
+	abandoned    atomic.Int64 // client gone while queued
+	retriedReqs  atomic.Int64 // requests retried at least once
+	retriesTotal atomic.Int64 // total retry attempts
+
+	mu          sync.Mutex
+	degByAxis   map[string]int64 // degradations by budget axis
+	panicsPhase map[string]int64 // internal errors by pipeline phase
+}
+
+// New returns a Server over cfg (zero-value fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrency),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerProbes),
+		started: time.Now(),
+		jitter:  rand.Float64,
+	}
+	s.sleep = func(ctx context.Context, d time.Duration) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	s.stats.degByAxis = make(map[string]int64)
+	s.stats.panicsPhase = make(map[string]int64)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.http = &http.Server{Handler: s.Handler()}
+	return s.http.Serve(l)
+}
+
+// Shutdown drains the server: new work is refused (readyz flips, 503s
+// with class "draining"), in-flight requests get up to DrainTimeout to
+// finish, then connections are closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.http == nil {
+		return nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	return s.http.Shutdown(dctx)
+}
+
+// ---------------------------------------------------------------------
+// Wire types
+
+// AnalyzeRequest is the POST /v1/analyze body.
+type AnalyzeRequest struct {
+	Filename string        `json:"filename"`
+	Source   string        `json:"source"`
+	Config   RequestConfig `json:"config"`
+	// TimeoutMs shortens (never lengthens) the server's RequestTimeout
+	// for this request.
+	TimeoutMs int         `json:"timeout_ms"`
+	Want      RequestWant `json:"want"`
+}
+
+// RequestConfig mirrors the CLI's configuration axes in JSON.
+type RequestConfig struct {
+	// Kind: literal | intra | passthrough | polynomial (default
+	// passthrough).
+	Kind string `json:"kind"`
+	// Mod / Ret default to true when absent.
+	Mod      *bool  `json:"mod"`
+	Ret      *bool  `json:"ret"`
+	Complete bool   `json:"complete"`
+	Gated    bool   `json:"gated"`
+	Solver   string `json:"solver"` // worklist | binding
+
+	MaxSolverSteps int `json:"max_solver_steps"`
+	MaxRounds      int `json:"max_rounds"`
+	MaxExprSize    int `json:"max_expr_size"`
+}
+
+// RequestWant selects optional result payloads.
+type RequestWant struct {
+	JumpFunctions bool `json:"jump_functions"`
+	Transformed   bool `json:"transformed"`
+}
+
+// ConstantJSON is one discovered constant.
+type ConstantJSON struct {
+	Name       string `json:"name"`
+	Value      int64  `json:"value"`
+	Global     bool   `json:"global,omitempty"`
+	Block      string `json:"block,omitempty"`
+	Referenced bool   `json:"referenced"`
+}
+
+// DegradationJSON is one graceful-degradation step the analysis took.
+type DegradationJSON struct {
+	Axis   string `json:"axis"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Detail string `json:"detail"`
+}
+
+// AnalyzeResponse is the 200 body.
+type AnalyzeResponse struct {
+	Status        string                    `json:"status"` // "ok" | "degraded"
+	Config        string                    `json:"config"` // configuration actually served
+	Retries       int                       `json:"retries"`
+	Constants     map[string][]ConstantJSON `json:"constants"`
+	Substitutions int                       `json:"substitutions"`
+	Degradations  []DegradationJSON         `json:"degradations,omitempty"`
+	Warnings      []string                  `json:"warnings,omitempty"`
+	JFEvaluations int                       `json:"jf_evaluations"`
+	SolverRounds  int                       `json:"solver_rounds"`
+	JumpFunctions []string                  `json:"jump_functions,omitempty"`
+	Transformed   string                    `json:"transformed,omitempty"`
+}
+
+// ErrorResponse is every non-200 body.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody carries a machine-readable class alongside the message.
+// Classes: bad-request, method, input, shed, draining, breaker-open,
+// exhausted:<axis>, panic:<phase>, canceled, handler-panic.
+type ErrorBody struct {
+	Class   string `json:"class"`
+	Message string `json:"message"`
+}
+
+// StatsSnapshot is the /statsz body.
+type StatsSnapshot struct {
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Draining       bool             `json:"draining"`
+	MaxConcurrency int              `json:"max_concurrency"`
+	QueueDepth     int              `json:"queue_depth"`
+	InFlight       int64            `json:"in_flight"`
+	Queued         int64            `json:"queued"`
+	Requests       int64            `json:"requests"`
+	OK             int64            `json:"ok"`
+	Degraded       int64            `json:"degraded"`
+	Shed           int64            `json:"shed"`
+	BadRequests    int64            `json:"bad_requests"`
+	InputErrors    int64            `json:"input_errors"`
+	BreakerOpen    int64            `json:"breaker_rejects"`
+	DrainRejects   int64            `json:"drain_rejects"`
+	DeadlineFails  int64            `json:"deadline_failures"`
+	InternalFails  int64            `json:"internal_failures"`
+	Abandoned      int64            `json:"abandoned"`
+	RetriedReqs    int64            `json:"requests_retried"`
+	RetriesTotal   int64            `json:"retries_total"`
+	DegByAxis      map[string]int64 `json:"degradations_by_axis,omitempty"`
+	PanicsByPhase  map[string]int64 `json:"panics_by_phase,omitempty"`
+	Breaker        BreakerSnapshot  `json:"breaker"`
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots every counter (exported for the soak harness and the
+// binary's shutdown summary).
+func (s *Server) Stats() StatsSnapshot {
+	st := &s.stats
+	snap := StatsSnapshot{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Draining:       s.draining.Load(),
+		MaxConcurrency: s.cfg.MaxConcurrency,
+		QueueDepth:     s.cfg.QueueDepth,
+		InFlight:       s.inFlight.Load(),
+		Queued:         s.queued.Load() - s.inFlight.Load(),
+		Requests:       st.requests.Load(),
+		OK:             st.ok.Load(),
+		Degraded:       st.degraded.Load(),
+		Shed:           st.shed.Load(),
+		BadRequests:    st.badRequests.Load(),
+		InputErrors:    st.inputErrors.Load(),
+		BreakerOpen:    st.breakeropen.Load(),
+		DrainRejects:   st.drainRejects.Load(),
+		DeadlineFails:  st.deadline.Load(),
+		InternalFails:  st.internal.Load(),
+		Abandoned:      st.abandoned.Load(),
+		RetriedReqs:    st.retriedReqs.Load(),
+		RetriesTotal:   st.retriesTotal.Load(),
+		Breaker:        s.breaker.Snapshot(),
+	}
+	if snap.Queued < 0 {
+		snap.Queued = 0
+	}
+	st.mu.Lock()
+	if len(st.degByAxis) > 0 {
+		snap.DegByAxis = make(map[string]int64, len(st.degByAxis))
+		for k, v := range st.degByAxis {
+			snap.DegByAxis[k] = v
+		}
+	}
+	if len(st.panicsPhase) > 0 {
+		snap.PanicsByPhase = make(map[string]int64, len(st.panicsPhase))
+		for k, v := range st.panicsPhase {
+			snap.PanicsByPhase[k] = v
+		}
+	}
+	st.mu.Unlock()
+	return snap
+}
+
+// handleAnalyze is the crash-only request path: admission control →
+// parse → breaker → worker slot → deadline-bounded retry ladder.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	// Last-ditch insurance: the analyzer contract says faults surface as
+	// errors, but a handler bug must still produce a response, not kill
+	// the connection's goroutine state.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "handler-panic", fmt.Sprint(rec))
+		}
+	}()
+	if r.Method != http.MethodPost {
+		s.stats.badRequests.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	s.stats.requests.Add(1)
+
+	if s.draining.Load() {
+		s.stats.drainRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+
+	// Admission control: bound running + waiting requests; shed the rest
+	// immediately so overload costs one counter increment, not a
+	// goroutine parked forever.
+	if s.queued.Add(1) > int64(s.cfg.MaxConcurrency+s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.stats.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, "shed", "work queue full")
+		return
+	}
+	defer s.queued.Add(-1)
+
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	cfg, err := req.Config.toIPCP()
+	if err != nil {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	// The service gets its parallelism from concurrent requests;
+	// per-request analysis stays at the configured (default serial)
+	// worker count, and FailFast hands the retry/degrade policy to the
+	// ladder below instead of the in-library chain.
+	cfg.Parallelism = s.cfg.AnalysisParallelism
+	cfg.FailFast = true
+
+	if ok, after := s.breaker.Allow(); !ok {
+		s.stats.breakeropen.Add(1)
+		w.Header().Set("Retry-After", retryAfter(after))
+		s.writeError(w, http.StatusServiceUnavailable, "breaker-open", "circuit breaker open")
+		return
+	}
+	// From here on the breaker must hear back exactly once.
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.breaker.Neutral()
+		s.stats.abandoned.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "canceled", "client went away while queued")
+		return
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	s.runLadder(ctx, w, &req, cfg)
+}
+
+// runLadder runs the analysis with the retry/degrade ladder and writes
+// the response. The breaker has admitted the request.
+func (s *Server) runLadder(ctx context.Context, w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config) {
+	filename := req.Filename
+	if filename == "" {
+		filename = "request.f"
+	}
+	retries := 0
+	for {
+		res, err := ipcp.AnalyzeContext(ctx, filename, req.Source, cfg)
+		if err == nil {
+			s.breaker.Success()
+			s.writeResult(w, req, cfg, res, retries)
+			return
+		}
+		class, retryable, userFault := classify(err)
+		if userFault {
+			s.breaker.Neutral()
+			s.stats.inputErrors.Add(1)
+			s.writeError(w, http.StatusUnprocessableEntity, "input", err.Error())
+			return
+		}
+		if errors.Is(err, context.Canceled) {
+			// The client went away, not the analyzer: no breaker verdict.
+			s.breaker.Neutral()
+			s.stats.abandoned.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
+			return
+		}
+		s.recordFailureClass(err)
+		if !retryable || retries >= s.cfg.MaxRetries || ctx.Err() != nil {
+			s.breaker.Failure(class)
+			if class == "exhausted:deadline" {
+				s.stats.deadline.Add(1)
+			} else {
+				s.stats.internal.Add(1)
+			}
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, class, err.Error())
+			return
+		}
+		if retries == 0 {
+			s.stats.retriedReqs.Add(1)
+		}
+		retries++
+		s.stats.retriesTotal.Add(1)
+		// Re-run cheaper: one step down the sound degradation chain per
+		// retry (staying at Literal once there), after a capped, jittered
+		// exponential backoff.
+		cfg = degradeConfig(cfg)
+		s.sleep(ctx, s.backoff(retries))
+	}
+}
+
+// backoff returns the jittered, capped exponential delay before retry n
+// (n >= 1): base·2^(n-1) capped at max, then jittered to [d/2, d).
+func (s *Server) backoff(n int) time.Duration {
+	d := s.cfg.RetryBaseDelay << (n - 1)
+	if d > s.cfg.RetryMaxDelay || d <= 0 {
+		d = s.cfg.RetryMaxDelay
+	}
+	return d/2 + time.Duration(s.jitter()*float64(d/2))
+}
+
+// degradeConfig steps one rung down the sound fallback chain (the same
+// chain the in-library degradation uses): complete off, gated off, then
+// Polynomial → PassThrough → Intraprocedural → Literal. At Literal it
+// returns the config unchanged — a pure backoff retry.
+func degradeConfig(c ipcp.Config) ipcp.Config {
+	switch {
+	case c.Complete:
+		c.Complete = false
+	case c.Gated:
+		c.Gated = false
+	case c.Kind > ipcp.Literal:
+		c.Kind--
+	}
+	return c
+}
+
+// classify sorts an analysis error into a breaker class and retry
+// policy. userFault errors (program diagnostics) are 422s that say
+// nothing about service health.
+func classify(err error) (class string, retryable, userFault bool) {
+	var ie *ipcp.InternalError
+	if errors.As(err, &ie) {
+		return "panic:" + string(ie.Phase), true, false
+	}
+	var be *ipcp.BudgetError
+	if errors.As(err, &be) {
+		if be.Axis == "deadline" {
+			// The clock is gone; a retry under the same dead context
+			// cannot succeed.
+			return "exhausted:deadline", false, false
+		}
+		return "exhausted:" + be.Axis, true, false
+	}
+	return "input", false, true
+}
+
+// recordFailureClass books per-phase / per-axis failure counters.
+func (s *Server) recordFailureClass(err error) {
+	var ie *ipcp.InternalError
+	if errors.As(err, &ie) {
+		s.stats.mu.Lock()
+		s.stats.panicsPhase[string(ie.Phase)]++
+		s.stats.mu.Unlock()
+	}
+}
+
+// writeResult renders the 200 response.
+func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config, res *ipcp.Result, retries int) {
+	resp := AnalyzeResponse{
+		Status:        "ok",
+		Config:        describeConfig(cfg),
+		Retries:       retries,
+		Constants:     make(map[string][]ConstantJSON),
+		Substitutions: res.SubstitutionCount(),
+		Warnings:      res.Warnings,
+	}
+	evals, _, rounds := res.Stats()
+	resp.JFEvaluations = evals
+	resp.SolverRounds = rounds
+	for proc, ks := range res.Constants() {
+		out := make([]ConstantJSON, 0, len(ks))
+		for _, k := range ks {
+			out = append(out, ConstantJSON{
+				Name: k.Name, Value: k.Value, Global: k.IsGlobal,
+				Block: k.Block, Referenced: k.Referenced,
+			})
+		}
+		resp.Constants[proc] = out
+	}
+	if len(res.Degradations) > 0 || retries > 0 {
+		resp.Status = "degraded"
+	}
+	if resp.Status == "degraded" {
+		s.stats.degraded.Add(1)
+	} else {
+		s.stats.ok.Add(1)
+	}
+	s.stats.mu.Lock()
+	for _, d := range res.Degradations {
+		s.stats.degByAxis[d.Axis]++
+		resp.Degradations = append(resp.Degradations, DegradationJSON{
+			Axis: d.Axis, From: d.From, To: d.To, Detail: d.Detail,
+		})
+	}
+	s.stats.mu.Unlock()
+	if req.Want.JumpFunctions {
+		resp.JumpFunctions = res.JumpFunctions()
+	}
+	if req.Want.Transformed {
+		resp.Transformed = res.TransformedSource()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// describeConfig names the configuration a response was served at.
+func describeConfig(c ipcp.Config) string {
+	name := c.Kind.String()
+	if c.Gated {
+		name += "+gated"
+	}
+	if c.Complete {
+		name += "+complete"
+	}
+	return name
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, class, msg string) {
+	s.writeJSON(w, status, ErrorResponse{Error: ErrorBody{Class: class, Message: msg}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone: nothing useful to do
+}
+
+// retryAfter renders a duration as a whole-seconds Retry-After value
+// (minimum 1).
+func retryAfter(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// toIPCP converts the wire configuration, validating enum fields.
+func (rc RequestConfig) toIPCP() (ipcp.Config, error) {
+	cfg := ipcp.DefaultConfig()
+	switch rc.Kind {
+	case "", "passthrough":
+		cfg.Kind = ipcp.PassThrough
+	case "literal":
+		cfg.Kind = ipcp.Literal
+	case "intra":
+		cfg.Kind = ipcp.Intraprocedural
+	case "polynomial":
+		cfg.Kind = ipcp.Polynomial
+	default:
+		return cfg, fmt.Errorf("unknown jump function kind %q", rc.Kind)
+	}
+	if rc.Mod != nil {
+		cfg.UseMOD = *rc.Mod
+	}
+	if rc.Ret != nil {
+		cfg.UseReturnJFs = *rc.Ret
+	}
+	cfg.Complete = rc.Complete
+	cfg.Gated = rc.Gated
+	switch rc.Solver {
+	case "", "worklist":
+		cfg.Solver = ipcp.Worklist
+	case "binding":
+		cfg.Solver = ipcp.BindingGraph
+	default:
+		return cfg, fmt.Errorf("unknown solver %q", rc.Solver)
+	}
+	cfg.Budget = ipcp.Budget{
+		MaxSolverSteps: rc.MaxSolverSteps,
+		MaxRounds:      rc.MaxRounds,
+		MaxJFExprSize:  rc.MaxExprSize,
+	}
+	return cfg, nil
+}

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+const okSrc = `PROGRAM MAIN
+INTEGER K
+K = 2 + 3
+CALL WORK(K, 7)
+END
+SUBROUTINE WORK(N, M)
+INTEGER N, M
+PRINT *, N + M
+END
+`
+
+// newTestServer returns a Server with fast retries and no real backoff
+// sleeps, suitable for direct handler-level tests.
+func newTestServer(cfg Config) *Server {
+	s := New(cfg)
+	s.sleep = func(ctx context.Context, d time.Duration) {}
+	return s
+}
+
+func postAnalyze(t *testing.T, s *Server, req AnalyzeRequest) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return postRaw(s, body)
+}
+
+func postRaw(s *Server, body []byte) (int, http.Header, []byte) {
+	r := httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w.Code, w.Header(), w.Body.Bytes()
+}
+
+func decodeResult(t *testing.T, body []byte) AnalyzeResponse {
+	t.Helper()
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("200 body is not an AnalyzeResponse: %v\n%s", err, body)
+	}
+	return resp
+}
+
+func decodeError(t *testing.T, body []byte) ErrorBody {
+	t.Helper()
+	var resp ErrorResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("error body is not an ErrorResponse: %v\n%s", err, body)
+	}
+	return resp.Error
+}
+
+// TestAnalyzeOK: the happy path returns 200 "ok" with the paper's
+// constants for WORK.
+func TestAnalyzeOK(t *testing.T) {
+	s := newTestServer(Config{})
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	resp := decodeResult(t, body)
+	if resp.Status != "ok" || resp.Retries != 0 {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	ks := resp.Constants["WORK"]
+	if len(ks) != 2 || ks[0].Name != "M" || ks[0].Value != 7 || ks[1].Name != "N" || ks[1].Value != 5 {
+		t.Fatalf("WORK constants = %+v, want M=7 N=5", ks)
+	}
+	if st := s.Stats(); st.OK != 1 || st.Requests != 1 {
+		t.Fatalf("stats after success: %+v", st)
+	}
+}
+
+// TestAnalyzeInputError: program diagnostics are 422s with class
+// "input" and leave the breaker untouched.
+func TestAnalyzeInputError(t *testing.T) {
+	s := newTestServer(Config{BreakerThreshold: 1})
+	for i := 0; i < 3; i++ {
+		code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: "PROGRAM P\nCALL NOPE(1)\nEND\n"})
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("status = %d, body %s", code, body)
+		}
+		if eb := decodeError(t, body); eb.Class != "input" {
+			t.Fatalf("class = %q, want input", eb.Class)
+		}
+	}
+	st := s.Stats()
+	if st.InputErrors != 3 || st.Breaker.State != "closed" {
+		t.Fatalf("input errors must not trip the breaker: %+v", st)
+	}
+}
+
+// TestAnalyzeBadRequest: malformed JSON and bad enum values are 400s;
+// non-POST is 405.
+func TestAnalyzeBadRequest(t *testing.T) {
+	s := newTestServer(Config{})
+	if code, _, body := postRaw(s, []byte("{not json")); code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status = %d, body %s", code, body)
+	}
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc, Config: RequestConfig{Kind: "psychic"}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad kind: status = %d, body %s", code, body)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/v1/analyze", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d", w.Code)
+	}
+}
+
+// TestAdmissionControlSheds: with one worker and a queue of one, a
+// third concurrent request is shed with 429 + Retry-After while the
+// first two eventually succeed.
+func TestAdmissionControlSheds(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	remove := guard.Set("solve", func() error {
+		entered <- struct{}{}
+		<-release
+		return nil
+	})
+	defer remove()
+
+	s := newTestServer(Config{MaxConcurrency: 1, QueueDepth: 1})
+	type outcome struct {
+		code int
+		hdr  http.Header
+		body []byte
+	}
+	results := make(chan outcome, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+			results <- outcome{code, hdr, body}
+		}()
+	}
+	// Wait until one request is parked inside the solver and the other
+	// is queued behind the single worker slot.
+	<-entered
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 2", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third request: status = %d, body %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if eb := decodeError(t, body); eb.Class != "shed" {
+		t.Errorf("class = %q, want shed", eb.Class)
+	}
+
+	close(release)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.code != http.StatusOK {
+			t.Fatalf("admitted request: status = %d, body %s", r.code, r.body)
+		}
+	}
+	if st := s.Stats(); st.Shed != 1 || st.OK != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestRequestDeadline: a request whose budget is gone mid-solve fails
+// fast with 503 class "exhausted:deadline" and is not retried (the
+// clock cannot come back).
+func TestRequestDeadline(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	remove := guard.Set("solve", func() error {
+		time.Sleep(50 * time.Millisecond) // outlive the 1ms request budget
+		return nil
+	})
+	defer remove()
+
+	s := newTestServer(Config{})
+	code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc, TimeoutMs: 1})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if eb := decodeError(t, body); eb.Class != "exhausted:deadline" {
+		t.Fatalf("class = %q, want exhausted:deadline", eb.Class)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	st := s.Stats()
+	if st.DeadlineFails != 1 || st.RetriesTotal != 0 {
+		t.Fatalf("deadline failure must not burn retries: %+v", st)
+	}
+}
+
+// TestRetryThenSuccess: transient internal panics are retried with
+// backoff at degraded configurations until one attempt lands; the
+// response reports the retries and counts as degraded.
+func TestRetryThenSuccess(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	var calls atomic.Int64
+	remove := guard.Set("solve", func() error {
+		if calls.Add(1) <= 2 {
+			panic("transient fault")
+		}
+		return nil
+	})
+	defer remove()
+
+	var slept atomic.Int64
+	s := New(Config{})
+	s.sleep = func(ctx context.Context, d time.Duration) {
+		if d <= 0 {
+			panic("non-positive backoff")
+		}
+		slept.Add(1)
+	}
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	resp := decodeResult(t, body)
+	if resp.Status != "degraded" || resp.Retries != 2 {
+		t.Fatalf("response: %+v, want degraded with 2 retries", resp)
+	}
+	if slept.Load() != 2 {
+		t.Errorf("backoff slept %d times, want 2", slept.Load())
+	}
+	st := s.Stats()
+	if st.RetriedReqs != 1 || st.RetriesTotal != 2 || st.Degraded != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PanicsByPhase["solve"] != 2 {
+		t.Fatalf("panics by phase: %+v", st.PanicsByPhase)
+	}
+	if st.Breaker.State != "closed" {
+		t.Fatalf("a recovered request must not advance the breaker: %+v", st.Breaker)
+	}
+}
+
+// TestRetriesExhaustedTripBreaker: persistent internal failures exhaust
+// the retries, count as breaker failures, trip the circuit, fail fast
+// while open, and the circuit probes its way closed again after the
+// cooldown once the fault clears.
+func TestRetriesExhaustedTripBreaker(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	remove := guard.Set("solve", func() error { panic("persistent fault") })
+
+	s := New(Config{MaxRetries: 1, BreakerThreshold: 2, BreakerProbes: 1, BreakerCooldown: time.Minute})
+	s.sleep = func(ctx context.Context, d time.Duration) {}
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	s.breaker.now = clk.now
+
+	for i := 0; i < 2; i++ {
+		code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status = %d, body %s", i, code, body)
+		}
+		if eb := decodeError(t, body); eb.Class != "panic:solve" {
+			t.Fatalf("request %d: class = %q, want panic:solve", i, eb.Class)
+		}
+	}
+	// Tripped: the next request is rejected without touching the
+	// analyzer.
+	code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if eb := decodeError(t, body); eb.Class != "breaker-open" {
+		t.Fatalf("class = %q, want breaker-open", eb.Class)
+	}
+	if hdr.Get("Retry-After") != "60" {
+		t.Errorf("Retry-After = %q, want 60", hdr.Get("Retry-After"))
+	}
+
+	// Fault clears, cooldown passes: the half-open probe closes it.
+	remove()
+	clk.advance(time.Minute)
+	code, _, body = postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusOK {
+		t.Fatalf("probe: status = %d, body %s", code, body)
+	}
+	st := s.Stats()
+	if st.Breaker.State != "closed" || st.Breaker.Trips != 1 {
+		t.Fatalf("breaker after recovery: %+v", st.Breaker)
+	}
+	if st.BreakerOpen != 1 || st.InternalFails != 2 || st.RetriesTotal != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDrainRefusesNewWork: after Shutdown begins, /readyz flips to 503
+// and new analyses are refused with class "draining".
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := newTestServer(Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if eb := decodeError(t, body); eb.Class != "draining" {
+		t.Fatalf("class = %q, want draining", eb.Class)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining: status = %d", w.Code)
+	}
+}
+
+// TestHealthAndStats: /healthz is always 200; /statsz returns a valid
+// snapshot that reflects traffic.
+func TestHealthAndStats(t *testing.T) {
+	s := newTestServer(Config{})
+	postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+
+	r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz: status = %d", w.Code)
+	}
+
+	r = httptest.NewRequest(http.MethodGet, "/statsz", nil)
+	w = httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/statsz: status = %d", w.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/statsz body: %v\n%s", err, w.Body.Bytes())
+	}
+	if snap.Requests != 1 || snap.OK != 1 || snap.Breaker.State != "closed" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestWantPayloads: the want flags switch on jump functions and the
+// transformed source.
+func TestWantPayloads(t *testing.T) {
+	s := newTestServer(Config{})
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{
+		Source: okSrc,
+		Want:   RequestWant{JumpFunctions: true, Transformed: true},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	resp := decodeResult(t, body)
+	if len(resp.JumpFunctions) == 0 {
+		t.Error("jump_functions requested but absent")
+	}
+	if resp.Transformed == "" {
+		t.Error("transformed requested but absent")
+	}
+}

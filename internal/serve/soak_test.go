@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// TestChaosSoak is the crash-only acceptance harness: concurrent
+// clients hammer a real HTTP server over a real socket while a fault
+// cycler rotates injected panics and budget exhaustion through every
+// pipeline phase. The server must never exit, must answer every request
+// with well-formed JSON from the documented status set, must trip and
+// recover its circuit breaker at least once, and must drain back to the
+// baseline goroutine count on shutdown.
+//
+// The default run is sized for `go test` (about 1.5s); `make soak` runs
+// it for 30s with 12 clients via IPCP_SOAK_DURATION / IPCP_SOAK_CLIENTS.
+func TestChaosSoak(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "soak")
+
+	duration := 1500 * time.Millisecond
+	if v := os.Getenv("IPCP_SOAK_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("IPCP_SOAK_DURATION: %v", err)
+		}
+		duration = d
+	}
+	clients := 10
+	if v := os.Getenv("IPCP_SOAK_CLIENTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("IPCP_SOAK_CLIENTS: bad value %q", v)
+		}
+		clients = n
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Tight retry/breaker settings so trips and recoveries happen many
+	// times within even the short default run: fault windows (~120ms)
+	// outlast the breaker cooldown (~80ms), so an open breaker gets its
+	// probe while the fault is still hot (reopen) and after it moves on
+	// (close).
+	s := New(Config{
+		MaxConcurrency:   2,
+		QueueDepth:       2,
+		RequestTimeout:   2 * time.Second,
+		DrainTimeout:     20 * time.Second,
+		MaxRetries:       1,
+		RetryBaseDelay:   time.Millisecond,
+		RetryMaxDelay:    4 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  80 * time.Millisecond,
+		BreakerProbes:    1,
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	httpc := &http.Client{Timeout: 10 * time.Second}
+
+	// --- Fault cycler -------------------------------------------------
+	type fault struct {
+		name string
+		site string
+		hook guard.Hook
+	}
+	faults := []fault{
+		{name: "none"},
+		{"panic-solve", "solve", func() error { panic("soak: injected solve panic") }},
+		{"exhaust-solve", "solve", func() error {
+			return &guard.Exhausted{Axis: guard.AxisSolverSteps, Limit: 1, Site: "solve"}
+		}},
+		{"panic-jump", "jump", func() error { panic("soak: injected jump panic") }},
+		{"panic-sem", "sem", func() error { panic("soak: injected sem panic") }},
+		{"panic-subst", "subst", func() error { panic("soak: injected subst panic") }},
+	}
+	stopFaults := make(chan struct{})
+	faultsDone := make(chan struct{})
+	go func() {
+		defer close(faultsDone)
+		remove := func() {}
+		defer func() { remove() }()
+		for i := 0; ; i++ {
+			f := faults[i%len(faults)]
+			remove()
+			remove = func() {}
+			if f.site != "" {
+				remove = guard.Set(f.site, f.hook)
+			}
+			select {
+			case <-stopFaults:
+				return
+			case <-time.After(120 * time.Millisecond):
+			}
+		}
+	}()
+
+	// --- Clients ------------------------------------------------------
+	bodies := [][]byte{
+		mustJSON(t, AnalyzeRequest{Source: okSrc}),
+		mustJSON(t, AnalyzeRequest{Source: okSrc, Config: RequestConfig{Kind: "polynomial", Complete: true}}),
+		mustJSON(t, AnalyzeRequest{Source: okSrc, Want: RequestWant{JumpFunctions: true}}),
+		mustJSON(t, AnalyzeRequest{Source: "PROGRAM P\nCALL NOPE(1)\nEND\n"}), // 422
+		[]byte("{definitely not json"),                                        // 400
+	}
+	allowed := map[int]bool{200: true, 400: true, 422: true, 429: true, 503: true}
+	var statusCounts [600]atomic.Int64
+	var badStatus, badBody atomic.Int64
+	firstFailure := make(chan string, 1)
+	reject := func(format string, args ...interface{}) {
+		select {
+		case firstFailure <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	stopClients := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopClients:
+					return
+				default:
+				}
+				body := bodies[rng.Intn(len(bodies))]
+				resp, err := httpc.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					// The server must never die; a transport error is a
+					// harness failure.
+					badStatus.Add(1)
+					reject("transport error: %v", err)
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if !allowed[resp.StatusCode] {
+					badStatus.Add(1)
+					reject("status %d body %s", resp.StatusCode, data)
+					continue
+				}
+				statusCounts[resp.StatusCode].Add(1)
+				if resp.StatusCode == http.StatusOK {
+					var r AnalyzeResponse
+					if err := json.Unmarshal(data, &r); err != nil || (r.Status != "ok" && r.Status != "degraded") {
+						badBody.Add(1)
+						reject("malformed 200 body: %s", data)
+					}
+				} else {
+					var r ErrorResponse
+					if err := json.Unmarshal(data, &r); err != nil || r.Error.Class == "" {
+						badBody.Add(1)
+						reject("malformed error body (%d): %s", resp.StatusCode, data)
+					}
+				}
+			}
+		}(int64(c) + 1)
+	}
+
+	time.Sleep(duration)
+	close(stopClients)
+	wg.Wait()
+	close(stopFaults)
+	<-faultsDone
+
+	// --- Recovery window: faults are gone; the breaker must close. ----
+	recoverDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := httpc.Post(base+"/v1/analyze", "application/json", bytes.NewReader(bodies[0]))
+		if err != nil {
+			t.Fatalf("recovery request: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if s.Stats().Breaker.State == "closed" && resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("breaker never recovered: %+v", s.Stats().Breaker)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// --- Verdicts -----------------------------------------------------
+	select {
+	case msg := <-firstFailure:
+		t.Errorf("soak violation: %s", msg)
+	default:
+	}
+	if n := badStatus.Load(); n > 0 {
+		t.Errorf("%d responses outside {200,400,422,429,503}", n)
+	}
+	if n := badBody.Load(); n > 0 {
+		t.Errorf("%d responses with malformed JSON bodies", n)
+	}
+	st := s.Stats()
+	if st.Breaker.Trips < 1 {
+		t.Errorf("breaker never tripped during the soak: %+v", st.Breaker)
+	}
+	total := int64(0)
+	for code := range statusCounts {
+		if n := statusCounts[code].Load(); n > 0 {
+			t.Logf("status %d: %d", code, n)
+			total += n
+		}
+	}
+	t.Logf("requests=%d ok=%d degraded=%d shed=%d input=%d internal=%d deadline=%d breaker-rejects=%d trips=%d reopens=%d",
+		st.Requests, st.OK, st.Degraded, st.Shed, st.InputErrors,
+		st.InternalFails, st.DeadlineFails, st.BreakerOpen, st.Breaker.Trips, st.Breaker.Reopens)
+	if total == 0 {
+		t.Fatal("soak made no requests")
+	}
+	if st.OK+st.Degraded == 0 {
+		t.Error("no request ever succeeded during the soak")
+	}
+	if st.InternalFails+st.BreakerOpen == 0 {
+		t.Error("fault injection never produced an internal failure")
+	}
+
+	// --- Drain: goroutines must return to (near) baseline. ------------
+	// Hang up the client's pooled keep-alive connections first:
+	// Shutdown treats young StateNew connections as possibly-busy and
+	// would otherwise wait several seconds for them to age out.
+	httpc.CloseIdleConnections()
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	goroutineDeadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		}
+		if time.Now().After(goroutineDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines stuck at %d (baseline %d)\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

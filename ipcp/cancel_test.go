@@ -1,0 +1,164 @@
+package ipcp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want,
+// failing the test if it never does: a cancelled analysis must not leak
+// worker goroutines.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count stuck at %d, want <= %d", runtime.NumGoroutine(), want)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertCleanBudgetError checks the satellite contract for mid-analysis
+// cancellation under FailFast: the error is a *BudgetError wrapping
+// guard.Exhausted on the deadline axis — never an *InternalError, never
+// a raw context error.
+func assertCleanBudgetError(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("cancelled FailFast analysis succeeded, want *BudgetError")
+	}
+	var ie *InternalError
+	if errors.As(err, &ie) {
+		t.Fatalf("cancellation surfaced as *InternalError: %v", ie)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T (%v), want *BudgetError", err, err)
+	}
+	if be.Axis != string(guard.AxisDeadline) {
+		t.Errorf("Axis = %q, want %q", be.Axis, guard.AxisDeadline)
+	}
+	var ex *guard.Exhausted
+	if !errors.As(err, &ex) || ex.Axis != guard.AxisDeadline {
+		t.Errorf("underlying error %v does not carry guard.Exhausted{Axis: deadline}", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+}
+
+// TestCancelDuringSolve cancels the context while the solver is
+// iterating: the analysis must abort with a clean deadline error and
+// leave no goroutines behind.
+func TestCancelDuringSolve(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	for _, parallel := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		remove := guard.Set("solve", func() error {
+			cancel() // fires at solver entry; the solver's next Check sees it
+			return nil
+		})
+
+		before := runtime.NumGoroutine()
+		cfg := DefaultConfig()
+		cfg.FailFast = true
+		cfg.Parallelism = parallel
+		res, err := AnalyzeContext(ctx, "cancel.f", robustSrc, cfg)
+		remove()
+		cancel()
+		if res != nil {
+			t.Fatalf("parallel=%d: cancelled analysis returned a result", parallel)
+		}
+		assertCleanBudgetError(t, err)
+		waitGoroutines(t, before+2)
+	}
+}
+
+// TestCancelDuringJump cancels the context during jump-function
+// construction (the fan-out phase): workers must stop claiming
+// procedures and the build must surface the deadline axis.
+func TestCancelDuringJump(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	for _, parallel := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		remove := guard.Set("jump", func() error {
+			cancel() // fires at Build entry; per-procedure checks see it
+			return nil
+		})
+
+		before := runtime.NumGoroutine()
+		cfg := DefaultConfig()
+		cfg.FailFast = true
+		cfg.Parallelism = parallel
+		res, err := AnalyzeContext(ctx, "cancel.f", robustSrc, cfg)
+		remove()
+		cancel()
+		if res != nil {
+			t.Fatalf("parallel=%d: cancelled analysis returned a result", parallel)
+		}
+		assertCleanBudgetError(t, err)
+		waitGoroutines(t, before+2)
+	}
+}
+
+// TestCancelWithoutFailFastDegrades pins the library default: the same
+// mid-solve cancellation without FailFast yields a sound degraded
+// result (err == nil) whose warnings name the deadline axis.
+func TestCancelWithoutFailFastDegrades(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	remove := guard.Set("solve", func() error {
+		cancel()
+		return nil
+	})
+	defer remove()
+
+	res, err := AnalyzeContext(ctx, "cancel.f", robustSrc, DefaultConfig())
+	if err != nil {
+		t.Fatalf("non-FailFast cancellation failed: %v", err)
+	}
+	if !res.Degraded() {
+		t.Fatal("cancelled analysis reports no degradations")
+	}
+	found := false
+	for _, d := range res.Degradations {
+		if d.Axis == string(guard.AxisDeadline) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no deadline-axis degradation in %v", res.Degradations)
+	}
+}
+
+// TestDeadlineExceededDuringSolve uses a real deadline instead of an
+// injected hook: an already-expired context must abort FailFast
+// analysis with the deadline axis and errors.Is(DeadlineExceeded).
+func TestDeadlineExceededDuringSolve(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	cfg := DefaultConfig()
+	cfg.FailFast = true
+	_, err := AnalyzeContext(ctx, "cancel.f", robustSrc, cfg)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T (%v), want *BudgetError", err, err)
+	}
+	if be.Axis != string(guard.AxisDeadline) {
+		t.Errorf("Axis = %q, want deadline", be.Axis)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, context.DeadlineExceeded) = false for %v", err)
+	}
+}

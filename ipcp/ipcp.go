@@ -120,6 +120,15 @@ type Config struct {
 	// bit-identical across all settings; the knob trades only wall-clock
 	// time for cores.
 	Parallelism int
+	// FailFast turns off in-library graceful degradation: the first
+	// budget or deadline exhaustion aborts the analysis and
+	// AnalyzeContext returns a *BudgetError instead of a degraded
+	// Result. Cancellation also stops the pipeline's worker pools
+	// between tasks, so a dead context stops burning CPU promptly.
+	// Callers that implement their own retry-at-a-cheaper-configuration
+	// policy (such as the ipcp-serve analysis service) set this; plain
+	// library users should leave it off and read Result.Degradations.
+	FailFast bool
 }
 
 // DefaultConfig returns the paper's recommended configuration:
@@ -141,6 +150,7 @@ func (c Config) internal() core.Config {
 		Complete:    c.Complete,
 		Budget:      c.Budget.internal(),
 		Parallelism: c.Parallelism,
+		FailFast:    c.FailFast,
 	}
 	if c.Solver == BindingGraph {
 		out.Solver = core.SolverBinding
@@ -193,7 +203,9 @@ func Analyze(filename, src string, cfg Config) (*Result, error) {
 // AnalyzeContext is Analyze with a context: cancellation or deadline
 // expiry does not abort the analysis but bounds it — the analyzer falls
 // back along a sound degradation chain and reports each step in
-// Result.Degradations.
+// Result.Degradations. With Config.FailFast set the chain is disabled:
+// the first exhaustion aborts cleanly with a *BudgetError and the
+// worker pools stop claiming tasks.
 func AnalyzeContext(ctx context.Context, filename, src string, cfg Config) (res *Result, err error) {
 	defer recoverInternal(&err)
 	var diags source.ErrorList
@@ -205,11 +217,25 @@ func AnalyzeContext(ctx context.Context, filename, src string, cfg Config) (res 
 // substitution) shared by AnalyzeContext and AnalyzeFilesContext. The
 // caller holds the recoverInternal barrier.
 func finishAnalysis(ctx context.Context, f *ast.File, diags *source.ErrorList, cfg Config) (*Result, error) {
-	prog := sem.AnalyzeParallel(f, diags, cfg.Parallelism)
+	// Without FailFast the front end always completes (it is cheap and a
+	// partial Program is useless); the context bounds only the analysis
+	// proper, which degrades. With FailFast every phase observes the
+	// context and the first exhaustion aborts.
+	semCtx := ctx
+	if !cfg.FailFast {
+		semCtx = nil
+	}
+	prog, err := sem.AnalyzeParallelCtx(semCtx, f, diags, cfg.Parallelism)
+	if err != nil {
+		return nil, budgetError(err)
+	}
 	if err := diags.Err(); err != nil {
 		return nil, err
 	}
-	analysis := core.AnalyzeProgramContext(ctx, prog, cfg.internal())
+	analysis, err := core.AnalyzeProgramErr(ctx, prog, cfg.internal())
+	if err != nil {
+		return nil, budgetError(err)
+	}
 	res := &Result{
 		analysis: analysis,
 		file:     f,

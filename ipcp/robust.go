@@ -4,6 +4,7 @@
 package ipcp
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 
@@ -89,6 +90,41 @@ type Warning struct {
 
 func (w Warning) String() string {
 	return fmt.Sprintf("degraded [%s]: %s → %s (%s)", w.Axis, w.From, w.To, w.Detail)
+}
+
+// BudgetError reports that a FailFast analysis ran out of a resource
+// budget (or its context was cancelled) before completing. It is
+// returned only when Config.FailFast is set; without it the analyzer
+// degrades instead and the same information arrives as
+// Result.Degradations. It is distinct from *InternalError: a
+// BudgetError is the environment's fault (deadline, budget), not a bug
+// in the analyzer.
+type BudgetError struct {
+	// Axis is the exhausted budget axis: "deadline", "solver-steps",
+	// "rounds", "jf-expr-size" — or "fault" for injected test faults.
+	Axis string
+	// Site is the pipeline site that noticed (e.g. "solve", "jump").
+	Site string
+	// Detail is the underlying error's message.
+	Detail string
+	cause  error
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("ipcp: budget exhausted [%s] at %s: %s", e.Axis, e.Site, e.Detail)
+}
+
+// Unwrap exposes the underlying guard error so errors.Is/As reach the
+// context error (context.Canceled, context.DeadlineExceeded) beneath.
+func (e *BudgetError) Unwrap() error { return e.cause }
+
+// budgetError wraps a FailFast attempt failure into a *BudgetError.
+func budgetError(err error) error {
+	var ex *guard.Exhausted
+	if errors.As(err, &ex) {
+		return &BudgetError{Axis: string(ex.Axis), Site: ex.Site, Detail: err.Error(), cause: err}
+	}
+	return &BudgetError{Axis: "fault", Detail: err.Error(), cause: err}
 }
 
 // recoverInternal converts a panic escaping the analysis pipeline into
