@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 SOAK_DURATION ?= 30s
 SOAK_CLIENTS ?= 12
 
-.PHONY: all build vet test race fuzz check bench bench-go bench-check serve soak clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke serve soak clean
 
 all: check
 
@@ -39,10 +39,18 @@ bench:
 bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate the baseline and gate on the sweep speedup. The gate is
-# skipped automatically on machines with fewer than 4 CPUs.
+# Regenerate the baseline and gate it three ways: the parallel sweep
+# speedup (skipped below 4 CPUs), the incremental-analysis warm/cold
+# ratios, and allocations per op against the committed baseline (fails
+# if table2/analyze-serial allocs grow more than 10%).
 bench-check:
-	$(GO) run ./cmd/ipcp-bench -out BENCH_ipcp.json -min-speedup 2
+	$(GO) run ./cmd/ipcp-bench -out BENCH_ipcp.json.new -min-speedup 2 -baseline BENCH_ipcp.json
+	mv BENCH_ipcp.json.new BENCH_ipcp.json
+
+# A fast CI smoke of the benchmark harness: few iterations, same
+# exhibits and gates minus the timing-sensitive ones.
+bench-smoke:
+	$(GO) run ./cmd/ipcp-bench -quick -out /tmp/bench-smoke.json -baseline BENCH_ipcp.json
 
 # Run the crash-only analysis service on :8077 (see docs/robustness.md
 # for the endpoint and tuning reference).

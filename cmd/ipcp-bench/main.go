@@ -10,11 +10,22 @@
 //	ipcp-bench                      # write BENCH_ipcp.json in the cwd
 //	ipcp-bench -out path.json
 //	ipcp-bench -min-speedup 2      # also gate on sweep speedup (needs >= 4 CPUs)
+//	ipcp-bench -baseline BENCH_ipcp.json  # fail on >10% alloc regression
+//	ipcp-bench -quick               # short iterations for CI smoke runs
 //
-// The speedup gate is skipped with a notice when GOMAXPROCS < 4: on a
-// one- or two-core machine the parallel sweep cannot be expected to win,
-// and the paper's determinism guarantee (identical output at every
-// parallelism) is what the tests enforce instead.
+// Gates:
+//
+//   - With 4 or more CPUs the parallel sweep must beat the serial one
+//     (speedup > 1.0), always; -min-speedup raises that floor. Below 4
+//     CPUs the gate is skipped with a notice: on a one- or two-core
+//     machine the parallel sweep cannot be expected to win, and the
+//     paper's determinism guarantee (identical output at every
+//     parallelism) is what the tests enforce instead.
+//   - With -baseline, the allocs/op of table2/analyze-serial must not
+//     grow more than 10% over the committed baseline.
+//   - The incremental-analysis exhibits must show their designed wins
+//     (warm-identical >= 5x over cold, warm-one-edit >= 2x); skipped
+//     under -quick, whose short runs are too noisy to gate on.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -85,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 	var (
 		out        = fs.String("out", "BENCH_ipcp.json", "where to write the baseline ('-' for stdout)")
 		minSpeedup = fs.Float64("min-speedup", 0, "fail unless the parallel sweep is at least this much faster (0 = no gate; skipped below 4 CPUs)")
+		baseline   = fs.String("baseline", "", "committed baseline JSON to gate allocation regressions against")
+		quickFlag  = fs.Bool("quick", false, "short fixed-iteration runs for CI smoke tests (no perf gates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -93,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		fmt.Fprintf(stderr, "ipcp-bench: unexpected argument %q\n", fs.Arg(0))
 		return 1
 	}
+	quick = *quickFlag
 
 	base, err := measure(stderr)
 	if err != nil {
@@ -120,30 +135,123 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 			*out, len(base.Exhibits), base.Sweep.Speedup, base.Sweep.Workers)
 	}
 
-	if *minSpeedup > 0 {
-		if base.GoMaxProcs < 4 {
-			fmt.Fprintf(stdout, "speedup gate skipped: GOMAXPROCS=%d < 4\n", base.GoMaxProcs)
-		} else if base.Sweep.Speedup < *minSpeedup {
-			fmt.Fprintf(stderr, "ipcp-bench: sweep speedup %.2fx below required %.2fx\n",
-				base.Sweep.Speedup, *minSpeedup)
+	// Speedup gate: with enough cores the parallel sweep must actually
+	// win (floor 1.0), and -min-speedup raises the bar from there. The
+	// floor applies even without -min-speedup, so a parallelism
+	// regression cannot hide behind a forgotten flag.
+	floor := 1.0
+	if *minSpeedup > floor {
+		floor = *minSpeedup
+	}
+	if base.GoMaxProcs < 4 {
+		fmt.Fprintf(stdout, "speedup gate skipped: GOMAXPROCS=%d < 4\n", base.GoMaxProcs)
+	} else if base.Sweep.Speedup < floor {
+		fmt.Fprintf(stderr, "ipcp-bench: sweep speedup %.2fx below required %.2fx\n",
+			base.Sweep.Speedup, floor)
+		return 1
+	} else {
+		fmt.Fprintf(stdout, "speedup gate passed: %.2fx >= %.2fx\n", base.Sweep.Speedup, floor)
+	}
+
+	if *baseline != "" {
+		if err := gateAllocs(stdout, *baseline, base); err != nil {
+			fmt.Fprintln(stderr, "ipcp-bench:", err)
 			return 1
-		} else {
-			fmt.Fprintf(stdout, "speedup gate passed: %.2fx >= %.2fx\n", base.Sweep.Speedup, *minSpeedup)
+		}
+	}
+	if !quick {
+		if err := gateMemo(stdout, base); err != nil {
+			fmt.Fprintln(stderr, "ipcp-bench:", err)
+			return 1
 		}
 	}
 	return 0
 }
 
-// bench runs one benchmark function under the testing harness and
-// converts its result into an Exhibit. bytes, when non-zero, is the
-// input size an iteration processes, and yields MB/s.
-func bench(name string, bytes int64, f func(b *testing.B)) Exhibit {
+// findExhibit returns the named exhibit, or nil.
+func findExhibit(b *Baseline, name string) *Exhibit {
+	for i := range b.Exhibits {
+		if b.Exhibits[i].Name == name {
+			return &b.Exhibits[i]
+		}
+	}
+	return nil
+}
+
+// gateAllocs fails when the hot analysis path allocates more than 10%
+// over the committed baseline. ns/op is too machine-dependent to gate
+// in CI; allocation counts are deterministic enough to hold the line.
+func gateAllocs(stdout io.Writer, path string, cur *Baseline) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("alloc gate: %w", err)
+	}
+	var committed Baseline
+	if err := json.Unmarshal(blob, &committed); err != nil {
+		return fmt.Errorf("alloc gate: parse %s: %w", path, err)
+	}
+	const name = "table2/analyze-serial"
+	was, now := findExhibit(&committed, name), findExhibit(cur, name)
+	if was == nil || was.AllocsPerOp == 0 {
+		return fmt.Errorf("alloc gate: %s has no %s allocs baseline", path, name)
+	}
+	if now == nil {
+		return fmt.Errorf("alloc gate: current run has no %s exhibit", name)
+	}
+	limit := was.AllocsPerOp + was.AllocsPerOp/10
+	if now.AllocsPerOp > limit {
+		return fmt.Errorf("alloc gate: %s allocs/op %d exceeds baseline %d by more than 10%%",
+			name, now.AllocsPerOp, was.AllocsPerOp)
+	}
+	fmt.Fprintf(stdout, "alloc gate passed: %s %d allocs/op (baseline %d, limit %d)\n",
+		name, now.AllocsPerOp, was.AllocsPerOp, limit)
+	return nil
+}
+
+// gateMemo asserts the incremental-analysis exhibits deliver their
+// designed wins: a warm identical re-analysis at least 5x cheaper than
+// a cold one, and re-analysis after one edited unit at least 2x.
+func gateMemo(stdout io.Writer, base *Baseline) error {
+	cold := findExhibit(base, "memo/cold")
+	warm := findExhibit(base, "memo/warm-identical")
+	edit := findExhibit(base, "memo/warm-one-edit")
+	if cold == nil || warm == nil || edit == nil {
+		return fmt.Errorf("memo gate: exhibits missing")
+	}
+	if warm.NsPerOp <= 0 || edit.NsPerOp <= 0 {
+		return fmt.Errorf("memo gate: degenerate timings")
+	}
+	warmX := cold.NsPerOp / warm.NsPerOp
+	editX := cold.NsPerOp / edit.NsPerOp
+	if warmX < 5 {
+		return fmt.Errorf("memo gate: warm-identical only %.2fx faster than cold (need >= 5x)", warmX)
+	}
+	if editX < 2 {
+		return fmt.Errorf("memo gate: warm-one-edit only %.2fx faster than cold (need >= 2x)", editX)
+	}
+	fmt.Fprintf(stdout, "memo gate passed: warm-identical %.1fx, warm-one-edit %.1fx over cold\n", warmX, editX)
+	return nil
+}
+
+// quick selects short fixed-iteration runs (CI smoke mode) over the
+// full testing.Benchmark calibration.
+var quick bool
+
+// bench runs one benchmark body — "do the work n times, or fail" — and
+// converts the measurement into an Exhibit. bytes, when non-zero, is
+// the input size an iteration processes, and yields MB/s.
+func bench(name string, bytes int64, f func(n int) error) Exhibit {
+	if quick {
+		return quickBench(name, bytes, f)
+	}
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		if bytes > 0 {
 			b.SetBytes(bytes)
 		}
-		f(b)
+		if err := f(b.N); err != nil {
+			b.Fatal(err)
+		}
 	})
 	e := Exhibit{
 		Name:        name,
@@ -154,6 +262,37 @@ func bench(name string, bytes int64, f func(b *testing.B)) Exhibit {
 	}
 	if bytes > 0 && r.T > 0 {
 		e.MBPerSec = float64(bytes*int64(r.N)) / 1e6 / r.T.Seconds()
+	}
+	return e
+}
+
+// quickBench is bench without the harness: one warm-up iteration, then
+// a short timed run with manual allocation accounting. The numbers are
+// noisy — quick mode exists to prove the harness runs end to end in CI,
+// not to gate performance.
+func quickBench(name string, bytes int64, f func(n int) error) Exhibit {
+	const n = 3
+	if err := f(1); err != nil {
+		panic(fmt.Sprintf("%s: %v", name, err))
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := f(n); err != nil {
+		panic(fmt.Sprintf("%s: %v", name, err))
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	e := Exhibit{
+		Name:        name,
+		Iterations:  n,
+		NsPerOp:     float64(dur.Nanoseconds()) / n,
+		AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}
+	if bytes > 0 && dur > 0 {
+		e.MBPerSec = float64(bytes*n) / 1e6 / dur.Seconds()
 	}
 	return e
 }
@@ -169,13 +308,85 @@ func analyzeExhibit(name, progName string, cfg ipcp.Config) (Exhibit, error) {
 	if _, err := ipcp.Analyze(progName+".f", src, cfg); err != nil {
 		return Exhibit{}, err
 	}
-	return bench(name, int64(len(src)), func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+	return bench(name, int64(len(src)), func(n int) error {
+		for i := 0; i < n; i++ {
 			if _, err := ipcp.Analyze(progName+".f", src, cfg); err != nil {
-				b.Fatal(err)
+				return err
 			}
 		}
+		return nil
 	}), nil
+}
+
+// editUnit returns src with one novel statement inserted into its last
+// program unit — a distinct program each call, sharing every other
+// unit's text with the original. This is the "developer edited one
+// subroutine and re-analyzed" scenario, with a fresh constant per call
+// so no previous analysis of the edited text can be a whole-result hit.
+func editUnit(src string, seq int) string {
+	i := strings.LastIndex(src, "\nEND")
+	if i < 0 {
+		return src
+	}
+	return fmt.Sprintf("%s\nNQZED = %d%s", src[:i], 1000+seq, src[i:])
+}
+
+// memoExhibits measures the incremental-analysis cache on the Table 2
+// program: a cold analysis populating a fresh cache each iteration, a
+// warm re-analysis of identical source against a primed cache, and a
+// warm re-analysis after an edit to one unit.
+func memoExhibits() ([]Exhibit, error) {
+	spec, ok := suite.ByName("spec77")
+	if !ok {
+		return nil, fmt.Errorf("no suite program spec77")
+	}
+	src := suite.Source(spec)
+	cfg := ipcp.Config{Kind: ipcp.Polynomial, UseMOD: true, UseReturnJFs: true, Parallelism: 1}
+	analyze := func(text string, cache *ipcp.Cache) error {
+		c := cfg
+		c.Cache = cache
+		_, err := ipcp.Analyze("spec77.f", text, c)
+		return err
+	}
+
+	var out []Exhibit
+	out = append(out, bench("memo/cold", int64(len(src)), func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := analyze(src, ipcp.NewCache(ipcp.CacheOptions{})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+
+	warmCache := ipcp.NewCache(ipcp.CacheOptions{})
+	if err := analyze(src, warmCache); err != nil {
+		return nil, err
+	}
+	out = append(out, bench("memo/warm-identical", int64(len(src)), func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := analyze(src, warmCache); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+
+	editCache := ipcp.NewCache(ipcp.CacheOptions{MaxBytes: 256 << 20})
+	if err := analyze(src, editCache); err != nil {
+		return nil, err
+	}
+	seq := 0
+	out = append(out, bench("memo/warm-one-edit", int64(len(src)), func(n int) error {
+		for i := 0; i < n; i++ {
+			seq++
+			if err := analyze(editUnit(src, seq), editCache); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	return out, nil
 }
 
 // sweepOnce times one full uncached Table 2 sweep.
@@ -188,11 +399,15 @@ func sweepOnce(parallelism int) (time.Duration, error) {
 }
 
 // sweepBest returns the faster of two sweep runs, damping scheduler and
-// GC noise without inflating the harness runtime.
+// GC noise without inflating the harness runtime (quick mode runs just
+// one).
 func sweepBest(parallelism int) (time.Duration, error) {
 	best, err := sweepOnce(parallelism)
 	if err != nil {
 		return 0, err
+	}
+	if quick {
+		return best, nil
 	}
 	again, err := sweepOnce(parallelism)
 	if err != nil {
@@ -212,20 +427,21 @@ func measure(stderr io.Writer) (*Baseline, error) {
 	}
 
 	// Figure 1: lattice meets — the solver's innermost operation.
-	base.Exhibits = append(base.Exhibits, bench("figure1/meet", 0, func(b *testing.B) {
+	base.Exhibits = append(base.Exhibits, bench("figure1/meet", 0, func(n int) error {
 		vals := []lattice.Value{
 			lattice.TopValue(), lattice.BottomValue(),
 			lattice.ConstValue(1), lattice.ConstValue(2), lattice.ConstValue(-7),
 		}
-		for i := 0; i < b.N; i++ {
+		for i := 0; i < n; i++ {
 			v := lattice.TopValue()
 			for _, w := range vals {
 				v = lattice.Meet(v, w)
 			}
 			if !v.IsBottom() {
-				b.Fatal("meet chain should bottom out")
+				return fmt.Errorf("meet chain should bottom out")
 			}
 		}
+		return nil
 	}))
 
 	// Table 1: suite synthesis and characterization throughput.
@@ -234,15 +450,16 @@ func measure(stderr io.Writer) (*Baseline, error) {
 	for _, spec := range specs {
 		totalBytes += int64(len(suite.Source(spec)))
 	}
-	base.Exhibits = append(base.Exhibits, bench("table1/characterize", totalBytes, func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
+	base.Exhibits = append(base.Exhibits, bench("table1/characterize", totalBytes, func(n int) error {
+		for i := 0; i < n; i++ {
 			for _, spec := range specs {
 				src := suite.Source(spec)
 				if suite.Characterize(spec.Name, src).Procs == 0 {
-					b.Fatal("empty characterization")
+					return fmt.Errorf("empty characterization")
 				}
 			}
 		}
+		return nil
 	}))
 
 	// Tables 2/3: the full pipeline on a representative large program,
@@ -281,6 +498,13 @@ func measure(stderr io.Writer) (*Baseline, error) {
 		return nil, err
 	}
 	base.Exhibits = append(base.Exhibits, e)
+
+	// Incremental analysis: cold vs warm re-analysis through the cache.
+	memos, err := memoExhibits()
+	if err != nil {
+		return nil, err
+	}
+	base.Exhibits = append(base.Exhibits, memos...)
 
 	// The sweep comparison: all (program, configuration) cells of
 	// Table 2, serial vs one worker per CPU.

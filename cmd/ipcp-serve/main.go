@@ -23,6 +23,9 @@
 //	-breaker-threshold 5        consecutive internal failures that trip the circuit
 //	-breaker-cooldown 2s        open time before the circuit half-opens
 //	-parallel 1                 per-request analysis worker count
+//	-analysis-cache 67108864    incremental-analysis cache byte budget (0 disables)
+//	-result-cache 33554432      whole-response result cache byte budget (0 disables)
+//	-pprof                      register net/http/pprof under /debug/pprof/ (off by default)
 //
 // SIGINT/SIGTERM begin a graceful drain: readiness flips, in-flight
 // requests get the drain budget to finish, then the process exits 0.
@@ -65,6 +68,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		brThreshold = fs.Int("breaker-threshold", 5, "consecutive internal failures that trip the circuit")
 		brCooldown  = fs.Duration("breaker-cooldown", 2*time.Second, "open time before the circuit half-opens")
 		parallel    = fs.Int("parallel", 1, "per-request analysis worker count")
+		memoCache   = fs.Int64("analysis-cache", 64<<20, "incremental-analysis cache byte budget (0 disables)")
+		resultCache = fs.Int64("result-cache", 32<<20, "whole-response result cache byte budget (0 disables)")
+		pprofOn     = fs.Bool("pprof", false, "register net/http/pprof handlers under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +89,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		BreakerThreshold:    *brThreshold,
 		BreakerCooldown:     *brCooldown,
 		AnalysisParallelism: *parallel,
+		AnalysisCacheBytes:  disabledIfZero(*memoCache),
+		ResultCacheBytes:    disabledIfZero(*resultCache),
+		EnablePprof:         *pprofOn,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -114,5 +123,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	st := s.Stats()
 	fmt.Fprintf(stdout, "ipcp-serve: served %d requests (%d ok, %d degraded, %d shed, %d input errors, %d internal failures, breaker trips %d)\n",
 		st.Requests, st.OK, st.Degraded, st.Shed, st.InputErrors, st.InternalFails, st.Breaker.Trips)
+	if st.ResultCache != nil && st.AnalysisCache != nil {
+		fmt.Fprintf(stdout, "ipcp-serve: result cache %d hits / %d misses, analysis cache %d hits / %d misses\n",
+			st.ResultCache.Hits, st.ResultCache.Misses, st.AnalysisCache.Hits, st.AnalysisCache.Misses)
+	}
 	return 0
+}
+
+// disabledIfZero maps the flag convention (0 = off) onto the Config
+// convention (negative = off, 0 = default).
+func disabledIfZero(n int64) int64 {
+	if n == 0 {
+		return -1
+	}
+	return n
 }

@@ -83,6 +83,35 @@ type Config struct {
 	// Callers that own their own retry policy (the analysis service) use
 	// this to keep one attempt per configuration under their control.
 	FailFast bool
+	// Hooks, when non-nil, lets a memoization layer supply previously
+	// computed phase results and collect fresh ones (package memo). The
+	// driver consults it only where reuse is provably equivalent to
+	// recomputation: never during complete-propagation jump-function
+	// rebuild rounds (those need SSA state the cache does not keep).
+	Hooks MemoHooks
+}
+
+// MemoHooks is the driver-side interface of an incremental-analysis
+// cache. All methods must be safe for concurrent use.
+type MemoHooks interface {
+	// Graph returns the memoized call graph and MOD summaries for the
+	// program under analysis.
+	Graph() (*callgraph.Graph, *modref.Info)
+	// Funcs consults the cache before a round-0 jump-function build.
+	// Either fns is non-nil (a whole-build hit — trunc is the truncation
+	// count the original build observed, to be credited to b), or memo
+	// is a per-procedure cache to thread through jump.Build (nil when
+	// nothing at all is cached).
+	Funcs(c Config, jc jump.Config, b *symbolic.Builder) (fns *jump.Functions, trunc int, memo jump.Memo)
+	// StoreFuncs offers a fresh, successful round-0 build back to the
+	// cache. trunc is the builder's truncation count after the build.
+	StoreFuncs(c Config, fns *jump.Functions, trunc int)
+	// Subst consults the cache before a substitution pass. Either res is
+	// non-nil (a whole-pass hit), or memo is a per-procedure cache to
+	// thread through subst.Run (nil when nothing is cached).
+	Subst(c Config, opts subst.Options) (res *subst.Result, memo subst.Memo)
+	// StoreSubst offers a fresh substitution result back to the cache.
+	StoreSubst(c Config, opts subst.Options, res *subst.Result)
 }
 
 // DefaultConfig is pass-through + MOD + return jump functions — the
@@ -260,14 +289,18 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 	a := &Analysis{
 		Config:  cfgg,
 		Prog:    prog,
-		Graph:   callgraph.Build(prog),
 		builder: symbolic.NewBuilder(),
 		chk:     chk,
 	}
 	if cfgg.Budget.MaxExprSize > 0 {
 		a.builder.SetMaxSize(cfgg.Budget.MaxExprSize)
 	}
-	a.Mod = modref.Compute(a.Graph)
+	if cfgg.Hooks != nil {
+		a.Graph, a.Mod = cfgg.Hooks.Graph()
+	} else {
+		a.Graph = callgraph.Build(prog)
+		a.Mod = modref.Compute(a.Graph)
+	}
 
 	init := DataInits(prog)
 
@@ -288,9 +321,31 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 		jc.Prune = prune
 		jc.Check = func() error { return chk.Deadline("jump") }
 		jc.Parallelism = cfgg.Parallelism
-		fns, err := jump.Build(ctx, a.Graph, a.Mod, a.builder, jc, entry)
-		if err != nil {
-			return nil, err
+		// Memoization applies only to the canonical round-0 build:
+		// rebuild rounds of complete propagation feed back entry
+		// environments and pruning, which the cache keys do not cover.
+		useMemo := cfgg.Hooks != nil && !cfgg.Complete && round == 0
+		var fns *jump.Functions
+		if useMemo {
+			cached, trunc, pm := cfgg.Hooks.Funcs(cfgg, jc, a.builder)
+			if cached != nil {
+				a.builder.AddTruncated(trunc)
+				fns = cached
+			} else {
+				jc.Memo = pm
+				var err error
+				fns, err = jump.Build(ctx, a.Graph, a.Mod, a.builder, jc, entry)
+				if err != nil {
+					return nil, err
+				}
+				cfgg.Hooks.StoreFuncs(cfgg, fns, a.builder.Truncated())
+			}
+		} else {
+			var err error
+			fns, err = jump.Build(ctx, a.Graph, a.Mod, a.builder, jc, entry)
+			if err != nil {
+				return nil, err
+			}
 		}
 		a.Funcs = fns
 		vals, err := a.solve(init, chk)
@@ -345,10 +400,14 @@ func bottomAnalysis(prog *sem.Program, cfgg Config) *Analysis {
 	a := &Analysis{
 		Config:  cfgg,
 		Prog:    prog,
-		Graph:   callgraph.Build(prog),
 		builder: symbolic.NewBuilder(),
 	}
-	a.Mod = modref.Compute(a.Graph)
+	if cfgg.Hooks != nil {
+		a.Graph, a.Mod = cfgg.Hooks.Graph()
+	} else {
+		a.Graph = callgraph.Build(prog)
+		a.Mod = modref.Compute(a.Graph)
+	}
 	a.Funcs = &jump.Functions{
 		Config:  cfgg.Jump,
 		Graph:   a.Graph,
@@ -428,6 +487,18 @@ func (a *Analysis) Substitute() *subst.Result {
 		Entry:            a.Vals.EntryEnv,
 		Builder:          a.builder,
 		Parallelism:      a.Config.Parallelism,
+	}
+	if h := a.Config.Hooks; h != nil {
+		res, pm := h.Subst(a.Config, opts)
+		if res != nil {
+			return res
+		}
+		if pm != nil {
+			opts.Memo = pm
+			res = subst.Run(a.Graph, a.Mod, opts)
+			h.StoreSubst(a.Config, opts, res)
+			return res
+		}
 	}
 	return subst.Run(a.Graph, a.Mod, opts)
 }

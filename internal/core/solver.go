@@ -55,8 +55,8 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 	vals := NewValues(a.Prog)
 	a.seed(vals, init)
 
-	inWork := make(map[*sem.Procedure]bool)
-	var work []*sem.Procedure
+	inWork := make(map[*sem.Procedure]bool, len(a.Prog.Order))
+	work := make([]*sem.Procedure, 0, len(a.Prog.Order))
 	push := func(p *sem.Procedure) {
 		if !inWork[p] {
 			inWork[p] = true
@@ -173,8 +173,8 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 	}
 
 	// Worklist of lowered slots.
-	var work []slotKey
-	inWork := make(map[slotKey]bool)
+	work := make([]slotKey, 0, len(a.Prog.Order))
+	inWork := make(map[slotKey]bool, len(a.Prog.Order))
 	lower := func(k slotKey, v lattice.Value) {
 		var changed bool
 		if k.formal >= 0 {

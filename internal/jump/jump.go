@@ -95,6 +95,15 @@ type Config struct {
 	// construction; a non-nil return (typically *guard.Exhausted) aborts
 	// Build with that error so the driver can degrade the configuration.
 	Check func() error
+	// Memo, when non-nil, memoizes per-procedure build products across
+	// Build calls: a Lookup hit supplies a procedure's return summary
+	// and site functions (already expressed in this build's builder),
+	// skipping its SSA/value-numbering analysis; freshly built products
+	// are offered back via Store. Lookup is called concurrently and must
+	// be read-only; Store must be safe for concurrent use. A non-nil
+	// Memo forces per-procedure expression builders even serially, so
+	// truncation counts stay attributable per procedure.
+	Memo Memo
 	// Parallelism bounds the worker goroutines that analyze procedures
 	// concurrently: <= 0 selects one worker per CPU (GOMAXPROCS), 1 runs
 	// the serial pipeline. Results are bit-identical to the serial run:
@@ -147,6 +156,27 @@ type Functions struct {
 // rebuild rounds of complete propagation; nil means no knowledge.
 type EntryEnv func(p *sem.Procedure) map[ssa.Var]int64
 
+// Memo caches per-procedure build products across Build calls. See
+// Config.Memo.
+type Memo interface {
+	Lookup(p *sem.Procedure) *ProcMemo
+	Store(p *sem.Procedure, m *ProcMemo)
+}
+
+// ProcMemo is one procedure's memoizable build product.
+type ProcMemo struct {
+	// Summary is the return jump-function summary; nil for recursive
+	// procedures and when return jump functions are off.
+	Summary *intra.ReturnSummary
+	// Sites are the procedure's forward jump functions, aligned with its
+	// CFG call sites (program-procedure callees only, in CFG order).
+	Sites []*SiteFunctions
+	// Truncated is how many expressions the procedure's analysis
+	// truncated to ⊥ under the size budget (needed to reproduce the
+	// driver's truncation warning exactly).
+	Truncated int
+}
+
 // Build constructs return and forward jump functions for the whole
 // program, in the paper's phase order: return jump functions bottom-up,
 // then forward jump functions. It returns an error only when
@@ -180,8 +210,10 @@ func Build(ctx context.Context, cg *callgraph.Graph, mod *modref.Info, b *symbol
 	for i, n := range cg.Order {
 		builder.orderIdx[n.Proc] = i
 	}
-	if builder.workers > 1 {
-		builder.prebuildSSA()
+	if builder.workers > 1 || cfgr.Memo != nil {
+		if builder.workers > 1 {
+			builder.prebuildSSA()
+		}
 		builder.procBuilders = make([]*symbolic.Builder, len(cg.Order))
 		for i := range builder.procBuilders {
 			pb := symbolic.NewBuilder()
@@ -259,6 +291,15 @@ type fnBuilder struct {
 	procBuilders []*symbolic.Builder
 }
 
+// memoHit returns the memoized build product for p, if any. The memo's
+// hit set is frozen before Build starts, so this is safe from workers.
+func (fb *fnBuilder) memoHit(p *sem.Procedure) *ProcMemo {
+	if m := fb.fns.Config.Memo; m != nil {
+		return m.Lookup(p)
+	}
+	return nil
+}
+
 func (fb *fnBuilder) opaqueBase(p *sem.Procedure) int64 {
 	if i, ok := fb.orderIdx[p]; ok {
 		return int64(i+1) << 32
@@ -292,6 +333,9 @@ func (fb *fnBuilder) prebuildSSA() {
 	// lazily, and the passes that follow observe the context themselves.
 	_ = par.ForEachCtx(fb.ctx, fb.workers, len(order), func(i int) error {
 		n := order[i]
+		if fb.memoHit(n.Proc) != nil {
+			return nil // both passes will reuse the memoized product
+		}
 		defer guard.Repanic("jump", n.Proc.Name)
 		built[i] = ssa.Build(n.CFG, dom.Compute(n.CFG), opts)
 		return nil
@@ -359,10 +403,22 @@ func (fb *fnBuilder) analyzeProc(n *callgraph.Node) (*ssa.Func, *intra.Result) {
 // barrier, so a worker only ever reads a quiescent Returns map.
 func (fb *fnBuilder) buildReturns() error {
 	order := fb.fns.Graph.BottomUp()
+	// Memoized summaries depend on nothing built this call (their
+	// callee closures are part of the memo key), so install them all up
+	// front; both the serial sweep and the level barriers below then see
+	// them exactly where a fresh build would have put them.
+	for _, n := range order {
+		if m := fb.memoHit(n.Proc); m != nil && m.Summary != nil {
+			fb.fns.Returns[n.Proc] = m.Summary
+		}
+	}
 	if fb.workers <= 1 {
 		for _, n := range order {
 			if n.Recursive {
 				continue // conservative: no return jump functions
+			}
+			if fb.memoHit(n.Proc) != nil {
+				continue
 			}
 			if err := fb.ctxErr(); err != nil {
 				return err
@@ -399,7 +455,7 @@ func (fb *fnBuilder) buildReturns() error {
 	for lv := 0; lv <= maxLevel; lv++ {
 		var batch []*callgraph.Node
 		for _, n := range order {
-			if level[n] == lv && !n.Recursive {
+			if level[n] == lv && !n.Recursive && fb.memoHit(n.Proc) == nil {
 				batch = append(batch, n)
 			}
 		}
@@ -488,6 +544,14 @@ func (fb *fnBuilder) buildForwards() error {
 			return err
 		}
 		n := order[i]
+		if m := fb.memoHit(n.Proc); m != nil {
+			// Reuse the memoized product wholesale. The truncation the
+			// original analysis observed is credited to this procedure's
+			// builder so the driver's warning reproduces exactly.
+			pfs[i] = &ProcFunctions{Proc: n.Proc, Sites: m.Sites}
+			fb.builderFor(n.Proc).AddTruncated(m.Truncated)
+			return nil
+		}
 		fn, res := fb.analyzeProcGuarded(n)
 		pf := &ProcFunctions{Proc: n.Proc, SSA: fn, Intra: res}
 		for _, site := range fn.Graph.Sites {
@@ -498,6 +562,15 @@ func (fb *fnBuilder) buildForwards() error {
 			pf.Sites = append(pf.Sites, fb.siteFunctions(fn, res, site, calleeNode.Proc))
 		}
 		pfs[i] = pf
+		if memo := fb.fns.Config.Memo; memo != nil {
+			// Both passes over this procedure used its private builder, so
+			// its truncation counter is exactly this procedure's share.
+			memo.Store(n.Proc, &ProcMemo{
+				Summary:   fb.fns.Returns[n.Proc],
+				Sites:     pf.Sites,
+				Truncated: fb.builderFor(n.Proc).Truncated(),
+			})
+		}
 		return nil
 	})
 	if err != nil {

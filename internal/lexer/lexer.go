@@ -28,7 +28,9 @@ func Tokenize(file *source.File, diags *source.ErrorList) []Token {
 	defer guard.Repanic("lex")
 	guard.InjectPanic("lex")
 	lx := New(file, diags)
-	var toks []Token
+	// One token per ~6 source bytes is a close overestimate for F77;
+	// sizing up front keeps the append from reallocating mid-scan.
+	toks := make([]Token, 0, len(lx.src)/6+16)
 	for {
 		t := lx.Next()
 		toks = append(toks, t)

@@ -1,0 +1,75 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sem"
+	"repro/internal/ssa"
+)
+
+// hashStrings content-addresses a sequence of strings. Each part is
+// length-prefixed so that concatenation ambiguity cannot alias two
+// different sequences to one key.
+func hashStrings(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// jumpFP fingerprints everything the jump-function construction phase
+// reads from a configuration. Solver choice, step budgets, deadlines,
+// and parallelism are deliberately excluded: none of them changes the
+// expressions built (parallel construction is bit-identical by the
+// repo's standing guarantee, and the deadline can only abort a build —
+// aborted builds are never cached).
+func jumpFP(c core.Config) string {
+	return fmt.Sprintf("k=%d;mod=%t;ret=%t;fs=%t;g=%t;mx=%d",
+		c.Jump.Kind, c.Jump.UseMOD, c.Jump.UseReturnJFs,
+		c.Jump.FullSubstitution, c.Jump.Gated, c.Budget.MaxExprSize)
+}
+
+// substFP fingerprints the configuration axes the substitution pass
+// reads, beyond the entry environments (fingerprinted separately).
+func substFP(c core.Config) string {
+	return jumpFP(c) + fmt.Sprintf(";prune=%t", c.Complete)
+}
+
+// entryFP renders one procedure's constant entry environment as a
+// canonical string. The environment is the substitution pass's only
+// input from the solver, so two analyses with equal entryFP (and equal
+// closure/config/layout fingerprints) substitute identically.
+func entryFP(p *sem.Procedure, env map[ssa.Var]int64) string {
+	if len(env) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(env))
+	for v, k := range env {
+		parts = append(parts, fmt.Sprintf("%s=%d", v, k))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// globalsFP fingerprints the program's COMMON layout: every global's
+// key (block#index), canonical name, type, and array-ness, in the
+// program's canonical order. Return and forward jump functions range
+// over the full global set (an unmodified global summarizes to itself),
+// so any layout change anywhere invalidates every per-unit artifact.
+func globalsFP(prog *sem.Program) string {
+	var b strings.Builder
+	for _, g := range prog.Globals() {
+		fmt.Fprintf(&b, "%s|%s|%d|%t;", g.Key(), g.Name, g.Type, g.IsArray)
+	}
+	return hashStrings(b.String())
+}

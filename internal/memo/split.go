@@ -1,0 +1,139 @@
+// Package memo implements incremental analysis: a content-addressed
+// cache over the expensive, per-unit phases of the pipeline.
+//
+// The jump-function framework is deliberately factored into per-procedure
+// pieces — a jump function is local to the procedure body it was built
+// from, and only the propagation phase is global (paper §4.1). memo
+// exploits exactly that factoring: source text is split at program-unit
+// boundaries, each unit is content-addressed, and the per-unit artifacts
+// (parsed unit, forward and return jump functions, substitution
+// decisions) are memoized under keys that capture everything the
+// artifact depends on. Re-analysis of an edited program recomputes only
+// the changed units; the cheap global propagation phase always re-runs.
+//
+// The cache is sound by construction, not by hope: every key includes a
+// configuration fingerprint, the COMMON layout fingerprint, and the
+// transitive callee closure hash of the unit, and every reuse path
+// falls back to a full recomputation when anything fails to line up.
+// Cached and uncached results are byte-identical.
+package memo
+
+import "strings"
+
+// chunk is one slice of a source file holding exactly one program unit
+// (plus any comment/blank lines up to the next unit header).
+type chunk struct {
+	file      string // source file name
+	startLine int    // 1-based line of the chunk's first line
+	text      string // raw text, headers through pre-next-header lines
+}
+
+// splitUnits splits F77s source text at program-unit boundaries. A new
+// unit begins at each non-comment line whose first token is PROGRAM,
+// SUBROUTINE, or [type] FUNCTION — these are reserved keywords in F77s,
+// so no statement inside a unit body can start with them. Comment and
+// blank lines between units attach to the preceding chunk (the lexer
+// discards them either way, so attribution cannot change the parse).
+//
+// ok is false when the text has no recognizable unit header; callers
+// fall back to whole-file analysis. A chunk that fails to parse to
+// exactly one clean unit is rejected later, in the world builder, so a
+// mis-split can cost performance but never correctness.
+func splitUnits(file, src string) (chunks []chunk, ok bool) {
+	var starts []int // byte offsets of unit headers' lines
+	for off := 0; off < len(src); {
+		end := strings.IndexByte(src[off:], '\n')
+		if end < 0 {
+			end = len(src)
+		} else {
+			end += off + 1
+		}
+		if isUnitHeader(src[off:end]) {
+			starts = append(starts, off)
+		}
+		off = end
+	}
+	if len(starts) == 0 {
+		return nil, false
+	}
+	// Leading text before the first header (comments/blanks, or garbage
+	// the parser will reject) joins the first chunk.
+	starts[0] = 0
+	lineOf := func(off int) int {
+		return 1 + strings.Count(src[:off], "\n")
+	}
+	for i, s := range starts {
+		e := len(src)
+		if i+1 < len(starts) {
+			e = starts[i+1]
+		}
+		chunks = append(chunks, chunk{file: file, startLine: lineOf(s), text: src[s:e]})
+	}
+	return chunks, true
+}
+
+// isUnitHeader reports whether a raw source line opens a new program
+// unit. It mirrors the lexer's comment rules (classic C/* comments in
+// column 1, ! anywhere) so that a commented-out header never splits.
+func isUnitHeader(line string) bool {
+	// Classic comment introducer in column 1: C or * followed by
+	// whitespace/EOL — with the lexer's "C = 0" / "C(I) = 1" assignment
+	// exception, which cannot begin a unit header anyway.
+	if len(line) > 0 {
+		c := line[0]
+		if c == '*' {
+			return false
+		}
+		if c == 'C' || c == 'c' {
+			if len(line) == 1 {
+				return false
+			}
+			switch line[1] {
+			case ' ', '\t', '\r', '\n':
+				// Could still be "C = …", but that is not a header either.
+				return false
+			}
+		}
+	}
+	rest, word := firstWord(line)
+	switch word {
+	case "PROGRAM", "SUBROUTINE", "FUNCTION":
+		return true
+	case "INTEGER", "REAL", "LOGICAL", "DOUBLE":
+		// Typed function headers: "INTEGER FUNCTION F(…)". "DOUBLE" must
+		// be followed by "PRECISION FUNCTION".
+		if word == "DOUBLE" {
+			var next string
+			rest, next = firstWord(rest)
+			if next != "PRECISION" {
+				return false
+			}
+		}
+		_, next := firstWord(rest)
+		return next == "FUNCTION"
+	}
+	return false
+}
+
+// firstWord scans one identifier-like word (uppercased) off the front of
+// a line, skipping leading blanks and an optional statement label; it
+// returns the remainder after the word. A line whose first glyph is not
+// a letter yields "".
+func firstWord(line string) (rest, word string) {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	start := i
+	for i < len(line) && isWordByte(line[i]) {
+		i++
+	}
+	if i == start {
+		return line, ""
+	}
+	return line[i:], strings.ToUpper(line[start:i])
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,304 @@
+package memo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/callgraph"
+	"repro/internal/modref"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/subst"
+)
+
+// File is one input source file.
+type File struct {
+	Name string
+	Src  string
+}
+
+// world is everything the front end derives from one exact source text:
+// the merged AST, the checked program, the call graph, MOD summaries,
+// warning diagnostics to replay, and the per-configuration caches of
+// whole-program artifacts. A world is immutable once built (semantic
+// checking and CFG construction finish inside the build), so concurrent
+// analyses may share one world freely; only the artifact caches hanging
+// off it mutate, under the cache lock.
+type world struct {
+	key   string
+	file  *ast.File
+	prog  *sem.Program
+	graph *callgraph.Graph
+	mod   *modref.Info
+	diags []source.Diagnostic // warnings only; errors preclude a world
+
+	chunks      []*chunkEntry // aligned with file.Units
+	procChunk   map[*sem.Procedure]*chunkEntry
+	closures    map[*sem.Procedure]string // transitive callee-closure hash
+	globalsFP   string
+	globalByKey map[string]*sem.GlobalVar
+
+	evicted bool // under Cache.mu: stores into this world are dropped
+
+	// Whole-program caches, keyed by configuration fingerprints.
+	// Guarded by Cache.mu.
+	funcsCache map[string]*funcsEntry
+	substCache map[string]*subst.Result
+}
+
+// chunkEntry is one parsed program unit, shared by every world whose
+// source contains the identical chunk text at the identical line. The
+// artifact maps memoize the expensive per-unit analyses across worlds;
+// they die with the chunk.
+type chunkEntry struct {
+	key   string
+	file  *ast.File // exactly one unit
+	diags []source.Diagnostic
+
+	evicted bool // under Cache.mu: stores into this chunk are dropped
+
+	// Guarded by Cache.mu.
+	jfArts    map[string]*jfArtifact
+	substArts map[string]*substArtifact
+}
+
+func (ce *chunkEntry) unit() *ast.Unit { return ce.file.Units[0] }
+
+// lookupWorld returns the front-end world for the given sources,
+// building and caching it on a miss. ok is false when the sources are
+// ineligible for incremental analysis (oversized, unsplittable, or
+// erroneous) — the caller must fall back to the plain uncached
+// pipeline, which reproduces any diagnostics exactly.
+func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
+	if len(files) == 0 {
+		return nil, false
+	}
+	total := 0
+	keyParts := make([]string, 0, 2*len(files))
+	for _, f := range files {
+		total += len(f.Src)
+		keyParts = append(keyParts, f.Name, f.Src)
+	}
+	if total > parser.MaxSourceBytes {
+		return nil, false // the uncached parser rejects this with a diagnostic
+	}
+	key := hashStrings(keyParts...)
+
+	c.mu.Lock()
+	for {
+		if e := c.worlds[key]; e != nil {
+			c.hits++
+			c.touch(e)
+			c.mu.Unlock()
+			return e.world, true
+		}
+		call := c.building[key]
+		if call == nil {
+			break
+		}
+		// Another goroutine is building this world; wait for it.
+		c.mu.Unlock()
+		<-call.done
+		if call.w == nil {
+			return nil, false
+		}
+		c.mu.Lock()
+		// The finished world is normally in the map now; loop to take
+		// the hit path (it may also have been evicted already — then we
+		// rebuild, which is correct, just unlucky).
+		if e := c.worlds[key]; e != nil {
+			c.hits++
+			c.touch(e)
+			c.mu.Unlock()
+			return e.world, true
+		}
+		c.mu.Unlock()
+		return call.w, true
+	}
+	c.misses++
+	call := &worldCall{done: make(chan struct{})}
+	c.building[key] = call
+	c.mu.Unlock()
+
+	// Build outside the lock; chunk lookups re-acquire it briefly.
+	// On any exit — including a panic from an injected front-end fault —
+	// release the single-flight slot so waiters never hang.
+	built := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.building, key)
+		if built {
+			call.w = w
+			e := &entry{key: key, bytes: worldBytes(total), world: w}
+			c.insert(e, c.worlds)
+		}
+		c.mu.Unlock()
+		close(call.done)
+	}()
+
+	w = c.buildWorld(key, files)
+	if w == nil {
+		return nil, false
+	}
+	built = true
+	return w, true
+}
+
+func worldBytes(srcLen int) int64 { return int64(srcLen)*12 + 8192 }
+func chunkBytes(textLen int) int64 { return int64(textLen)*6 + 1024 }
+
+// buildWorld runs the front end over content-addressed chunks. Any
+// irregularity — a chunk that does not parse to exactly one clean unit,
+// a semantic error — returns nil, and the caller falls back to the
+// uncached pipeline. Mis-splitting can therefore cost time, never
+// correctness.
+func (c *Cache) buildWorld(key string, files []File) *world {
+	w := &world{
+		key:        key,
+		procChunk:  make(map[*sem.Procedure]*chunkEntry),
+		closures:   make(map[*sem.Procedure]string),
+		funcsCache: make(map[string]*funcsEntry),
+		substCache: make(map[string]*subst.Result),
+	}
+	merged := &ast.File{}
+	var diags source.ErrorList
+	for _, f := range files {
+		chunks, ok := splitUnits(f.Name, f.Src)
+		if !ok {
+			return nil
+		}
+		for _, ch := range chunks {
+			ce := c.parseChunk(ch)
+			if ce == nil {
+				return nil
+			}
+			if merged.Source == nil {
+				merged.Source = ce.file.Source
+			}
+			merged.Units = append(merged.Units, ce.unit())
+			w.chunks = append(w.chunks, ce)
+			diags.Diags = append(diags.Diags, ce.diags...)
+		}
+	}
+	if len(merged.Units) == 0 {
+		return nil
+	}
+	w.file = merged
+
+	prog, err := sem.AnalyzeParallelCtx(nil, merged, &diags, 0)
+	if err != nil || diags.Err() != nil {
+		return nil // semantic errors: the uncached path reproduces them
+	}
+	w.prog = prog
+	w.diags = diags.Diags
+	w.graph = callgraph.Build(prog)
+	w.mod = modref.Compute(w.graph)
+	w.globalsFP = globalsFP(prog)
+	w.globalByKey = make(map[string]*sem.GlobalVar)
+	for _, g := range prog.Globals() {
+		w.globalByKey[g.Key()] = g
+	}
+
+	unitChunk := make(map[*ast.Unit]*chunkEntry, len(w.chunks))
+	for _, ce := range w.chunks {
+		unitChunk[ce.unit()] = ce
+	}
+	for _, p := range prog.Order {
+		if ce := unitChunk[p.Unit]; ce != nil {
+			w.procChunk[p] = ce
+		}
+	}
+	w.computeClosures()
+	return w
+}
+
+// parseChunk parses one unit chunk, memoized on (file, start line,
+// text). The chunk text is padded with newlines so every token keeps
+// its original line and column; byte offsets shift, but nothing
+// user-visible renders them. A chunk must parse to exactly one unit
+// with no errors to be usable.
+func (c *Cache) parseChunk(ch chunk) *chunkEntry {
+	key := hashStrings(ch.file, fmt.Sprint(ch.startLine), ch.text)
+	c.mu.Lock()
+	if e := c.chunks[key]; e != nil {
+		c.hits++
+		c.touch(e)
+		c.mu.Unlock()
+		return e.chunk
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	padded := strings.Repeat("\n", ch.startLine-1) + ch.text
+	var diags source.ErrorList
+	f := parser.ParseSource(ch.file, padded, &diags)
+	if diags.Err() != nil || len(f.Units) != 1 {
+		return nil
+	}
+	ce := &chunkEntry{
+		key:       key,
+		file:      f,
+		diags:     diags.Diags,
+		jfArts:    make(map[string]*jfArtifact),
+		substArts: make(map[string]*substArtifact),
+	}
+	c.mu.Lock()
+	if e := c.chunks[key]; e != nil {
+		// A concurrent world build parsed the same chunk first; share its
+		// AST so per-unit artifacts stay shareable too.
+		c.touch(e)
+		c.mu.Unlock()
+		return e.chunk
+	}
+	c.insert(&entry{key: key, bytes: chunkBytes(len(ch.text)), chunk: ce}, c.chunks)
+	c.mu.Unlock()
+	return ce
+}
+
+// computeClosures hashes, for every procedure, the sorted set of chunk
+// keys of every procedure reachable from it in the call graph
+// (including itself). Jump functions, return summaries, and
+// substitution decisions of a unit depend on its callees' bodies only
+// transitively through this set, so the hash is the unit artifact's
+// dependency fingerprint. Procedures in one SCC share a reach set.
+func (w *world) computeClosures() {
+	// BottomUp lists every member of a callee SCC before any member of a
+	// caller SCC, so one sweep completes each SCC's set before it is
+	// consumed.
+	sccReach := make(map[int]map[string]bool)
+	for _, n := range w.graph.BottomUp() {
+		set := sccReach[n.SCC]
+		if set == nil {
+			set = make(map[string]bool)
+			sccReach[n.SCC] = set
+		}
+		if ce := w.procChunk[n.Proc]; ce != nil {
+			set[ce.key] = true
+		} else {
+			// No chunk identity for this unit: poison the set so nothing
+			// depending on it ever matches a cache key.
+			set["!unchunked:"+n.Proc.Name] = true
+		}
+		for _, site := range n.Out {
+			m := w.graph.Nodes[site.Callee]
+			if m == nil || m.SCC == n.SCC {
+				continue
+			}
+			for k := range sccReach[m.SCC] {
+				set[k] = true
+			}
+		}
+	}
+	for _, n := range w.graph.Order {
+		set := sccReach[n.SCC]
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		w.closures[n.Proc] = hashStrings(keys...)
+	}
+}

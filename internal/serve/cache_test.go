@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestResultCacheReplay: a repeated clean request is served from the
+// result cache byte-for-byte, and the counters in /statsz say so.
+func TestResultCacheReplay(t *testing.T) {
+	s := newTestServer(Config{})
+	req := AnalyzeRequest{Source: okSrc, Want: RequestWant{JumpFunctions: true}}
+
+	code1, _, body1 := postAnalyze(t, s, req)
+	code2, _, body2 := postAnalyze(t, s, req)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d then %d, want 200 both times", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached replay differs from original:\n%s\nvs\n%s", body1, body2)
+	}
+	st := s.Stats()
+	if st.ResultCache == nil {
+		t.Fatal("result cache counters missing")
+	}
+	if st.ResultCache.Hits != 1 || st.ResultCache.Misses != 1 || st.ResultCache.Entries != 1 {
+		t.Errorf("result cache counters = %+v, want 1 hit, 1 miss, 1 entry", *st.ResultCache)
+	}
+	if st.AnalysisCache == nil || st.AnalysisCache.Misses == 0 {
+		t.Errorf("analysis cache never consulted: %+v", st.AnalysisCache)
+	}
+
+	// A different configuration axis or want flag is a different slot.
+	if code, _, _ := postAnalyze(t, s, AnalyzeRequest{Source: okSrc}); code != http.StatusOK {
+		t.Fatalf("variant request: status %d", code)
+	}
+	if st := s.Stats(); st.ResultCache.Entries != 2 {
+		t.Errorf("variant request shared a cache slot: %+v", *st.ResultCache)
+	}
+}
+
+// TestResultCacheSkipsDegraded: a degraded response (expression-size
+// truncation) must not be stored — every such request re-analyzes.
+func TestResultCacheSkipsDegraded(t *testing.T) {
+	s := newTestServer(Config{})
+	req := AnalyzeRequest{Source: okSrc, Config: RequestConfig{Kind: "polynomial", MaxExprSize: 1}}
+
+	for i := 0; i < 2; i++ {
+		code, _, body := postAnalyze(t, s, req)
+		if code != http.StatusOK {
+			t.Fatalf("status %d body %s", code, body)
+		}
+		if r := decodeResult(t, body); r.Status != "degraded" {
+			t.Fatalf("status %q, want degraded (truncation)", r.Status)
+		}
+	}
+	st := s.Stats()
+	if st.ResultCache.Hits != 0 || st.ResultCache.Entries != 0 {
+		t.Errorf("degraded response was cached: %+v", *st.ResultCache)
+	}
+}
+
+// TestCachesDisabled: negative budgets switch both layers off; requests
+// still work and /statsz omits the counters.
+func TestCachesDisabled(t *testing.T) {
+	s := newTestServer(Config{AnalysisCacheBytes: -1, ResultCacheBytes: -1})
+	for i := 0; i < 2; i++ {
+		if code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc}); code != http.StatusOK {
+			t.Fatalf("status %d body %s", code, body)
+		}
+	}
+	st := s.Stats()
+	if st.ResultCache != nil || st.AnalysisCache != nil {
+		t.Errorf("disabled caches still report counters: %+v / %+v", st.ResultCache, st.AnalysisCache)
+	}
+	if st.OK != 2 {
+		t.Errorf("ok = %d, want 2", st.OK)
+	}
+}
+
+// TestResultCacheEviction: a tiny byte budget forces LRU eviction while
+// every response stays correct.
+func TestResultCacheEviction(t *testing.T) {
+	s := newTestServer(Config{ResultCacheBytes: 2048})
+	reqs := []AnalyzeRequest{
+		{Source: okSrc},
+		{Source: okSrc, Want: RequestWant{Transformed: true}},
+		{Source: okSrc, Want: RequestWant{JumpFunctions: true, Transformed: true}},
+		{Source: okSrc, Config: RequestConfig{Kind: "polynomial"}},
+	}
+	for round := 0; round < 3; round++ {
+		for _, r := range reqs {
+			if code, _, body := postAnalyze(t, s, r); code != http.StatusOK {
+				t.Fatalf("status %d body %s", code, body)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.ResultCache.Evictions == 0 {
+		t.Errorf("no evictions under a 2 KiB budget: %+v", *st.ResultCache)
+	}
+	if st.ResultCache.Bytes > 4096 {
+		t.Errorf("cache bytes %d far above budget", st.ResultCache.Bytes)
+	}
+}
+
+// TestPprofGate: the profiling endpoints exist only when EnablePprof is
+// set.
+func TestPprofGate(t *testing.T) {
+	get := func(s *Server, path string) int {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, r)
+		return w.Code
+	}
+	if code := get(newTestServer(Config{}), "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof reachable without the flag: status %d", code)
+	}
+	if code := get(newTestServer(Config{EnablePprof: true}), "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index with EnablePprof: status %d, want 200", code)
+	}
+}

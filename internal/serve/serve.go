@@ -17,9 +17,16 @@
 //   - Circuit breaking: consecutive internal failures trip the breaker
 //     to fail-fast 503s; after a cooldown it half-opens and probes its
 //     way back to closed.
+//   - Caching: an incremental-analysis cache (ipcp.Cache) shared by all
+//     requests reuses per-unit artifacts across analyses, and a result
+//     cache replays whole clean responses byte-for-byte for repeated
+//     (source, config, want) requests. Both are LRU with byte budgets
+//     and report hit/miss/eviction counters in /statsz; a result-cache
+//     hit is served even while the breaker is open or workers are busy.
 //   - Observability and lifecycle: /healthz, /readyz, a /statsz counter
 //     snapshot, and graceful shutdown that drains in-flight work under
-//     a drain deadline.
+//     a drain deadline. Profiling handlers (net/http/pprof) are
+//     registered only when EnablePprof is set.
 //
 // Every response is JSON; the only status codes a well-formed request
 // can see are 200 (ok or degraded), 422 (program errors), 429 (shed),
@@ -35,6 +42,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -80,6 +88,18 @@ type Config struct {
 	// MaxBodyBytes caps the request body (default 8 MiB — comfortably
 	// above the parser's own 4 MiB source cap).
 	MaxBodyBytes int64
+	// AnalysisCacheBytes bounds the incremental-analysis cache shared
+	// by every request (default 64 MiB). Negative disables the cache;
+	// results are byte-identical either way.
+	AnalysisCacheBytes int64
+	// ResultCacheBytes bounds the whole-response result cache (default
+	// 32 MiB). Negative disables it.
+	ResultCacheBytes int64
+	// EnablePprof registers the net/http/pprof handlers under
+	// /debug/pprof/ on the service mux. Off by default: the profiling
+	// endpoints expose internals and cost memory, so they are strictly
+	// opt-in (the binary's -pprof flag).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +139,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.AnalysisCacheBytes == 0 {
+		c.AnalysisCacheBytes = 64 << 20
+	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 32 << 20
+	}
 	return c
 }
 
@@ -132,6 +158,8 @@ type Server struct {
 	breaker  *breaker
 	started  time.Time
 	http     *http.Server
+	memo     *ipcp.Cache  // nil when AnalysisCacheBytes < 0
+	results  *resultCache // nil when ResultCacheBytes < 0
 
 	// test seams
 	sleep  func(ctx context.Context, d time.Duration)
@@ -171,6 +199,12 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		jitter:  rand.Float64,
 	}
+	if cfg.AnalysisCacheBytes > 0 {
+		s.memo = ipcp.NewCache(ipcp.CacheOptions{MaxBytes: cfg.AnalysisCacheBytes})
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.results = newResultCache(cfg.ResultCacheBytes)
+	}
 	s.sleep = func(ctx context.Context, d time.Duration) {
 		t := time.NewTimer(d)
 		defer t.Stop()
@@ -191,6 +225,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -320,6 +361,12 @@ type StatsSnapshot struct {
 	DegByAxis      map[string]int64 `json:"degradations_by_axis,omitempty"`
 	PanicsByPhase  map[string]int64 `json:"panics_by_phase,omitempty"`
 	Breaker        BreakerSnapshot  `json:"breaker"`
+	// AnalysisCache counts the incremental-analysis cache's memoized
+	// lookups at every granularity (front-end builds, whole-config
+	// phase results, per-unit artifacts); ResultCache counts whole
+	// replayed responses. Either is absent when that cache is disabled.
+	AnalysisCache *CacheCounters `json:"analysis_cache,omitempty"`
+	ResultCache   *CacheCounters `json:"result_cache,omitempty"`
 }
 
 // ---------------------------------------------------------------------
@@ -387,6 +434,17 @@ func (s *Server) Stats() StatsSnapshot {
 		}
 	}
 	st.mu.Unlock()
+	if s.memo != nil {
+		cs := s.memo.Stats()
+		snap.AnalysisCache = &CacheCounters{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Entries: cs.Entries, Bytes: cs.Bytes, MaxBytes: cs.MaxBytes,
+		}
+	}
+	if s.results != nil {
+		rc := s.results.counters()
+		snap.ResultCache = &rc
+	}
 	return snap
 }
 
@@ -447,6 +505,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// ladder below instead of the in-library chain.
 	cfg.Parallelism = s.cfg.AnalysisParallelism
 	cfg.FailFast = true
+	cfg.Cache = s.memo
+
+	if req.Filename == "" {
+		req.Filename = "request.f"
+	}
+	// A repeated clean request replays its stored response without
+	// consuming a worker slot or a breaker verdict — cached results stay
+	// available even while the breaker is open.
+	key := resultKey(req.Filename, req.Source, cfg, req.Want)
+	if s.results != nil {
+		if body, ok := s.results.get(key); ok {
+			s.stats.ok.Add(1)
+			s.writeRaw(w, http.StatusOK, body)
+			return
+		}
+	}
 
 	if ok, after := s.breaker.Allow(); !ok {
 		s.stats.breakeropen.Add(1)
@@ -479,22 +553,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	s.runLadder(ctx, w, &req, cfg)
+	s.runLadder(ctx, w, &req, cfg, key)
 }
 
 // runLadder runs the analysis with the retry/degrade ladder and writes
-// the response. The breaker has admitted the request.
-func (s *Server) runLadder(ctx context.Context, w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config) {
-	filename := req.Filename
-	if filename == "" {
-		filename = "request.f"
-	}
+// the response. The breaker has admitted the request. key is the
+// result-cache slot for a clean outcome.
+func (s *Server) runLadder(ctx context.Context, w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config, key string) {
 	retries := 0
 	for {
-		res, err := ipcp.AnalyzeContext(ctx, filename, req.Source, cfg)
+		res, err := ipcp.AnalyzeContext(ctx, req.Filename, req.Source, cfg)
 		if err == nil {
 			s.breaker.Success()
-			s.writeResult(w, req, cfg, res, retries)
+			s.writeResult(w, req, cfg, res, retries, key)
 			return
 		}
 		class, retryable, userFault := classify(err)
@@ -592,8 +663,10 @@ func (s *Server) recordFailureClass(err error) {
 	}
 }
 
-// writeResult renders the 200 response.
-func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config, res *ipcp.Result, retries int) {
+// writeResult renders the 200 response, storing clean ones — status
+// "ok", no retries, no degradations — in the result cache so identical
+// requests replay identical bytes.
+func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config, res *ipcp.Result, retries int, key string) {
 	resp := AnalyzeResponse{
 		Status:        "ok",
 		Config:        describeConfig(cfg),
@@ -637,7 +710,11 @@ func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipc
 	if req.Want.Transformed {
 		resp.Transformed = res.TransformedSource()
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	body := renderJSON(resp)
+	if s.results != nil && resp.Status == "ok" {
+		s.results.put(key, body)
+	}
+	s.writeRaw(w, http.StatusOK, body)
 }
 
 // describeConfig names the configuration a response was served at.
@@ -657,11 +734,25 @@ func (s *Server) writeError(w http.ResponseWriter, status int, class, msg string
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	s.writeRaw(w, status, renderJSON(v))
+}
+
+func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // client gone: nothing useful to do
+	_, _ = w.Write(body) // client gone: nothing useful to do
+}
+
+// renderJSON marshals exactly as the previous streaming encoder did
+// (two-space indent, trailing newline) so response bytes — cached or
+// not — stay stable.
+func renderJSON(v interface{}) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Unreachable for the wire types; keep the response well-formed.
+		return []byte("{}\n")
+	}
+	return append(b, '\n')
 }
 
 // retryAfter renders a duration as a whole-seconds Retry-After value

@@ -125,6 +125,14 @@ func TestChaosSoak(t *testing.T) {
 		mustJSON(t, AnalyzeRequest{Source: "PROGRAM P\nCALL NOPE(1)\nEND\n"}), // 422
 		[]byte("{definitely not json"),                                        // 400
 	}
+	// Repeated bodies exercise the result cache (hits bypass the whole
+	// worker path); never-seen sources force full analyses so the fault
+	// cycler still reaches every pipeline phase.
+	uniqueBody := func(n int64) []byte {
+		src := fmt.Sprintf("PROGRAM P\nINTEGER I\nI = %d\nCALL Q(I)\nEND\nSUBROUTINE Q(N)\nINTEGER N\nPRINT *, N\nEND\n", n)
+		b, _ := json.Marshal(AnalyzeRequest{Source: src})
+		return b
+	}
 	allowed := map[int]bool{200: true, 400: true, 422: true, 429: true, 503: true}
 	var statusCounts [600]atomic.Int64
 	var badStatus, badBody atomic.Int64
@@ -150,6 +158,9 @@ func TestChaosSoak(t *testing.T) {
 				default:
 				}
 				body := bodies[rng.Intn(len(bodies))]
+				if rng.Intn(4) == 0 {
+					body = uniqueBody(rng.Int63())
+				}
 				resp, err := httpc.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
 				if err != nil {
 					// The server must never die; a transport error is a
@@ -190,9 +201,11 @@ func TestChaosSoak(t *testing.T) {
 	<-faultsDone
 
 	// --- Recovery window: faults are gone; the breaker must close. ----
+	// Probes use fresh sources: a result-cache hit is served before the
+	// breaker and would never half-open it.
 	recoverDeadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := httpc.Post(base+"/v1/analyze", "application/json", bytes.NewReader(bodies[0]))
+	for probe := int64(1); ; probe++ {
+		resp, err := httpc.Post(base+"/v1/analyze", "application/json", bytes.NewReader(uniqueBody(-probe)))
 		if err != nil {
 			t.Fatalf("recovery request: %v", err)
 		}
@@ -241,6 +254,19 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if st.InternalFails+st.BreakerOpen == 0 {
 		t.Error("fault injection never produced an internal failure")
+	}
+	if st.ResultCache == nil || st.AnalysisCache == nil {
+		t.Error("cache counters missing from stats snapshot")
+	} else {
+		t.Logf("result cache: %+v", *st.ResultCache)
+		t.Logf("analysis cache: hits=%d misses=%d evictions=%d entries=%d",
+			st.AnalysisCache.Hits, st.AnalysisCache.Misses, st.AnalysisCache.Evictions, st.AnalysisCache.Entries)
+		if st.ResultCache.Hits == 0 {
+			t.Error("result cache never hit during the soak")
+		}
+		if st.AnalysisCache.Hits == 0 {
+			t.Error("analysis cache never hit during the soak")
+		}
 	}
 
 	// --- Drain: goroutines must return to (near) baseline. ------------

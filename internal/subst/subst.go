@@ -48,11 +48,24 @@ type Options struct {
 	// Builder is the shared expression interner (one is created when
 	// nil).
 	Builder *symbolic.Builder
+	// Memo, when non-nil, memoizes per-procedure substitution results
+	// across Run calls: a Lookup hit skips the procedure's re-analysis;
+	// fresh results are offered back via Store. Lookup is called
+	// concurrently and must be read-only; Store must be safe for
+	// concurrent use. Stored replacement maps must never be mutated.
+	Memo Memo
 	// Parallelism bounds the worker goroutines counting procedures
 	// concurrently: <= 0 selects GOMAXPROCS, 1 is serial. Counts and
 	// replacements are identical either way (procedures are independent;
 	// workers get private builders and merge in call-graph order).
 	Parallelism int
+}
+
+// Memo caches per-procedure substitution results across Run calls. See
+// Options.Memo.
+type Memo interface {
+	Lookup(p *sem.Procedure) (count int, repl map[ast.Expr]string, ok bool)
+	Store(p *sem.Procedure, count int, repl map[ast.Expr]string)
 }
 
 // Result reports what was (or would be) substituted.
@@ -84,6 +97,13 @@ func Run(cg *callgraph.Graph, mod *modref.Info, opts Options) *Result {
 	repls := make([]map[ast.Expr]string, len(cg.Order))
 	workerBuilders := make([]*symbolic.Builder, len(cg.Order))
 	_ = par.ForEach(workers, len(cg.Order), func(i int) error {
+		n := cg.Order[i]
+		if opts.Memo != nil {
+			if count, repl, ok := opts.Memo.Lookup(n.Proc); ok {
+				counts[i], repls[i] = count, repl
+				return nil
+			}
+		}
 		popts := opts
 		if workers > 1 {
 			// Private interner per procedure: the hash-consing tables are
@@ -95,7 +115,10 @@ func Run(cg *callgraph.Graph, mod *modref.Info, opts Options) *Result {
 			workerBuilders[i] = pb
 		}
 		repls[i] = make(map[ast.Expr]string)
-		counts[i] = substProcGuarded(cg, mod, cg.Order[i], int64(i+1)<<32, popts, repls[i])
+		counts[i] = substProcGuarded(cg, mod, n, int64(i+1)<<32, popts, repls[i])
+		if opts.Memo != nil {
+			opts.Memo.Store(n.Proc, counts[i], repls[i])
+		}
 		return nil
 	})
 	for i, n := range cg.Order {

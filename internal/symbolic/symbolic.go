@@ -144,7 +144,7 @@ func (e *Expr) String() string {
 // Builder interns expressions. One Builder serves a whole program
 // analysis; it is not safe for concurrent use.
 type Builder struct {
-	byKey    map[string]*Expr
+	byKey    map[nodeKey]*Expr
 	params   map[*sem.Symbol]*Expr
 	globals  map[*sem.GlobalVar]*Expr
 	opaques  map[int64]*Expr
@@ -188,7 +188,7 @@ func (b *Builder) AddTruncated(n int) {
 // NewBuilder returns an empty interning table.
 func NewBuilder() *Builder {
 	return &Builder{
-		byKey:   make(map[string]*Expr),
+		byKey:   make(map[nodeKey]*Expr),
 		params:  make(map[*sem.Symbol]*Expr),
 		globals: make(map[*sem.GlobalVar]*Expr),
 		opaques: make(map[int64]*Expr),
@@ -218,24 +218,42 @@ func computeSupport(e *Expr) []*Expr {
 	if e.Op == OpParam || e.Op == OpGlobal {
 		return []*Expr{e}
 	}
-	seen := map[*Expr]bool{}
-	var out []*Expr
+	// A support slice is immutable once interned, so when at most one
+	// child contributes leaves the child's slice is shared outright —
+	// most interior nodes take this allocation-free path.
+	var first []*Expr
+	n := 0
 	for _, a := range e.Args {
-		for _, s := range a.support {
-			if !seen[s] {
-				seen[s] = true
-				out = append(out, s)
+		if len(a.support) > 0 {
+			if first == nil {
+				first = a.support
 			}
+			n += len(a.support)
 		}
+	}
+	if n == len(first) {
+		return first
+	}
+	out := make([]*Expr, 0, n)
+	for _, a := range e.Args {
+		out = append(out, a.support...)
 	}
 	// Order structurally, not by interning id: ids depend on which
 	// Builder interned the leaf first, and the parallel pipeline builds
 	// expressions in per-worker Builders. A structural order keeps the
 	// support — and everything downstream of it, like the binding-graph
 	// solver's evaluation order — identical between serial and parallel
-	// runs.
+	// runs. Distinct interned exprs of one builder never compare equal,
+	// so duplicates are exactly the adjacent repeated pointers.
 	sort.Slice(out, func(i, j int) bool { return StructCompare(out[i], out[j]) < 0 })
-	return out
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // StructCompare totally orders expressions by structure alone,
@@ -358,6 +376,14 @@ func (b *Builder) FreshOpaque() *Expr {
 	return b.Opaque(b.nextAnon)
 }
 
+// nodeKey identifies an interior node by operator and argument ids.
+// The widest constructor (Gamma) has three arguments; unused slots hold
+// -1, which no interned expression's id can be.
+type nodeKey struct {
+	op         Op
+	a0, a1, a2 int
+}
+
 // node interns an interior node after simplification decided to keep it.
 func (b *Builder) node(op Op, args ...*Expr) *Expr {
 	if b.maxSize > 0 {
@@ -370,12 +396,19 @@ func (b *Builder) node(op Op, args ...*Expr) *Expr {
 			return b.FreshOpaque()
 		}
 	}
-	var key strings.Builder
-	fmt.Fprintf(&key, "%d", int(op))
-	for _, a := range args {
-		fmt.Fprintf(&key, ",%d", a.id)
+	if len(args) > 3 {
+		panic("symbolic: interior node arity exceeds nodeKey capacity")
 	}
-	k := key.String()
+	k := nodeKey{op: op, a0: -1, a1: -1, a2: -1}
+	if len(args) > 0 {
+		k.a0 = args[0].id
+	}
+	if len(args) > 1 {
+		k.a1 = args[1].id
+	}
+	if len(args) > 2 {
+		k.a2 = args[2].id
+	}
 	if e, ok := b.byKey[k]; ok {
 		return e
 	}

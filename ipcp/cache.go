@@ -1,0 +1,90 @@
+package ipcp
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+)
+
+// Cache memoizes analysis work across Analyze calls. The analyzer
+// splits each source at program-unit boundaries, content-addresses
+// every unit, and reuses the per-unit artifacts (parsed units, forward
+// and return jump functions, substitution decisions) whose inputs are
+// unchanged; only the cheap global propagation phase always re-runs.
+// Re-analyzing a program after editing one unit therefore costs roughly
+// one unit's analysis, not the whole program's.
+//
+// Results are byte-identical with and without a cache, for every
+// configuration. A Cache is safe for concurrent use by any number of
+// analyses and bounds its memory with LRU eviction.
+type Cache struct {
+	c *memo.Cache
+}
+
+// CacheOptions configures NewCache.
+type CacheOptions struct {
+	// MaxBytes bounds the cache's estimated memory footprint; least
+	// recently used entries are evicted past it. <= 0 selects a 64 MiB
+	// default.
+	MaxBytes int64
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters. Hits
+// and Misses count memoized lookups at every granularity (front-end
+// builds, whole-configuration phase results, per-unit artifacts);
+// Evictions counts entries dropped to stay within MaxBytes.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+}
+
+// NewCache returns an empty analysis cache.
+func NewCache(o CacheOptions) *Cache {
+	return &Cache{c: memo.New(memo.Options{MaxBytes: o.MaxBytes})}
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() CacheStats {
+	s := c.c.StatsSnapshot()
+	return CacheStats{
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Entries: s.Entries, Bytes: s.Bytes, MaxBytes: s.MaxBytes,
+	}
+}
+
+// analyzeCached attempts the memoized pipeline. ok is false when the
+// sources are ineligible for incremental analysis (oversized,
+// unsplittable at unit boundaries, or erroneous) — the caller then runs
+// the plain pipeline, which also reproduces all front-end diagnostics.
+func analyzeCached(ctx context.Context, files []memo.File, cfg Config) (*Result, bool, error) {
+	w, ok := cfg.Cache.c.Lookup(files)
+	if !ok {
+		return nil, false, nil
+	}
+	ic := cfg.internal()
+	ic.Hooks = w.Hooks()
+	analysis, err := core.AnalyzeProgramErr(ctx, w.Prog(), ic)
+	if err != nil {
+		return nil, true, budgetError(err)
+	}
+	res := &Result{
+		analysis: analysis,
+		file:     w.File(),
+		subst:    analysis.Substitute(),
+	}
+	for _, d := range w.Diags() {
+		res.Warnings = append(res.Warnings, d.String())
+	}
+	for _, wn := range analysis.Warnings {
+		res.Degradations = append(res.Degradations, Warning{
+			Axis: string(wn.Axis), From: wn.From, To: wn.To, Detail: wn.Detail,
+		})
+		res.Warnings = append(res.Warnings, wn.String())
+	}
+	return res, true, nil
+}

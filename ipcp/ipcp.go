@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/jump"
+	"repro/internal/memo"
 	"repro/internal/parser"
 	"repro/internal/sem"
 	"repro/internal/source"
@@ -129,6 +130,11 @@ type Config struct {
 	// policy (such as the ipcp-serve analysis service) set this; plain
 	// library users should leave it off and read Result.Degradations.
 	FailFast bool
+	// Cache, when non-nil, memoizes analysis work across calls (see
+	// Cache). Off by default: one-shot command-line analyses gain
+	// nothing from it, while long-lived processes (ipcp-serve) enable
+	// it. Results are byte-identical either way.
+	Cache *Cache
 }
 
 // DefaultConfig returns the paper's recommended configuration:
@@ -208,6 +214,11 @@ func Analyze(filename, src string, cfg Config) (*Result, error) {
 // worker pools stop claiming tasks.
 func AnalyzeContext(ctx context.Context, filename, src string, cfg Config) (res *Result, err error) {
 	defer recoverInternal(&err)
+	if cfg.Cache != nil {
+		if res, ok, err := analyzeCached(ctx, []memo.File{{Name: filename, Src: src}}, cfg); ok {
+			return res, err
+		}
+	}
 	var diags source.ErrorList
 	f := parser.ParseSource(filename, src, &diags)
 	return finishAnalysis(ctx, f, &diags, cfg)
@@ -397,6 +408,15 @@ func AnalyzeFiles(files []SourceFile, cfg Config) (*Result, error) {
 // analysis (see AnalyzeContext).
 func AnalyzeFilesContext(ctx context.Context, files []SourceFile, cfg Config) (res *Result, err error) {
 	defer recoverInternal(&err)
+	if cfg.Cache != nil {
+		mf := make([]memo.File, len(files))
+		for i, sf := range files {
+			mf[i] = memo.File{Name: sf.Name, Src: sf.Src}
+		}
+		if res, ok, err := analyzeCached(ctx, mf, cfg); ok {
+			return res, err
+		}
+	}
 	var diags source.ErrorList
 	merged := &ast.File{}
 	for _, sf := range files {
