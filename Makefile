@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 SOAK_DURATION ?= 30s
 SOAK_CLIENTS ?= 12
 
-.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke serve soak clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke trace serve soak clean
 
 all: check
 
@@ -51,6 +51,12 @@ bench-check:
 # exhibits and gates minus the timing-sensitive ones.
 bench-smoke:
 	$(GO) run ./cmd/ipcp-bench -quick -out /tmp/bench-smoke.json -baseline BENCH_ipcp.json
+
+# Print one representative analysis's per-phase trace as JSON: the
+# machine-readable counterpart of `ipcp -trace` (CI validates this
+# document's schema; see docs/architecture.md for the phase table).
+trace:
+	$(GO) run ./cmd/ipcp-bench -trace
 
 # Run the crash-only analysis service on :8077 (see docs/robustness.md
 # for the endpoint and tuning reference).

@@ -12,6 +12,7 @@
 //	ipcp-bench -min-speedup 2      # also gate on sweep speedup (needs >= 4 CPUs)
 //	ipcp-bench -baseline BENCH_ipcp.json  # fail on >10% alloc regression
 //	ipcp-bench -quick               # short iterations for CI smoke runs
+//	ipcp-bench -trace               # print one analysis's per-phase trace as JSON and exit
 //
 // Gates:
 //
@@ -99,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		minSpeedup = fs.Float64("min-speedup", 0, "fail unless the parallel sweep is at least this much faster (0 = no gate; skipped below 4 CPUs)")
 		baseline   = fs.String("baseline", "", "committed baseline JSON to gate allocation regressions against")
 		quickFlag  = fs.Bool("quick", false, "short fixed-iteration runs for CI smoke tests (no perf gates)")
+		traceFlag  = fs.Bool("trace", false, "print one analysis's per-phase trace as JSON and exit (no benchmarks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -108,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 		return 1
 	}
 	quick = *quickFlag
+	if *traceFlag {
+		return traceMode(stdout, stderr)
+	}
 
 	base, err := measure(stderr)
 	if err != nil {
@@ -164,6 +169,42 @@ func run(args []string, stdout, stderr io.Writer) (status int) {
 			fmt.Fprintln(stderr, "ipcp-bench:", err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// TraceDoc is the -trace output: one representative analysis's
+// per-phase statistics, the machine-readable counterpart of `ipcp
+// -trace` (and the document CI's schema check validates).
+type TraceDoc struct {
+	Program string           `json:"program"`
+	Config  string           `json:"config"`
+	Phases  []ipcp.PhaseStat `json:"phases"`
+}
+
+// traceMode analyzes the Table 2 program once at the benchmark's serial
+// configuration and writes its phase trace as JSON.
+func traceMode(stdout, stderr io.Writer) int {
+	spec, ok := suite.ByName("spec77")
+	if !ok {
+		fmt.Fprintln(stderr, "ipcp-bench: no suite program spec77")
+		return 1
+	}
+	cfg := ipcp.Config{Kind: ipcp.Polynomial, UseMOD: true, UseReturnJFs: true, Parallelism: 1}
+	res, err := ipcp.Analyze("spec77.f", suite.Source(spec), cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "ipcp-bench:", err)
+		return 1
+	}
+	doc := TraceDoc{Program: "spec77", Config: "polynomial", Phases: res.PhaseStats}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "ipcp-bench:", err)
+		return 1
+	}
+	if _, err := stdout.Write(append(blob, '\n')); err != nil {
+		fmt.Fprintln(stderr, "ipcp-bench:", err)
+		return 1
 	}
 	return 0
 }

@@ -16,6 +16,7 @@
 //	-solver worklist|binding                    propagation algorithm
 //	-transform                                  print the transformed source
 //	-stats                                      print solver statistics
+//	-trace                                      print per-phase timing to stderr
 //
 // Resource budgets (the analysis degrades soundly when exhausted,
 // reporting each step on stderr):
@@ -35,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/ipcp"
 )
@@ -68,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 		transform = fs.Bool("transform", false, "print the transformed source")
 		jumps     = fs.Bool("jumps", false, "print the constructed jump functions")
 		stats     = fs.Bool("stats", false, "print solver statistics")
+		trace     = fs.Bool("trace", false, "print per-phase wall time and counters to stderr")
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited; exhaustion degrades, never fails)")
 		maxSteps  = fs.Int("maxsteps", 0, "cap on solver jump-function evaluations (0 = unlimited)")
 		maxRounds = fs.Int("maxrounds", 0, "cap on complete-propagation rounds (0 = driver default)")
@@ -137,7 +140,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 	var res *ipcp.Result
 	var cloneInfo *ipcp.CloneInfo
 	if *doClone {
-		res, cloneInfo, err = ipcp.AnalyzeWithCloning(name, string(src), cfg, 3)
+		res, cloneInfo, err = ipcp.AnalyzeWithCloningContext(ctx, name, string(src), cfg, 3)
 	} else {
 		res, err = ipcp.AnalyzeContext(ctx, name, string(src), cfg)
 	}
@@ -153,6 +156,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 	}
 	for _, w := range res.Warnings {
 		fmt.Fprintln(stderr, w)
+	}
+	if *trace {
+		printTrace(stderr, res.PhaseStats)
 	}
 	if cloneInfo != nil {
 		for _, c := range cloneInfo.Cloned {
@@ -197,4 +203,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 		fmt.Fprintf(stdout, "stats: %d jump function evaluations, %d lattice lowerings, %d round(s)\n", jfe, low, rounds)
 	}
 	return 0
+}
+
+// printTrace renders Result.PhaseStats as an aligned table, one phase
+// per line in execution order.
+func printTrace(w io.Writer, stats []ipcp.PhaseStat) {
+	fmt.Fprintf(w, "%-9s %14s %6s %8s %6s %6s\n", "phase", "wall", "runs", "units", "memo", "degr")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-9s %14s %6d %8d %6d %6d\n",
+			s.Phase, time.Duration(s.WallNs), s.Runs, s.Units, s.MemoHits, s.Degradations)
+	}
 }

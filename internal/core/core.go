@@ -31,6 +31,7 @@ import (
 	"repro/internal/jump"
 	"repro/internal/lattice"
 	"repro/internal/modref"
+	"repro/internal/pipeline"
 	"repro/internal/sem"
 	"repro/internal/ssa"
 	"repro/internal/subst"
@@ -89,6 +90,11 @@ type Config struct {
 	// recomputation: never during complete-propagation jump-function
 	// rebuild rounds (those need SSA state the cache does not keep).
 	Hooks MemoHooks
+	// Trace, when non-nil, collects per-phase wall time, units, memo
+	// hits, and degradation events for the driver's phases (graph, jump,
+	// solve). It does not participate in memo cache keys: the fingerprint
+	// layer hashes an explicit field list.
+	Trace *pipeline.Trace
 }
 
 // MemoHooks is the driver-side interface of an incremental-analysis
@@ -236,6 +242,7 @@ func AnalyzeProgramErr(ctx context.Context, prog *sem.Program, cfgg Config) (*An
 			w.To = describeConfig(next)
 		}
 		warns = append(warns, w)
+		cfgg.Trace.Degradation(siteOf(err))
 		if !ok {
 			a := bottomAnalysis(prog, attempt)
 			a.Warnings = warns
@@ -282,6 +289,119 @@ func axisOf(err error) guard.Axis {
 	return guard.Axis("injected")
 }
 
+// siteOf extracts the pipeline site that exhausted its budget, for
+// trace attribution; injected faults fall back to the driver itself.
+func siteOf(err error) string {
+	var ex *guard.Exhausted
+	if errors.As(err, &ex) && ex.Site != "" {
+		return ex.Site
+	}
+	return "analyze"
+}
+
+// attemptState is the shared state of one analysis attempt's pipeline:
+// the analysis under construction plus the round-loop variables the
+// complete-propagation driver feeds back between phase executions.
+type attemptState struct {
+	a    *Analysis
+	cfg  Config
+	prog *sem.Program
+	chk  *guard.Checker
+	init map[*sem.GlobalVar]lattice.Value
+
+	// Round-loop feedback (complete propagation).
+	round int
+	prune bool
+	entry jump.EntryEnv
+	prev  *Values
+}
+
+// attemptPhases are the driver's passes. The round loop stays in
+// analyzeAttempt (dynamic control flow) and replays the jump and solve
+// phases through RunPhase, so every execution shares the middleware
+// stack and lands in the same trace.
+var (
+	phaseGraph = pipeline.Phase[*attemptState]{Name: "graph", Run: runGraph}
+	phaseJump  = pipeline.Phase[*attemptState]{Name: "jump", Run: runJump}
+	phaseSolve = pipeline.Phase[*attemptState]{Name: "solve", Run: runSolve}
+)
+
+// attemptPipeline wires the cross-cutting concerns every driver phase
+// needs: wall-time tracing, panic attribution, and a deadline pre-check
+// that names the phase (the same *guard.Exhausted the phases' own
+// inline checks produce).
+func attemptPipeline() *pipeline.Pipeline[*attemptState] {
+	return pipeline.New[*attemptState]().Use(
+		pipeline.Timed(func(s *attemptState) *pipeline.Trace { return s.cfg.Trace }),
+		pipeline.Attributed[*attemptState](),
+		pipeline.Guarded(func(s *attemptState) *guard.Checker { return s.chk }),
+	)
+}
+
+// runGraph builds (or fetches from the memo layer) the call graph and
+// MOD/REF summaries.
+func runGraph(ctx context.Context, s *attemptState) error {
+	if s.cfg.Hooks != nil {
+		s.a.Graph, s.a.Mod = s.cfg.Hooks.Graph()
+	} else {
+		s.a.Graph = callgraph.Build(s.prog)
+		s.a.Mod = modref.Compute(s.a.Graph)
+	}
+	s.cfg.Trace.AddUnits("graph", len(s.prog.Order))
+	return nil
+}
+
+// runJump builds the round's jump functions, consulting the memo layer
+// where reuse is provably equivalent: only the canonical round-0 build —
+// rebuild rounds of complete propagation feed back entry environments
+// and pruning, which the cache keys do not cover.
+func runJump(ctx context.Context, s *attemptState) error {
+	jc := s.cfg.Jump
+	jc.Prune = s.prune
+	jc.Check = func() error { return s.chk.Deadline("jump") }
+	jc.Parallelism = s.cfg.Parallelism
+	useMemo := s.cfg.Hooks != nil && !s.cfg.Complete && s.round == 0
+	var fns *jump.Functions
+	if useMemo {
+		cached, trunc, pm := s.cfg.Hooks.Funcs(s.cfg, jc, s.a.builder)
+		if cached != nil {
+			s.a.builder.AddTruncated(trunc)
+			fns = cached
+			s.cfg.Trace.MemoHit("jump")
+		} else {
+			jc.Memo = pm
+			var err error
+			fns, err = jump.Build(ctx, s.a.Graph, s.a.Mod, s.a.builder, jc, s.entry)
+			if err != nil {
+				return err
+			}
+			s.cfg.Hooks.StoreFuncs(s.cfg, fns, s.a.builder.Truncated())
+		}
+	} else {
+		var err error
+		fns, err = jump.Build(ctx, s.a.Graph, s.a.Mod, s.a.builder, jc, s.entry)
+		if err != nil {
+			return err
+		}
+	}
+	s.a.Funcs = fns
+	s.cfg.Trace.AddUnits("jump", len(s.prog.Order))
+	return nil
+}
+
+// runSolve propagates VAL sets around the call graph with the
+// configured solver.
+func runSolve(ctx context.Context, s *attemptState) error {
+	before := s.a.Stats.JFEvaluations
+	vals, err := s.a.solve(s.init, s.chk)
+	if err != nil {
+		return err
+	}
+	s.a.Vals = vals
+	s.cfg.Trace.AddUnits("solve", s.a.Stats.JFEvaluations-before)
+	return nil
+}
+
 // analyzeAttempt runs one analysis attempt under one configuration,
 // reporting *guard.Exhausted when a budget axis runs out mid-flight.
 func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analysis, error) {
@@ -295,14 +415,13 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 	if cfgg.Budget.MaxExprSize > 0 {
 		a.builder.SetMaxSize(cfgg.Budget.MaxExprSize)
 	}
-	if cfgg.Hooks != nil {
-		a.Graph, a.Mod = cfgg.Hooks.Graph()
-	} else {
-		a.Graph = callgraph.Build(prog)
-		a.Mod = modref.Compute(a.Graph)
+	st := &attemptState{a: a, cfg: cfgg, prog: prog, chk: chk}
+	pl := attemptPipeline()
+	if err := pl.RunPhase(ctx, phaseGraph, st); err != nil {
+		return nil, err
 	}
 
-	init := DataInits(prog)
+	st.init = DataInits(prog)
 
 	// The complete-propagation round cap: the configuration's safety net,
 	// tightened further by the budget's rounds axis.
@@ -313,52 +432,19 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 		roundsCapped = true
 	}
 
-	var entry jump.EntryEnv
-	prune := false
-	var prev *Values
-	for round := 0; ; round++ {
-		jc := cfgg.Jump
-		jc.Prune = prune
-		jc.Check = func() error { return chk.Deadline("jump") }
-		jc.Parallelism = cfgg.Parallelism
-		// Memoization applies only to the canonical round-0 build:
-		// rebuild rounds of complete propagation feed back entry
-		// environments and pruning, which the cache keys do not cover.
-		useMemo := cfgg.Hooks != nil && !cfgg.Complete && round == 0
-		var fns *jump.Functions
-		if useMemo {
-			cached, trunc, pm := cfgg.Hooks.Funcs(cfgg, jc, a.builder)
-			if cached != nil {
-				a.builder.AddTruncated(trunc)
-				fns = cached
-			} else {
-				jc.Memo = pm
-				var err error
-				fns, err = jump.Build(ctx, a.Graph, a.Mod, a.builder, jc, entry)
-				if err != nil {
-					return nil, err
-				}
-				cfgg.Hooks.StoreFuncs(cfgg, fns, a.builder.Truncated())
-			}
-		} else {
-			var err error
-			fns, err = jump.Build(ctx, a.Graph, a.Mod, a.builder, jc, entry)
-			if err != nil {
-				return nil, err
-			}
-		}
-		a.Funcs = fns
-		vals, err := a.solve(init, chk)
-		if err != nil {
+	for st.round = 0; ; st.round++ {
+		if err := pl.RunPhase(ctx, phaseJump, st); err != nil {
 			return nil, err
 		}
-		a.Vals = vals
+		if err := pl.RunPhase(ctx, phaseSolve, st); err != nil {
+			return nil, err
+		}
 		a.Stats.Rounds = int(chk.AddRound())
-		if !cfgg.Complete || round+1 >= maxRounds {
+		if !cfgg.Complete || st.round+1 >= maxRounds {
 			// Each round's solution is a sound fixed point; stopping at
 			// the budget's round cap is graceful degradation, not an
 			// abort — note it and keep the last solution.
-			if cfgg.Complete && roundsCapped && round+1 >= maxRounds && (prev == nil || !a.Vals.Equal(prev)) {
+			if cfgg.Complete && roundsCapped && st.round+1 >= maxRounds && (st.prev == nil || !a.Vals.Equal(st.prev)) {
 				a.Warnings = append(a.Warnings, Warning{
 					Axis: guard.AxisRounds,
 					From: describeConfig(cfgg),
@@ -366,15 +452,16 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 					Detail: fmt.Sprintf("complete propagation truncated at round cap %d before stabilizing",
 						maxRounds),
 				})
+				cfgg.Trace.Degradation("solve")
 			}
 			break
 		}
-		if prev != nil && a.Vals.Equal(prev) {
+		if st.prev != nil && a.Vals.Equal(st.prev) {
 			break
 		}
-		prev = a.Vals
-		entry = a.Vals.EntryEnv
-		prune = true
+		st.prev = a.Vals
+		st.entry = a.Vals.EntryEnv
+		st.prune = true
 	}
 
 	if t := a.builder.Truncated(); t > 0 {
@@ -385,6 +472,7 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 			Detail: fmt.Sprintf("%d jump-function expression(s) over size cap %d degraded to ⊥",
 				t, cfgg.Budget.MaxExprSize),
 		})
+		cfgg.Trace.Degradation("jump")
 	}
 
 	if cfgg.Complete {
@@ -491,6 +579,7 @@ func (a *Analysis) Substitute() *subst.Result {
 	if h := a.Config.Hooks; h != nil {
 		res, pm := h.Subst(a.Config, opts)
 		if res != nil {
+			a.Config.Trace.MemoHit("subst")
 			return res
 		}
 		if pm != nil {

@@ -16,16 +16,17 @@ type World struct {
 }
 
 // Lookup returns the world for the given sources, building and caching
-// it on a miss. ok is false when the sources are ineligible for
-// incremental analysis (oversized, unsplittable, or erroneous) and the
-// caller must use the plain uncached pipeline, which reproduces any
-// diagnostics exactly.
-func (c *Cache) Lookup(files []File) (World, bool) {
-	w, ok := c.lookupWorld(files)
+// it on a miss. hit reports whether an already-built world was reused
+// (as opposed to built by this call). ok is false when the sources are
+// ineligible for incremental analysis (oversized, unsplittable, or
+// erroneous) and the caller must use the plain uncached pipeline, which
+// reproduces any diagnostics exactly.
+func (c *Cache) Lookup(files []File) (w World, hit, ok bool) {
+	ww, hit, ok := c.lookupWorld(files)
 	if !ok {
-		return World{}, false
+		return World{}, false, false
 	}
-	return World{c: c, w: w}, true
+	return World{c: c, w: ww}, hit, true
 }
 
 // File returns the merged AST (units in source order).

@@ -68,13 +68,14 @@ type chunkEntry struct {
 func (ce *chunkEntry) unit() *ast.Unit { return ce.file.Units[0] }
 
 // lookupWorld returns the front-end world for the given sources,
-// building and caching it on a miss. ok is false when the sources are
+// building and caching it on a miss. hit reports whether an
+// already-built world was reused. ok is false when the sources are
 // ineligible for incremental analysis (oversized, unsplittable, or
 // erroneous) — the caller must fall back to the plain uncached
 // pipeline, which reproduces any diagnostics exactly.
-func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
+func (c *Cache) lookupWorld(files []File) (w *world, hit, ok bool) {
 	if len(files) == 0 {
-		return nil, false
+		return nil, false, false
 	}
 	total := 0
 	keyParts := make([]string, 0, 2*len(files))
@@ -83,7 +84,7 @@ func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
 		keyParts = append(keyParts, f.Name, f.Src)
 	}
 	if total > parser.MaxSourceBytes {
-		return nil, false // the uncached parser rejects this with a diagnostic
+		return nil, false, false // the uncached parser rejects this with a diagnostic
 	}
 	key := hashStrings(keyParts...)
 
@@ -93,7 +94,7 @@ func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
 			c.hits++
 			c.touch(e)
 			c.mu.Unlock()
-			return e.world, true
+			return e.world, true, true
 		}
 		call := c.building[key]
 		if call == nil {
@@ -103,7 +104,7 @@ func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
 		c.mu.Unlock()
 		<-call.done
 		if call.w == nil {
-			return nil, false
+			return nil, false, false
 		}
 		c.mu.Lock()
 		// The finished world is normally in the map now; loop to take
@@ -113,10 +114,10 @@ func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
 			c.hits++
 			c.touch(e)
 			c.mu.Unlock()
-			return e.world, true
+			return e.world, true, true
 		}
 		c.mu.Unlock()
-		return call.w, true
+		return call.w, true, true
 	}
 	c.misses++
 	call := &worldCall{done: make(chan struct{})}
@@ -141,13 +142,13 @@ func (c *Cache) lookupWorld(files []File) (w *world, ok bool) {
 
 	w = c.buildWorld(key, files)
 	if w == nil {
-		return nil, false
+		return nil, false, false
 	}
 	built = true
-	return w, true
+	return w, false, true
 }
 
-func worldBytes(srcLen int) int64 { return int64(srcLen)*12 + 8192 }
+func worldBytes(srcLen int) int64  { return int64(srcLen)*12 + 8192 }
 func chunkBytes(textLen int) int64 { return int64(textLen)*6 + 1024 }
 
 // buildWorld runs the front end over content-addressed chunks. Any

@@ -1,0 +1,154 @@
+// Package pipeline is the analyzer's pass manager. Every driver in the
+// repository — the public ipcp entry points, the core interprocedural
+// driver, and the analysis service's per-request execution — expresses
+// its orchestration as an ordered sequence of Phase values run through
+// one of these pipelines, instead of hand-threading the cross-cutting
+// concerns (panic attribution, deadline checks, timing, memo hooks,
+// retries) at every call site.
+//
+// A Phase is a named unit of work over a driver-chosen state type S.
+// Cross-cutting behavior is attached as Middleware, which wraps a
+// phase's run function and receives the phase name for attribution:
+//
+//	pl := pipeline.New(parse, sem, analyze).
+//		Use(pipeline.Attributed[*state]())
+//	err := pl.Run(ctx, st)
+//
+// Drivers with dynamic control flow — the complete-propagation round
+// loop, the service's retry ladder, the cloning driver — keep their
+// loops but run each iteration's phases through RunPhase, so every
+// execution of a phase passes the same middleware stack and lands in
+// the same Trace.
+package pipeline
+
+import (
+	"context"
+
+	"repro/internal/guard"
+)
+
+// RunFunc is the body of one phase over the pipeline's shared state.
+type RunFunc[S any] func(ctx context.Context, s S) error
+
+// Middleware wraps a phase's run function with a cross-cutting concern.
+// It receives the phase name so timing, attribution, and budget errors
+// can name the phase they apply to.
+type Middleware[S any] func(phase string, next RunFunc[S]) RunFunc[S]
+
+// Phase is one named pass of a pipeline.
+type Phase[S any] struct {
+	// Name identifies the phase in traces, panic attribution, and
+	// budget-exhaustion errors.
+	Name string
+	// Run does the work. A non-nil error stops the pipeline.
+	Run RunFunc[S]
+	// Skip, when non-nil and true at run time, elides the phase (it is
+	// neither run nor traced). Used for conditional passes such as the
+	// front end when a memoized world already supplies the program.
+	Skip func(s S) bool
+
+	mw []Middleware[S]
+}
+
+// With returns a copy of the phase with phase-local middleware
+// attached. Phase-local middleware runs inside the pipeline-wide stack:
+// pipeline middleware sees the wrapped phase.
+func (p Phase[S]) With(mw ...Middleware[S]) Phase[S] {
+	p.mw = append(append([]Middleware[S]{}, p.mw...), mw...)
+	return p
+}
+
+// wrap applies a middleware stack so that the first element is
+// outermost.
+func wrap[S any](name string, run RunFunc[S], mw []Middleware[S]) RunFunc[S] {
+	for i := len(mw) - 1; i >= 0; i-- {
+		run = mw[i](name, run)
+	}
+	return run
+}
+
+// Pipeline is an ordered sequence of phases sharing one middleware
+// stack. The zero value is usable; New and Use exist for fluent
+// construction. A Pipeline is immutable once built and safe to share.
+type Pipeline[S any] struct {
+	phases []Phase[S]
+	mw     []Middleware[S]
+}
+
+// New returns a pipeline over the given phases.
+func New[S any](phases ...Phase[S]) *Pipeline[S] {
+	return &Pipeline[S]{phases: phases}
+}
+
+// Use appends pipeline-wide middleware; earlier middleware is
+// outermost. It returns the pipeline for chaining.
+func (p *Pipeline[S]) Use(mw ...Middleware[S]) *Pipeline[S] {
+	p.mw = append(p.mw, mw...)
+	return p
+}
+
+// Run executes the phases in order, stopping at the first error.
+func (p *Pipeline[S]) Run(ctx context.Context, s S) error {
+	for _, ph := range p.phases {
+		if err := p.RunPhase(ctx, ph, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunPhase executes one phase through the pipeline's middleware stack —
+// the escape hatch for drivers whose control flow is dynamic (round
+// loops, retry ladders): they own the loop, the pipeline owns the
+// cross-cutting concerns.
+func (p *Pipeline[S]) RunPhase(ctx context.Context, ph Phase[S], s S) error {
+	if ph.Skip != nil && ph.Skip(s) {
+		return nil
+	}
+	return wrap(ph.Name, wrap(ph.Name, ph.Run, ph.mw), p.mw)(ctx, s)
+}
+
+// ---------------------------------------------------------------------
+// Standard middleware
+
+// Attributed converts a panic escaping the phase into a re-panicked
+// *guard.PanicError named after the phase. Phases that already attribute
+// internally (the front end, jump construction, the solvers) are
+// unaffected: Repanic preserves the innermost attribution.
+func Attributed[S any]() Middleware[S] {
+	return func(phase string, next RunFunc[S]) RunFunc[S] {
+		return func(ctx context.Context, s S) error {
+			defer guard.Repanic(phase)
+			return next(ctx, s)
+		}
+	}
+}
+
+// Timed records each execution's wall time (and a run count) into the
+// trace resolved from the state. A nil trace records nothing.
+func Timed[S any](trace func(S) *Trace) Middleware[S] {
+	return func(phase string, next RunFunc[S]) RunFunc[S] {
+		return func(ctx context.Context, s S) error {
+			stop := trace(s).Start(phase)
+			err := next(ctx, s)
+			stop()
+			return err
+		}
+	}
+}
+
+// Guarded pre-checks the deadline axis before running the phase,
+// attributing exhaustion to the phase name — the same *guard.Exhausted
+// the phase's own inline checks produce, so a dead context surfaces
+// identically whether it dies before or during the phase. A nil checker
+// checks nothing.
+func Guarded[S any](chk func(S) *guard.Checker) Middleware[S] {
+	return func(phase string, next RunFunc[S]) RunFunc[S] {
+		return func(ctx context.Context, s S) error {
+			if err := chk(s).Deadline(phase); err != nil {
+				return err
+			}
+			return next(ctx, s)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+type state struct {
+	log   []string
+	trace *Trace
+	chk   *guard.Checker
+}
+
+func logging(tag string) Middleware[*state] {
+	return func(phase string, next RunFunc[*state]) RunFunc[*state] {
+		return func(ctx context.Context, s *state) error {
+			s.log = append(s.log, tag+">"+phase)
+			err := next(ctx, s)
+			s.log = append(s.log, tag+"<"+phase)
+			return err
+		}
+	}
+}
+
+func TestRunOrderAndMiddlewareNesting(t *testing.T) {
+	mk := func(name string) Phase[*state] {
+		return Phase[*state]{Name: name, Run: func(ctx context.Context, s *state) error {
+			s.log = append(s.log, name)
+			return nil
+		}}
+	}
+	pl := New(mk("a").With(logging("local")), mk("b")).Use(logging("outer"), logging("inner"))
+	st := &state{}
+	if err := pl.Run(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"outer>a", "inner>a", "local>a", "a", "local<a", "inner<a", "outer<a",
+		"outer>b", "inner>b", "b", "inner<b", "outer<b",
+	}
+	if got := strings.Join(st.log, " "); got != strings.Join(want, " ") {
+		t.Fatalf("order mismatch:\n got %s\nwant %s", got, strings.Join(want, " "))
+	}
+}
+
+func TestRunStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := []string{}
+	mk := func(name string, err error) Phase[*state] {
+		return Phase[*state]{Name: name, Run: func(ctx context.Context, s *state) error {
+			ran = append(ran, name)
+			return err
+		}}
+	}
+	err := New(mk("a", nil), mk("b", boom), mk("c", nil)).Run(context.Background(), &state{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if strings.Join(ran, " ") != "a b" {
+		t.Fatalf("ran %v, want [a b]", ran)
+	}
+}
+
+func TestSkipElidesPhaseAndMiddleware(t *testing.T) {
+	st := &state{trace: NewTrace()}
+	ph := Phase[*state]{
+		Name: "skipped",
+		Run:  func(ctx context.Context, s *state) error { t.Fatal("run called"); return nil },
+		Skip: func(s *state) bool { return true },
+	}
+	pl := New(ph).Use(Timed(func(s *state) *Trace { return s.trace }))
+	if err := pl.Run(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	if stats := st.trace.Snapshot(); len(stats) != 0 {
+		t.Fatalf("skipped phase was traced: %+v", stats)
+	}
+}
+
+func TestAttributedNamesThePhase(t *testing.T) {
+	ph := Phase[*state]{Name: "solve", Run: func(ctx context.Context, s *state) error {
+		panic("kaboom")
+	}}
+	pl := New(ph).Use(Attributed[*state]())
+	defer func() {
+		r := recover()
+		pe, ok := r.(*guard.PanicError)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *guard.PanicError", r, r)
+		}
+		if pe.Site != "solve" {
+			t.Fatalf("Site = %q, want solve", pe.Site)
+		}
+	}()
+	_ = pl.Run(context.Background(), &state{})
+}
+
+func TestAttributedPreservesInnerAttribution(t *testing.T) {
+	ph := Phase[*state]{Name: "outerphase", Run: func(ctx context.Context, s *state) error {
+		defer guard.Repanic("innerphase", "unit9")
+		panic("kaboom")
+	}}
+	pl := New(ph).Use(Attributed[*state]())
+	defer func() {
+		pe, ok := recover().(*guard.PanicError)
+		if !ok || pe.Site != "innerphase" || pe.Unit != "unit9" {
+			t.Fatalf("got %+v, want innermost attribution innerphase/unit9", pe)
+		}
+	}()
+	_ = pl.Run(context.Background(), &state{})
+}
+
+func TestGuardedDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := &state{chk: guard.NewChecker(ctx, guard.Budget{})}
+	ran := false
+	ph := Phase[*state]{Name: "jump", Run: func(ctx context.Context, s *state) error {
+		ran = true
+		return nil
+	}}
+	pl := New(ph).Use(Guarded(func(s *state) *guard.Checker { return s.chk }))
+	err := pl.Run(ctx, st)
+	var ex *guard.Exhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *guard.Exhausted", err)
+	}
+	if ex.Site != "jump" || ex.Axis != guard.AxisDeadline {
+		t.Fatalf("exhausted at %s/%s, want jump/deadline", ex.Site, ex.Axis)
+	}
+	if ran {
+		t.Fatal("phase ran past a dead context")
+	}
+
+	// A nil checker checks nothing.
+	st2 := &state{}
+	if err := pl.Run(context.Background(), st2); err != nil {
+		t.Fatalf("nil checker: %v", err)
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 3; i++ {
+		stop := tr.Start("solve")
+		time.Sleep(time.Millisecond)
+		stop()
+	}
+	tr.AddUnits("solve", 5)
+	tr.AddUnits("solve", 2)
+	tr.AddUnits("solve", 0) // no-op, must not disturb counts
+	tr.MemoHit("jump")
+	tr.Degradation("jump")
+	tr.Degradation("jump")
+
+	stats := tr.Snapshot()
+	if len(stats) != 2 || stats[0].Phase != "solve" || stats[1].Phase != "jump" {
+		t.Fatalf("snapshot order = %+v, want [solve jump]", stats)
+	}
+	s := stats[0]
+	if s.Runs != 3 || s.Units != 7 || s.Wall <= 0 {
+		t.Fatalf("solve stat = %+v", s)
+	}
+	j := stats[1]
+	if j.MemoHits != 1 || j.Degradations != 2 || j.Runs != 0 {
+		t.Fatalf("jump stat = %+v", j)
+	}
+
+	// Snapshot is a copy.
+	stats[0].Runs = 99
+	if tr.Snapshot()[0].Runs != 3 {
+		t.Fatal("snapshot aliases the live stat")
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Start("x")()
+	tr.AddUnits("x", 1)
+	tr.MemoHit("x")
+	tr.Degradation("x")
+	if tr.Snapshot() != nil {
+		t.Fatal("nil trace snapshot not nil")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			phase := fmt.Sprintf("p%d", g%2)
+			for i := 0; i < 100; i++ {
+				stop := tr.Start(phase)
+				tr.AddUnits(phase, 1)
+				stop()
+			}
+		}(g)
+	}
+	wg.Wait()
+	var runs, units int64
+	for _, s := range tr.Snapshot() {
+		runs += s.Runs
+		units += s.Units
+	}
+	if runs != 800 || units != 800 {
+		t.Fatalf("runs=%d units=%d, want 800/800", runs, units)
+	}
+}
+
+func TestRunPhaseDynamicLoop(t *testing.T) {
+	st := &state{trace: NewTrace()}
+	round := Phase[*state]{Name: "round", Run: func(ctx context.Context, s *state) error { return nil }}
+	pl := New[*state]().Use(Timed(func(s *state) *Trace { return s.trace }))
+	for i := 0; i < 4; i++ {
+		if err := pl.RunPhase(context.Background(), round, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.trace.Snapshot()
+	if len(stats) != 1 || stats[0].Runs != 4 {
+		t.Fatalf("stats = %+v, want one phase with 4 runs", stats)
+	}
+}

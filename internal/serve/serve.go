@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/pipeline"
 	"repro/ipcp"
 )
 
@@ -160,6 +161,9 @@ type Server struct {
 	http     *http.Server
 	memo     *ipcp.Cache  // nil when AnalysisCacheBytes < 0
 	results  *resultCache // nil when ResultCacheBytes < 0
+	// reqPL runs the per-request analysis phase through the shared pass
+	// manager, with the retry/degrade ladder attached as middleware.
+	reqPL *pipeline.Pipeline[*reqState]
 
 	// test seams
 	sleep  func(ctx context.Context, d time.Duration)
@@ -187,6 +191,7 @@ type serverStats struct {
 	mu          sync.Mutex
 	degByAxis   map[string]int64 // degradations by budget axis
 	panicsPhase map[string]int64 // internal errors by pipeline phase
+	phaseAgg    map[string]*PhaseLatency
 }
 
 // New returns a Server over cfg (zero-value fields defaulted).
@@ -215,6 +220,8 @@ func New(cfg Config) *Server {
 	}
 	s.stats.degByAxis = make(map[string]int64)
 	s.stats.panicsPhase = make(map[string]int64)
+	s.stats.phaseAgg = make(map[string]*PhaseLatency)
+	s.reqPL = pipeline.New[*reqState]().Use(s.retrying())
 	return s
 }
 
@@ -360,13 +367,27 @@ type StatsSnapshot struct {
 	RetriesTotal   int64            `json:"retries_total"`
 	DegByAxis      map[string]int64 `json:"degradations_by_axis,omitempty"`
 	PanicsByPhase  map[string]int64 `json:"panics_by_phase,omitempty"`
-	Breaker        BreakerSnapshot  `json:"breaker"`
+	// PhaseLatencies aggregates every served analysis's per-phase wall
+	// time (ipcp.Result.PhaseStats) across the server's lifetime, keyed
+	// by phase name (lookup, parse, sem, graph, jump, solve, subst,
+	// assemble). Empty until the first 200 response.
+	PhaseLatencies map[string]PhaseLatency `json:"phase_latencies,omitempty"`
+	Breaker        BreakerSnapshot         `json:"breaker"`
 	// AnalysisCache counts the incremental-analysis cache's memoized
 	// lookups at every granularity (front-end builds, whole-config
 	// phase results, per-unit artifacts); ResultCache counts whole
 	// replayed responses. Either is absent when that cache is disabled.
 	AnalysisCache *CacheCounters `json:"analysis_cache,omitempty"`
 	ResultCache   *CacheCounters `json:"result_cache,omitempty"`
+}
+
+// PhaseLatency is one phase's latency aggregate across every 200
+// response served: how many times the phase ran, its total wall time,
+// and the largest single-response wall time observed.
+type PhaseLatency struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	MaxNs   int64 `json:"max_ns"`
 }
 
 // ---------------------------------------------------------------------
@@ -431,6 +452,12 @@ func (s *Server) Stats() StatsSnapshot {
 		snap.PanicsByPhase = make(map[string]int64, len(st.panicsPhase))
 		for k, v := range st.panicsPhase {
 			snap.PanicsByPhase[k] = v
+		}
+	}
+	if len(st.phaseAgg) > 0 {
+		snap.PhaseLatencies = make(map[string]PhaseLatency, len(st.phaseAgg))
+		for k, v := range st.phaseAgg {
+			snap.PhaseLatencies[k] = *v
 		}
 	}
 	st.mu.Unlock()
@@ -553,57 +580,89 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	s.runLadder(ctx, w, &req, cfg, key)
+	// The breaker has admitted the request; run the analysis phase
+	// through the pass manager, whose retrying middleware owns the
+	// ladder and writes the response.
+	_ = s.reqPL.RunPhase(ctx, phaseRequest, &reqState{w: w, req: &req, cfg: cfg, key: key})
 }
 
-// runLadder runs the analysis with the retry/degrade ladder and writes
-// the response. The breaker has admitted the request. key is the
-// result-cache slot for a clean outcome.
-func (s *Server) runLadder(ctx context.Context, w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config, key string) {
-	retries := 0
-	for {
-		res, err := ipcp.AnalyzeContext(ctx, req.Filename, req.Source, cfg)
-		if err == nil {
-			s.breaker.Success()
-			s.writeResult(w, req, cfg, res, retries, key)
-			return
+// reqState is one request's pipeline state: the response writer the
+// ladder reports into, the (progressively degraded) configuration, and
+// the attempt's result.
+type reqState struct {
+	w       http.ResponseWriter
+	req     *AnalyzeRequest
+	cfg     ipcp.Config
+	key     string
+	retries int
+	res     *ipcp.Result
+}
+
+// phaseRequest is one deadline-bounded analysis attempt.
+var phaseRequest = pipeline.Phase[*reqState]{
+	Name: "analyze",
+	Run: func(ctx context.Context, st *reqState) error {
+		res, err := ipcp.AnalyzeContext(ctx, st.req.Filename, st.req.Source, st.cfg)
+		if err != nil {
+			return err
 		}
-		class, retryable, userFault := classify(err)
-		if userFault {
-			s.breaker.Neutral()
-			s.stats.inputErrors.Add(1)
-			s.writeError(w, http.StatusUnprocessableEntity, "input", err.Error())
-			return
-		}
-		if errors.Is(err, context.Canceled) {
-			// The client went away, not the analyzer: no breaker verdict.
-			s.breaker.Neutral()
-			s.stats.abandoned.Add(1)
-			s.writeError(w, http.StatusServiceUnavailable, "canceled", "request canceled")
-			return
-		}
-		s.recordFailureClass(err)
-		if !retryable || retries >= s.cfg.MaxRetries || ctx.Err() != nil {
-			s.breaker.Failure(class)
-			if class == "exhausted:deadline" {
-				s.stats.deadline.Add(1)
-			} else {
-				s.stats.internal.Add(1)
+		st.res = res
+		return nil
+	},
+}
+
+// retrying is the service's retry/degrade ladder as pipeline middleware
+// around the analysis attempt: transient failures re-run the phase at a
+// cheaper configuration after a capped, jittered backoff; every outcome
+// writes the response and settles the breaker exactly once.
+func (s *Server) retrying() pipeline.Middleware[*reqState] {
+	return func(phase string, next pipeline.RunFunc[*reqState]) pipeline.RunFunc[*reqState] {
+		return func(ctx context.Context, st *reqState) error {
+			for {
+				err := next(ctx, st)
+				if err == nil {
+					s.breaker.Success()
+					s.writeResult(st.w, st.req, st.cfg, st.res, st.retries, st.key)
+					return nil
+				}
+				class, retryable, userFault := classify(err)
+				if userFault {
+					s.breaker.Neutral()
+					s.stats.inputErrors.Add(1)
+					s.writeError(st.w, http.StatusUnprocessableEntity, "input", err.Error())
+					return nil
+				}
+				if errors.Is(err, context.Canceled) {
+					// The client went away, not the analyzer: no breaker verdict.
+					s.breaker.Neutral()
+					s.stats.abandoned.Add(1)
+					s.writeError(st.w, http.StatusServiceUnavailable, "canceled", "request canceled")
+					return nil
+				}
+				s.recordFailureClass(err)
+				if !retryable || st.retries >= s.cfg.MaxRetries || ctx.Err() != nil {
+					s.breaker.Failure(class)
+					if class == "exhausted:deadline" {
+						s.stats.deadline.Add(1)
+					} else {
+						s.stats.internal.Add(1)
+					}
+					st.w.Header().Set("Retry-After", "1")
+					s.writeError(st.w, http.StatusServiceUnavailable, class, err.Error())
+					return nil
+				}
+				if st.retries == 0 {
+					s.stats.retriedReqs.Add(1)
+				}
+				st.retries++
+				s.stats.retriesTotal.Add(1)
+				// Re-run cheaper: one step down the sound degradation chain per
+				// retry (staying at Literal once there), after a capped, jittered
+				// exponential backoff.
+				st.cfg = degradeConfig(st.cfg)
+				s.sleep(ctx, s.backoff(st.retries))
 			}
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, class, err.Error())
-			return
 		}
-		if retries == 0 {
-			s.stats.retriedReqs.Add(1)
-		}
-		retries++
-		s.stats.retriesTotal.Add(1)
-		// Re-run cheaper: one step down the sound degradation chain per
-		// retry (staying at Literal once there), after a capped, jittered
-		// exponential backoff.
-		cfg = degradeConfig(cfg)
-		s.sleep(ctx, s.backoff(retries))
 	}
 }
 
@@ -702,6 +761,18 @@ func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipc
 		resp.Degradations = append(resp.Degradations, DegradationJSON{
 			Axis: d.Axis, From: d.From, To: d.To, Detail: d.Detail,
 		})
+	}
+	for _, ps := range res.PhaseStats {
+		agg := s.stats.phaseAgg[ps.Phase]
+		if agg == nil {
+			agg = &PhaseLatency{}
+			s.stats.phaseAgg[ps.Phase] = agg
+		}
+		agg.Count += ps.Runs
+		agg.TotalNs += ps.WallNs
+		if ps.WallNs > agg.MaxNs {
+			agg.MaxNs = ps.WallNs
+		}
 	}
 	s.stats.mu.Unlock()
 	if req.Want.JumpFunctions {

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// statszSnapshot fetches and decodes /statsz.
+func statszSnapshot(t *testing.T, s *Server) StatsSnapshot {
+	t.Helper()
+	r := httptest.NewRequest(http.MethodGet, "/statsz", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/statsz: status = %d", w.Code)
+	}
+	var snap StatsSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/statsz body: %v\n%s", err, w.Body.Bytes())
+	}
+	return snap
+}
+
+// TestStatsPhaseLatencies: every 200 response folds its per-phase wall
+// times into /statsz's phase_latencies aggregates. The default server
+// runs analyses through the incremental cache, so the phases are the
+// cached pipeline's (lookup subsumes parse and sem).
+func TestStatsPhaseLatencies(t *testing.T) {
+	s := newTestServer(Config{})
+
+	if snap := statszSnapshot(t, s); len(snap.PhaseLatencies) != 0 {
+		t.Fatalf("phase latencies before any traffic: %+v", snap.PhaseLatencies)
+	}
+
+	// Two distinct programs, so the second is not a result-cache replay.
+	second := "PROGRAM Q\nCALL WORK(3, 4)\nEND\nSUBROUTINE WORK(N, M)\nINTEGER N, M\nPRINT *, N * M\nEND\n"
+	for _, src := range []string{okSrc, second} {
+		if code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: src}); code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", code, body)
+		}
+	}
+
+	snap := statszSnapshot(t, s)
+	for _, ph := range []string{"lookup", "graph", "jump", "solve", "subst", "assemble"} {
+		agg, ok := snap.PhaseLatencies[ph]
+		if !ok {
+			t.Errorf("phase_latencies missing %q: %+v", ph, snap.PhaseLatencies)
+			continue
+		}
+		if agg.Count != 2 {
+			t.Errorf("%s: count = %d, want 2", ph, agg.Count)
+		}
+		if agg.TotalNs < 0 || agg.MaxNs < 0 || agg.MaxNs > agg.TotalNs {
+			t.Errorf("%s: inconsistent aggregate %+v", ph, agg)
+		}
+	}
+
+	// A result-cache replay serves stored bytes without re-analyzing,
+	// so it must not inflate the aggregates.
+	if code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc}); code != http.StatusOK {
+		t.Fatalf("replay status = %d, body %s", code, body)
+	}
+	replay := statszSnapshot(t, s)
+	if got := replay.PhaseLatencies["solve"].Count; got != 2 {
+		t.Errorf("solve count after replay = %d, want 2 (replays bypass analysis)", got)
+	}
+}

@@ -1,9 +1,6 @@
 package ipcp
 
 import (
-	"context"
-
-	"repro/internal/core"
 	"repro/internal/memo"
 )
 
@@ -55,36 +52,4 @@ func (c *Cache) Stats() CacheStats {
 		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
 		Entries: s.Entries, Bytes: s.Bytes, MaxBytes: s.MaxBytes,
 	}
-}
-
-// analyzeCached attempts the memoized pipeline. ok is false when the
-// sources are ineligible for incremental analysis (oversized,
-// unsplittable at unit boundaries, or erroneous) — the caller then runs
-// the plain pipeline, which also reproduces all front-end diagnostics.
-func analyzeCached(ctx context.Context, files []memo.File, cfg Config) (*Result, bool, error) {
-	w, ok := cfg.Cache.c.Lookup(files)
-	if !ok {
-		return nil, false, nil
-	}
-	ic := cfg.internal()
-	ic.Hooks = w.Hooks()
-	analysis, err := core.AnalyzeProgramErr(ctx, w.Prog(), ic)
-	if err != nil {
-		return nil, true, budgetError(err)
-	}
-	res := &Result{
-		analysis: analysis,
-		file:     w.File(),
-		subst:    analysis.Substitute(),
-	}
-	for _, d := range w.Diags() {
-		res.Warnings = append(res.Warnings, d.String())
-	}
-	for _, wn := range analysis.Warnings {
-		res.Degradations = append(res.Degradations, Warning{
-			Axis: string(wn.Axis), From: wn.From, To: wn.To, Detail: wn.Detail,
-		})
-		res.Warnings = append(res.Warnings, wn.String())
-	}
-	return res, true, nil
 }

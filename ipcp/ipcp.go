@@ -27,12 +27,11 @@ import (
 	"strings"
 
 	"repro/internal/ast"
-	"repro/internal/clone"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/jump"
-	"repro/internal/memo"
 	"repro/internal/parser"
+	"repro/internal/pipeline"
 	"repro/internal/sem"
 	"repro/internal/source"
 	"repro/internal/subst"
@@ -195,6 +194,11 @@ type Result struct {
 	// Degradations lists the budget-driven fallbacks the analyzer took,
 	// in order; empty when the analysis ran to completion as configured.
 	Degradations []Warning
+	// PhaseStats reports per-phase wall time, work units, cache hits,
+	// and degradation events, in execution order (see PhaseStat). Always
+	// populated; phases that did not run (e.g. parse after an
+	// incremental-cache hit) are absent.
+	PhaseStats []PhaseStat
 }
 
 // Degraded reports whether any budget axis forced a fallback.
@@ -214,49 +218,19 @@ func Analyze(filename, src string, cfg Config) (*Result, error) {
 // worker pools stop claiming tasks.
 func AnalyzeContext(ctx context.Context, filename, src string, cfg Config) (res *Result, err error) {
 	defer recoverInternal(&err)
-	if cfg.Cache != nil {
-		if res, ok, err := analyzeCached(ctx, []memo.File{{Name: filename, Src: src}}, cfg); ok {
-			return res, err
-		}
-	}
-	var diags source.ErrorList
-	f := parser.ParseSource(filename, src, &diags)
-	return finishAnalysis(ctx, f, &diags, cfg)
+	return runAnalysis(ctx, []SourceFile{{Name: filename, Src: src}}, false, cfg)
 }
 
-// finishAnalysis runs the back half of the pipeline (sem → analysis →
-// substitution) shared by AnalyzeContext and AnalyzeFilesContext. The
-// caller holds the recoverInternal barrier.
-func finishAnalysis(ctx context.Context, f *ast.File, diags *source.ErrorList, cfg Config) (*Result, error) {
-	// Without FailFast the front end always completes (it is cheap and a
-	// partial Program is useless); the context bounds only the analysis
-	// proper, which degrades. With FailFast every phase observes the
-	// context and the first exhaustion aborts.
-	semCtx := ctx
-	if !cfg.FailFast {
-		semCtx = nil
-	}
-	prog, err := sem.AnalyzeParallelCtx(semCtx, f, diags, cfg.Parallelism)
-	if err != nil {
-		return nil, budgetError(err)
-	}
-	if err := diags.Err(); err != nil {
-		return nil, err
-	}
-	analysis, err := core.AnalyzeProgramErr(ctx, prog, cfg.internal())
-	if err != nil {
-		return nil, budgetError(err)
-	}
+// newResult assembles the public Result shared by every pipeline
+// configuration: the fresh front end, the memoized replay, and the
+// cloning driver all convert warnings and degradations identically.
+// front holds the front end's rendered warning diagnostics.
+func newResult(analysis *core.Analysis, file *ast.File, sub *subst.Result, front []string) *Result {
 	res := &Result{
 		analysis: analysis,
-		file:     f,
-		// Substitution runs eagerly so its faults surface here as
-		// *InternalError (and so repeated Result queries share one
-		// computation).
-		subst: analysis.Substitute(),
-	}
-	for _, d := range diags.Diags {
-		res.Warnings = append(res.Warnings, d.String())
+		file:     file,
+		subst:    sub,
+		Warnings: front,
 	}
 	for _, w := range analysis.Warnings {
 		res.Degradations = append(res.Degradations, Warning{
@@ -264,7 +238,7 @@ func finishAnalysis(ctx context.Context, f *ast.File, diags *source.ErrorList, c
 		})
 		res.Warnings = append(res.Warnings, w.String())
 	}
-	return res, nil
+	return res
 }
 
 // Procedures lists the program's procedure names in source order.
@@ -408,28 +382,7 @@ func AnalyzeFiles(files []SourceFile, cfg Config) (*Result, error) {
 // analysis (see AnalyzeContext).
 func AnalyzeFilesContext(ctx context.Context, files []SourceFile, cfg Config) (res *Result, err error) {
 	defer recoverInternal(&err)
-	if cfg.Cache != nil {
-		mf := make([]memo.File, len(files))
-		for i, sf := range files {
-			mf[i] = memo.File{Name: sf.Name, Src: sf.Src}
-		}
-		if res, ok, err := analyzeCached(ctx, mf, cfg); ok {
-			return res, err
-		}
-	}
-	var diags source.ErrorList
-	merged := &ast.File{}
-	for _, sf := range files {
-		f := parser.ParseFile(source.NewFile(sf.Name, sf.Src), &diags)
-		if merged.Source == nil {
-			merged.Source = f.Source
-		}
-		merged.Units = append(merged.Units, f.Units...)
-	}
-	if len(merged.Units) == 0 {
-		return nil, fmt.Errorf("ipcp: no program units in %d file(s)", len(files))
-	}
-	return finishAnalysis(ctx, merged, &diags, cfg)
+	return runAnalysis(ctx, files, true, cfg)
 }
 
 // CloneInfo reports what AnalyzeWithCloning did.
@@ -451,31 +404,59 @@ type CloneInfo struct {
 // procedure is cloned per constant context and the analysis reruns,
 // until no profitable clone remains (or maxRounds passes have run).
 func AnalyzeWithCloning(filename, src string, cfg Config, maxRounds int) (*Result, *CloneInfo, error) {
+	return AnalyzeWithCloningContext(context.Background(), filename, src, cfg, maxRounds)
+}
+
+// AnalyzeWithCloningContext is AnalyzeWithCloning with a context
+// bounding each round's analysis. Every round runs the same entry path
+// as AnalyzeContext — incremental cache, guard barrier, and pipeline
+// included — so Config.Cache benefits cloning the same way it benefits
+// plain analysis (clone sources recur across rounds and processes).
+// Internal faults in the cloning transformation surface as
+// *InternalError, never as panics.
+func AnalyzeWithCloningContext(ctx context.Context, filename, src string, cfg Config, maxRounds int) (res *Result, info *CloneInfo, err error) {
+	defer recoverInternal(&err)
+	res, info, err = analyzeWithCloning(ctx, filename, src, cfg, maxRounds)
+	return
+}
+
+func analyzeWithCloning(ctx context.Context, filename, src string, cfg Config, maxRounds int) (*Result, *CloneInfo, error) {
 	if maxRounds <= 0 {
 		maxRounds = 3
 	}
 	info := &CloneInfo{Source: src}
+	tr := pipeline.NewTrace()
 	cur := src
 	for round := 0; ; round++ {
-		res, err := Analyze(filename, cur, cfg)
+		res, err := AnalyzeContext(ctx, filename, cur, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		if round >= maxRounds {
-			return res, info, nil
+			return cloneFinish(res, tr), info, nil
 		}
-		next, report := clone.Apply(res.analysis, res.file, clone.Options{})
-		if report.Created == 0 {
-			return res, info, nil
+		cs := &cloneState{trace: tr, analysis: res.analysis, file: res.file}
+		if err := clonePipeline.RunPhase(ctx, clonePhase, cs); err != nil {
+			return nil, nil, err
+		}
+		if cs.report.Created == 0 {
+			return cloneFinish(res, tr), info, nil
 		}
 		info.Rounds++
-		info.Created += report.Created
-		for _, d := range report.Decisions {
+		info.Created += cs.report.Created
+		for _, d := range cs.report.Decisions {
 			info.Cloned = append(info.Cloned, fmt.Sprintf("%s → %s", d.Proc, strings.Join(d.Clones, ", ")))
 		}
-		info.Source = next
-		cur = next
+		info.Source = cs.next
+		cur = cs.next
 	}
+}
+
+// cloneFinish appends the cloning driver's accumulated phase stats to
+// the final round's result.
+func cloneFinish(res *Result, tr *pipeline.Trace) *Result {
+	res.PhaseStats = append(res.PhaseStats, convertPhaseStats(tr)...)
+	return res
 }
 
 // Run executes an F77s program under the reference interpreter,
