@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 SOAK_DURATION ?= 30s
 SOAK_CLIENTS ?= 12
 
-.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke trace serve soak clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke trace serve coord soak soak-cluster clean
 
 all: check
 
@@ -72,6 +72,21 @@ serve:
 soak:
 	IPCP_SOAK_DURATION=$(SOAK_DURATION) IPCP_SOAK_CLIENTS=$(SOAK_CLIENTS) \
 		$(GO) test -count=1 -run TestChaosSoak -v ./internal/serve
+
+# Run the sharded coordinator on :8076 against three local backends
+# started by hand (see docs/robustness.md for the multi-node runbook).
+coord:
+	$(GO) run ./cmd/ipcp-coord -backends 127.0.0.1:8077,127.0.0.1:8078,127.0.0.1:8079
+
+# Multi-node chaos soak: three real backends behind the coordinator,
+# one hard-killed and restarted at a time while probabilistic analyzer
+# faults fire, under the race detector. Passes only if every 200 is
+# byte-identical to the single-node reference, availability over valid
+# programs stays >= 99%, reroutes and hedges both engaged, and the
+# whole fleet drains back to the baseline goroutine count.
+soak-cluster:
+	IPCP_SOAK_DURATION=$(SOAK_DURATION) IPCP_SOAK_CLIENTS=$(SOAK_CLIENTS) \
+		$(GO) test -count=1 -race -run TestClusterChaosSoak -v ./internal/cluster
 
 clean:
 	$(GO) clean -testcache

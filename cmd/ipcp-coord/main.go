@@ -1,0 +1,133 @@
+// Command ipcp-coord fronts a fleet of ipcp-serve backends as one
+// fault-tolerant analysis endpoint (see internal/cluster and
+// docs/robustness.md).
+//
+// Usage:
+//
+//	ipcp-coord -backends host1:8077,host2:8077,... [flags]
+//
+// Endpoints (the same surface as one ipcp-serve, plus the fleet view):
+//
+//	POST /v1/analyze   route, hedge, and fail over across the backends
+//	GET  /healthz      liveness (always 200 while the process runs)
+//	GET  /readyz       readiness (503 while draining or with no healthy backend)
+//	GET  /statsz       routing counters plus every backend's health and stats
+//
+// Flags tune the fault-tolerance machinery:
+//
+//	-addr :8076                 listen address
+//	-backends …                 comma-separated ipcp-serve base URLs (required)
+//	-health-interval 500ms      /readyz probe period per backend
+//	-timeout 30s                per-request budget across every failover and hedge
+//	-max-attempts 0             backend attempts per request, hedges included (0 = #backends+1)
+//	-hedge-after 0              fixed hedge delay (0 = adaptive p95 of recent latencies)
+//	-max-inflight 32            concurrently proxied requests per backend
+//	-breaker-threshold 3        consecutive failures that open a backend's circuit
+//	-breaker-cooldown 2s        open time before a backend's circuit half-opens
+//	-drain 5s                   graceful-shutdown drain budget
+//
+// SIGINT/SIGTERM begin a graceful drain: readiness flips, in-flight
+// proxied requests get the drain budget to finish, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so tests can drive it
+// in-process; it returns when ctx is cancelled (graceful drain) or the
+// listener fails.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ipcp-coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr           = fs.String("addr", ":8076", "listen address")
+		backends       = fs.String("backends", "", "comma-separated ipcp-serve base URLs (required)")
+		healthInterval = fs.Duration("health-interval", 500*time.Millisecond, "/readyz probe period per backend")
+		timeout        = fs.Duration("timeout", 30*time.Second, "per-request budget across every failover and hedge")
+		maxAttempts    = fs.Int("max-attempts", 0, "backend attempts per request, hedges included (0 = #backends+1)")
+		hedgeAfter     = fs.Duration("hedge-after", 0, "fixed hedge delay (0 = adaptive p95 of recent latencies)")
+		maxInflight    = fs.Int("max-inflight", 32, "concurrently proxied requests per backend")
+		brThreshold    = fs.Int("breaker-threshold", 3, "consecutive failures that open a backend's circuit")
+		brCooldown     = fs.Duration("breaker-cooldown", 2*time.Second, "open time before a backend's circuit half-opens")
+		drain          = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ipcp-coord: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Backends:              urls,
+		HealthInterval:        *healthInterval,
+		RequestTimeout:        *timeout,
+		MaxAttempts:           *maxAttempts,
+		HedgeAfter:            *hedgeAfter,
+		MaxInFlightPerBackend: *maxInflight,
+		BreakerThreshold:      *brThreshold,
+		BreakerCooldown:       *brCooldown,
+		DrainTimeout:          *drain,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ipcp-coord: %v (pass -backends)\n", err)
+		return 2
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ipcp-coord: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ipcp-coord: listening on %s, fronting %d backends\n", l.Addr(), len(urls))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ipcp-coord: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "ipcp-coord: draining")
+	if err := c.Shutdown(context.Background()); err != nil {
+		fmt.Fprintf(stderr, "ipcp-coord: drain incomplete: %v\n", err)
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "ipcp-coord: %v\n", err)
+		return 1
+	}
+	st := c.Stats()
+	fmt.Fprintf(stdout, "ipcp-coord: served %d requests (%d ok, %d reroutes, %d hedges started / %d won, %d unavailable)\n",
+		st.Requests, st.OK, st.Reroutes, st.HedgesStarted, st.HedgesWon, st.Unavailable)
+	return 0
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run's stdout while run is still
+// writing to it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s,]+)`)
+
+// TestCoordProxiesAndDrains boots the coordinator in-process against a
+// fake backend, proxies one request over real HTTP, then cancels the
+// context and expects a graceful exit with a shutdown summary.
+func TestCoordProxiesAndDrains(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case "/statsz":
+			io.WriteString(w, "{}\n")
+		case "/v1/analyze":
+			io.Copy(io.Discard, r.Body)
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"status":"ok"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer backend.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-backends", backend.URL}, &stdout, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := `{"source": "PROGRAM MAIN\nINTEGER K\nK = 2 + 3\nEND\n"}`
+	resp, err := http.Post("http://"+addr+"/v1/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, data)
+	}
+	if string(data) != `{"status":"ok"}` {
+		t.Fatalf("proxied body altered: %q", data)
+	}
+
+	// The fleet view is live over real HTTP too.
+	resp, err = http.Get("http://" + addr + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Backends []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"backends"`
+		OK int64 `json:"ok"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("bad /statsz body: %v\n%s", err, data)
+	}
+	if len(stats.Backends) != 1 || stats.Backends[0].URL != backend.URL || stats.OK != 1 {
+		t.Fatalf("fleet view: %s", data)
+	}
+
+	cancel()
+	select {
+	case status := <-done:
+		if status != 0 {
+			t.Fatalf("run exited %d; stderr=%q", status, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "served 1 requests") {
+		t.Fatalf("shutdown summary missing from stdout: %q", out)
+	}
+}
+
+// TestCoordBadFlags: unparseable flags, stray arguments, and a missing
+// -backends all exit 2 without binding a socket.
+func TestCoordBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if status := run(context.Background(), []string{"-nope"}, &stdout, &stderr); status != 2 {
+		t.Fatalf("bad flag: exit %d", status)
+	}
+	if status := run(context.Background(), []string{"extra"}, &stdout, &stderr); status != 2 {
+		t.Fatalf("stray arg: exit %d", status)
+	}
+	if status := run(context.Background(), nil, &stdout, &stderr); status != 2 {
+		t.Fatalf("missing -backends: exit %d", status)
+	}
+	if !strings.Contains(stderr.String(), "-backends") {
+		t.Fatalf("missing-backends error not actionable: %q", stderr.String())
+	}
+}

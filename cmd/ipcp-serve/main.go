@@ -19,6 +19,9 @@
 //	-queue N                    admitted requests waiting beyond that (default 2N)
 //	-timeout 10s                per-request wall-clock budget, retries included
 //	-drain 5s                   graceful-shutdown drain budget
+//	-drain-grace 0              after a shutdown signal, time to keep accepting
+//	                            (answering /readyz 503) before connections drain,
+//	                            so load balancers can route away first
 //	-retries 3                  max re-runs of a transiently failed analysis
 //	-breaker-threshold 5        consecutive internal failures that trip the circuit
 //	-breaker-cooldown 2s        open time before the circuit half-opens
@@ -64,6 +67,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue       = fs.Int("queue", 0, "admitted requests waiting beyond -concurrency (0 = 2x)")
 		timeout     = fs.Duration("timeout", 10*time.Second, "per-request wall-clock budget")
 		drain       = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+		drainGrace  = fs.Duration("drain-grace", 0, "time to keep accepting (not ready) after a shutdown signal")
 		retries     = fs.Int("retries", 3, "max re-runs of a transiently failed analysis")
 		brThreshold = fs.Int("breaker-threshold", 5, "consecutive internal failures that trip the circuit")
 		brCooldown  = fs.Duration("breaker-cooldown", 2*time.Second, "open time before the circuit half-opens")
@@ -113,6 +117,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	fmt.Fprintln(stdout, "ipcp-serve: draining")
+	if *drainGrace > 0 {
+		// Flip readiness while the listener still accepts: a load
+		// balancer polling /readyz sees the 503 and routes away before
+		// any connection is refused. Shutdown then closes the listener
+		// and waits out the in-flight work.
+		s.BeginDrain()
+		time.Sleep(*drainGrace)
+	}
 	if err := s.Shutdown(context.Background()); err != nil {
 		fmt.Fprintf(stderr, "ipcp-serve: drain incomplete: %v\n", err)
 	}

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/guard"
 )
 
 // syncBuffer lets the test read run's stdout while run is still
@@ -93,6 +95,137 @@ func TestServeAnalyzeAndDrain(t *testing.T) {
 	if !strings.Contains(out, "draining") || !strings.Contains(out, "served 1 requests") {
 		t.Fatalf("shutdown summary missing from stdout: %q", out)
 	}
+}
+
+// TestDrainOnSIGTERM drives the full graceful-drain sequencing the
+// runbook promises: with an analysis in flight, a shutdown signal must
+// (1) flip /readyz to 503 while the listener still accepts
+// connections, (2) let the in-flight request finish with its real
+// answer, and (3) only then exit.
+func TestDrainOnSIGTERM(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	hold := make(chan struct{})
+	defer guard.Set("solve", func() error { <-hold; return nil })()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-timeout", "30s", "-drain-grace", "2s"}, &stdout, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	// One request in flight, parked on the armed solve fail point.
+	body := `{"source": "PROGRAM MAIN\nINTEGER K\nK = 2 + 3\nCALL WORK(K, 7)\nEND\nSUBROUTINE WORK(N, M)\nINTEGER N, M\nPRINT *, N + M\nEND\n"}`
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			inFlight <- result{err: err}
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		inFlight <- result{status: resp.StatusCode, body: data}
+	}()
+	waitFor(t, deadlineIn(5*time.Second), func() bool {
+		var st struct {
+			InFlight int64 `json:"in_flight"`
+		}
+		return getJSON(t, base+"/statsz", &st) == nil && st.InFlight >= 1
+	}, "request never showed up in flight")
+
+	if code := getStatus(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz before signal = %d, want 200", code)
+	}
+
+	// "SIGTERM": main wires SIGTERM to this context's cancellation.
+	cancel()
+
+	// Within the drain grace the listener must still accept and answer
+	// /readyz with 503 — the flip precedes the close.
+	waitFor(t, deadlineIn(4*time.Second), func() bool {
+		return getStatus(t, base+"/readyz") == http.StatusServiceUnavailable
+	}, "/readyz never flipped to 503 while still accepting")
+	if code := getStatus(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (liveness is not readiness)", code)
+	}
+
+	// Release the parked analysis: it must complete with its real
+	// answer even though the drain began while it ran.
+	close(hold)
+	select {
+	case r := <-inFlight:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", r.err)
+		}
+		if r.status != http.StatusOK || !strings.Contains(string(r.body), `"status": "ok"`) {
+			t.Fatalf("in-flight request: status %d body %s", r.status, r.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	select {
+	case status := <-done:
+		if status != 0 {
+			t.Fatalf("run exited %d; stderr=%q", status, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after drain")
+	}
+}
+
+func deadlineIn(d time.Duration) time.Time { return time.Now().Add(d) }
+
+func waitFor(t *testing.T, deadline time.Time, cond func() bool, msg string) {
+	t.Helper()
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return -1
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) error {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // TestBadFlags: unparseable flags and stray arguments exit 2 without

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/serve"
+)
+
+// backend is one ipcp-serve process the coordinator fronts.
+type backend struct {
+	url string // base URL, no trailing slash
+
+	// slots bounds this backend's in-flight proxied requests; an attempt
+	// that cannot take a slot skips to the next hash candidate instead
+	// of queueing, so one slow backend cannot absorb the fleet's
+	// concurrency budget.
+	slots chan struct{}
+
+	// br is the per-backend circuit: transport errors and 503s count as
+	// failures, authoritative answers (200/400/422) as successes or
+	// neutral. An open circuit removes the backend from rotation until a
+	// half-open probe proves it back.
+	br *serve.Breaker
+
+	// healthy mirrors the active /readyz checks (and flips down
+	// immediately on a transport error, without waiting for the next
+	// probe tick).
+	healthy atomic.Bool
+
+	requests    atomic.Int64 // attempts proxied to this backend
+	failures    atomic.Int64 // attempts that counted against its health
+	transitions atomic.Int64 // health flips observed by the checker
+
+	// remote is the last /statsz snapshot the health checker pulled,
+	// surfaced verbatim in the coordinator's own /statsz.
+	remote atomic.Pointer[serve.StatsSnapshot]
+}
+
+func (b *backend) acquire() bool {
+	select {
+	case b.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *backend) release() { <-b.slots }
+
+func (b *backend) setHealthy(up bool) {
+	if b.healthy.Swap(up) != up {
+		b.transitions.Add(1)
+	}
+}
+
+// rank orders the backends for one routing key by rendezvous (highest
+// random weight) hashing: every backend scores hash(key, backend) and
+// the request prefers the highest score. Each key gets an
+// independent, uniformly distributed preference order, so removing one
+// backend remaps only the keys that preferred it — warm memo entries
+// stay put on the survivors — and the second-choice backend (the hedge
+// target) is as stable as the first.
+//
+// Unhealthy backends are not removed from the order, only deprioritized
+// behind every healthy one (stably, preserving relative score order):
+// health checks lag reality in both directions, and a "down" backend
+// that still answers is strictly better than a synthesized 503 when
+// everything else is gone.
+func rank(backends []*backend, key string) []*backend {
+	type scored struct {
+		b     *backend
+		score uint64
+	}
+	all := make([]scored, len(backends))
+	for i, b := range backends {
+		all[i] = scored{b, rendezvousScore(key, b.url)}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		hi, hj := all[i].b.healthy.Load(), all[j].b.healthy.Load()
+		if hi != hj {
+			return hi
+		}
+		return all[i].score > all[j].score
+	})
+	out := make([]*backend, len(all))
+	for i, s := range all {
+		out[i] = s.b
+	}
+	return out
+}
+
+// rendezvousScore hashes (key, member) to a 64-bit weight. FNV-1a is
+// sufficient here: the routing key itself is already a SHA-256 digest,
+// so inputs are uniformly spread before this hash ever runs.
+func rendezvousScore(key, member string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	return h.Sum64()
+}

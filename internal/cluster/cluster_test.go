@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/ipcp"
+)
+
+const clusterSrc = `PROGRAM MAIN
+INTEGER K
+K = 2 + 3
+CALL WORK(K, 7)
+END
+SUBROUTINE WORK(N, M)
+INTEGER N, M
+PRINT *, N + M
+END
+`
+
+// fakeBackend is a scripted stand-in for ipcp-serve: /readyz and
+// /statsz always answer, /v1/analyze runs the test's script.
+type fakeBackend struct {
+	srv     *httptest.Server
+	hits    atomic.Int64
+	analyze func(w http.ResponseWriter, r *http.Request)
+}
+
+func newFakeBackend(t *testing.T, analyze func(w http.ResponseWriter, r *http.Request)) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{analyze: analyze}
+	fb.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case "/statsz":
+			fmt.Fprint(w, "{}\n")
+		case "/v1/analyze":
+			// Drain the body like a real backend decoding it: until the
+			// request body is consumed, the net/http server cannot detect a
+			// vanished client, so stalling scripts would never observe
+			// cancellation.
+			io.Copy(io.Discard, r.Body)
+			fb.hits.Add(1)
+			fb.analyze(w, r)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(fb.srv.Close)
+	return fb
+}
+
+func answer200(body string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, body)
+	}
+}
+
+func answer503(class string, retryAfter int) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		body, _ := json.Marshal(serve.ErrorResponse{Error: serve.ErrorBody{Class: class, Message: "scripted"}})
+		w.Write(body)
+	}
+}
+
+func newTestCoordinator(t *testing.T, urls []string, mod func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		Backends:       urls,
+		HealthInterval: time.Hour, // one startup probe, then quiet
+		RequestTimeout: 10 * time.Second,
+		HedgeAfter:     time.Hour, // tests opt into hedging explicitly
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Shutdown(context.Background()) })
+	c.sleep = func(ctx context.Context, d time.Duration) {} // instant failover
+	return c
+}
+
+func analyzeBody(t *testing.T, filename, src string) []byte {
+	t.Helper()
+	body, err := json.Marshal(serve.AnalyzeRequest{Filename: filename, Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// requestKey mirrors handleAnalyze's key derivation so tests can
+// predict the candidate order.
+func requestKey(t *testing.T, filename, src string) string {
+	t.Helper()
+	cfg, err := (serve.RequestConfig{}).ToIPCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ipcp.Fingerprint(filename, src, cfg)
+}
+
+func post(t *testing.T, c *Coordinator, body []byte) *http.Response {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/analyze", bytes.NewReader(body)))
+	return rec.Result()
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRankRemapsOnlyLostKeys is the rendezvous property the memo
+// affinity depends on: when a backend goes unhealthy, keys that
+// preferred other backends keep their first choice.
+func TestRankRemapsOnlyLostKeys(t *testing.T) {
+	var fleet []*backend
+	for i := 0; i < 5; i++ {
+		b := &backend{url: fmt.Sprintf("http://10.0.0.%d:8077", i)}
+		b.healthy.Store(true)
+		fleet = append(fleet, b)
+	}
+	firstChoice := make(map[string]*backend)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		firstChoice[key] = rank(fleet, key)[0]
+	}
+	// Sanity: the load spread over 5 backends, no backend starved.
+	perBackend := make(map[*backend]int)
+	for _, b := range firstChoice {
+		perBackend[b]++
+	}
+	if len(perBackend) != len(fleet) {
+		t.Fatalf("only %d/%d backends got keys", len(perBackend), len(fleet))
+	}
+
+	down := fleet[2]
+	down.healthy.Store(false)
+	for key, want := range firstChoice {
+		got := rank(fleet, key)[0]
+		if want != down && got != want {
+			t.Fatalf("key %s remapped from %s to %s though its backend stayed healthy", key, want.url, got.url)
+		}
+		if want == down && got == down {
+			t.Fatalf("key %s still routes to the unhealthy backend", key)
+		}
+	}
+	// Recovery restores the original mapping exactly.
+	down.healthy.Store(true)
+	for key, want := range firstChoice {
+		if got := rank(fleet, key)[0]; got != want {
+			t.Fatalf("key %s did not return to %s after recovery", key, want.url)
+		}
+	}
+}
+
+// TestProxyRelaysVerbatim: the coordinator must not reformat,
+// re-marshal, or otherwise touch a backend's 200.
+func TestProxyRelaysVerbatim(t *testing.T) {
+	const quirky = "{\n  \"result\": {\"weird\":   true}\n}\n"
+	fb := newFakeBackend(t, answer200(quirky))
+	c := newTestCoordinator(t, []string{fb.srv.URL}, nil)
+
+	resp := post(t, c, analyzeBody(t, "p.f", clusterSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := readBody(t, resp); string(got) != quirky {
+		t.Fatalf("body altered in transit:\n got %q\nwant %q", got, quirky)
+	}
+	if got := c.Stats().OK; got != 1 {
+		t.Fatalf("stats.OK = %d, want 1", got)
+	}
+}
+
+// TestFailoverReroutesOn503: the first-choice backend sheds; the
+// request lands on the second choice and the reroute is counted.
+func TestFailoverReroutesOn503(t *testing.T) {
+	shedder := newFakeBackend(t, answer503("shed", 1))
+	healthy := newFakeBackend(t, answer200(`{"ok":true}`))
+	key := requestKey(t, "p.f", clusterSrc)
+
+	// Make the shedder the key's first choice: scores are per-URL, so
+	// swap the roles (not the list order) when the draw went the other
+	// way.
+	if rendezvousScore(key, healthy.srv.URL) > rendezvousScore(key, shedder.srv.URL) {
+		shedder, healthy = healthy, shedder
+		shedder.analyze = answer503("shed", 1)
+		healthy.analyze = answer200(`{"ok":true}`)
+	}
+	c := newTestCoordinator(t, []string{shedder.srv.URL, healthy.srv.URL}, nil)
+
+	resp := post(t, c, analyzeBody(t, "p.f", clusterSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via failover", resp.StatusCode)
+	}
+	if got := string(readBody(t, resp)); got != `{"ok":true}` {
+		t.Fatalf("body = %q", got)
+	}
+	s := c.Stats()
+	if s.Reroutes == 0 {
+		t.Fatal("expected a counted reroute")
+	}
+	if shedder.hits.Load() != 1 || healthy.hits.Load() != 1 {
+		t.Fatalf("hits: shedder=%d healthy=%d, want 1 and 1", shedder.hits.Load(), healthy.hits.Load())
+	}
+}
+
+// TestHedgeWinsOnSlowPrimary: a primary that stalls past HedgeAfter
+// loses to the hedge on the next candidate, and the stalled attempt is
+// canceled rather than awaited.
+func TestHedgeWinsOnSlowPrimary(t *testing.T) {
+	stall := func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // until the coordinator cancels the attempt
+	}
+	a := newFakeBackend(t, stall)
+	b := newFakeBackend(t, stall)
+	key := requestKey(t, "p.f", clusterSrc)
+	fast := b
+	if rendezvousScore(key, a.srv.URL) > rendezvousScore(key, b.srv.URL) {
+		fast = b
+	} else {
+		fast = a
+	}
+	fast.analyze = answer200(`{"fast":true}`)
+
+	c := newTestCoordinator(t, []string{a.srv.URL, b.srv.URL}, func(cfg *Config) {
+		cfg.HedgeAfter = 20 * time.Millisecond
+	})
+	start := time.Now()
+	resp := post(t, c, analyzeBody(t, "p.f", clusterSrc))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := string(readBody(t, resp)); got != `{"fast":true}` {
+		t.Fatalf("body = %q", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedge path took %v; the stalled primary was awaited", elapsed)
+	}
+	s := c.Stats()
+	if s.HedgesStarted != 1 || s.HedgesWon != 1 {
+		t.Fatalf("hedges started=%d won=%d, want 1 and 1", s.HedgesStarted, s.HedgesWon)
+	}
+}
+
+// TestBreakerSkipsTrippedBackend: after the circuit opens, the next
+// request skips the backend without an attempt (no hit), and the skip
+// is counted.
+func TestBreakerSkipsTrippedBackend(t *testing.T) {
+	dead := newFakeBackend(t, answer503("exhausted:deadline", 1))
+	alive := newFakeBackend(t, answer200(`{"ok":true}`))
+	key := requestKey(t, "p.f", clusterSrc)
+	if rendezvousScore(key, alive.srv.URL) > rendezvousScore(key, dead.srv.URL) {
+		dead, alive = alive, dead
+		dead.analyze = answer503("exhausted:deadline", 1)
+		alive.analyze = answer200(`{"ok":true}`)
+	}
+	c := newTestCoordinator(t, []string{dead.srv.URL, alive.srv.URL}, func(cfg *Config) {
+		cfg.BreakerThreshold = 1 // first failure trips
+		cfg.BreakerCooldown = time.Hour
+	})
+
+	if resp := post(t, c, analyzeBody(t, "p.f", clusterSrc)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status = %d", resp.StatusCode)
+	}
+	deadHits := dead.hits.Load()
+	if resp := post(t, c, analyzeBody(t, "p.f", clusterSrc)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status = %d", resp.StatusCode)
+	}
+	if dead.hits.Load() != deadHits {
+		t.Fatal("tripped backend was attempted again inside its cooldown")
+	}
+	if s := c.Stats(); s.BreakerSkips == 0 {
+		t.Fatal("expected a counted breaker skip")
+	}
+}
+
+// TestUnavailableWhenFleetIsDown: one backend, always shedding — the
+// synthesized 503 carries the unavailable class and a Retry-After.
+func TestUnavailableWhenFleetIsDown(t *testing.T) {
+	fb := newFakeBackend(t, answer503("shed", 3))
+	c := newTestCoordinator(t, []string{fb.srv.URL}, nil)
+
+	resp := post(t, c, analyzeBody(t, "p.f", clusterSrc))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(readBody(t, resp), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Class != "unavailable" {
+		t.Fatalf("class = %q, want unavailable", er.Error.Class)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("unavailable answer must carry Retry-After")
+	}
+}
+
+// TestDrainRejectsNewWork: after BeginDrain the analyze path refuses
+// with the draining class and /readyz flips, while /healthz stays 200.
+func TestDrainRejectsNewWork(t *testing.T) {
+	fb := newFakeBackend(t, answer200(`{"ok":true}`))
+	c := newTestCoordinator(t, []string{fb.srv.URL}, nil)
+	c.BeginDrain()
+
+	resp := post(t, c, analyzeBody(t, "p.f", clusterSrc))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("analyze during drain: status = %d", resp.StatusCode)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(readBody(t, resp), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Class != "draining" {
+		t.Fatalf("class = %q, want draining", er.Error.Class)
+	}
+	for path, want := range map[string]int{"/readyz": 503, "/healthz": 200} {
+		rec := httptest.NewRecorder()
+		c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != want {
+			t.Fatalf("%s during drain = %d, want %d", path, rec.Code, want)
+		}
+	}
+	if fb.hits.Load() != 0 {
+		t.Fatal("draining coordinator still proxied work")
+	}
+}
+
+// TestBadRequestShortCircuits: malformed JSON never reaches a backend.
+func TestBadRequestShortCircuits(t *testing.T) {
+	fb := newFakeBackend(t, answer200(`{"ok":true}`))
+	c := newTestCoordinator(t, []string{fb.srv.URL}, nil)
+
+	resp := post(t, c, []byte(`{"filename": truncated`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if fb.hits.Load() != 0 {
+		t.Fatal("malformed request was proxied")
+	}
+	if s := c.Stats(); s.BadRequests != 1 {
+		t.Fatalf("stats.BadRequests = %d, want 1", s.BadRequests)
+	}
+}
+
+// TestStatszFleetView: the coordinator's /statsz carries one row per
+// backend with health and breaker state.
+func TestStatszFleetView(t *testing.T) {
+	a := newFakeBackend(t, answer200(`{"ok":true}`))
+	b := newFakeBackend(t, answer200(`{"ok":true}`))
+	c := newTestCoordinator(t, []string{a.srv.URL, b.srv.URL}, nil)
+
+	// Let the startup probes land so the health view is real, not
+	// optimistic default.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := c.Stats(); s.HealthyBackends == 2 && s.Backends[0].Remote != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/statsz = %d", rec.Code)
+	}
+	var s Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Backends) != 2 {
+		t.Fatalf("backends = %d, want 2", len(s.Backends))
+	}
+	if s.HealthyBackends != 2 {
+		t.Fatalf("healthy = %d, want 2", s.HealthyBackends)
+	}
+	for _, row := range s.Backends {
+		if row.Breaker.State != "closed" {
+			t.Fatalf("backend %s breaker = %q, want closed", row.URL, row.Breaker.State)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// healthLoop actively probes one backend until the coordinator shuts
+// down: /readyz decides routing priority, /statsz (best-effort) feeds
+// the coordinator's fleet view. The first probe runs immediately so a
+// dead backend is deprioritized within one HealthTimeout of startup,
+// not one HealthInterval.
+func (c *Coordinator) healthLoop(b *backend) {
+	defer c.healthWG.Done()
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		c.probe(b)
+		select {
+		case <-c.stopHealth:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (c *Coordinator) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	b.setHealthy(c.get(ctx, b.url+"/readyz", nil) == http.StatusOK)
+	// The stats pull is observability only; a failure keeps the last
+	// snapshot (stale beats blank when a backend is mid-restart).
+	var snap serve.StatsSnapshot
+	if c.get(ctx, b.url+"/statsz", &snap) == http.StatusOK {
+		b.remote.Store(&snap)
+	}
+}
+
+// get issues a GET and returns the status code (0 on transport error),
+// decoding the body into out when non-nil and the status is 200.
+func (c *Coordinator) get(ctx context.Context, url string, out any) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if json.NewDecoder(resp.Body).Decode(out) != nil {
+			return 0
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}

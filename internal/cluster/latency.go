@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a ring of recent successful-attempt latencies
+// and answers quantile queries; the coordinator hedges a request when
+// its primary attempt outlives the tracked quantile. A ring (rather
+// than a decaying histogram) is enough: hedging needs "slower than
+// recent peers", not a precise distribution.
+type latencyTracker struct {
+	mu      sync.Mutex
+	ring    []time.Duration
+	next    int
+	filled  bool
+	samples int64
+}
+
+func newLatencyTracker(size int) *latencyTracker {
+	if size <= 0 {
+		size = 256
+	}
+	return &latencyTracker{ring: make([]time.Duration, size)}
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.ring[t.next] = d
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.samples++
+	t.mu.Unlock()
+}
+
+// quantile returns the q-th (0 < q < 1) latency over the ring, and
+// false while fewer than minSamples observations exist (the caller
+// falls back to a fixed hedge delay until the tracker warms up).
+func (t *latencyTracker) quantile(q float64, minSamples int) (time.Duration, bool) {
+	t.mu.Lock()
+	n := t.next
+	if t.filled {
+		n = len(t.ring)
+	}
+	if int(t.samples) < minSamples || n == 0 {
+		t.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, t.ring[:n])
+	t.mu.Unlock()
+
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx], true
+}

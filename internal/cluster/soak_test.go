@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/serve"
+)
+
+// TestClusterChaosSoak is the multi-node acceptance harness for the
+// coordinator's central claim: backend loss costs availability points,
+// never wrong answers.
+//
+// Three real ipcp-serve backends run on real sockets with their
+// degraded-retry ladder disabled (MaxRetries -1), so each backend
+// answers full-fidelity-or-503 and every 200 in the fleet is
+// byte-comparable. A killer goroutine hard-kills one backend at a time
+// mid-flight and restarts it on the same address; probabilistic fail
+// points inject solver panics and budget exhaustion into whichever
+// backend is analyzing. Concurrent clients hammer the coordinator and
+// assert:
+//
+//   - every 200 is byte-identical to a single-node reference answer
+//     computed before the chaos started (zero wrong answers);
+//   - availability over valid programs stays >= 99% despite the kills;
+//   - only {200, 400, 422, 503} ever reach a client, always well-formed;
+//   - the machinery demonstrably engaged: reroutes and hedges nonzero,
+//     backends were really killed;
+//   - after the chaos stops, everything drains back to the baseline
+//     goroutine count.
+//
+// The default run is sized for `go test` (about 2s); `make soak-cluster`
+// runs it for 10s with 12 clients via IPCP_SOAK_DURATION /
+// IPCP_SOAK_CLIENTS.
+func TestClusterChaosSoak(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "soak")
+
+	duration := 2 * time.Second
+	if v := os.Getenv("IPCP_SOAK_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("IPCP_SOAK_DURATION: %v", err)
+		}
+		duration = d
+	}
+	clients := 8
+	if v := os.Getenv("IPCP_SOAK_CLIENTS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("IPCP_SOAK_CLIENTS: bad value %q", v)
+		}
+		clients = n
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Backends answer full-fidelity-or-503: the coordinator owns retries
+	// (across backends, at the same config), which is what keeps every
+	// 200 byte-identical to the reference. Their own breakers are set
+	// out of the way (threshold 50) — backend-local breaker behavior is
+	// the single-node soak's subject, not this one's.
+	serveCfg := serve.Config{
+		MaxConcurrency:   2,
+		QueueDepth:       4,
+		RequestTimeout:   2 * time.Second,
+		DrainTimeout:     20 * time.Second,
+		MaxRetries:       -1,
+		BreakerThreshold: 50,
+		BreakerCooldown:  100 * time.Millisecond,
+	}
+
+	// --- Workloads and their single-node reference answers ------------
+	workload := make([][]byte, 24)
+	for i := range workload {
+		src := fmt.Sprintf("PROGRAM P\nINTEGER I\nI = %d\nCALL Q(I, %d)\nEND\nSUBROUTINE Q(N, M)\nINTEGER N, M\nPRINT *, N + M\nEND\n", i, i*i+1)
+		req := serve.AnalyzeRequest{Source: src}
+		switch i % 4 {
+		case 1:
+			req.Config = serve.RequestConfig{Kind: "polynomial", Complete: true}
+		case 2:
+			req.Want = serve.RequestWant{JumpFunctions: true}
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload[i] = b
+	}
+	invalidBody, _ := json.Marshal(serve.AnalyzeRequest{Source: "PROGRAM P\nCALL NOPE(1)\nEND\n"}) // 422
+	malformedBody := []byte("{definitely not json")                                               // 400
+
+	// The reference answers come from one untouched backend before any
+	// fault is armed: what a client of a healthy single node would see.
+	reference := make([][]byte, len(workload))
+	var invalidRef []byte
+	{
+		ref := serve.New(serveCfg)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ref.Serve(l)
+		base := "http://" + l.Addr().String()
+		for i, body := range workload {
+			status, data := postOnce(t, base, body)
+			if status != http.StatusOK {
+				t.Fatalf("reference answer for workload %d: status %d body %s", i, status, data)
+			}
+			reference[i] = data
+		}
+		var status int
+		status, invalidRef = postOnce(t, base, invalidBody)
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("reference answer for invalid program: status %d", status)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		if err := ref.Shutdown(sctx); err != nil {
+			t.Fatalf("reference shutdown: %v", err)
+		}
+		cancel()
+	}
+
+	// --- The fleet ----------------------------------------------------
+	type node struct {
+		addr string
+		s    *serve.Server
+	}
+	nodes := make([]*node, 3)
+	startNode := func(n *node) error {
+		// Rebind the recorded address: the killer restarts a node on the
+		// port the coordinator already routes to, like a supervisor would.
+		var l net.Listener
+		var err error
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			l, err = net.Listen("tcp", n.addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("rebinding %s: %w", n.addr, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		n.s = serve.New(serveCfg)
+		go n.s.Serve(l)
+		return nil
+	}
+	var urls []string
+	for i := range nodes {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := &node{addr: l.Addr().String(), s: serve.New(serveCfg)}
+		go n.s.Serve(l)
+		nodes[i] = n
+		urls = append(urls, "http://"+n.addr)
+	}
+
+	coord, err := New(Config{
+		Backends:              urls,
+		HealthInterval:        50 * time.Millisecond,
+		RequestTimeout:        5 * time.Second,
+		MaxAttempts:           6,
+		HedgeAfter:            5 * time.Millisecond,
+		MaxInFlightPerBackend: 16,
+		RetryBaseDelay:        time.Millisecond,
+		RetryMaxDelay:         10 * time.Millisecond,
+		BreakerThreshold:      3,
+		BreakerCooldown:       100 * time.Millisecond,
+		DrainTimeout:          20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordDone := make(chan error, 1)
+	go func() { coordDone <- coord.Serve(cl) }()
+	base := "http://" + cl.Addr().String()
+
+	// --- Fault injection: probabilistic analyzer faults ---------------
+	// The hooks run inside whichever backend is analyzing, so every
+	// backend misbehaves some of the time — the coordinator's job is to
+	// make that invisible.
+	var faultMu sync.Mutex
+	faultRng := rand.New(rand.NewSource(42))
+	defer guard.Set("solve", func() error {
+		faultMu.Lock()
+		roll := faultRng.Intn(100)
+		faultMu.Unlock()
+		switch {
+		case roll < 3:
+			panic("soak: injected solve panic")
+		case roll < 8:
+			return &guard.Exhausted{Axis: guard.AxisSolverSteps, Limit: 1, Site: "solve"}
+		}
+		return nil
+	})()
+
+	// --- The killer: hard-kill one backend at a time, then restart ----
+	var kills atomic.Int64
+	stopKiller := make(chan struct{})
+	killerDone := make(chan struct{})
+	killerErr := make(chan string, 1)
+	go func() {
+		defer close(killerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopKiller:
+				return
+			case <-time.After(120 * time.Millisecond):
+			}
+			n := nodes[i%len(nodes)]
+			n.s.Close() // abrupt: in-flight connections die mid-request
+			kills.Add(1)
+			select {
+			case <-stopKiller:
+				// Leave no node dead behind: the drain checks below expect a
+				// whole fleet.
+				if err := startNode(n); err != nil {
+					select {
+					case killerErr <- err.Error():
+					default:
+					}
+				}
+				return
+			case <-time.After(60 * time.Millisecond):
+			}
+			if err := startNode(n); err != nil {
+				select {
+				case killerErr <- err.Error():
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	// --- Clients ------------------------------------------------------
+	allowed := map[int]bool{200: true, 400: true, 422: true, 503: true}
+	var okValid, failValid, total atomic.Int64
+	firstFailure := make(chan string, 1)
+	reject := func(format string, args ...interface{}) {
+		select {
+		case firstFailure <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	// Generous client timeout: the coordinator's own 5s budget answers
+	// first; a transport timeout here under a loaded -race run would be
+	// a false harness failure.
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	stopClients := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stopClients:
+					return
+				default:
+				}
+				kind := rng.Intn(10)
+				var body []byte
+				var ref []byte
+				valid := false
+				switch {
+				case kind == 0:
+					body = malformedBody
+				case kind == 1:
+					body, ref = invalidBody, invalidRef
+				default:
+					i := rng.Intn(len(workload))
+					body, ref, valid = workload[i], reference[i], true
+				}
+				resp, err := httpc.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					// The coordinator must never die; a transport error to IT
+					// is a harness failure.
+					reject("transport error to coordinator: %v", err)
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				total.Add(1)
+				if !allowed[resp.StatusCode] {
+					reject("status %d body %s", resp.StatusCode, data)
+					continue
+				}
+				if valid {
+					if resp.StatusCode == http.StatusOK {
+						okValid.Add(1)
+					} else {
+						failValid.Add(1)
+					}
+				}
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusUnprocessableEntity:
+					// THE invariant: an answer that reached a client is the
+					// single-node answer, bit for bit, no matter which backend
+					// produced it after how many reroutes and hedges.
+					if !bytes.Equal(data, ref) {
+						reject("answer diverged from single-node reference (status %d):\n got %s\nwant %s", resp.StatusCode, data, ref)
+					}
+				default:
+					var er serve.ErrorResponse
+					if err := json.Unmarshal(data, &er); err != nil || er.Error.Class == "" {
+						reject("malformed error body (%d): %s", resp.StatusCode, data)
+					}
+				}
+			}
+		}(int64(c) + 1)
+	}
+
+	time.Sleep(duration)
+	close(stopClients)
+	wg.Wait()
+	close(stopKiller)
+	<-killerDone
+
+	// --- Verdicts -----------------------------------------------------
+	select {
+	case msg := <-firstFailure:
+		t.Errorf("soak violation: %s", msg)
+	default:
+	}
+	select {
+	case msg := <-killerErr:
+		t.Errorf("killer could not restart a backend: %s", msg)
+	default:
+	}
+	if total.Load() == 0 {
+		t.Fatal("soak made no requests")
+	}
+	if kills.Load() < 2 {
+		t.Errorf("only %d kills in %v; the chaos never engaged", kills.Load(), duration)
+	}
+	ok, fail := okValid.Load(), failValid.Load()
+	if ok == 0 {
+		t.Fatal("no valid program ever got a 200")
+	}
+	availability := float64(ok) / float64(ok+fail)
+	t.Logf("availability: %.4f (%d ok / %d failed valid requests, %d total, %d kills)",
+		availability, ok, fail, total.Load(), kills.Load())
+	if availability < 0.99 {
+		t.Errorf("availability %.4f below the 99%% floor", availability)
+	}
+
+	// The machinery must demonstrably have engaged, observable over the
+	// real /statsz endpoint like an operator would see it.
+	resp, err := httpc.Get(base + "/statsz")
+	if err != nil {
+		t.Fatalf("/statsz: %v", err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("bad /statsz body: %v\n%s", err, data)
+	}
+	t.Logf("coordinator: requests=%d ok=%d reroutes=%d hedges=%d/%d won/%d lost breaker-skips=%d slot-skips=%d unavailable=%d",
+		st.Requests, st.OK, st.Reroutes, st.HedgesStarted, st.HedgesWon, st.HedgesLost, st.BreakerSkips, st.SlotSkips, st.Unavailable)
+	if st.Reroutes == 0 {
+		t.Error("no reroute was ever counted: failover never engaged")
+	}
+	if st.HedgesStarted == 0 {
+		t.Error("no hedge was ever started: tail-latency protection never engaged")
+	}
+	if len(st.Backends) != len(nodes) {
+		t.Errorf("/statsz shows %d backends, want %d", len(st.Backends), len(nodes))
+	}
+	var transitions int64
+	for _, b := range st.Backends {
+		transitions += b.HealthTransitions
+	}
+	if transitions == 0 {
+		t.Error("health checker never observed a backend flip despite kills")
+	}
+
+	// --- Drain: coordinator first, then the fleet ---------------------
+	httpc.CloseIdleConnections()
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Shutdown(sctx); err != nil {
+		t.Fatalf("coordinator shutdown: %v", err)
+	}
+	if err := <-coordDone; err != http.ErrServerClosed {
+		t.Fatalf("coordinator Serve returned %v, want http.ErrServerClosed", err)
+	}
+	for i, n := range nodes {
+		if err := n.s.Shutdown(sctx); err != nil {
+			t.Fatalf("backend %d shutdown: %v", i, err)
+		}
+	}
+	goroutineDeadline := time.Now().Add(20 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		}
+		if time.Now().After(goroutineDeadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines stuck at %d (baseline %d)\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postOnce(t *testing.T, base string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Stats is the coordinator's /statsz document: the fleet view (one
+// BackendStats per backend, remote snapshots included) plus the
+// coordinator's own routing counters.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Backends        []BackendStats `json:"backends"`
+	HealthyBackends int            `json:"healthy_backends"`
+
+	Requests      int64 `json:"requests"`
+	OK            int64 `json:"ok"`
+	InputErrors   int64 `json:"input_errors"`
+	BadRequests   int64 `json:"bad_requests"`
+	DrainRejects  int64 `json:"drain_rejects"`
+	Unavailable   int64 `json:"unavailable"`
+	DeadlineFails int64 `json:"deadline_fails"`
+	Abandoned     int64 `json:"abandoned"`
+
+	Reroutes      int64 `json:"reroutes"`
+	HedgesStarted int64 `json:"hedges_started"`
+	HedgesWon     int64 `json:"hedges_won"`
+	HedgesLost    int64 `json:"hedges_lost"`
+	BreakerSkips  int64 `json:"breaker_skips"`
+	SlotSkips     int64 `json:"slot_skips"`
+
+	// HedgeDelayMs is the delay the next request's hedge timer would use
+	// (adaptive once the latency tracker warms up).
+	HedgeDelayMs float64 `json:"hedge_delay_ms"`
+}
+
+// BackendStats is one backend's row in the fleet view.
+type BackendStats struct {
+	URL               string                `json:"url"`
+	Healthy           bool                  `json:"healthy"`
+	HealthTransitions int64                 `json:"health_transitions"`
+	Requests          int64                 `json:"requests"`
+	Failures          int64                 `json:"failures"`
+	InFlight          int                   `json:"in_flight"`
+	Breaker           serve.BreakerSnapshot `json:"breaker"`
+	Remote            *serve.StatsSnapshot  `json:"remote,omitempty"`
+}
+
+// Stats snapshots the coordinator's counters and fleet view.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(c.started).Seconds(),
+		Draining:      c.draining.Load(),
+		Requests:      c.stats.requests.Load(),
+		OK:            c.stats.ok.Load(),
+		InputErrors:   c.stats.inputErrors.Load(),
+		BadRequests:   c.stats.badRequests.Load(),
+		DrainRejects:  c.stats.drainRejects.Load(),
+		Unavailable:   c.stats.unavailable.Load(),
+		DeadlineFails: c.stats.deadlineFails.Load(),
+		Abandoned:     c.stats.abandoned.Load(),
+		Reroutes:      c.stats.reroutes.Load(),
+		HedgesStarted: c.stats.hedgesStarted.Load(),
+		HedgesWon:     c.stats.hedgesWon.Load(),
+		HedgesLost:    c.stats.hedgesLost.Load(),
+		BreakerSkips:  c.stats.breakerSkips.Load(),
+		SlotSkips:     c.stats.slotSkips.Load(),
+		HedgeDelayMs:  float64(c.hedgeDelay()) / float64(time.Millisecond),
+	}
+	for _, b := range c.backends {
+		healthy := b.healthy.Load()
+		if healthy {
+			s.HealthyBackends++
+		}
+		s.Backends = append(s.Backends, BackendStats{
+			URL:               b.url,
+			Healthy:           healthy,
+			HealthTransitions: b.transitions.Load(),
+			Requests:          b.requests.Load(),
+			Failures:          b.failures.Load(),
+			InFlight:          len(b.slots),
+			Breaker:           b.br.Snapshot(),
+			Remote:            b.remote.Load(),
+		})
+	}
+	return s
+}
+
+func (c *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	body, err := json.MarshalIndent(c.Stats(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// handleHealthz is liveness: the coordinator process is up.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness: not draining, and at least one backend is
+// worth routing to. During drain it answers 503 while the listener
+// still accepts, so upstream balancers route away before connections
+// close.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	for _, b := range c.backends {
+		if b.healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_, _ = w.Write([]byte("no healthy backends\n"))
+}

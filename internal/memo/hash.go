@@ -27,6 +27,30 @@ func hashStrings(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ProgramFingerprint content-addresses a whole analysis request — the
+// exact source files plus the configuration axes that select which
+// memoized artifacts the analysis can reuse (jump-function kind, MOD,
+// return jump functions, full substitution, gating, completeness, and
+// the expression-size budget). Axes that never change the cached
+// artifacts — parallelism, solver choice, step/round budgets,
+// fail-fast, the cache handle itself — are deliberately excluded, so
+// requests differing only in those hash identically.
+//
+// The fingerprint is the natural routing key for a fleet of analysis
+// servers: sending equal fingerprints to the same backend maximizes
+// that backend's per-unit memo reuse, because this is the same hashing
+// discipline the cache keys use. The leading version tag keeps the key
+// space disjoint from every other hashStrings use.
+func ProgramFingerprint(files []File, c core.Config) string {
+	parts := make([]string, 0, 2*len(files)+2)
+	parts = append(parts, "ipcp-program-fp/v1")
+	for _, f := range files {
+		parts = append(parts, f.Name, f.Src)
+	}
+	parts = append(parts, substFP(c))
+	return hashStrings(parts...)
+}
+
 // jumpFP fingerprints everything the jump-function construction phase
 // reads from a configuration. Solver choice, step budgets, deadlines,
 // and parallelism are deliberately excluded: none of them changes the

@@ -25,18 +25,20 @@ func (s breakerState) String() string {
 	}
 }
 
-// breaker is the service's circuit breaker. It watches internal-failure
-// classes ("panic:<phase>", "exhausted:<axis>") — never user input
-// errors — and trips to fail-fast rejection when failures become
-// systemic: threshold consecutive failures opens the circuit, a
-// cooldown later it half-opens and admits one probe request at a time,
-// and probes consecutive probe successes close it again. A probe
-// failure reopens the circuit for another cooldown.
+// Breaker is a circuit breaker over one dependency. The analysis
+// service runs one over the analyzer, watching internal-failure classes
+// ("panic:<phase>", "exhausted:<axis>") — never user input errors; the
+// cluster coordinator runs one per backend, watching transport errors
+// and 503s. Failures becoming systemic trip the circuit to fail-fast
+// rejection: threshold consecutive failures open it, a cooldown later
+// it half-opens and admits one probe request at a time, and probes
+// consecutive probe successes close it again. A probe failure reopens
+// the circuit for another cooldown.
 //
 // The accounting contract: every request admitted by Allow must report
 // back exactly once, via Success, Failure, or Neutral (user-fault
-// outcomes that prove nothing about the analyzer's health).
-type breaker struct {
+// outcomes that prove nothing about the dependency's health).
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	probes    int
@@ -54,8 +56,11 @@ type breaker struct {
 	failsByClass   map[string]int64
 }
 
-func newBreaker(threshold int, cooldown time.Duration, probes int) *breaker {
-	return &breaker{
+// NewBreaker returns a closed circuit that opens after threshold
+// consecutive failures, stays open for cooldown, and closes again after
+// probes consecutive half-open probe successes.
+func NewBreaker(threshold int, cooldown time.Duration, probes int) *Breaker {
+	return &Breaker{
 		threshold:    threshold,
 		cooldown:     cooldown,
 		probes:       probes,
@@ -66,7 +71,7 @@ func newBreaker(threshold int, cooldown time.Duration, probes int) *breaker {
 
 // Allow reports whether a request may proceed. When it refuses, the
 // returned duration is the suggested Retry-After.
-func (b *breaker) Allow() (bool, time.Duration) {
+func (b *Breaker) Allow() (bool, time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -91,7 +96,7 @@ func (b *breaker) Allow() (bool, time.Duration) {
 }
 
 // Success reports a healthy completion of an admitted request.
-func (b *breaker) Success() {
+func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -108,8 +113,12 @@ func (b *breaker) Success() {
 }
 
 // Failure reports an internal failure of an admitted request, keyed by
-// class ("panic:solve", "exhausted:deadline", ...).
-func (b *breaker) Failure(class string) {
+// class ("panic:solve", "exhausted:deadline", ...). The returned
+// duration is a backoff suggestion for the failed caller, proportional
+// to how close the circuit is to (or into) its cooldown: the full
+// cooldown when this failure opened the circuit, a streak-proportional
+// fraction of it while still closed.
+func (b *Breaker) Failure(class string) time.Duration {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failsByClass[class]++
@@ -121,7 +130,9 @@ func (b *breaker) Failure(class string) {
 			b.openedAt = b.now()
 			b.trips++
 			b.lastTripClass = class
+			return b.cooldown
 		}
+		return b.cooldown * time.Duration(b.consecFails) / time.Duration(b.threshold)
 	case breakerHalfOpen:
 		// The probe failed: straight back to open for another cooldown.
 		b.state = breakerOpen
@@ -129,13 +140,20 @@ func (b *breaker) Failure(class string) {
 		b.reopens++
 		b.lastTripClass = class
 		b.probeInFlight = false
+		return b.cooldown
+	default: // already open (late failure report): the cooldown remainder
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining < 0 {
+			remaining = 0
+		}
+		return remaining
 	}
 }
 
 // Neutral releases an admitted request whose outcome says nothing about
-// analyzer health (malformed program, client disconnect): probe slots
-// free up, failure streaks neither grow nor reset.
-func (b *breaker) Neutral() {
+// the dependency's health (malformed program, client disconnect): probe
+// slots free up, failure streaks neither grow nor reset.
+func (b *Breaker) Neutral() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == breakerHalfOpen {
@@ -154,7 +172,7 @@ type BreakerSnapshot struct {
 }
 
 // Snapshot copies the breaker's counters for /statsz.
-func (b *breaker) Snapshot() BreakerSnapshot {
+func (b *Breaker) Snapshot() BreakerSnapshot {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s := BreakerSnapshot{

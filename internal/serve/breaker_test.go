@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -11,21 +13,21 @@ type fakeClock struct{ t time.Time }
 func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
-func newTestBreaker(threshold int, cooldown time.Duration, probes int) (*breaker, *fakeClock) {
-	b := newBreaker(threshold, cooldown, probes)
+func newTestBreaker(threshold int, cooldown time.Duration, probes int) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown, probes)
 	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
 	b.now = clk.now
 	return b, clk
 }
 
-func mustAllow(t *testing.T, b *breaker) {
+func mustAllow(t *testing.T, b *Breaker) {
 	t.Helper()
 	if ok, _ := b.Allow(); !ok {
 		t.Fatalf("Allow refused in state %s", b.Snapshot().State)
 	}
 }
 
-func mustRefuse(t *testing.T, b *breaker) time.Duration {
+func mustRefuse(t *testing.T, b *Breaker) time.Duration {
 	t.Helper()
 	ok, after := b.Allow()
 	if ok {
@@ -118,6 +120,84 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	b.Success()
 	if s := b.Snapshot(); s.State != "closed" {
 		t.Fatalf("state = %s, want closed", s.State)
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbes: when the cooldown elapses and a
+// stampede of concurrent requests hits the half-open circuit, exactly
+// one is admitted as the probe; every loser is refused with a positive
+// Retry-After (the serve layer renders that refusal as 503 +
+// Retry-After). After the probe succeeds the circuit closes and admits
+// freely again.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 1)
+	mustAllow(t, b)
+	b.Failure("panic:solve")
+	clk.advance(time.Second)
+
+	const stampede = 32
+	var admitted, refused atomic.Int64
+	var badRetryAfter atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < stampede; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, after := b.Allow()
+			if ok {
+				admitted.Add(1)
+				return
+			}
+			refused.Add(1)
+			if after <= 0 {
+				badRetryAfter.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Load() != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted.Load())
+	}
+	if refused.Load() != stampede-1 {
+		t.Fatalf("refused = %d, want %d", refused.Load(), stampede-1)
+	}
+	if n := badRetryAfter.Load(); n > 0 {
+		t.Errorf("%d refusals carried a non-positive Retry-After", n)
+	}
+	if s := b.Snapshot(); s.State != "half-open" {
+		t.Fatalf("state = %s with probe in flight, want half-open", s.State)
+	}
+	// The winning probe reports success: closed, and the stampede may
+	// proceed.
+	b.Success()
+	if s := b.Snapshot(); s.State != "closed" {
+		t.Fatalf("state = %s after probe success, want closed", s.State)
+	}
+	mustAllow(t, b)
+	b.Success()
+}
+
+// TestBreakerFailureBackoffProportional: Failure's suggested backoff
+// grows with the failure streak (cooldown × streak/threshold while
+// closed) and reaches the full cooldown on the failure that trips or
+// reopens the circuit.
+func TestBreakerFailureBackoffProportional(t *testing.T) {
+	b, clk := newTestBreaker(4, 8*time.Second, 1)
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second, 8 * time.Second}
+	for i, w := range want {
+		mustAllow(t, b)
+		if got := b.Failure("panic:solve"); got != w {
+			t.Fatalf("failure %d: backoff = %v, want %v", i+1, got, w)
+		}
+	}
+	if s := b.Snapshot(); s.State != "open" {
+		t.Fatalf("state = %s after threshold failures, want open", s.State)
+	}
+	// A probe failure reopens at the full cooldown again.
+	clk.advance(8 * time.Second)
+	mustAllow(t, b)
+	if got := b.Failure("panic:solve"); got != 8*time.Second {
+		t.Fatalf("reopen backoff = %v, want the full cooldown", got)
 	}
 }
 

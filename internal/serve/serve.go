@@ -70,6 +70,10 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown (default 5s).
 	DrainTimeout time.Duration
 	// MaxRetries caps re-runs after a transient failure (default 3).
+	// Negative disables the retry/degrade ladder entirely: every
+	// response is served at full requested fidelity or not at all — the
+	// right setting when a coordinator in front of this server owns the
+	// retry policy and reroutes failures to other backends instead.
 	MaxRetries int
 	// RetryBaseDelay and RetryMaxDelay shape the capped, jittered
 	// exponential backoff between attempts (defaults 5ms and 250ms).
@@ -116,8 +120,11 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
-	if c.MaxRetries <= 0 {
+	if c.MaxRetries == 0 {
 		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
 	}
 	if c.RetryBaseDelay <= 0 {
 		c.RetryBaseDelay = 5 * time.Millisecond
@@ -156,7 +163,7 @@ type Server struct {
 	queued   atomic.Int64
 	inFlight atomic.Int64
 	draining atomic.Bool
-	breaker  *breaker
+	breaker  *Breaker
 	started  time.Time
 	http     *http.Server
 	memo     *ipcp.Cache  // nil when AnalysisCacheBytes < 0
@@ -187,6 +194,11 @@ type serverStats struct {
 	abandoned    atomic.Int64 // client gone while queued
 	retriedReqs  atomic.Int64 // requests retried at least once
 	retriesTotal atomic.Int64 // total retry attempts
+	// latencyEWMA is an exponentially weighted moving average of served
+	// analyses' wall time in nanoseconds (α = 1/8). It sizes the derived
+	// Retry-After on shed responses: a queue of depth d drains in about
+	// d/workers · EWMA, so that is what clients are told to wait.
+	latencyEWMA atomic.Int64
 
 	mu          sync.Mutex
 	degByAxis   map[string]int64 // degradations by budget axis
@@ -200,7 +212,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConcurrency),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerProbes),
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerProbes),
 		started: time.Now(),
 		jitter:  rand.Float64,
 	}
@@ -249,17 +261,36 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.http.Serve(l)
 }
 
+// BeginDrain flips the server to draining without closing anything:
+// /readyz answers 503 and new analyses are refused with class
+// "draining", while the listener keeps accepting connections. Callers
+// that sit behind a load balancer or coordinator call this first, wait
+// for health checks to route traffic away, then call Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
 // Shutdown drains the server: new work is refused (readyz flips, 503s
 // with class "draining"), in-flight requests get up to DrainTimeout to
 // finish, then connections are closed.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	s.BeginDrain()
 	if s.http == nil {
 		return nil
 	}
 	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
 	defer cancel()
 	return s.http.Shutdown(dctx)
+}
+
+// Close abruptly terminates the server: the listener and every active
+// connection are closed without waiting for in-flight work. It exists
+// for chaos harnesses that need to kill a backend mid-request the way
+// a crashed process would; production shutdown is Shutdown.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
 }
 
 // ---------------------------------------------------------------------
@@ -496,7 +527,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	if s.draining.Load() {
 		s.stats.drainRejects.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// By the time the drain budget has passed, either a replacement
+		// process is serving or this one is gone; both make the budget the
+		// honest back-off horizon.
+		w.Header().Set("Retry-After", retryAfter(s.cfg.DrainTimeout))
 		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
@@ -507,7 +541,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.queued.Add(1) > int64(s.cfg.MaxConcurrency+s.cfg.QueueDepth) {
 		s.queued.Add(-1)
 		s.stats.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter(s.shedBackoff()))
 		s.writeError(w, http.StatusTooManyRequests, "shed", "work queue full")
 		return
 	}
@@ -520,7 +554,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
 		return
 	}
-	cfg, err := req.Config.toIPCP()
+	cfg, err := req.Config.ToIPCP()
 	if err != nil {
 		s.stats.badRequests.Add(1)
 		s.writeError(w, http.StatusBadRequest, "bad-request", err.Error())
@@ -583,7 +617,43 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// The breaker has admitted the request; run the analysis phase
 	// through the pass manager, whose retrying middleware owns the
 	// ladder and writes the response.
-	_ = s.reqPL.RunPhase(ctx, phaseRequest, &reqState{w: w, req: &req, cfg: cfg, key: key})
+	_ = s.reqPL.RunPhase(ctx, phaseRequest, &reqState{w: w, req: &req, cfg: cfg, key: key, start: time.Now()})
+}
+
+// shedBackoff estimates how long a shed client should wait before the
+// queue has drained: a full queue is capacity requests deep, each
+// worker retires one about every EWMA-latency interval. Before any
+// request has completed (no latency signal yet) it falls back to 1s;
+// the estimate is capped at 30s so a latency spike cannot tell clients
+// to go away for minutes.
+func (s *Server) shedBackoff() time.Duration {
+	ewma := time.Duration(s.stats.latencyEWMA.Load())
+	if ewma <= 0 {
+		return time.Second
+	}
+	capacity := s.cfg.MaxConcurrency + s.cfg.QueueDepth
+	rounds := (capacity + s.cfg.MaxConcurrency - 1) / s.cfg.MaxConcurrency
+	d := time.Duration(rounds) * ewma
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// observeLatency folds one served analysis's wall time into the EWMA
+// (α = 1/8) that sizes shed Retry-After values.
+func (s *Server) observeLatency(d time.Duration) {
+	obs := int64(d)
+	for {
+		old := s.stats.latencyEWMA.Load()
+		next := obs
+		if old > 0 {
+			next = old + (obs-old)/8
+		}
+		if s.stats.latencyEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // reqState is one request's pipeline state: the response writer the
@@ -594,6 +664,7 @@ type reqState struct {
 	req     *AnalyzeRequest
 	cfg     ipcp.Config
 	key     string
+	start   time.Time
 	retries int
 	res     *ipcp.Result
 }
@@ -622,6 +693,7 @@ func (s *Server) retrying() pipeline.Middleware[*reqState] {
 				err := next(ctx, st)
 				if err == nil {
 					s.breaker.Success()
+					s.observeLatency(time.Since(st.start))
 					s.writeResult(st.w, st.req, st.cfg, st.res, st.retries, st.key)
 					return nil
 				}
@@ -641,13 +713,16 @@ func (s *Server) retrying() pipeline.Middleware[*reqState] {
 				}
 				s.recordFailureClass(err)
 				if !retryable || st.retries >= s.cfg.MaxRetries || ctx.Err() != nil {
-					s.breaker.Failure(class)
+					// The breaker's verdict doubles as the back-off hint: the
+					// closer the circuit is to (or into) its cooldown, the
+					// longer the client is told to stay away.
+					backoff := s.breaker.Failure(class)
 					if class == "exhausted:deadline" {
 						s.stats.deadline.Add(1)
 					} else {
 						s.stats.internal.Add(1)
 					}
-					st.w.Header().Set("Retry-After", "1")
+					st.w.Header().Set("Retry-After", retryAfter(backoff))
 					s.writeError(st.w, http.StatusServiceUnavailable, class, err.Error())
 					return nil
 				}
@@ -836,8 +911,10 @@ func retryAfter(d time.Duration) string {
 	return strconv.Itoa(secs)
 }
 
-// toIPCP converts the wire configuration, validating enum fields.
-func (rc RequestConfig) toIPCP() (ipcp.Config, error) {
+// ToIPCP converts the wire configuration, validating enum fields. The
+// cluster coordinator uses it to derive the routing fingerprint from
+// the same conversion the backend will apply.
+func (rc RequestConfig) ToIPCP() (ipcp.Config, error) {
 	cfg := ipcp.DefaultConfig()
 	switch rc.Kind {
 	case "", "passthrough":

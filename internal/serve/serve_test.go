@@ -365,6 +365,128 @@ func TestHealthAndStats(t *testing.T) {
 	}
 }
 
+// TestShedRetryAfterScalesWithQueue: the 429 Retry-After is derived
+// from the queue's drain time (capacity/workers × EWMA latency), not
+// hardcoded, so clients back off proportionally to the backlog.
+func TestShedRetryAfterScalesWithQueue(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	remove := guard.Set("solve", func() error {
+		entered <- struct{}{}
+		<-release
+		return nil
+	})
+	defer remove()
+
+	s := newTestServer(Config{MaxConcurrency: 1, QueueDepth: 3})
+	// Pretend past analyses averaged 2s: a full queue (4 requests, one
+	// worker) should drain in about 8s.
+	s.stats.latencyEWMA.Store(int64(2 * time.Second))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+		}()
+	}
+	<-entered
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 4", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "8" {
+		t.Errorf("Retry-After = %q, want 8 (4 queued / 1 worker x 2s EWMA)", got)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestDrainRetryAfterReflectsDrainBudget: a draining server tells
+// clients to come back after the drain budget, when a replacement is
+// serving (or this process is gone) — not after a hardcoded second.
+func TestDrainRetryAfterReflectsDrainBudget(t *testing.T) {
+	s := newTestServer(Config{DrainTimeout: 7 * time.Second})
+	s.BeginDrain()
+	code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if eb := decodeError(t, body); eb.Class != "draining" {
+		t.Fatalf("class = %q, want draining", eb.Class)
+	}
+	if got := hdr.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After = %q, want 7 (the drain budget)", got)
+	}
+}
+
+// TestFailureRetryAfterTracksBreakerCooldown: internal-failure 503s
+// carry a Retry-After proportional to how close the breaker is to its
+// cooldown — half of it at half the trip threshold, all of it on the
+// tripping failure.
+func TestFailureRetryAfterTracksBreakerCooldown(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	remove := guard.Set("solve", func() error { panic("persistent fault") })
+	defer remove()
+
+	s := newTestServer(Config{MaxRetries: -1, BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	_, hdr, _ := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if got := hdr.Get("Retry-After"); got != "30" {
+		t.Errorf("first failure Retry-After = %q, want 30 (half the cooldown)", got)
+	}
+	_, hdr, _ = postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if got := hdr.Get("Retry-After"); got != "60" {
+		t.Errorf("tripping failure Retry-After = %q, want 60 (the full cooldown)", got)
+	}
+}
+
+// TestNegativeMaxRetriesDisablesLadder: MaxRetries < 0 means the
+// retry/degrade ladder never runs — a transient failure surfaces
+// immediately as a 503 at full fidelity, for deployments where a
+// coordinator owns the retry policy.
+func TestNegativeMaxRetriesDisablesLadder(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	var calls atomic.Int64
+	remove := guard.Set("solve", func() error {
+		if calls.Add(1) == 1 {
+			panic("transient fault")
+		}
+		return nil
+	})
+	defer remove()
+
+	s := newTestServer(Config{MaxRetries: -1})
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if eb := decodeError(t, body); eb.Class != "panic:solve" {
+		t.Fatalf("class = %q, want panic:solve", eb.Class)
+	}
+	st := s.Stats()
+	if st.RetriesTotal != 0 || st.RetriedReqs != 0 {
+		t.Fatalf("ladder ran despite MaxRetries=-1: %+v", st)
+	}
+	// The next request (fault gone) succeeds at full fidelity.
+	code, _, body = postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if resp := decodeResult(t, body); resp.Status != "ok" || resp.Retries != 0 {
+		t.Fatalf("response: %+v, want full-fidelity ok", resp)
+	}
+}
+
 // TestWantPayloads: the want flags switch on jump functions and the
 // transformed source.
 func TestWantPayloads(t *testing.T) {

@@ -1,0 +1,36 @@
+package ipcp
+
+import (
+	"repro/internal/memo"
+)
+
+// Fingerprint returns the analysis request's content-addressed routing
+// key: a stable hex digest over the exact source text and the
+// configuration axes that determine which memoized artifacts (see
+// Cache) the analysis can reuse. Two requests with equal fingerprints
+// analyze the same program at memo-equivalent configurations, so a
+// multi-node deployment that routes by fingerprint (the ipcp-coord
+// coordinator does, with rendezvous hashing) lands warm cache entries
+// on the right backend.
+//
+// Axes that never change the analysis artifacts hash identically:
+// Parallelism, Solver, FailFast, the Cache handle, and the
+// MaxSolverSteps/MaxRounds budgets (results are byte-identical across
+// all of them, per this package's standing guarantees). Everything
+// else — source text, filename, Kind, UseMOD, UseReturnJFs,
+// FullSubstitution, Complete, Gated, and the MaxJFExprSize budget —
+// contributes to the key.
+func Fingerprint(filename, src string, cfg Config) string {
+	return FingerprintFiles([]SourceFile{{Name: filename, Src: src}}, cfg)
+}
+
+// FingerprintFiles is Fingerprint over a multi-file program (see
+// AnalyzeFiles); file order is significant, matching analysis
+// semantics.
+func FingerprintFiles(files []SourceFile, cfg Config) string {
+	mf := make([]memo.File, len(files))
+	for i, f := range files {
+		mf[i] = memo.File{Name: f.Name, Src: f.Src}
+	}
+	return memo.ProgramFingerprint(mf, cfg.internal())
+}

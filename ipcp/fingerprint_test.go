@@ -1,0 +1,116 @@
+package ipcp
+
+import (
+	"regexp"
+	"testing"
+)
+
+const fpSrc = `PROGRAM MAIN
+INTEGER K
+K = 2 + 3
+CALL WORK(K, 7)
+END
+SUBROUTINE WORK(N, M)
+INTEGER N, M
+PRINT *, N + M
+END
+`
+
+// TestFingerprintStableAcrossIrrelevantConfig: axes that cannot change
+// any analysis artifact — parallelism, solver, fail-fast, the cache
+// handle, step/round budgets — must not perturb the routing key, or a
+// coordinator would scatter memo-equivalent requests across backends.
+func TestFingerprintStableAcrossIrrelevantConfig(t *testing.T) {
+	base := DefaultConfig()
+	want := Fingerprint("p.f", fpSrc, base)
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(want) {
+		t.Fatalf("fingerprint %q is not a sha-256 hex digest", want)
+	}
+
+	variants := map[string]Config{}
+	c := base
+	c.Parallelism = 8
+	variants["parallelism"] = c
+	c = base
+	c.Parallelism = 1
+	variants["parallelism-serial"] = c
+	c = base
+	c.Solver = BindingGraph
+	variants["solver"] = c
+	c = base
+	c.FailFast = true
+	variants["failfast"] = c
+	c = base
+	c.Cache = NewCache(CacheOptions{})
+	variants["cache"] = c
+	c = base
+	c.Budget.MaxSolverSteps = 12345
+	variants["solver-steps"] = c
+	c = base
+	c.Budget.MaxRounds = 7
+	variants["rounds"] = c
+
+	for name, cfg := range variants {
+		if got := Fingerprint("p.f", fpSrc, cfg); got != want {
+			t.Errorf("%s: fingerprint changed on a memo-irrelevant axis\n got %s\nwant %s", name, got, want)
+		}
+	}
+}
+
+// TestFingerprintSensitiveToProgramAndConfig: anything that can change
+// which memoized artifacts apply must change the key.
+func TestFingerprintSensitiveToProgramAndConfig(t *testing.T) {
+	base := DefaultConfig()
+	want := Fingerprint("p.f", fpSrc, base)
+
+	seen := map[string]string{"base": want}
+	check := func(name, fp string) {
+		t.Helper()
+		for prev, old := range seen {
+			if fp == old {
+				t.Errorf("%s: fingerprint collides with %s", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+
+	check("edited-source", Fingerprint("p.f", fpSrc+"\n", base))
+	check("renamed-file", Fingerprint("q.f", fpSrc, base))
+	c := base
+	c.Kind = Polynomial
+	check("kind", Fingerprint("p.f", fpSrc, c))
+	c = base
+	c.UseMOD = false
+	check("mod", Fingerprint("p.f", fpSrc, c))
+	c = base
+	c.UseReturnJFs = false
+	check("ret", Fingerprint("p.f", fpSrc, c))
+	c = base
+	c.FullSubstitution = true
+	check("fullsubst", Fingerprint("p.f", fpSrc, c))
+	c = base
+	c.Complete = true
+	check("complete", Fingerprint("p.f", fpSrc, c))
+	c = base
+	c.Gated = true
+	check("gated", Fingerprint("p.f", fpSrc, c))
+	c = base
+	c.Budget.MaxJFExprSize = 9
+	check("expr-size", Fingerprint("p.f", fpSrc, c))
+}
+
+// TestFingerprintFilesMatchesSingle: the single-file convenience and
+// the multi-file form agree, and unit order is significant.
+func TestFingerprintFilesMatchesSingle(t *testing.T) {
+	cfg := DefaultConfig()
+	single := Fingerprint("p.f", fpSrc, cfg)
+	multi := FingerprintFiles([]SourceFile{{Name: "p.f", Src: fpSrc}}, cfg)
+	if single != multi {
+		t.Fatalf("single-file and files forms disagree: %s vs %s", single, multi)
+	}
+	a := FingerprintFiles([]SourceFile{{Name: "a.f", Src: "X"}, {Name: "b.f", Src: "Y"}}, cfg)
+	b := FingerprintFiles([]SourceFile{{Name: "b.f", Src: "Y"}, {Name: "a.f", Src: "X"}}, cfg)
+	if a == b {
+		t.Fatal("file order must be significant")
+	}
+}
