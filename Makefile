@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 SOAK_DURATION ?= 30s
 SOAK_CLIENTS ?= 12
 
-.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke trace serve coord soak soak-cluster clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke bench-ablation trace serve coord soak soak-cluster clean
 
 all: check
 
@@ -46,6 +46,12 @@ bench-go:
 bench-check:
 	$(GO) run ./cmd/ipcp-bench -out BENCH_ipcp.json.new -min-speedup 2 -baseline BENCH_ipcp.json
 	mv BENCH_ipcp.json.new BENCH_ipcp.json
+
+# Only the solver ablation: worklist vs binding-graph propagation per
+# jump-function kind, with jf_evals_per_op (the paper's §3.1.5 cost
+# unit) reported alongside ns/op and allocs/op.
+bench-ablation:
+	$(GO) test -run='^$$' -bench=BenchmarkPropagationSolvers -benchmem .
 
 # A fast CI smoke of the benchmark harness: few iterations, same
 # exhibits and gates minus the timing-sensitive ones.

@@ -168,21 +168,41 @@ func BenchmarkJumpFunctionConstruction(b *testing.B) {
 // §3.1.5 / 1986 §4: propagation cost, worklist vs binding graph, over a
 // size sweep of generated programs.
 
+// BenchmarkPropagationSolvers isolates the propagation phase: the jump
+// functions are built once per kind, then each solver re-runs over them
+// via Analysis.RunSolver. jf_evals_per_op is the per-iteration
+// jump-function evaluation count — the paper's cost unit — so the
+// binding graph's re-evaluate-only-on-support-lowering discipline is
+// visible next to the worklist's blanket re-evaluation.
 func BenchmarkPropagationSolvers(b *testing.B) {
-	for _, procs := range []int{4, 16, 48} {
-		src := gen.Program(gen.Config{Seed: 11, NumProcs: procs, StmtsPerProc: 12})
-		prog := mustProgram(b, fmt.Sprintf("gen%d", procs), src)
+	src := gen.Program(gen.Config{Seed: 11, NumProcs: 32, StmtsPerProc: 12})
+	prog := mustProgram(b, "gen32", src)
+	for _, kind := range []jump.Kind{jump.Literal, jump.PassThrough, jump.Polynomial} {
+		a := core.AnalyzeProgram(prog, cfg(kind, true, true))
+		// The two solvers must agree before their costs are comparable.
+		wl, _, err := a.RunSolver(core.SolverWorklist)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bg, _, err := a.RunSolver(core.SolverBinding)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !wl.Equal(bg) {
+			b.Fatalf("%v: worklist and binding-graph solutions differ", kind)
+		}
 		for _, solver := range []core.SolverKind{core.SolverWorklist, core.SolverBinding} {
-			b.Run(fmt.Sprintf("procs=%d/%v", procs, solver), func(b *testing.B) {
-				c := cfg(jump.PassThrough, true, true)
-				c.Solver = solver
+			b.Run(fmt.Sprintf("%v/%v", kind, solver), func(b *testing.B) {
 				b.ReportAllocs()
 				total := 0
 				for i := 0; i < b.N; i++ {
-					a := core.AnalyzeProgram(prog, c)
-					total += a.Stats.JFEvaluations
+					_, evals, err := a.RunSolver(solver)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += evals
 				}
-				b.ReportMetric(float64(total)/float64(b.N), "jf-evals/op")
+				b.ReportMetric(float64(total)/float64(b.N), "jf_evals_per_op")
 			})
 		}
 	}

@@ -40,8 +40,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/jump"
 	"repro/internal/lattice"
+	"repro/internal/parser"
 	"repro/internal/report"
+	"repro/internal/sem"
+	"repro/internal/source"
 	"repro/internal/suite"
 	"repro/ipcp"
 )
@@ -58,6 +63,11 @@ type Exhibit struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	// JFEvalsPerOp is the jump-function evaluation count of one
+	// iteration — the paper's propagation cost unit. Set on the solver
+	// ablation exhibits, where it is deterministic (measured once, not
+	// averaged).
+	JFEvalsPerOp float64 `json:"jf_evals_per_op,omitempty"`
 }
 
 // Sweep records the serial-vs-parallel Table 2 sweep comparison.
@@ -220,8 +230,11 @@ func findExhibit(b *Baseline, name string) *Exhibit {
 }
 
 // gateAllocs fails when the hot analysis path allocates more than 10%
-// over the committed baseline. ns/op is too machine-dependent to gate
-// in CI; allocation counts are deterministic enough to hold the line.
+// over the committed baseline, or — in full (non-quick) runs, whose
+// counts come from the testing harness rather than noisy MemStats
+// deltas — when it exceeds the absolute post-arena ceiling. ns/op is
+// too machine-dependent to gate in CI; allocation counts are
+// deterministic enough to hold the line.
 func gateAllocs(stdout io.Writer, path string, cur *Baseline) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
@@ -232,6 +245,11 @@ func gateAllocs(stdout io.Writer, path string, cur *Baseline) error {
 		return fmt.Errorf("alloc gate: parse %s: %w", path, err)
 	}
 	const name = "table2/analyze-serial"
+	// absCap is the arena-era ceiling: the flat-IR pipeline analyzes the
+	// Table 2 program in ~35k allocations, so crossing 50k means a
+	// structural regression (a map or pointer-tree crept back into a hot
+	// path), not drift.
+	const absCap = 50000
 	was, now := findExhibit(&committed, name), findExhibit(cur, name)
 	if was == nil || was.AllocsPerOp == 0 {
 		return fmt.Errorf("alloc gate: %s has no %s allocs baseline", path, name)
@@ -244,8 +262,12 @@ func gateAllocs(stdout io.Writer, path string, cur *Baseline) error {
 		return fmt.Errorf("alloc gate: %s allocs/op %d exceeds baseline %d by more than 10%%",
 			name, now.AllocsPerOp, was.AllocsPerOp)
 	}
-	fmt.Fprintf(stdout, "alloc gate passed: %s %d allocs/op (baseline %d, limit %d)\n",
-		name, now.AllocsPerOp, was.AllocsPerOp, limit)
+	if !quick && now.AllocsPerOp >= absCap {
+		return fmt.Errorf("alloc gate: %s allocs/op %d exceeds absolute cap %d",
+			name, now.AllocsPerOp, absCap)
+	}
+	fmt.Fprintf(stdout, "alloc gate passed: %s %d allocs/op (baseline %d, limit %d, cap %d)\n",
+		name, now.AllocsPerOp, was.AllocsPerOp, limit, absCap)
 	return nil
 }
 
@@ -430,6 +452,58 @@ func memoExhibits() ([]Exhibit, error) {
 	return out, nil
 }
 
+// solverExhibits measures the §4 solver ablation: propagation re-run
+// over prebuilt jump functions (Analysis.RunSolver), worklist vs
+// binding graph, for each forward jump-function kind the comparison is
+// meaningful for. The jump-function evaluation count of one solve is
+// deterministic, so it is measured once and recorded as
+// jf_evals_per_op rather than averaged out of the timed loop.
+func solverExhibits() ([]Exhibit, error) {
+	spec, ok := suite.ByName("spec77")
+	if !ok {
+		return nil, fmt.Errorf("no suite program spec77")
+	}
+	var diags source.ErrorList
+	f := parser.ParseSource("spec77.f", suite.Source(spec), &diags)
+	prog := sem.Analyze(f, &diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("spec77: %s", diags.Error())
+	}
+
+	solvers := []struct {
+		slug string
+		kind core.SolverKind
+	}{
+		{"worklist", core.SolverWorklist},
+		{"binding", core.SolverBinding},
+	}
+	var out []Exhibit
+	for _, kind := range []jump.Kind{jump.Literal, jump.PassThrough, jump.Polynomial} {
+		c := core.Config{
+			Jump:        jump.Config{Kind: kind, UseMOD: true, UseReturnJFs: true},
+			Parallelism: 1,
+		}
+		a := core.AnalyzeProgram(prog, c)
+		for _, s := range solvers {
+			_, evals, err := a.RunSolver(s.kind)
+			if err != nil {
+				return nil, fmt.Errorf("solver/%s-%s: %w", s.slug, kind, err)
+			}
+			e := bench(fmt.Sprintf("solver/%s-%s", s.slug, kind), 0, func(n int) error {
+				for i := 0; i < n; i++ {
+					if _, _, err := a.RunSolver(s.kind); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			e.JFEvalsPerOp = float64(evals)
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
 // sweepOnce times one full uncached Table 2 sweep.
 func sweepOnce(parallelism int) (time.Duration, error) {
 	start := time.Now()
@@ -546,6 +620,14 @@ func measure(stderr io.Writer) (*Baseline, error) {
 		return nil, err
 	}
 	base.Exhibits = append(base.Exhibits, memos...)
+
+	// §4 solver ablation: worklist vs binding graph per jump-function
+	// kind, over prebuilt jump functions.
+	solvers, err := solverExhibits()
+	if err != nil {
+		return nil, err
+	}
+	base.Exhibits = append(base.Exhibits, solvers...)
 
 	// The sweep comparison: all (program, configuration) cells of
 	// Table 2, serial vs one worker per CPU.

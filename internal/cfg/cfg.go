@@ -177,7 +177,7 @@ func Build(prog *sem.Program, proc *sem.Procedure) *Graph {
 					continue
 				}
 				b.emitFlat(flatOp{kind: flatInstr, pos: dd.Pos(),
-					instr: &Instr{Kind: InstrAssign, Pos: dd.Pos(), Lhs: s, Rhs: dd.Values[i]}})
+					instr: b.newInstr(Instr{Kind: InstrAssign, Pos: dd.Pos(), Lhs: s, Rhs: dd.Values[i]})})
 			}
 		}
 	}
@@ -216,6 +216,57 @@ type builder struct {
 	labelPCs map[string]int // label → index in ops of its flatLabel
 	nextGen  int            // generator for synthesized labels
 	sites    []*CallSite
+
+	// instrArena and blockArena are slab chunks for Instr/Block nodes;
+	// blkSlab backs the small Succs/Preds slices. All three trade
+	// per-node heap allocations for chunked slab allocations with
+	// stable addresses.
+	instrArena []Instr
+	blockArena []Block
+	blkSlab    []*Block
+}
+
+// grownChunk sizes the next slab chunk for a builder arena: first on
+// an empty arena, then doubling the previous chunk up to max. Builders
+// are per-procedure and most procedures are small, so starting small
+// matters: a finished Graph pins every chunk its nodes live in (an
+// incremental cache retains CFGs long after the builder is gone), and
+// fixed large chunks would make tiny procedures retain mostly slack.
+// Doubling keeps the chunk count — and so the allocation count —
+// logarithmic in procedure size.
+func grownChunk(cur, first, max int) int {
+	if cur == 0 {
+		return first
+	}
+	if n := 2 * cur; n < max {
+		return n
+	}
+	return max
+}
+
+// newInstr allocates an instruction from the arena.
+func (b *builder) newInstr(in Instr) *Instr {
+	if len(b.instrArena) == cap(b.instrArena) {
+		b.instrArena = make([]Instr, 0, grownChunk(cap(b.instrArena), 16, 256))
+	}
+	b.instrArena = append(b.instrArena, in)
+	return &b.instrArena[len(b.instrArena)-1]
+}
+
+// edgeAppend appends to a Succs/Preds list, seeding empty lists with a
+// capacity-2 window of the shared slab (almost every block has at most
+// two successors and two predecessors; rare fan-in growth falls back to
+// a normal append).
+func (b *builder) edgeAppend(s []*Block, x *Block) []*Block {
+	if s == nil {
+		if len(b.blkSlab)+2 > cap(b.blkSlab) {
+			b.blkSlab = make([]*Block, 0, grownChunk(cap(b.blkSlab), 32, 512))
+		}
+		lo := len(b.blkSlab)
+		b.blkSlab = b.blkSlab[:lo+2]
+		s = b.blkSlab[lo : lo : lo+2]
+	}
+	return append(s, x)
 }
 
 func (b *builder) genLabel() string {
@@ -243,7 +294,7 @@ func (b *builder) stmt(s ast.Stmt) {
 	switch x := s.(type) {
 	case *ast.AssignStmt:
 		rhs := b.extractCalls(x.Rhs)
-		in := &Instr{Kind: InstrAssign, Pos: x.Pos(), Rhs: rhs}
+		in := b.newInstr(Instr{Kind: InstrAssign, Pos: x.Pos(), Rhs: rhs})
 		switch lhs := x.Lhs.(type) {
 		case *ast.Ident:
 			in.Lhs = b.proc.Lookup(lhs.Name)
@@ -257,7 +308,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		site := &CallSite{Caller: b.proc, Callee: x.Name, Args: args, Pos: x.Pos(), Origin: x}
 		b.sites = append(b.sites, site)
 		b.emitFlat(flatOp{kind: flatInstr, pos: x.Pos(),
-			instr: &Instr{Kind: InstrCall, Pos: x.Pos(), Site: site}})
+			instr: b.newInstr(Instr{Kind: InstrCall, Pos: x.Pos(), Site: site})})
 	case *ast.IfStmt:
 		b.ifStmt(x)
 	case *ast.DoStmt:
@@ -275,7 +326,7 @@ func (b *builder) stmt(s ast.Stmt) {
 	case *ast.StopStmt:
 		b.emitFlat(flatOp{kind: flatStop, pos: x.Pos()})
 	case *ast.ReadStmt:
-		in := &Instr{Kind: InstrRead, Pos: x.Pos()}
+		in := b.newInstr(Instr{Kind: InstrRead, Pos: x.Pos()})
 		for _, t := range x.Args {
 			switch tv := t.(type) {
 			case *ast.Ident:
@@ -289,7 +340,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		}
 		b.emitFlat(flatOp{kind: flatInstr, instr: in, pos: x.Pos()})
 	case *ast.PrintStmt:
-		in := &Instr{Kind: InstrPrint, Pos: x.Pos(), Args: b.extractCallsList(x.Args)}
+		in := b.newInstr(Instr{Kind: InstrPrint, Pos: x.Pos(), Args: b.extractCallsList(x.Args)})
 		b.emitFlat(flatOp{kind: flatInstr, instr: in, pos: x.Pos()})
 	}
 }
@@ -340,7 +391,7 @@ func (b *builder) doStmt(x *ast.DoStmt) {
 
 	from := b.extractCalls(x.From)
 	b.emitFlat(flatOp{kind: flatInstr, pos: pos,
-		instr: &Instr{Kind: InstrAssign, Pos: pos, Lhs: v, Rhs: from}})
+		instr: b.newInstr(Instr{Kind: InstrAssign, Pos: pos, Lhs: v, Rhs: from})})
 
 	// Snapshot the bound unless it is a literal.
 	toExpr := b.extractCalls(x.To)
@@ -350,7 +401,7 @@ func (b *builder) doStmt(x *ast.DoStmt) {
 	} else {
 		limit := b.proc.NewTemp(ast.TypeInteger)
 		b.emitFlat(flatOp{kind: flatInstr, pos: pos,
-			instr: &Instr{Kind: InstrAssign, Pos: pos, Lhs: limit, Rhs: toExpr}})
+			instr: b.newInstr(Instr{Kind: InstrAssign, Pos: pos, Lhs: limit, Rhs: toExpr})})
 		limitRef = &ast.Ident{Position: pos, Name: limit.Name}
 	}
 
@@ -372,7 +423,7 @@ func (b *builder) doStmt(x *ast.DoStmt) {
 			stepKnown = false
 			st := b.proc.NewTemp(ast.TypeInteger)
 			b.emitFlat(flatOp{kind: flatInstr, pos: pos,
-				instr: &Instr{Kind: InstrAssign, Pos: pos, Lhs: st, Rhs: se}})
+				instr: b.newInstr(Instr{Kind: InstrAssign, Pos: pos, Lhs: st, Rhs: se})})
 			stepRef = &ast.Ident{Position: pos, Name: st.Name}
 		}
 	} else {
@@ -407,7 +458,7 @@ func (b *builder) doStmt(x *ast.DoStmt) {
 
 	incr := &ast.Binary{Position: pos, Op: ast.OpAdd, X: vRef, Y: stepRef}
 	b.emitFlat(flatOp{kind: flatInstr, pos: pos,
-		instr: &Instr{Kind: InstrAssign, Pos: pos, Lhs: v, Rhs: incr}})
+		instr: b.newInstr(Instr{Kind: InstrAssign, Pos: pos, Lhs: v, Rhs: incr})})
 	b.emitFlat(flatOp{kind: flatJump, label: head, pos: pos})
 	b.defineLabel(exit)
 }
@@ -419,7 +470,7 @@ func (b *builder) computedGoto(x *ast.ComputedGotoStmt) {
 	idx := b.extractCalls(x.Index)
 	t := b.proc.NewTemp(ast.TypeInteger)
 	b.emitFlat(flatOp{kind: flatInstr, pos: pos,
-		instr: &Instr{Kind: InstrAssign, Pos: pos, Lhs: t, Rhs: idx}})
+		instr: b.newInstr(Instr{Kind: InstrAssign, Pos: pos, Lhs: t, Rhs: idx})})
 	tRef := &ast.Ident{Position: pos, Name: t.Name}
 	for i, lbl := range x.Targets {
 		cond := &ast.Binary{Position: pos, Op: ast.OpEq, X: tRef, Y: &ast.IntLit{Position: pos, Value: int64(i + 1)}}
@@ -434,7 +485,7 @@ func (b *builder) arithIf(x *ast.ArithIfStmt) {
 	e := b.extractCalls(x.Expr)
 	t := b.proc.NewTemp(b.prog.TypeOf(x.Expr))
 	b.emitFlat(flatOp{kind: flatInstr, pos: pos,
-		instr: &Instr{Kind: InstrAssign, Pos: pos, Lhs: t, Rhs: e}})
+		instr: b.newInstr(Instr{Kind: InstrAssign, Pos: pos, Lhs: t, Rhs: e})})
 	tRef := &ast.Ident{Position: pos, Name: t.Name}
 	zero := &ast.IntLit{Position: pos, Value: 0}
 	b.emitFlat(flatOp{kind: flatBranchTrue, pos: pos, label: x.LtLabel,
@@ -448,7 +499,39 @@ func (b *builder) arithIf(x *ast.ArithIfStmt) {
 // calls: each user-function Apply becomes a CallSite whose result lands
 // in a fresh temporary, and the expression references the temporary.
 // Intrinsics and array references are left in place.
+//
+// Call-free trees — the overwhelmingly common case — are returned
+// as-is instead of being deep-copied: downstream consumers key on node
+// identity only for single-occurrence source nodes, which sharing
+// preserves, and never mutate instruction expressions.
 func (b *builder) extractCalls(e ast.Expr) ast.Expr {
+	if e == nil || !b.hasCall(e) {
+		return e
+	}
+	return b.extractCallsSlow(e)
+}
+
+// hasCall reports whether the tree contains a user-function call.
+func (b *builder) hasCall(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Apply:
+		if b.prog.ApplyKindOf(x) == sem.ApplyCall {
+			return true
+		}
+		for _, a := range x.Args {
+			if b.hasCall(a) {
+				return true
+			}
+		}
+	case *ast.Unary:
+		return b.hasCall(x.X)
+	case *ast.Binary:
+		return b.hasCall(x.X) || b.hasCall(x.Y)
+	}
+	return false
+}
+
+func (b *builder) extractCallsSlow(e ast.Expr) ast.Expr {
 	if e == nil {
 		return nil
 	}
@@ -461,7 +544,7 @@ func (b *builder) extractCalls(e ast.Expr) ast.Expr {
 			site := &CallSite{Caller: b.proc, Callee: x.Name, Args: args, Pos: x.Pos(), IsFunction: true, Origin: x}
 			b.sites = append(b.sites, site)
 			b.emitFlat(flatOp{kind: flatInstr, pos: x.Pos(),
-				instr: &Instr{Kind: InstrCall, Pos: x.Pos(), Site: site, Lhs: t}})
+				instr: b.newInstr(Instr{Kind: InstrCall, Pos: x.Pos(), Site: site, Lhs: t})})
 			return &ast.Ident{Position: x.Pos(), Name: t.Name}
 		}
 		return &ast.Apply{Position: x.Position, Name: x.Name, Args: args}
@@ -477,8 +560,15 @@ func (b *builder) extractCalls(e ast.Expr) ast.Expr {
 }
 
 func (b *builder) extractCallsList(es []ast.Expr) []ast.Expr {
-	if es == nil {
-		return nil
+	changed := false
+	for _, e := range es {
+		if b.hasCall(e) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return es
 	}
 	out := make([]ast.Expr, len(es))
 	for i, e := range es {
@@ -518,15 +608,21 @@ func (b *builder) assemble() *Graph {
 		}
 	}
 
-	// Allocate blocks per leader position.
-	blockAt := make(map[int]*Block)
+	// Allocate blocks per leader position, arena-backed and indexed by
+	// a dense slice over op positions.
+	blockAt := make([]*Block, len(b.ops)+1)
 	newBlock := func() *Block {
-		blk := &Block{ID: len(g.Blocks)}
+		if len(b.blockArena) == cap(b.blockArena) {
+			b.blockArena = make([]Block, 0, grownChunk(cap(b.blockArena), 8, 128))
+		}
+		b.blockArena = b.blockArena[:len(b.blockArena)+1]
+		blk := &b.blockArena[len(b.blockArena)-1]
+		blk.ID = len(g.Blocks)
 		g.Blocks = append(g.Blocks, blk)
 		return blk
 	}
-	for i := 0; i <= len(b.ops); i++ {
-		if isLeader[i] && i < len(b.ops) {
+	for i := 0; i < len(b.ops); i++ {
+		if isLeader[i] {
 			blockAt[i] = newBlock()
 		}
 	}
@@ -542,7 +638,7 @@ func (b *builder) assemble() *Graph {
 			return g.Exit
 		}
 		for pc < len(b.ops) {
-			if blk, ok := blockAt[pc]; ok {
+			if blk := blockAt[pc]; blk != nil {
 				return blk
 			}
 			pc++
@@ -551,15 +647,15 @@ func (b *builder) assemble() *Graph {
 	}
 
 	link := func(from, to *Block) {
-		from.Succs = append(from.Succs, to)
-		to.Preds = append(to.Preds, from)
+		from.Succs = b.edgeAppend(from.Succs, to)
+		to.Preds = b.edgeAppend(to.Preds, from)
 	}
 
 	// Fill blocks.
 	var cur *Block
 	terminated := false
 	for i, op := range b.ops {
-		if blk, ok := blockAt[i]; ok {
+		if blk := blockAt[i]; blk != nil {
 			if cur != nil && !terminated {
 				cur.Term = Terminator{Kind: TermJump}
 				link(cur, blk)
@@ -633,39 +729,44 @@ func (b *builder) assemble() *Graph {
 // pruneUnreachable removes blocks not reachable from the entry (keeping
 // the exit block), renumbers, and fixes pred lists.
 func (b *builder) pruneUnreachable(g *Graph) {
-	reach := make(map[*Block]bool)
+	reach := make([]bool, len(g.Blocks)) // indexed by pre-prune block ID
 	var dfs func(*Block)
 	dfs = func(blk *Block) {
-		if reach[blk] {
+		if reach[blk.ID] {
 			return
 		}
-		reach[blk] = true
+		reach[blk.ID] = true
 		for _, s := range blk.Succs {
 			dfs(s)
 		}
 	}
 	dfs(g.Entry)
-	reach[g.Exit] = true
+	reach[g.Exit.ID] = true
 
-	var kept []*Block
+	kept := g.Blocks[:0]
 	for _, blk := range g.Blocks {
-		if reach[blk] {
+		if reach[blk.ID] {
 			kept = append(kept, blk)
 		}
 	}
-	for i, blk := range kept {
-		blk.ID = i
+	// Filter succ lists in place and rebuild pred lists into their
+	// existing capacity before renumbering invalidates reach indexing.
+	for _, blk := range kept {
 		blk.Preds = blk.Preds[:0]
 	}
 	for _, blk := range kept {
-		var succs []*Block
+		w := 0
 		for _, s := range blk.Succs {
-			if reach[s] {
-				succs = append(succs, s)
+			if reach[s.ID] {
+				blk.Succs[w] = s
+				w++
 				s.Preds = append(s.Preds, blk)
 			}
 		}
-		blk.Succs = succs
+		blk.Succs = blk.Succs[:w]
+	}
+	for i, blk := range kept {
+		blk.ID = i
 	}
 	g.Blocks = kept
 }

@@ -517,6 +517,34 @@ func (a *Analysis) solve(init map[*sem.GlobalVar]lattice.Value, chk *guard.Check
 	}
 }
 
+// RunSolver re-runs interprocedural propagation over the analysis's
+// final jump functions with the given solver, returning the fresh VAL
+// solution and the number of jump-function evaluations it performed.
+// The analysis itself is left untouched — Config, Stats, and the budget
+// checker are restored on return — so callers can ablate the worklist
+// against the binding-graph scheme on identical inputs (the solver
+// exhibits of cmd/ipcp-bench). Under complete propagation the final
+// jump functions reflect the last round's pruning, so the re-run
+// reproduces that round's solve. Not safe for concurrent use with
+// other methods of a.
+func (a *Analysis) RunSolver(kind SolverKind) (*Values, int, error) {
+	savedSolver, savedStats, savedChk := a.Config.Solver, a.Stats, a.chk
+	defer func() {
+		a.Config.Solver, a.Stats, a.chk = savedSolver, savedStats, savedChk
+	}()
+	a.Config.Solver = kind
+	if a.chk == nil {
+		a.chk = guard.NewChecker(context.Background(), guard.Budget{})
+	}
+	before := a.Stats.JFEvaluations
+	vals, err := a.solve(DataInits(a.Prog), a.chk)
+	evals := a.Stats.JFEvaluations - before
+	if err != nil {
+		return nil, evals, err
+	}
+	return vals, evals, nil
+}
+
 func (a *Analysis) countDeadInstrs() int {
 	var results []*dce.Result
 	for _, pf := range a.Funcs.Procs {
@@ -667,29 +695,42 @@ func constOfLiteral(e ast.Expr) lattice.Value {
 // VAL sets
 
 // Values holds VAL(p) for every procedure: one lattice value per formal
-// parameter and per (procedure, global) pair.
+// parameter and per (procedure, global) pair. Storage is dense — two
+// flat slices indexed by the program's sealed procedure and global
+// indices (sem.Program.ProcIndex / GlobalIndex) — so a whole solution
+// is three allocations and the solver's meets walk contiguous memory
+// instead of chasing per-procedure maps.
 type Values struct {
-	prog    *sem.Program
-	formals map[*sem.Procedure][]lattice.Value
-	globals map[*sem.Procedure]map[*sem.GlobalVar]lattice.Value
+	prog  *sem.Program
+	nGlob int
+	// formalOff has len(Order)+1 entries; procedure i's formal row is
+	// formals[formalOff[i]:formalOff[i+1]].
+	formalOff []int32
+	formals   []lattice.Value
+	// globals is the dense VAL matrix: globals[i*nGlob+j] is
+	// VAL(Order[i])[Globals()[j]].
+	globals []lattice.Value
 }
 
 // NewValues returns the all-⊤ initial VAL sets.
 func NewValues(prog *sem.Program) *Values {
-	v := &Values{
-		prog:    prog,
-		formals: make(map[*sem.Procedure][]lattice.Value),
-		globals: make(map[*sem.Procedure]map[*sem.GlobalVar]lattice.Value),
+	order := prog.Order
+	gs := prog.Globals()
+	off := make([]int32, len(order)+1)
+	total := 0
+	for i, p := range order {
+		off[i] = int32(total)
+		total += len(p.Formals)
 	}
-	for _, p := range prog.Order {
-		v.formals[p] = make([]lattice.Value, len(p.Formals))
-		gm := make(map[*sem.GlobalVar]lattice.Value)
-		for _, g := range prog.Globals() {
-			gm[g] = lattice.TopValue()
-		}
-		v.globals[p] = gm
+	off[len(order)] = int32(total)
+	// The zero lattice.Value is ⊤, so fresh slices need no init pass.
+	return &Values{
+		prog:      prog,
+		nGlob:     len(gs),
+		formalOff: off,
+		formals:   make([]lattice.Value, total),
+		globals:   make([]lattice.Value, len(order)*len(gs)),
 	}
-	return v
 }
 
 // BottomValues returns the all-⊥ VAL sets: the trivially sound
@@ -697,73 +738,102 @@ func NewValues(prog *sem.Program) *Values {
 // been spent.
 func BottomValues(prog *sem.Program) *Values {
 	v := NewValues(prog)
-	for _, p := range prog.Order {
-		fs := v.formals[p]
-		for i := range fs {
-			fs[i] = lattice.BottomValue()
-		}
-		gm := v.globals[p]
-		for g := range gm {
-			gm[g] = lattice.BottomValue()
-		}
+	for i := range v.formals {
+		v.formals[i] = lattice.BottomValue()
+	}
+	for i := range v.globals {
+		v.globals[i] = lattice.BottomValue()
 	}
 	return v
 }
 
+// formalRow returns procedure pi's formal row.
+func (v *Values) formalRow(pi int) []lattice.Value {
+	return v.formals[v.formalOff[pi]:v.formalOff[pi+1]]
+}
+
+// globalRow returns procedure pi's global row.
+func (v *Values) globalRow(pi int) []lattice.Value {
+	return v.globals[pi*v.nGlob : (pi+1)*v.nGlob]
+}
+
 // Formal returns VAL(p)[formal i].
 func (v *Values) Formal(p *sem.Procedure, i int) lattice.Value {
-	fs := v.formals[p]
+	pi := v.prog.ProcIndex(p)
+	if pi < 0 {
+		return lattice.BottomValue()
+	}
+	fs := v.formalRow(pi)
 	if i < 0 || i >= len(fs) {
 		return lattice.BottomValue()
 	}
 	return fs[i]
 }
 
-// Global returns VAL(p)[g].
+// Global returns VAL(p)[g] (⊤ when p or g is unknown, matching the
+// never-called procedure's value).
 func (v *Values) Global(p *sem.Procedure, g *sem.GlobalVar) lattice.Value {
-	return v.globals[p][g]
+	pi, gi := v.prog.ProcIndex(p), v.prog.GlobalIndex(g)
+	if pi < 0 || gi < 0 {
+		return lattice.TopValue()
+	}
+	return v.globals[pi*v.nGlob+gi]
 }
 
 // LowerFormal meets a new value into VAL(p)[i], reporting change.
 func (v *Values) LowerFormal(p *sem.Procedure, i int, nv lattice.Value) bool {
-	fs := v.formals[p]
+	pi := v.prog.ProcIndex(p)
+	if pi < 0 {
+		return false
+	}
+	fs := v.formalRow(pi)
 	if i < 0 || i >= len(fs) {
 		return false
 	}
-	m := lattice.Meet(fs[i], nv)
-	if m == fs[i] {
-		return false
-	}
-	fs[i] = m
-	return true
+	return lowerCell(&fs[i], nv)
 }
 
 // LowerGlobal meets a new value into VAL(p)[g], reporting change.
 func (v *Values) LowerGlobal(p *sem.Procedure, g *sem.GlobalVar, nv lattice.Value) bool {
-	m := lattice.Meet(v.globals[p][g], nv)
-	if m == v.globals[p][g] {
+	pi, gi := v.prog.ProcIndex(p), v.prog.GlobalIndex(g)
+	if pi < 0 || gi < 0 {
 		return false
 	}
-	v.globals[p][g] = m
+	return lowerCell(&v.globals[pi*v.nGlob+gi], nv)
+}
+
+// lowerFormalAt and lowerGlobalAt are the solver-internal index-based
+// variants (no identity lookups in the inner loop).
+func (v *Values) lowerFormalAt(pi, i int, nv lattice.Value) bool {
+	return lowerCell(&v.formals[int(v.formalOff[pi])+i], nv)
+}
+
+func (v *Values) lowerGlobalAt(pi, gi int, nv lattice.Value) bool {
+	return lowerCell(&v.globals[pi*v.nGlob+gi], nv)
+}
+
+func lowerCell(cell *lattice.Value, nv lattice.Value) bool {
+	m := lattice.Meet(*cell, nv)
+	if m == *cell {
+		return false
+	}
+	*cell = m
 	return true
 }
 
 // Equal reports whether two VAL solutions coincide.
 func (v *Values) Equal(o *Values) bool {
-	for p, fs := range v.formals {
-		ofs := o.formals[p]
-		if len(fs) != len(ofs) {
+	if len(v.formals) != len(o.formals) || len(v.globals) != len(o.globals) {
+		return false
+	}
+	for i := range v.formals {
+		if v.formals[i] != o.formals[i] {
 			return false
 		}
-		for i := range fs {
-			if fs[i] != ofs[i] {
-				return false
-			}
-		}
-		for g, val := range v.globals[p] {
-			if o.globals[p][g] != val {
-				return false
-			}
+	}
+	for i := range v.globals {
+		if v.globals[i] != o.globals[i] {
+			return false
 		}
 	}
 	return true
@@ -778,9 +848,12 @@ func (v *Values) EntryEnv(p *sem.Procedure) map[ssa.Var]int64 {
 			env[ssa.VarOf(f)] = c
 		}
 	}
-	for g, val := range v.globals[p] {
-		if c, ok := val.IsConst(); ok {
-			env[ssa.GlobalVar(g)] = c
+	if pi := v.prog.ProcIndex(p); pi >= 0 {
+		gs := v.prog.Globals()
+		for gi, val := range v.globalRow(pi) {
+			if c, ok := val.IsConst(); ok {
+				env[ssa.GlobalVar(gs[gi])] = c
+			}
 		}
 	}
 	return env
@@ -788,13 +861,30 @@ func (v *Values) EntryEnv(p *sem.Procedure) map[ssa.Var]int64 {
 
 // envFor builds the jump-function evaluation environment from VAL(p).
 func (v *Values) envFor(p *sem.Procedure) symbolic.Env {
+	return v.envAt(v.prog.ProcIndex(p))
+}
+
+// envAt is envFor by sealed procedure index: the caller's identity is
+// resolved once, so each leaf evaluation is two slice reads.
+func (v *Values) envAt(pi int) symbolic.Env {
 	return func(leaf *symbolic.Expr) lattice.Value {
 		switch leaf.Op {
 		case symbolic.OpParam:
-			// The leaf's symbol belongs to p (the caller).
-			return v.Formal(p, leaf.Param.FormalIndex)
+			// The leaf's symbol belongs to the caller.
+			if pi < 0 {
+				return lattice.BottomValue()
+			}
+			fs := v.formalRow(pi)
+			if i := leaf.Param.FormalIndex; i >= 0 && i < len(fs) {
+				return fs[i]
+			}
+			return lattice.BottomValue()
 		case symbolic.OpGlobal:
-			return v.Global(p, leaf.Global)
+			gi := v.prog.GlobalIndex(leaf.Global)
+			if pi < 0 || gi < 0 {
+				return lattice.TopValue()
+			}
+			return v.globals[pi*v.nGlob+gi]
 		}
 		return lattice.BottomValue()
 	}
@@ -803,22 +893,22 @@ func (v *Values) envFor(p *sem.Procedure) symbolic.Env {
 // String renders the non-⊤ values for debugging.
 func (v *Values) String() string {
 	var b strings.Builder
-	for _, p := range v.prog.Order {
+	gs := v.prog.Globals()
+	byKey := make([]int, len(gs))
+	for i := range byKey {
+		byKey[i] = i
+	}
+	sort.Slice(byKey, func(i, j int) bool { return gs[byKey[i]].Key() < gs[byKey[j]].Key() })
+	for pi, p := range v.prog.Order {
 		fmt.Fprintf(&b, "%s:", p.Name)
+		fs := v.formalRow(pi)
 		for i, f := range p.Formals {
-			fmt.Fprintf(&b, " %s=%s", f.Name, v.Formal(p, i))
+			fmt.Fprintf(&b, " %s=%s", f.Name, fs[i])
 		}
-		var keys []string
-		gm := v.globals[p]
-		for g := range gm {
-			keys = append(keys, g.Key())
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			for g, val := range gm {
-				if g.Key() == k && !val.IsTop() {
-					fmt.Fprintf(&b, " %s=%s", k, val)
-				}
+		row := v.globalRow(pi)
+		for _, gi := range byKey {
+			if val := row[gi]; !val.IsTop() {
+				fmt.Fprintf(&b, " %s=%s", gs[gi].Key(), val)
 			}
 		}
 		b.WriteByte('\n')

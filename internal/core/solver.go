@@ -55,11 +55,11 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 	vals := NewValues(a.Prog)
 	a.seed(vals, init)
 
-	inWork := make(map[*sem.Procedure]bool, len(a.Prog.Order))
+	inWork := make([]bool, len(a.Prog.Order))
 	work := make([]*sem.Procedure, 0, len(a.Prog.Order))
 	push := func(p *sem.Procedure) {
-		if !inWork[p] {
-			inWork[p] = true
+		if pi := a.Prog.ProcIndex(p); pi >= 0 && !inWork[pi] {
+			inWork[pi] = true
 			work = append(work, p)
 		}
 	}
@@ -70,13 +70,12 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 		push(p)
 	}
 
-	for len(work) > 0 {
+	for head := 0; head < len(work); head++ {
 		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
-		p := work[0]
-		work = work[1:]
-		inWork[p] = false
+		p := work[head]
+		inWork[a.Prog.ProcIndex(p)] = false
 
 		pf := a.Funcs.Procs[p]
 		if pf == nil {
@@ -110,20 +109,61 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 // ---------------------------------------------------------------------
 // Binding-graph solver (Callahan–Cooper–Kennedy–Torczon 1986)
 
-// slotKey identifies one lattice cell: a (procedure, formal) or
-// (procedure, global) pair — a node of the binding graph.
-type slotKey struct {
-	proc   *sem.Procedure
-	formal int // -1 for globals
-	glob   *sem.GlobalVar
-}
+// Slots — the binding graph's nodes — are dense integers laid out per
+// procedure: procedure i owns the contiguous range
+// [base[i], base[i+1]), formals first, then one slot per global in the
+// program's sealed order. The dependence index, in-worklist flags, and
+// worklist are plain slices over these ids, so the propagation loop
+// does no hashing at all.
 
 // jfInstance is one jump function edge: evaluating caller VAL values
 // feeds the target slot.
 type jfInstance struct {
-	caller *sem.Procedure
-	expr   *symbolic.Expr // nil = constant ⊥
-	target slotKey
+	callerIdx int32          // caller's sealed procedure index
+	expr      *symbolic.Expr // nil = constant ⊥
+	target    int32          // slot id fed by this function
+}
+
+// bindingLayout is the slot numbering shared by the binding solver's
+// index structures.
+type bindingLayout struct {
+	prog  *sem.Program
+	nGlob int
+	base  []int32 // per-procedure slot range starts; len(Order)+1
+}
+
+func newBindingLayout(prog *sem.Program) *bindingLayout {
+	order := prog.Order
+	l := &bindingLayout{prog: prog, nGlob: len(prog.Globals()), base: make([]int32, len(order)+1)}
+	n := int32(0)
+	for i, p := range order {
+		l.base[i] = n
+		n += int32(len(p.Formals) + l.nGlob)
+	}
+	l.base[len(order)] = n
+	return l
+}
+
+func (l *bindingLayout) numSlots() int32 { return l.base[len(l.base)-1] }
+
+func (l *bindingLayout) formalSlot(pi, j int) int32 { return l.base[pi] + int32(j) }
+
+func (l *bindingLayout) globalSlot(pi, gi int) int32 {
+	return l.base[pi] + int32(len(l.prog.Order[pi].Formals)+gi)
+}
+
+// leafSlot maps a support leaf of caller pi to its slot id, or -1 for
+// leaves (e.g. opaque values) that no lowering ever feeds.
+func (l *bindingLayout) leafSlot(pi int, leaf *symbolic.Expr) int32 {
+	switch leaf.Op {
+	case symbolic.OpParam:
+		return l.formalSlot(pi, leaf.Param.FormalIndex)
+	case symbolic.OpGlobal:
+		if gi := l.prog.GlobalIndex(leaf.Global); gi >= 0 {
+			return l.globalSlot(pi, gi)
+		}
+	}
+	return -1
 }
 
 // solveBinding builds the binding graph — an edge from each slot in a
@@ -140,11 +180,13 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 		return nil, err
 	}
 	vals := NewValues(a.Prog)
+	order := a.Prog.Order
+	gs := a.Prog.Globals()
+	lay := newBindingLayout(a.Prog)
 
-	// Collect jump function instances and the dependence index.
+	// Collect jump function instances.
 	var instances []jfInstance
-	deps := make(map[slotKey][]int) // slot → instance indices to re-evaluate
-	for _, p := range a.Prog.Order {
+	for pi, p := range order {
 		pf := a.Funcs.Procs[p]
 		if pf == nil {
 			continue
@@ -153,88 +195,135 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 			if site.Dead {
 				continue // unreachable call: contributes ⊤ (nothing)
 			}
-			addInstance := func(expr *symbolic.Expr, target slotKey) {
-				idx := len(instances)
-				instances = append(instances, jfInstance{caller: p, expr: expr, target: target})
-				if expr != nil {
-					for _, leaf := range expr.Support() {
-						k := leafSlot(p, leaf)
-						deps[k] = append(deps[k], idx)
-					}
-				}
+			qi := a.Prog.ProcIndex(site.Callee)
+			if qi < 0 {
+				continue // callee outside the program: nothing to feed
 			}
 			for j := range site.Formals {
-				addInstance(site.Formals[j], slotKey{proc: site.Callee, formal: j})
+				instances = append(instances, jfInstance{
+					callerIdx: int32(pi), expr: site.Formals[j], target: lay.formalSlot(qi, j)})
 			}
-			for _, g := range a.Prog.Globals() {
-				addInstance(site.Globals[g], slotKey{proc: site.Callee, formal: -1, glob: g})
+			for gi, g := range gs {
+				instances = append(instances, jfInstance{
+					callerIdx: int32(pi), expr: site.Globals[g], target: lay.globalSlot(qi, gi)})
 			}
 		}
 	}
 
+	// Dependence index: slot → instances to re-evaluate when it lowers.
+	// Counted first, then carved out of one flat backing array.
+	counts := make([]int32, lay.numSlots())
+	total := 0
+	for i := range instances {
+		if instances[i].expr == nil {
+			continue
+		}
+		pi := int(instances[i].callerIdx)
+		for _, leaf := range instances[i].expr.Support() {
+			if s := lay.leafSlot(pi, leaf); s >= 0 {
+				counts[s]++
+				total++
+			}
+		}
+	}
+	deps := make([][]int32, lay.numSlots())
+	backing := make([]int32, 0, total)
+	for s := range deps {
+		if c := int(counts[s]); c > 0 {
+			backing = backing[:len(backing)+c]
+			deps[s] = backing[len(backing)-c : len(backing)-c : len(backing)]
+		}
+	}
+	for i := range instances {
+		if instances[i].expr == nil {
+			continue
+		}
+		pi := int(instances[i].callerIdx)
+		for _, leaf := range instances[i].expr.Support() {
+			if s := lay.leafSlot(pi, leaf); s >= 0 {
+				deps[s] = append(deps[s], int32(i))
+			}
+		}
+	}
+
+	// One evaluation environment per caller; each closure reads the live
+	// VAL state, so building them up front is safe.
+	envs := make([]symbolic.Env, len(order))
+	for i := range order {
+		envs[i] = vals.envAt(i)
+	}
+
 	// Worklist of lowered slots.
-	work := make([]slotKey, 0, len(a.Prog.Order))
-	inWork := make(map[slotKey]bool, len(a.Prog.Order))
-	lower := func(k slotKey, v lattice.Value) {
+	work := make([]int32, 0, len(order))
+	inWork := make([]bool, lay.numSlots())
+	lower := func(s int32, v lattice.Value) {
+		pi := findProc(lay.base, s)
+		sub := int(s - lay.base[pi])
+		nf := len(order[pi].Formals)
 		var changed bool
-		if k.formal >= 0 {
-			changed = vals.LowerFormal(k.proc, k.formal, v)
+		if sub < nf {
+			changed = vals.lowerFormalAt(pi, sub, v)
 		} else {
-			changed = vals.LowerGlobal(k.proc, k.glob, v)
+			changed = vals.lowerGlobalAt(pi, sub-nf, v)
 		}
 		if changed {
 			a.Stats.Lowerings++
-			if !inWork[k] {
-				inWork[k] = true
-				work = append(work, k)
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
 			}
 		}
 	}
 
 	// Seed: main's globals.
 	if main := a.Prog.Main; main != nil {
-		for _, g := range a.Prog.Globals() {
+		mi := a.Prog.ProcIndex(main)
+		for gi, g := range gs {
 			v, ok := init[g]
 			if !ok {
 				v = lattice.BottomValue()
 			}
-			lower(slotKey{proc: main, formal: -1, glob: g}, v)
+			lower(lay.globalSlot(mi, gi), v)
 		}
 	}
 
-	evalInstance := func(inst jfInstance) {
-		lower(inst.target, a.evalJF(inst.expr, vals.envFor(inst.caller)))
+	evalInstance := func(inst *jfInstance) {
+		lower(inst.target, a.evalJF(inst.expr, envs[inst.callerIdx]))
 	}
 
 	// Initial evaluation of every jump function (support values may be
 	// ⊤; constants and ⊥ propagate immediately).
-	for _, inst := range instances {
+	for i := range instances {
 		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
-		evalInstance(inst)
+		evalInstance(&instances[i])
 	}
 
-	for len(work) > 0 {
+	for head := 0; head < len(work); head++ {
 		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
-		k := work[0]
-		work = work[1:]
-		inWork[k] = false
-		for _, idx := range deps[k] {
-			evalInstance(instances[idx])
+		s := work[head]
+		inWork[s] = false
+		for _, idx := range deps[s] {
+			evalInstance(&instances[idx])
 		}
 	}
 	return vals, nil
 }
 
-func leafSlot(p *sem.Procedure, leaf *symbolic.Expr) slotKey {
-	switch leaf.Op {
-	case symbolic.OpParam:
-		return slotKey{proc: p, formal: leaf.Param.FormalIndex}
-	case symbolic.OpGlobal:
-		return slotKey{proc: p, formal: -1, glob: leaf.Global}
+// findProc returns the procedure index owning slot s: the greatest i
+// with base[i] <= s (base is sorted and slot ranges are contiguous).
+func findProc(base []int32, s int32) int {
+	lo, hi := 0, len(base)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if base[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
 	}
-	return slotKey{proc: p, formal: -1}
+	return lo
 }

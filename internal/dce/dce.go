@@ -37,7 +37,7 @@ func Analyze(fn *ssa.Func, r *intra.Result) *Result {
 		if blk == fn.Graph.Exit {
 			continue
 		}
-		if !r.ExecBlock[blk] {
+		if !r.BlockExecutable(blk) {
 			out.DeadBlocks = append(out.DeadBlocks, blk)
 			out.DeadInstrs += len(blk.Instrs)
 			continue

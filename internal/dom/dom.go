@@ -89,6 +89,24 @@ func (t *Tree) computeIdom() {
 		}
 	}
 	t.Idom[entry.ID] = nil // entry has no immediate dominator
+	// Children lists are carved out of one flat backing array: count
+	// per-parent sizes, hand each parent a zero-length window of its
+	// final capacity, then append (which now never reallocates).
+	counts := make([]int, len(t.Idom))
+	n := 0
+	for _, b := range t.RPO {
+		if id := t.Idom[b.ID]; id != nil {
+			counts[id.ID]++
+			n++
+		}
+	}
+	backing := make([]*cfg.Block, 0, n)
+	for _, b := range t.RPO {
+		if c := counts[b.ID]; c > 0 {
+			backing = backing[:len(backing)+c]
+			t.Children[b.ID] = backing[len(backing)-c : len(backing)-c : len(backing)]
+		}
+	}
 	for _, b := range t.RPO {
 		if id := t.Idom[b.ID]; id != nil {
 			t.Children[id.ID] = append(t.Children[id.ID], b)

@@ -84,14 +84,11 @@ type Result struct {
 	F     *ssa.Func
 	Opts  Options
 	exprs []*symbolic.Expr // indexed by value ID; nil = ⊤ (never executed)
-	// ExecBlock marks blocks reachable under the entry environment.
-	ExecBlock map[*cfg.Block]bool
-	execEdge  map[edgeKey]bool
-}
-
-type edgeKey struct {
-	from *cfg.Block
-	idx  int // successor index
+	// execBlock and execEdge are dense executability sets indexed by
+	// block ID (block IDs are dense after CFG assembly). A block has at
+	// most two successors, so edge (blk, idx) lives at 2*blk.ID + idx.
+	execBlock []bool
+	execEdge  []bool
 }
 
 // ExprOf returns the symbolic expression of an SSA value (nil if the
@@ -112,10 +109,17 @@ func (r *Result) ConstOf(v *ssa.Value) (int64, bool) {
 	return e.IsConst()
 }
 
+// BlockExecutable reports whether the block is reachable under the
+// analyzed entry environment.
+func (r *Result) BlockExecutable(blk *cfg.Block) bool {
+	return blk.ID < len(r.execBlock) && r.execBlock[blk.ID]
+}
+
 // EdgeExecutable reports whether control can flow along the given
 // successor edge under the analyzed entry environment.
 func (r *Result) EdgeExecutable(from *cfg.Block, succIdx int) bool {
-	return r.execEdge[edgeKey{from, succIdx}]
+	i := 2*from.ID + succIdx
+	return succIdx < 2 && i < len(r.execEdge) && r.execEdge[i]
 }
 
 // Analyze runs the engine to fixpoint.
@@ -123,12 +127,13 @@ func Analyze(f *ssa.Func, opts Options) *Result {
 	if opts.Builder == nil {
 		opts.Builder = symbolic.NewBuilder()
 	}
+	n := len(f.Graph.Blocks)
 	r := &Result{
 		F:         f,
 		Opts:      opts,
 		exprs:     make([]*symbolic.Expr, len(f.Values)),
-		ExecBlock: make(map[*cfg.Block]bool),
-		execEdge:  make(map[edgeKey]bool),
+		execBlock: make([]bool, n),
+		execEdge:  make([]bool, 2*n),
 	}
 	e := &engine{r: r, f: f, b: opts.Builder, opts: opts}
 	e.run()
@@ -143,6 +148,9 @@ type engine struct {
 	// postCalls indexes OpPostCall values by site, so call-effect
 	// re-evaluation does not rescan the whole value list.
 	postCalls map[*cfg.CallSite][]*ssa.Value
+	// argScratch is reused for intrinsic argument vectors; Intrinsic
+	// folds its arguments pairwise and never retains the slice.
+	argScratch []*symbolic.Expr
 }
 
 // opaque returns the canonical unknown for an SSA value.
@@ -152,7 +160,7 @@ func (e *engine) opaque(v *ssa.Value) *symbolic.Expr {
 
 func (e *engine) run() {
 	r := e.r
-	r.ExecBlock[e.f.Graph.Entry] = true
+	r.execBlock[e.f.Graph.Entry.ID] = true
 	e.postCalls = make(map[*cfg.CallSite][]*ssa.Value)
 	for _, v := range e.f.Values {
 		if v.Op == ssa.OpPostCall {
@@ -186,7 +194,7 @@ func (e *engine) run() {
 	for changed := true; changed; {
 		changed = false
 		for _, blk := range e.f.Dom.RPO {
-			if !r.ExecBlock[blk] {
+			if !r.execBlock[blk.ID] {
 				continue
 			}
 			// Phis first (they are defined at block entry).
@@ -324,14 +332,15 @@ func (e *engine) evalValue(v *ssa.Value) *symbolic.Expr {
 	case ssa.OpArith:
 		return e.evalArith(v)
 	case ssa.OpIntrinsic:
-		args := make([]*symbolic.Expr, len(v.Args))
-		for i, a := range v.Args {
+		args := e.argScratch[:0]
+		for _, a := range v.Args {
 			ae := e.r.exprs[a.ID]
 			if ae == nil {
 				return nil // ⊤ input: wait
 			}
-			args[i] = ae
+			args = append(args, ae)
 		}
+		e.argScratch = args
 		return e.b.Intrinsic(v.AuxName, args)
 	case ssa.OpCallRes, ssa.OpPostCall:
 		// Handled by evalCallEffects; if asked directly, use the stored
@@ -384,10 +393,10 @@ func (e *engine) evalPhi(phi *ssa.Value) *symbolic.Expr {
 	blk := phi.Block
 	var acc *symbolic.Expr
 	for i, pred := range blk.Preds {
-		if e.opts.Prune && !e.r.execEdge[edgeKey{pred, succIndex(pred, blk, i)}] {
+		if e.opts.Prune && !e.r.execEdge[2*pred.ID+succIndex(pred, blk, i)] {
 			continue
 		}
-		if !e.r.ExecBlock[pred] {
+		if !e.r.execBlock[pred.ID] {
 			continue
 		}
 		arg := phi.Args[i]
@@ -657,14 +666,13 @@ func (e *engine) propagateEdges(blk *cfg.Block) bool {
 			return false
 		}
 		changed := false
-		k := edgeKey{blk, idx}
-		if !e.r.execEdge[k] {
+		if k := 2*blk.ID + idx; !e.r.execEdge[k] {
 			e.r.execEdge[k] = true
 			changed = true
 		}
 		succ := blk.Succs[idx]
-		if !e.r.ExecBlock[succ] {
-			e.r.ExecBlock[succ] = true
+		if !e.r.execBlock[succ.ID] {
+			e.r.execBlock[succ.ID] = true
 			changed = true
 		}
 		return changed

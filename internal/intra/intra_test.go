@@ -207,7 +207,7 @@ END
 	// And the dead block is not executable.
 	deadSeen := false
 	for _, blk := range fn2.Graph.Blocks {
-		if !r2.ExecBlock[blk] && blk != fn2.Graph.Exit {
+		if !r2.BlockExecutable(blk) && blk != fn2.Graph.Exit {
 			deadSeen = true
 		}
 	}

@@ -589,7 +589,7 @@ func (fb *fnBuilder) siteFunctions(fn *ssa.Func, res *intra.Result, site *cfg.Ca
 		Formals: make([]*symbolic.Expr, len(callee.Formals)),
 		Globals: make(map[*sem.GlobalVar]*symbolic.Expr),
 	}
-	if site.Block != nil && !res.ExecBlock[site.Block] {
+	if site.Block != nil && !res.BlockExecutable(site.Block) {
 		sf.Dead = true
 		return sf
 	}

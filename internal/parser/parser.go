@@ -64,6 +64,56 @@ type parser struct {
 
 	depth    int  // current expression/block nesting
 	depthErr bool // depth diagnostic already emitted (report once)
+
+	// Slab arenas for the hottest AST nodes. An AST lives and dies as a
+	// unit, so chunked slabs cut one heap allocation per expression node
+	// down to one per chunk without changing lifetimes.
+	identArena []ast.Ident
+	intArena   []ast.IntLit
+	binArena   []ast.Binary
+	argSlab    []ast.Expr
+}
+
+// astChunk is the parser slab chunk size.
+const astChunk = 128
+
+func (p *parser) newIdent(pos source.Position, name string) *ast.Ident {
+	if len(p.identArena) == cap(p.identArena) {
+		p.identArena = make([]ast.Ident, 0, astChunk)
+	}
+	p.identArena = append(p.identArena, ast.Ident{Position: pos, Name: name})
+	return &p.identArena[len(p.identArena)-1]
+}
+
+func (p *parser) newIntLit(pos source.Position, v int64) *ast.IntLit {
+	if len(p.intArena) == cap(p.intArena) {
+		p.intArena = make([]ast.IntLit, 0, astChunk)
+	}
+	p.intArena = append(p.intArena, ast.IntLit{Position: pos, Value: v})
+	return &p.intArena[len(p.intArena)-1]
+}
+
+func (p *parser) newBinary(pos source.Position, op ast.Op, x, y ast.Expr) *ast.Binary {
+	if len(p.binArena) == cap(p.binArena) {
+		p.binArena = make([]ast.Binary, 0, astChunk)
+	}
+	p.binArena = append(p.binArena, ast.Binary{Position: pos, Op: op, X: x, Y: y})
+	return &p.binArena[len(p.binArena)-1]
+}
+
+// argAppend appends to an argument list, seeding empty lists with a
+// capacity-2 window of a shared slab (most argument lists hold one or
+// two entries; longer ones fall back to a normal append).
+func (p *parser) argAppend(s []ast.Expr, x ast.Expr) []ast.Expr {
+	if s == nil {
+		if len(p.argSlab)+2 > cap(p.argSlab) {
+			p.argSlab = make([]ast.Expr, 0, 4*astChunk)
+		}
+		lo := len(p.argSlab)
+		p.argSlab = p.argSlab[:lo+2]
+		s = p.argSlab[lo : lo : lo+2]
+	}
+	return append(s, x)
 }
 
 // nested runs f one nesting level deeper. Past MaxNestingDepth it stops
@@ -81,7 +131,7 @@ func (p *parser) nested(f func() ast.Expr) ast.Expr {
 		if !p.at(lexer.NEWLINE) && !p.at(lexer.EOF) {
 			p.next()
 		}
-		return &ast.IntLit{Position: pos, Value: 0}
+		return p.newIntLit(pos, 0)
 	}
 	return f()
 }
@@ -741,7 +791,7 @@ func (p *parser) orExpr() ast.Expr {
 	for p.at(lexer.OR) {
 		pos := p.pos()
 		p.next()
-		x = &ast.Binary{Position: pos, Op: ast.OpOr, X: x, Y: p.andExpr()}
+		x = p.newBinary(pos, ast.OpOr, x, p.andExpr())
 	}
 	return x
 }
@@ -751,7 +801,7 @@ func (p *parser) andExpr() ast.Expr {
 	for p.at(lexer.AND) {
 		pos := p.pos()
 		p.next()
-		x = &ast.Binary{Position: pos, Op: ast.OpAnd, X: x, Y: p.notExpr()}
+		x = p.newBinary(pos, ast.OpAnd, x, p.notExpr())
 	}
 	return x
 }
@@ -776,7 +826,7 @@ func (p *parser) relExpr() ast.Expr {
 	if op, ok := relOps[p.tok().Kind]; ok {
 		pos := p.pos()
 		p.next()
-		return &ast.Binary{Position: pos, Op: op, X: x, Y: p.arith()}
+		return p.newBinary(pos, op, x, p.arith())
 	}
 	return x
 }
@@ -802,7 +852,7 @@ func (p *parser) arith() ast.Expr {
 			op = ast.OpSub
 		}
 		p.next()
-		x = &ast.Binary{Position: pos, Op: op, X: x, Y: p.term()}
+		x = p.newBinary(pos, op, x, p.term())
 	}
 	return x
 }
@@ -816,7 +866,7 @@ func (p *parser) term() ast.Expr {
 			op = ast.OpDiv
 		}
 		p.next()
-		x = &ast.Binary{Position: pos, Op: op, X: x, Y: p.power()}
+		x = p.newBinary(pos, op, x, p.power())
 	}
 	return x
 }
@@ -835,7 +885,7 @@ func (p *parser) power() ast.Expr {
 		} else {
 			y = p.nested(p.power)
 		}
-		return &ast.Binary{Position: pos, Op: ast.OpPow, X: x, Y: y}
+		return p.newBinary(pos, ast.OpPow, x, y)
 	}
 	return x
 }
@@ -849,7 +899,7 @@ func (p *parser) primary() ast.Expr {
 		if err != nil {
 			p.diags.Errorf(pos, "integer literal %q out of range", t.Text)
 		}
-		return &ast.IntLit{Position: pos, Value: v}
+		return p.newIntLit(pos, v)
 	case lexer.REALLIT:
 		t := p.next()
 		text := strings.ReplaceAll(strings.ReplaceAll(t.Text, "D", "E"), "d", "e")
@@ -867,13 +917,13 @@ func (p *parser) primary() ast.Expr {
 	case lexer.IDENT:
 		t := p.next()
 		if !p.at(lexer.LPAREN) {
-			return &ast.Ident{Position: pos, Name: t.Text}
+			return p.newIdent(pos, t.Text)
 		}
 		p.next()
 		a := &ast.Apply{Position: pos, Name: t.Text}
 		if !p.at(lexer.RPAREN) {
 			for {
-				a.Args = append(a.Args, p.expr())
+				a.Args = p.argAppend(a.Args, p.expr())
 				if !p.at(lexer.COMMA) {
 					break
 				}
@@ -890,5 +940,5 @@ func (p *parser) primary() ast.Expr {
 	}
 	p.errorf("expected an expression, found %s", p.tok())
 	p.next()
-	return &ast.IntLit{Position: pos, Value: 0}
+	return p.newIntLit(pos, 0)
 }

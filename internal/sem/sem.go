@@ -166,6 +166,15 @@ type Program struct {
 	applyKinds map[*ast.Apply]ApplyKind
 	// exprTypes caches the type of every analyzed expression.
 	exprTypes map[ast.Expr]ast.BaseType
+	// globalsCache is the stable Globals() order, sealed once after
+	// analysis so solver inner loops share one slice.
+	globalsCache []*GlobalVar
+	// procIdx and globalIdx are the dense-index views sealed alongside
+	// globalsCache: procIdx[Order[i]] == i and
+	// globalIdx[Globals()[j]] == j. They let the solver keep its VAL
+	// state in flat slices instead of per-procedure maps.
+	procIdx   map[*Procedure]int
+	globalIdx map[*GlobalVar]int
 }
 
 // ApplyKindOf returns the resolution of an Apply node.
@@ -175,18 +184,63 @@ func (pr *Program) ApplyKindOf(a *ast.Apply) ApplyKind { return pr.applyKinds[a]
 // expression was never reached, e.g. due to earlier errors).
 func (pr *Program) TypeOf(e ast.Expr) ast.BaseType { return pr.exprTypes[e] }
 
-// Globals returns all COMMON globals in a stable order.
+// Globals returns all COMMON globals in a stable order. The slice is
+// computed once when analysis completes and shared thereafter (callers
+// sit in solver inner loops); it must not be modified.
 func (pr *Program) Globals() []*GlobalVar {
+	if pr.globalsCache == nil {
+		pr.sealGlobals()
+	}
+	return pr.globalsCache
+}
+
+// sealGlobals fixes the stable global order. Analysis calls it once
+// before handing the Program out; after that Globals() is read-only and
+// safe for concurrent use.
+func (pr *Program) sealGlobals() {
 	blocks := make([]string, 0, len(pr.CommonBlocks))
 	for b := range pr.CommonBlocks {
 		blocks = append(blocks, b)
 	}
 	sort.Strings(blocks)
-	var gs []*GlobalVar
+	gs := make([]*GlobalVar, 0, len(blocks))
 	for _, b := range blocks {
 		gs = append(gs, pr.CommonBlocks[b]...)
 	}
-	return gs
+	pr.globalsCache = gs
+	pr.globalIdx = make(map[*GlobalVar]int, len(gs))
+	for i, g := range gs {
+		pr.globalIdx[g] = i
+	}
+	pr.procIdx = make(map[*Procedure]int, len(pr.Order))
+	for i, p := range pr.Order {
+		pr.procIdx[p] = i
+	}
+}
+
+// ProcIndex returns p's position in Order (-1 if p is not part of this
+// program). Sealed with Globals(); safe for concurrent use afterwards.
+func (pr *Program) ProcIndex(p *Procedure) int {
+	if pr.procIdx == nil {
+		pr.sealGlobals()
+	}
+	if i, ok := pr.procIdx[p]; ok {
+		return i
+	}
+	return -1
+}
+
+// GlobalIndex returns g's position in Globals() (-1 if g is not part of
+// this program). Sealed with Globals(); safe for concurrent use
+// afterwards.
+func (pr *Program) GlobalIndex(g *GlobalVar) int {
+	if pr.globalIdx == nil {
+		pr.sealGlobals()
+	}
+	if i, ok := pr.globalIdx[g]; ok {
+		return i
+	}
+	return -1
 }
 
 // Analyze runs semantic analysis over a parsed file. It always returns a
@@ -242,6 +296,7 @@ func AnalyzeParallelCtx(ctx context.Context, file *ast.File, diags *source.Error
 			}
 			a.checkBodyGuarded(p)
 		}
+		a.prog.sealGlobals()
 		return a.prog, nil
 	}
 	shards := make([]*analyzer, n)
@@ -268,6 +323,7 @@ func AnalyzeParallelCtx(ctx context.Context, file *ast.File, diags *source.Error
 		}
 		diags.Diags = append(diags.Diags, sh.diags.Diags...)
 	}
+	a.prog.sealGlobals()
 	return a.prog, nil
 }
 

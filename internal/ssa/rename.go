@@ -45,16 +45,17 @@ func (b *ssaBuilder) cast(blk *cfg.Block, val *Value, t ast.BaseType) *Value {
 		return val
 	}
 	c := b.newValue(OpCast, blk)
-	c.Args = []*Value{val}
+	c.Args = b.argSpan(1)
+	c.Args[0] = val
 	c.Type = t
 	return c
 }
 
 func (b *ssaBuilder) rename(blk *cfg.Block, phiVars map[*cfg.Block]map[Var]*Value) {
-	var pushed []Var
+	mark := len(b.defStack)
 	def := func(v Var, val *Value) {
 		b.push(v, val)
-		pushed = append(pushed, v)
+		b.defStack = append(b.defStack, v)
 	}
 
 	// Phis defined at block entry.
@@ -139,11 +140,12 @@ func (b *ssaBuilder) rename(blk *cfg.Block, phiVars map[*cfg.Block]map[Var]*Valu
 	}
 
 	// Pop this block's definitions.
-	for i := len(pushed) - 1; i >= 0; i-- {
-		v := pushed[i]
+	for i := len(b.defStack) - 1; i >= mark; i-- {
+		v := b.defStack[i]
 		st := b.stacks[v]
 		b.stacks[v] = st[:len(st)-1]
 	}
+	b.defStack = b.defStack[:mark]
 }
 
 func (b *ssaBuilder) renameCall(blk *cfg.Block, in *cfg.Instr, def func(Var, *Value)) {
@@ -257,7 +259,8 @@ func (b *ssaBuilder) evalExpr1(blk *cfg.Block, e ast.Expr) *Value {
 		arg := b.evalExpr(blk, x.X)
 		v := b.newValue(OpArith, blk)
 		v.AuxOp = x.Op
-		v.Args = []*Value{arg}
+		v.Args = b.argSpan(1)
+		v.Args[0] = arg
 		if x.Op == ast.OpNot {
 			v.Type = ast.TypeLogical
 		} else {
@@ -269,7 +272,8 @@ func (b *ssaBuilder) evalExpr1(blk *cfg.Block, e ast.Expr) *Value {
 		r := b.evalExpr(blk, x.Y)
 		v := b.newValue(OpArith, blk)
 		v.AuxOp = x.Op
-		v.Args = []*Value{l, r}
+		v.Args = b.argSpan(2)
+		v.Args[0], v.Args[1] = l, r
 		switch {
 		case x.Op.IsRelational() || x.Op.IsLogical():
 			v.Type = ast.TypeLogical
@@ -280,7 +284,7 @@ func (b *ssaBuilder) evalExpr1(blk *cfg.Block, e ast.Expr) *Value {
 		}
 		return v
 	case *ast.Apply:
-		args := make([]*Value, len(x.Args))
+		args := b.argSpan(len(x.Args))
 		for i, a := range x.Args {
 			args[i] = b.evalExpr(blk, a)
 		}

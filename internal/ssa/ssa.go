@@ -207,17 +207,53 @@ func Build(g *cfg.Graph, dt *dom.Tree, opts Options) *Func {
 	return f
 }
 
+// valueChunk is the arena chunk size: SSA values per slab allocation.
+// Small procedures fit in one chunk; large ones grow chunk-at-a-time
+// with stable *Value addresses throughout.
+const valueChunk = 256
+
 type ssaBuilder struct {
 	f      *Func
 	opts   Options
 	stacks map[Var][]*Value
 	undefs map[Var]*Value
+	// arena is the chunk of Value nodes currently being filled; argSlab
+	// is the shared backing store that per-value Args slices are carved
+	// from. Both trade per-node heap allocations for slab allocations.
+	arena   []Value
+	argSlab []*Value
+	// defStack is the shared renaming-definition log: rename records a
+	// watermark on entry and pops back to it on exit, replacing a
+	// per-block pushed slice.
+	defStack []Var
 }
 
 func (b *ssaBuilder) newValue(op ValOp, blk *cfg.Block) *Value {
-	v := &Value{ID: len(b.f.Values), Op: op, Block: blk}
+	if len(b.arena) == cap(b.arena) {
+		b.arena = make([]Value, 0, valueChunk)
+	}
+	b.arena = b.arena[:len(b.arena)+1]
+	v := &b.arena[len(b.arena)-1]
+	v.ID = len(b.f.Values)
+	v.Op = op
+	v.Block = blk
 	b.f.Values = append(b.f.Values, v)
 	return v
+}
+
+// argSpan carves an n-pointer sub-slice (capacity-clamped) out of the
+// shared args slab.
+func (b *ssaBuilder) argSpan(n int) []*Value {
+	if len(b.argSlab)+n > cap(b.argSlab) {
+		c := 4 * valueChunk
+		if n > c {
+			c = n
+		}
+		b.argSlab = make([]*Value, 0, c)
+	}
+	lo := len(b.argSlab)
+	b.argSlab = b.argSlab[:lo+n]
+	return b.argSlab[lo : lo+n : lo+n]
 }
 
 // trackedVars returns the set of variables to rename: every scalar,
@@ -269,10 +305,8 @@ func (b *ssaBuilder) build() {
 	// Phi placement: collect def blocks per variable, then iterate
 	// dominance frontiers.
 	defBlocks := b.collectDefBlocks(vars)
+	// Per-block phi maps are allocated lazily: most blocks get none.
 	phiVars := make(map[*cfg.Block]map[Var]*Value)
-	for _, blk := range g.Blocks {
-		phiVars[blk] = make(map[Var]*Value)
-	}
 	for v, blocks := range defBlocks {
 		work := make([]*cfg.Block, 0, len(blocks))
 		inWork := make(map[*cfg.Block]bool)
@@ -293,7 +327,10 @@ func (b *ssaBuilder) build() {
 				phi := b.newValue(OpPhi, df)
 				phi.AuxVar = v
 				phi.Type = varType(v)
-				phi.Args = make([]*Value, len(df.Preds))
+				phi.Args = b.argSpan(len(df.Preds))
+				if phiVars[df] == nil {
+					phiVars[df] = make(map[Var]*Value)
+				}
 				phiVars[df][v] = phi
 				f.Phis[df] = append(f.Phis[df], phi)
 				if !inWork[df] {

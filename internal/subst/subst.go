@@ -310,7 +310,7 @@ func (c *counter) tryCount(id *ast.Ident) {
 	if v == nil {
 		return
 	}
-	if blk := c.fn.UseBlock[id]; blk != nil && !c.res.ExecBlock[blk] {
+	if blk := c.fn.UseBlock[id]; blk != nil && !c.res.BlockExecutable(blk) {
 		return // the use is in dead code (pruned): nothing to substitute
 	}
 	e := c.res.ExprOf(v)

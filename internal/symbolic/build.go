@@ -23,7 +23,7 @@ func (b *Builder) Binary(op Op, x, y *Expr) *Expr {
 	case OpAnd, OpOr:
 		return b.logic(op, x, y)
 	}
-	return b.node(op, x, y)
+	return b.node2(op, x, y)
 }
 
 // FromASTOp converts an ast binary operator to the symbolic Op. An
@@ -139,7 +139,7 @@ func (b *Builder) arith(op Op, x, y *Expr) *Expr {
 			x, y = y, x
 		}
 	}
-	return b.node(op, x, y)
+	return b.node2(op, x, y)
 }
 
 func (b *Builder) compare(op Op, x, y *Expr) *Expr {
@@ -159,7 +159,7 @@ func (b *Builder) compare(op Op, x, y *Expr) *Expr {
 			return b.Bool(false)
 		}
 	}
-	return b.node(op, x, y)
+	return b.node2(op, x, y)
 }
 
 func (b *Builder) logic(op Op, x, y *Expr) *Expr {
@@ -199,7 +199,7 @@ func (b *Builder) logic(op Op, x, y *Expr) *Expr {
 	if StructCompare(x, y) > 0 {
 		x, y = y, x
 	}
-	return b.node(op, x, y)
+	return b.node2(op, x, y)
 }
 
 // Neg builds unary minus.
@@ -210,7 +210,7 @@ func (b *Builder) Neg(x *Expr) *Expr {
 	if x.Op == OpNeg {
 		return x.Args[0]
 	}
-	return b.node(OpNeg, x)
+	return b.node1(OpNeg, x)
 }
 
 // Not builds logical negation.
@@ -221,7 +221,7 @@ func (b *Builder) Not(x *Expr) *Expr {
 	if x.Op == OpNot {
 		return x.Args[0]
 	}
-	return b.node(OpNot, x)
+	return b.node1(OpNot, x)
 }
 
 // Abs builds the ABS intrinsic.
@@ -235,7 +235,7 @@ func (b *Builder) Abs(x *Expr) *Expr {
 	if x.Op == OpAbs {
 		return x
 	}
-	return b.node(OpAbs, x)
+	return b.node1(OpAbs, x)
 }
 
 // Gamma builds the gated-SSA γ node: cond selects between t (true) and
@@ -251,7 +251,7 @@ func (b *Builder) Gamma(cond, t, f *Expr) *Expr {
 	if t == f {
 		return t
 	}
-	return b.node(OpGamma, cond, t, f)
+	return b.node3(OpGamma, cond, t, f)
 }
 
 // Intrinsic builds a call to a named intrinsic over already-built

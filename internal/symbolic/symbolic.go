@@ -13,11 +13,21 @@
 // structural equality — this is what makes the value-numbering-based
 // construction of §3 cheap. Construction folds integer constants and
 // applies simple algebraic identities.
+//
+// Representation: a Builder is an arena. Nodes live in fixed-size
+// chunks of a slab (so *Expr handles stay stable while the pool grows
+// without per-node heap allocation), every node carries a dense uint32
+// pool id, and interior nodes are deduplicated through an
+// open-addressed table keyed on the packed {op, kid0, kid1, kid2}
+// struct — no per-intern map churn, no allocation on an intern hit.
+// Args and support slices are carved out of shared backing slabs.
+// Pool ids are builder-local bookkeeping only: every cross-builder
+// order (commutative canonicalization, support order) goes through
+// StructCompare, which depends on structure alone.
 package symbolic
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/sem"
@@ -82,7 +92,9 @@ var opNames = map[Op]string{
 
 func (o Op) String() string { return opNames[o] }
 
-// Expr is an interned symbolic expression. Compare with ==.
+// Expr is an interned symbolic expression. Compare with ==. Exprs are
+// allocated from their Builder's arena; the pool id is builder-local
+// and never leaks into any cross-builder order.
 type Expr struct {
 	Op   Op
 	Args []*Expr
@@ -92,7 +104,7 @@ type Expr struct {
 	Param  *sem.Symbol    // OpParam leaf
 	Global *sem.GlobalVar // OpGlobal leaf
 
-	id      int
+	id      uint32
 	size    int  // node count, this node included
 	opaque  bool // contains an OpOpaque anywhere
 	support []*Expr
@@ -141,15 +153,54 @@ func (e *Expr) String() string {
 	return fmt.Sprintf("(%s %s)", e.Op, strings.Join(parts, " "))
 }
 
+const (
+	// exprChunk is the arena chunk size: nodes per slab allocation.
+	exprChunk = 512
+	// ptrChunk is the shared Args/support slab chunk size.
+	ptrChunk = 2048
+	// noKid marks an unused argument slot in an internKey. No node can
+	// hold this id: the pool would have to contain 2^32 nodes first.
+	noKid = ^uint32(0)
+)
+
+// internKey identifies an interior node by operator and packed argument
+// pool ids. The widest constructor (Gamma) has three arguments.
+type internKey struct {
+	op         Op
+	a0, a1, a2 uint32
+}
+
+// internSlot is one open-addressed table entry; e == nil means empty.
+type internSlot struct {
+	key internKey
+	e   *Expr
+}
+
 // Builder interns expressions. One Builder serves a whole program
 // analysis; it is not safe for concurrent use.
 type Builder struct {
-	byKey    map[nodeKey]*Expr
+	// Arena. cur is the chunk currently being filled; chunks records
+	// every chunk ever allocated (for introspection — the *Expr handles
+	// themselves keep the memory alive).
+	chunks [][]Expr
+	cur    []Expr
+	nextID uint32
+
+	// Open-addressed intern table for interior nodes. len(table) is a
+	// power of two; grows at 3/4 load.
+	table []internSlot
+	used  int
+
+	// Shared backing slab for Args and support slices: small per-node
+	// slices become sub-slices of one large allocation.
+	ptrSlab []*Expr
+
+	supScratch []*Expr // computeSupport working space, reused
+
 	params   map[*sem.Symbol]*Expr
 	globals  map[*sem.GlobalVar]*Expr
 	opaques  map[int64]*Expr
 	consts   map[int64]*Expr
-	nextID   int
 	trueE    *Expr
 	falseE   *Expr
 	nextAnon int64 // generator for fresh opaque identities
@@ -175,7 +226,7 @@ func (b *Builder) Truncated() int { return b.truncated }
 
 // AddTruncated folds n more truncation events into the builder's count.
 // The parallel pipeline gives each worker its own Builder (the
-// hash-consing maps are not goroutine-safe); after the workers join,
+// hash-consing tables are not goroutine-safe); after the workers join,
 // their truncation counts are summed into the primary builder so the
 // degradation warning reports the whole program's count, not one
 // shard's. Call only after the contributing workers have finished.
@@ -185,10 +236,9 @@ func (b *Builder) AddTruncated(n int) {
 	}
 }
 
-// NewBuilder returns an empty interning table.
+// NewBuilder returns an empty interning pool.
 func NewBuilder() *Builder {
 	return &Builder{
-		byKey:   make(map[nodeKey]*Expr),
 		params:  make(map[*sem.Symbol]*Expr),
 		globals: make(map[*sem.GlobalVar]*Expr),
 		opaques: make(map[int64]*Expr),
@@ -196,10 +246,43 @@ func NewBuilder() *Builder {
 	}
 }
 
+// NumExprs returns the number of nodes interned in the pool.
+func (b *Builder) NumExprs() int { return int(b.nextID) }
+
+// NumChunks returns how many arena chunks back the pool.
+func (b *Builder) NumChunks() int { return len(b.chunks) }
+
+// alloc carves the next node out of the arena. Returned memory is
+// zeroed; the *Expr address is stable for the life of the Builder.
+func (b *Builder) alloc() *Expr {
+	if len(b.cur) == cap(b.cur) {
+		b.cur = make([]Expr, 0, exprChunk)
+		b.chunks = append(b.chunks, b.cur)
+	}
+	b.cur = b.cur[:len(b.cur)+1]
+	return &b.cur[len(b.cur)-1]
+}
+
+// span carves an n-pointer sub-slice (capacity-clamped) out of the
+// shared slab.
+func (b *Builder) span(n int) []*Expr {
+	if len(b.ptrSlab)+n > cap(b.ptrSlab) {
+		c := ptrChunk
+		if n > c {
+			c = n
+		}
+		b.ptrSlab = make([]*Expr, 0, c)
+	}
+	lo := len(b.ptrSlab)
+	b.ptrSlab = b.ptrSlab[:lo+n]
+	return b.ptrSlab[lo : lo+n : lo+n]
+}
+
+// intern finishes a freshly arena-allocated node: assigns its pool id
+// and computes the derived facts once.
 func (b *Builder) intern(e *Expr) *Expr {
 	e.id = b.nextID
 	b.nextID++
-	// Compute derived facts once.
 	e.size = 1
 	for _, a := range e.Args {
 		e.size += a.size
@@ -210,13 +293,15 @@ func (b *Builder) intern(e *Expr) *Expr {
 	if e.Op == OpOpaque {
 		e.opaque = true
 	}
-	e.support = computeSupport(e)
+	e.support = b.computeSupport(e)
 	return e
 }
 
-func computeSupport(e *Expr) []*Expr {
+func (b *Builder) computeSupport(e *Expr) []*Expr {
 	if e.Op == OpParam || e.Op == OpGlobal {
-		return []*Expr{e}
+		s := b.span(1)
+		s[0] = e
+		return s
 	}
 	// A support slice is immutable once interned, so when at most one
 	// child contributes leaves the child's slice is shared outright —
@@ -234,26 +319,42 @@ func computeSupport(e *Expr) []*Expr {
 	if n == len(first) {
 		return first
 	}
-	out := make([]*Expr, 0, n)
-	for _, a := range e.Args {
-		out = append(out, a.support...)
-	}
+	// Gather contributors into the reusable scratch buffer, order them
+	// structurally, and dedup in place before committing to the slab.
+	//
 	// Order structurally, not by interning id: ids depend on which
 	// Builder interned the leaf first, and the parallel pipeline builds
 	// expressions in per-worker Builders. A structural order keeps the
 	// support — and everything downstream of it, like the binding-graph
 	// solver's evaluation order — identical between serial and parallel
 	// runs. Distinct interned exprs of one builder never compare equal,
-	// so duplicates are exactly the adjacent repeated pointers.
-	sort.Slice(out, func(i, j int) bool { return StructCompare(out[i], out[j]) < 0 })
+	// so duplicates are exactly the repeated pointers, adjacent after
+	// the sort. Supports are tiny (a handful of leaves), so an
+	// insertion sort beats sort.Slice and allocates nothing.
+	sc := b.supScratch[:0]
+	for _, a := range e.Args {
+		sc = append(sc, a.support...)
+	}
+	for i := 1; i < len(sc); i++ {
+		x := sc[i]
+		j := i
+		for j > 0 && StructCompare(sc[j-1], x) > 0 {
+			sc[j] = sc[j-1]
+			j--
+		}
+		sc[j] = x
+	}
 	w := 1
-	for i := 1; i < len(out); i++ {
-		if out[i] != out[w-1] {
-			out[w] = out[i]
+	for i := 1; i < len(sc); i++ {
+		if sc[i] != sc[w-1] {
+			sc[w] = sc[i]
 			w++
 		}
 	}
-	return out[:w]
+	b.supScratch = sc
+	out := b.span(w)
+	copy(out, sc[:w])
+	return out
 }
 
 // StructCompare totally orders expressions by structure alone,
@@ -261,7 +362,8 @@ func computeSupport(e *Expr) []*Expr {
 // payload, then arity, then arguments recursively. Within one Builder
 // it is consistent with (but coarser than — never equal for distinct
 // interned exprs of the same builder, since interning is structural)
-// pointer identity.
+// pointer identity. Pool ids must never feed an order: they record
+// interning history, which differs between per-worker builders.
 func StructCompare(x, y *Expr) int {
 	if x == y {
 		return 0
@@ -319,7 +421,10 @@ func (b *Builder) Const(c int64) *Expr {
 	if e, ok := b.consts[c]; ok {
 		return e
 	}
-	e := b.intern(&Expr{Op: OpConst, K: c})
+	e := b.alloc()
+	e.Op = OpConst
+	e.K = c
+	b.intern(e)
 	b.consts[c] = e
 	return e
 }
@@ -328,12 +433,17 @@ func (b *Builder) Const(c int64) *Expr {
 func (b *Builder) Bool(v bool) *Expr {
 	if v {
 		if b.trueE == nil {
-			b.trueE = b.intern(&Expr{Op: OpBool, B: true})
+			b.trueE = b.alloc()
+			b.trueE.Op = OpBool
+			b.trueE.B = true
+			b.intern(b.trueE)
 		}
 		return b.trueE
 	}
 	if b.falseE == nil {
-		b.falseE = b.intern(&Expr{Op: OpBool, B: false})
+		b.falseE = b.alloc()
+		b.falseE.Op = OpBool
+		b.intern(b.falseE)
 	}
 	return b.falseE
 }
@@ -343,7 +453,10 @@ func (b *Builder) ParamLeaf(s *sem.Symbol) *Expr {
 	if e, ok := b.params[s]; ok {
 		return e
 	}
-	e := b.intern(&Expr{Op: OpParam, Param: s})
+	e := b.alloc()
+	e.Op = OpParam
+	e.Param = s
+	b.intern(e)
 	b.params[s] = e
 	return e
 }
@@ -353,7 +466,10 @@ func (b *Builder) GlobalLeaf(g *sem.GlobalVar) *Expr {
 	if e, ok := b.globals[g]; ok {
 		return e
 	}
-	e := b.intern(&Expr{Op: OpGlobal, Global: g})
+	e := b.alloc()
+	e.Op = OpGlobal
+	e.Global = g
+	b.intern(e)
 	b.globals[g] = e
 	return e
 }
@@ -364,7 +480,10 @@ func (b *Builder) Opaque(id int64) *Expr {
 	if e, ok := b.opaques[id]; ok {
 		return e
 	}
-	e := b.intern(&Expr{Op: OpOpaque, K: id})
+	e := b.alloc()
+	e.Op = OpOpaque
+	e.K = id
+	b.intern(e)
 	b.opaques[id] = e
 	return e
 }
@@ -376,43 +495,135 @@ func (b *Builder) FreshOpaque() *Expr {
 	return b.Opaque(b.nextAnon)
 }
 
-// nodeKey identifies an interior node by operator and argument ids.
-// The widest constructor (Gamma) has three arguments; unused slots hold
-// -1, which no interned expression's id can be.
-type nodeKey struct {
-	op         Op
-	a0, a1, a2 int
+func hashKey(k internKey) uint32 {
+	const prime = 16777619
+	h := uint32(2166136261)
+	h = (h ^ uint32(k.op)) * prime
+	h = (h ^ k.a0) * prime
+	h = (h ^ k.a1) * prime
+	h = (h ^ k.a2) * prime
+	return h
 }
 
-// node interns an interior node after simplification decided to keep it.
-func (b *Builder) node(op Op, args ...*Expr) *Expr {
-	if b.maxSize > 0 {
-		size := 1
-		for _, a := range args {
-			size += a.size
+// find probes the open-addressed table for an interned interior node.
+func (b *Builder) find(k internKey) *Expr {
+	if len(b.table) == 0 {
+		return nil
+	}
+	mask := uint32(len(b.table) - 1)
+	for i := hashKey(k) & mask; ; i = (i + 1) & mask {
+		s := &b.table[i]
+		if s.e == nil {
+			return nil
 		}
-		if size > b.maxSize {
-			b.truncated++
-			return b.FreshOpaque()
+		if s.key == k {
+			return s.e
 		}
 	}
-	if len(args) > 3 {
-		panic("symbolic: interior node arity exceeds nodeKey capacity")
+}
+
+// insert adds a fresh interior node to the table, growing it first if
+// the next entry would push the load factor past 3/4.
+func (b *Builder) insert(k internKey, e *Expr) {
+	if 4*(b.used+1) > 3*len(b.table) {
+		b.growTable()
 	}
-	k := nodeKey{op: op, a0: -1, a1: -1, a2: -1}
-	if len(args) > 0 {
-		k.a0 = args[0].id
+	mask := uint32(len(b.table) - 1)
+	i := hashKey(k) & mask
+	for b.table[i].e != nil {
+		i = (i + 1) & mask
 	}
-	if len(args) > 1 {
-		k.a1 = args[1].id
+	b.table[i] = internSlot{key: k, e: e}
+	b.used++
+}
+
+func (b *Builder) growTable() {
+	n := 256
+	if len(b.table) > 0 {
+		n = 2 * len(b.table)
 	}
-	if len(args) > 2 {
-		k.a2 = args[2].id
+	old := b.table
+	b.table = make([]internSlot, n)
+	mask := uint32(n - 1)
+	for i := range old {
+		s := old[i]
+		if s.e == nil {
+			continue
+		}
+		j := hashKey(s.key) & mask
+		for b.table[j].e != nil {
+			j = (j + 1) & mask
+		}
+		b.table[j] = s
 	}
-	if e, ok := b.byKey[k]; ok {
+}
+
+// overBudget applies the expression-size budget to a node about to be
+// built from children totalling kidSize nodes.
+func (b *Builder) overBudget(kidSize int) bool {
+	if b.maxSize > 0 && 1+kidSize > b.maxSize {
+		b.truncated++
+		return true
+	}
+	return false
+}
+
+// node1, node2, node3 intern interior nodes after simplification
+// decided to keep them. Fixed arities let the intern-table probe run
+// BEFORE any allocation: on a hit — the common case once a program's
+// expressions converge — the constructors touch only the arena-resident
+// table and return the existing node.
+
+func (b *Builder) node1(op Op, x *Expr) *Expr {
+	if b.overBudget(x.size) {
+		return b.FreshOpaque()
+	}
+	k := internKey{op: op, a0: x.id, a1: noKid, a2: noKid}
+	if e := b.find(k); e != nil {
 		return e
 	}
-	e := b.intern(&Expr{Op: op, Args: args})
-	b.byKey[k] = e
+	e := b.alloc()
+	e.Op = op
+	args := b.span(1)
+	args[0] = x
+	e.Args = args
+	b.intern(e)
+	b.insert(k, e)
+	return e
+}
+
+func (b *Builder) node2(op Op, x, y *Expr) *Expr {
+	if b.overBudget(x.size + y.size) {
+		return b.FreshOpaque()
+	}
+	k := internKey{op: op, a0: x.id, a1: y.id, a2: noKid}
+	if e := b.find(k); e != nil {
+		return e
+	}
+	e := b.alloc()
+	e.Op = op
+	args := b.span(2)
+	args[0], args[1] = x, y
+	e.Args = args
+	b.intern(e)
+	b.insert(k, e)
+	return e
+}
+
+func (b *Builder) node3(op Op, x, y, z *Expr) *Expr {
+	if b.overBudget(x.size + y.size + z.size) {
+		return b.FreshOpaque()
+	}
+	k := internKey{op: op, a0: x.id, a1: y.id, a2: z.id}
+	if e := b.find(k); e != nil {
+		return e
+	}
+	e := b.alloc()
+	e.Op = op
+	args := b.span(3)
+	args[0], args[1], args[2] = x, y, z
+	e.Args = args
+	b.intern(e)
+	b.insert(k, e)
 	return e
 }

@@ -477,16 +477,16 @@ func TestEvalBool(t *testing.T) {
 	// Short-circuit: false .AND. unknown = false.
 	f := b.Binary(OpEq, n, b.Const(9))
 	unknown := b.Binary(OpGt, b.FreshOpaque(), b.Const(0))
-	and := b.node(OpAnd, f, unknown) // bypass folding to exercise EvalBool
+	and := b.node2(OpAnd, f, unknown) // bypass folding to exercise EvalBool
 	if v, ok := EvalBool(and, envC); !ok || v {
 		t.Error("false .AND. unknown should be false")
 	}
 	tr := b.Binary(OpLe, n, b.Const(3))
-	or := b.node(OpOr, unknown, tr)
+	or := b.node2(OpOr, unknown, tr)
 	if v, ok := EvalBool(or, envC); !ok || !v {
 		t.Error("unknown .OR. true should be true")
 	}
-	not := b.node(OpNot, f)
+	not := b.node1(OpNot, f)
 	if v, ok := EvalBool(not, envC); !ok || !v {
 		t.Error(".NOT. false should be true")
 	}
