@@ -2,8 +2,9 @@ GO ?= go
 FUZZTIME ?= 10s
 SOAK_DURATION ?= 30s
 SOAK_CLIENTS ?= 12
+SOAK_KILLS ?= 12
 
-.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke bench-ablation trace serve coord soak soak-cluster clean
+.PHONY: all build vet test race fuzz check bench bench-go bench-check bench-smoke bench-ablation trace serve coord soak soak-cluster soak-jobs clean
 
 all: check
 
@@ -19,11 +20,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Smoke-fuzz the two native targets; both are seeded from
-# internal/core/testdata/*.f and must stay crash-free.
+# Smoke-fuzz the native targets: the two analysis fuzzers are seeded
+# from internal/core/testdata/*.f; the job-manifest fuzzer is seeded
+# with handwritten batch JSON. All must stay crash-free.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) ./ipcp
+	$(GO) test -run='^$$' -fuzz=FuzzJobManifest -fuzztime=$(FUZZTIME) ./internal/serve
 
 # The full gate: what CI (and a pre-commit run) should pass. race runs
 # the whole suite under the race detector, including the parallel
@@ -93,6 +96,16 @@ coord:
 soak-cluster:
 	IPCP_SOAK_DURATION=$(SOAK_DURATION) IPCP_SOAK_CLIENTS=$(SOAK_CLIENTS) \
 		$(GO) test -count=1 -race -run TestClusterChaosSoak -v ./internal/cluster
+
+# Durable-queue crash soak: one acknowledged batch, $(SOAK_KILLS)
+# hard-kill/reboot cycles on the same WAL directory while it executes,
+# under the race detector. Passes only if every acked job reaches a
+# terminal state, every completed result is byte-identical to the
+# synchronous single-shot reference, and the poison pills quarantine
+# instead of retrying forever.
+soak-jobs:
+	IPCP_JOBS_SOAK_KILLS=$(SOAK_KILLS) \
+		$(GO) test -count=1 -race -run TestJobsCrashSoak -v ./internal/serve
 
 clean:
 	$(GO) clean -testcache

@@ -8,10 +8,21 @@
 //
 // Endpoints (the same surface as one ipcp-serve, plus the fleet view):
 //
-//	POST /v1/analyze   route, hedge, and fail over across the backends
-//	GET  /healthz      liveness (always 200 while the process runs)
-//	GET  /readyz       readiness (503 while draining or with no healthy backend)
-//	GET  /statsz       routing counters plus every backend's health and stats
+//	POST /v1/analyze        route, hedge, and fail over across the backends
+//	POST /v1/jobs           route a durable batch to one backend, whole
+//	GET  /v1/jobs           every backend's retained jobs, merged
+//	GET  /v1/jobs/{id}      owner-routed poll (fleet-wide search on a miss);
+//	                        /result relays the owner's bytes verbatim
+//	GET  /v1/jobs/watch     NDJSON aggregation of the fleet's job states
+//	GET  /healthz           liveness (always 200 while the process runs)
+//	GET  /readyz            readiness (503 while draining or with no healthy backend)
+//	GET  /statsz            routing counters plus every backend's health and stats
+//
+// Job submissions require backends started with -jobs-dir; the
+// coordinator holds no durable state of its own — job ownership is
+// re-learned by broadcast after a coordinator restart, and when the
+// whole fleet sheds or drains, the backends' own Retry-After hints are
+// relayed to clients unchanged.
 //
 // Flags tune the fault-tolerance machinery:
 //
@@ -129,5 +140,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	st := c.Stats()
 	fmt.Fprintf(stdout, "ipcp-coord: served %d requests (%d ok, %d reroutes, %d hedges started / %d won, %d unavailable)\n",
 		st.Requests, st.OK, st.Reroutes, st.HedgesStarted, st.HedgesWon, st.Unavailable)
+	if st.JobSubmits > 0 || st.JobLookups > 0 {
+		fmt.Fprintf(stdout, "ipcp-coord: jobs %d batches routed, %d lookups (%d fleet-wide searches)\n",
+			st.JobSubmits, st.JobLookups, st.JobBroadcasts)
+	}
 	return 0
 }

@@ -7,10 +7,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze   analyze an F77s program (JSON in, JSON out)
-//	GET  /healthz      liveness (always 200 while the process runs)
-//	GET  /readyz       readiness (503 once draining)
-//	GET  /statsz       counters, gauges, and the breaker snapshot
+//	POST /v1/analyze        analyze an F77s program (JSON in, JSON out)
+//	POST /v1/jobs           submit a durable batch (with -jobs-dir)
+//	GET  /v1/jobs/{id}      poll a job; /result replays its exact bytes
+//	GET  /v1/jobs/watch     NDJSON stream of job state changes
+//	GET  /healthz           liveness (always 200 while the process runs)
+//	GET  /readyz            readiness (503 once draining)
+//	GET  /statsz            counters, gauges, breaker and job-queue snapshots
 //
 // Flags tune the availability machinery:
 //
@@ -30,6 +33,19 @@
 //	-result-cache 33554432      whole-response result cache byte budget (0 disables)
 //	-pprof                      register net/http/pprof under /debug/pprof/ (off by default)
 //
+// The durable batch/async job API (write-ahead-logged queue with
+// per-tenant fair scheduling; see docs/robustness.md):
+//
+//	-jobs-dir DIR               WAL directory; empty (default) disables /v1/jobs
+//	-jobs-workers N             concurrent job executions (default concurrency/2)
+//	-jobs-attempts 3            transient failures before poison quarantine
+//	-jobs-ttl 10m               default job TTL (-jobs-max-ttl 1h caps requests)
+//	-jobs-retention 30m         how long terminal jobs stay pollable
+//	-jobs-queue 1024            per-tenant queued-jobs quota (429 past it)
+//
+// A crash (kill -9) between a job's 202 and its completion loses
+// nothing: on restart the WAL replays, pending jobs re-execute, and
+// finished jobs keep their exact recorded bytes.
 // SIGINT/SIGTERM begin a graceful drain: readiness flips, in-flight
 // requests get the drain budget to finish, then the process exits 0.
 package main
@@ -47,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/ipcp"
 )
 
 func main() {
@@ -75,6 +92,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		memoCache   = fs.Int64("analysis-cache", 64<<20, "incremental-analysis cache byte budget (0 disables)")
 		resultCache = fs.Int64("result-cache", 32<<20, "whole-response result cache byte budget (0 disables)")
 		pprofOn     = fs.Bool("pprof", false, "register net/http/pprof handlers under /debug/pprof/")
+
+		jobsDir       = fs.String("jobs-dir", "", "durable job WAL directory (empty disables /v1/jobs)")
+		jobsWorkers   = fs.Int("jobs-workers", 0, "concurrent job executions (0 = concurrency/2)")
+		jobsAttempts  = fs.Int("jobs-attempts", 3, "transient failures before a job is poisoned")
+		jobsTTL       = fs.Duration("jobs-ttl", 10*time.Minute, "default job TTL")
+		jobsMaxTTL    = fs.Duration("jobs-max-ttl", time.Hour, "largest TTL a submission may request")
+		jobsRetention = fs.Duration("jobs-retention", 30*time.Minute, "how long terminal jobs stay pollable")
+		jobsQueue     = fs.Int("jobs-queue", 1024, "per-tenant queued-jobs quota")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,7 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	s := serve.New(serve.Config{
+	s, err := serve.New(serve.Config{
 		MaxConcurrency:      *concurrency,
 		QueueDepth:          *queue,
 		RequestTimeout:      *timeout,
@@ -96,7 +121,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		AnalysisCacheBytes:  disabledIfZero(*memoCache),
 		ResultCacheBytes:    disabledIfZero(*resultCache),
 		EnablePprof:         *pprofOn,
+		JobsDir:             *jobsDir,
+		JobWorkers:          *jobsWorkers,
+		JobPolicy: ipcp.JobPolicy{
+			MaxAttempts: *jobsAttempts,
+			DefaultTTL:  *jobsTTL,
+			MaxTTL:      *jobsMaxTTL,
+			Retention:   *jobsRetention,
+		},
+		JobQuota: ipcp.TenantQuota{MaxQueued: *jobsQueue},
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ipcp-serve: %v\n", err)
+		return 1
+	}
+	if *jobsDir != "" {
+		fmt.Fprintf(stdout, "ipcp-serve: durable job queue in %s\n", *jobsDir)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -138,6 +179,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if st.ResultCache != nil && st.AnalysisCache != nil {
 		fmt.Fprintf(stdout, "ipcp-serve: result cache %d hits / %d misses, analysis cache %d hits / %d misses\n",
 			st.ResultCache.Hits, st.ResultCache.Misses, st.AnalysisCache.Hits, st.AnalysisCache.Misses)
+	}
+	if st.Jobs != nil {
+		fmt.Fprintf(stdout, "ipcp-serve: jobs %d submitted (%d done, %d poisoned, %d expired, %d canceled; %d checkpointed for next boot)\n",
+			st.Jobs.Submitted, st.Jobs.Done, st.Jobs.Poisoned, st.Jobs.Expired, st.Jobs.Canceled, st.Jobs.Queued)
 	}
 	return 0
 }

@@ -175,6 +175,14 @@ type Coordinator struct {
 	stopHealth chan struct{}
 	healthWG   sync.WaitGroup
 
+	// owners remembers which backend acked each job ID so polls and
+	// cancels go straight to the WAL that holds the job; misses (e.g.
+	// after a coordinator restart — the map is memory-only by design,
+	// the durable state lives in the backends' WALs) fall back to a
+	// fleet-wide broadcast.
+	ownerMu sync.Mutex
+	owners  map[string]ownerRec
+
 	// test seams
 	sleep  func(ctx context.Context, d time.Duration)
 	jitter func() float64
@@ -197,6 +205,10 @@ type coordStats struct {
 	hedgesLost    atomic.Int64 // primary won while a hedge was in flight
 	breakerSkips  atomic.Int64 // candidates skipped by an open circuit
 	slotSkips     atomic.Int64 // candidates skipped with all slots busy
+
+	jobSubmits    atomic.Int64 // POST /v1/jobs received
+	jobLookups    atomic.Int64 // per-job GET/DELETE received
+	jobBroadcasts atomic.Int64 // lookups that needed a fleet-wide search
 }
 
 // New validates cfg and returns a Coordinator with its health checkers
@@ -211,6 +223,7 @@ func New(cfg Config) (*Coordinator, error) {
 		started:    time.Now(),
 		lat:        newLatencyTracker(256),
 		stopHealth: make(chan struct{}),
+		owners:     make(map[string]ownerRec),
 		jitter:     rand.Float64,
 		client: &http.Client{
 			Transport: &http.Transport{
@@ -261,6 +274,9 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", c.handleAnalyze)
+	mux.HandleFunc("/v1/jobs", c.handleJobs)
+	mux.HandleFunc("/v1/jobs/watch", c.handleJobsWatch)
+	mux.HandleFunc("/v1/jobs/", c.handleJobByID)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/readyz", c.handleReadyz)
 	mux.HandleFunc("/statsz", c.handleStatsz)
@@ -353,7 +369,7 @@ func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
 	defer cancel()
-	c.proxy(ctx, w, rank(c.backends, key), raw)
+	c.proxy(ctx, w, rank(c.backends, key), "/v1/analyze", raw)
 }
 
 // attemptOutcome is one backend attempt's result.
@@ -369,16 +385,16 @@ type attemptOutcome struct {
 }
 
 // final reports whether the outcome is an authoritative answer the
-// client should see: an analysis (200) or the backend's deterministic
-// verdict on the input (400/422). Everything else — transport errors,
-// shed 429s, 503s — is the backend's unavailability, and the next
-// candidate may still answer.
+// client should see: an analysis (200), a durable job ack (202), or
+// the backend's deterministic verdict on the input (400/422).
+// Everything else — transport errors, shed 429s, 503s — is the
+// backend's unavailability, and the next candidate may still answer.
 func (o attemptOutcome) final() bool {
 	if o.err != nil {
 		return false
 	}
 	switch o.code {
-	case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity:
+	case http.StatusOK, http.StatusAccepted, http.StatusBadRequest, http.StatusUnprocessableEntity:
 		return true
 	}
 	return false
@@ -400,7 +416,9 @@ func (o attemptOutcome) retryAfterHint() time.Duration {
 // proxy drives one client request through the candidate order:
 // primary attempt, hedge on the latency quantile, failover on
 // retryable failure, first authoritative answer relayed verbatim.
-func (c *Coordinator) proxy(ctx context.Context, w http.ResponseWriter, cands []*backend, raw []byte) {
+// It returns the relayed outcome (nil when no candidate answered) so
+// callers like the job-submit path can inspect the winning backend.
+func (c *Coordinator) proxy(ctx context.Context, w http.ResponseWriter, cands []*backend, path string, raw []byte) *attemptOutcome {
 	results := make(chan attemptOutcome, c.cfg.MaxAttempts)
 	var cancels []context.CancelFunc
 	defer func() {
@@ -436,15 +454,15 @@ func (c *Coordinator) proxy(ctx context.Context, w http.ResponseWriter, cands []
 			actx, cancel := context.WithCancel(ctx)
 			cancels = append(cancels, cancel)
 			b.requests.Add(1)
-			go c.attempt(actx, b, raw, hedge, results)
+			go c.attempt(actx, b, path, raw, hedge, results)
 			return true
 		}
 		return false
 	}
 
 	if !launch(false) {
-		c.writeUnavailable(w, "every backend rejected the request before an attempt started", lastHint)
-		return
+		c.writeUnavailable(w, "every backend rejected the request before an attempt started", lastHint, "")
+		return nil
 	}
 	hedged := false
 	hedgeTimer := time.NewTimer(c.hedgeDelay())
@@ -473,7 +491,7 @@ func (c *Coordinator) proxy(ctx context.Context, w http.ResponseWriter, cands []
 					}
 				}
 				c.relay(w, out)
-				return
+				return &out
 			}
 			lastFail = out
 			if hint := out.retryAfterHint(); hint > lastHint {
@@ -498,8 +516,8 @@ func (c *Coordinator) proxy(ctx context.Context, w http.ResponseWriter, cands []
 			if ctx.Err() != nil {
 				break // budget gone: fall through to the deadline answer
 			}
-			c.writeUnavailable(w, lastFailMessage(lastFail, attempts), lastHint)
-			return
+			c.writeUnavailable(w, lastFailMessage(lastFail, attempts), lastHint, lastFail.retryAfter)
+			return nil
 		case <-ctx.Done():
 		}
 		// ctx died (directly, or observed via a canceled attempt).
@@ -510,7 +528,7 @@ func (c *Coordinator) proxy(ctx context.Context, w http.ResponseWriter, cands []
 			c.stats.abandoned.Add(1)
 			c.writeError(w, http.StatusServiceUnavailable, "canceled", "client went away", 0)
 		}
-		return
+		return nil
 	}
 }
 
@@ -527,10 +545,10 @@ func lastFailMessage(out attemptOutcome, attempts int) string {
 
 // attempt proxies raw to one backend, settles its breaker exactly
 // once, releases its slot, and reports the outcome.
-func (c *Coordinator) attempt(ctx context.Context, b *backend, raw []byte, hedge bool, results chan<- attemptOutcome) {
+func (c *Coordinator) attempt(ctx context.Context, b *backend, path string, raw []byte, hedge bool, results chan<- attemptOutcome) {
 	start := time.Now()
 	out := attemptOutcome{b: b, hedge: hedge}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/analyze", bytes.NewReader(raw))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(raw))
 	if err != nil {
 		out.err = err
 	} else {
@@ -566,7 +584,7 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, raw []byte, hedge
 			// immediately instead of waiting for the next probe tick.
 			b.setHealthy(false)
 		}
-	case out.code == http.StatusOK:
+	case out.code == http.StatusOK, out.code == http.StatusAccepted:
 		b.br.Success()
 	case out.code == http.StatusBadRequest,
 		out.code == http.StatusUnprocessableEntity,
@@ -635,10 +653,15 @@ func (c *Coordinator) failoverDelay(n int, hint time.Duration) time.Duration {
 // relay writes a backend's authoritative response to the client,
 // byte-for-byte.
 func (c *Coordinator) relay(w http.ResponseWriter, out attemptOutcome) {
-	if out.code == http.StatusOK {
+	switch out.code {
+	case http.StatusOK:
 		c.stats.ok.Add(1)
 		c.lat.observe(out.elapsed)
-	} else {
+	case http.StatusAccepted:
+		// A job ack is a success, but its latency is queueing, not
+		// analysis — keep it out of the hedge quantile.
+		c.stats.ok.Add(1)
+	default:
 		c.stats.inputErrors.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -649,8 +672,20 @@ func (c *Coordinator) relay(w http.ResponseWriter, out attemptOutcome) {
 	_, _ = w.Write(out.body)
 }
 
-func (c *Coordinator) writeUnavailable(w http.ResponseWriter, msg string, hint time.Duration) {
+// writeUnavailable is the give-up answer after every candidate failed.
+// When the last backend supplied a Retry-After (verbatim != "") — the
+// whole fleet is shedding or draining — that hint is relayed byte-for-
+// byte: the backend knows its own drain budget and queue depth, and a
+// coordinator-derived value would misinform exactly the clients that
+// most need an honest back-off. Otherwise the breaker/hint estimate is
+// used, floored at one second.
+func (c *Coordinator) writeUnavailable(w http.ResponseWriter, msg string, hint time.Duration, verbatim string) {
 	c.stats.unavailable.Add(1)
+	if verbatim != "" {
+		w.Header().Set("Retry-After", verbatim)
+		c.writeError(w, http.StatusServiceUnavailable, "unavailable", msg, 0)
+		return
+	}
 	if hint < time.Second {
 		hint = time.Second
 	}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/serve"
+)
+
+// newJobBackend starts a real ipcp-serve with the durable job API in a
+// temp WAL directory, served over a real socket.
+func newJobBackend(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(serve.Config{JobsDir: t.TempDir(), JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		_ = s.Close()
+	})
+	return s, srv
+}
+
+func coordReq(c *Coordinator, method, path string, body []byte) (int, http.Header, []byte) {
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, httptest.NewRequest(method, path, bytes.NewReader(body)))
+	return rec.Code, rec.Header(), rec.Body.Bytes()
+}
+
+// TestJobSubmitRoutedThroughCoordinator: a batch submitted to the
+// coordinator lands whole on one real backend; polling and the result
+// bytes flow back through the coordinator unchanged.
+func TestJobSubmitRoutedThroughCoordinator(t *testing.T) {
+	_, b1 := newJobBackend(t)
+	_, b2 := newJobBackend(t)
+	c := newTestCoordinator(t, []string{b1.URL, b2.URL}, nil)
+
+	submit, _ := json.Marshal(serve.JobSubmitRequest{Jobs: []serve.AnalyzeRequest{
+		{Source: clusterSrc},
+		{Source: "PROGRAM P\nCALL NOPE(1)\nEND\n"},
+	}})
+	code, _, body := coordReq(c, http.MethodPost, "/v1/jobs", submit)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", code, body)
+	}
+	var resp serve.JobSubmitResponse
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Jobs) != 2 {
+		t.Fatalf("acks: %v\n%s", err, body)
+	}
+
+	// Both jobs reach terminal state through coordinator polls.
+	views := make([]jobs.JobView, 2)
+	for i, ack := range resp.Jobs {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			code, _, data := coordReq(c, http.MethodGet, "/v1/jobs/"+ack.ID, nil)
+			if code != http.StatusOK {
+				t.Fatalf("poll %s: status = %d, body %s", ack.ID, code, data)
+			}
+			if err := json.Unmarshal(data, &views[i]); err != nil {
+				t.Fatalf("poll %s: %v\n%s", ack.ID, err, data)
+			}
+			if views[i].State.Terminal() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", ack.ID, views[i].State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if views[0].Code != http.StatusOK || views[1].Code != http.StatusUnprocessableEntity {
+		t.Fatalf("terminal views: %+v", views)
+	}
+
+	// The coordinator's relayed result bytes match the owning backend's.
+	code, _, viaCoord := coordReq(c, http.MethodGet, "/v1/jobs/"+resp.Jobs[0].ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result status = %d, body %s", code, viaCoord)
+	}
+	owner := c.owner(resp.Jobs[0].ID)
+	if owner == nil {
+		t.Fatal("coordinator forgot the job's owner")
+	}
+	direct, err := http.Get(owner.url + "/v1/jobs/" + resp.Jobs[0].ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBody := new(bytes.Buffer)
+	directBody.ReadFrom(direct.Body)
+	direct.Body.Close()
+	if !bytes.Equal(viaCoord, directBody.Bytes()) {
+		t.Fatalf("coordinator rewrote the result:\nvia:    %s\ndirect: %s", viaCoord, directBody.Bytes())
+	}
+
+	// The merged list sees both jobs; watch drains immediately (all
+	// terminal) with one line per job.
+	code, _, data := coordReq(c, http.MethodGet, "/v1/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list status = %d", code)
+	}
+	var list serve.JobListResponse
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Jobs) != 2 {
+		t.Fatalf("merged list: %v\n%s", err, data)
+	}
+	code, _, data = coordReq(c, http.MethodGet, "/v1/jobs/watch", nil)
+	if code != http.StatusOK || len(bytes.Split(bytes.TrimSpace(data), []byte("\n"))) != 2 {
+		t.Fatalf("watch: status = %d, body %s", code, data)
+	}
+
+	st := c.Stats()
+	if st.JobSubmits != 1 || st.JobLookups == 0 {
+		t.Fatalf("job counters: %+v", st)
+	}
+}
+
+// TestJobLookupSurvivesCoordinatorAmnesia: the owner map is memory-
+// only; after losing it (a coordinator restart) a poll still finds the
+// job by broadcasting, and the owner is re-learned.
+func TestJobLookupSurvivesCoordinatorAmnesia(t *testing.T) {
+	_, b1 := newJobBackend(t)
+	_, b2 := newJobBackend(t)
+	c := newTestCoordinator(t, []string{b1.URL, b2.URL}, nil)
+
+	submit, _ := json.Marshal(serve.JobSubmitRequest{Jobs: []serve.AnalyzeRequest{{Source: clusterSrc}}})
+	code, _, body := coordReq(c, http.MethodPost, "/v1/jobs", submit)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", code, body)
+	}
+	var resp serve.JobSubmitResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Jobs[0].ID
+
+	c.ownerMu.Lock()
+	c.owners = make(map[string]ownerRec) // simulate restart
+	c.ownerMu.Unlock()
+
+	code, _, data := coordReq(c, http.MethodGet, "/v1/jobs/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("amnesiac poll: status = %d, body %s", code, data)
+	}
+	if c.owner(id) == nil {
+		t.Fatal("broadcast hit did not re-learn the owner")
+	}
+	if st := c.Stats(); st.JobBroadcasts == 0 {
+		t.Fatalf("broadcast not counted: %+v", st)
+	}
+	if code, _, _ := coordReq(c, http.MethodGet, "/v1/jobs/j-missing-0000000000000000", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status = %d", code)
+	}
+}
+
+// TestSaturatedFleetRelaysRetryAfterVerbatim (satellite): when every
+// backend sheds a job submission, the coordinator's give-up 503 must
+// carry the backend's own Retry-After unchanged — the backend knows
+// its queue; a coordinator-invented number would mislead exactly the
+// clients being asked to back off.
+func TestSaturatedFleetRelaysRetryAfterVerbatim(t *testing.T) {
+	shed := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "17")
+		w.WriteHeader(http.StatusTooManyRequests)
+		body, _ := json.Marshal(serve.ErrorResponse{Error: serve.ErrorBody{Class: "shed", Message: "tenant quota"}})
+		w.Write(body)
+	}
+	b1 := newFakeJobBackend(t, shed)
+	b2 := newFakeJobBackend(t, shed)
+	c := newTestCoordinator(t, []string{b1.URL, b2.URL}, nil)
+
+	submit, _ := json.Marshal(serve.JobSubmitRequest{Jobs: []serve.AnalyzeRequest{{Source: clusterSrc}}})
+	code, hdr, body := coordReq(c, http.MethodPost, "/v1/jobs", submit)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "17" {
+		t.Fatalf("Retry-After = %q, want the backend's own 17, unchanged", got)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Class != "unavailable" {
+		t.Fatalf("body: %v\n%s", err, body)
+	}
+}
+
+// TestDrainingFleetRelaysRetryAfterVerbatim: same propagation rule
+// when the backends are draining rather than shedding.
+func TestDrainingFleetRelaysRetryAfterVerbatim(t *testing.T) {
+	draining := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "23")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		body, _ := json.Marshal(serve.ErrorResponse{Error: serve.ErrorBody{Class: "draining", Message: "server is draining"}})
+		w.Write(body)
+	}
+	b1 := newFakeJobBackend(t, draining)
+	b2 := newFakeJobBackend(t, draining)
+	c := newTestCoordinator(t, []string{b1.URL, b2.URL}, nil)
+
+	submit, _ := json.Marshal(serve.JobSubmitRequest{Jobs: []serve.AnalyzeRequest{{Source: clusterSrc}}})
+	code, hdr, body := coordReq(c, http.MethodPost, "/v1/jobs", submit)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	if got := hdr.Get("Retry-After"); got != "23" {
+		t.Fatalf("Retry-After = %q, want the backend's own 23, unchanged", got)
+	}
+}
+
+// newFakeJobBackend scripts only the job-submit endpoint; health
+// probes answer like a live backend.
+func newFakeJobBackend(t *testing.T, handler func(w http.ResponseWriter, r *http.Request)) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case "/statsz":
+			fmt.Fprint(w, "{}\n")
+		case "/v1/jobs":
+			handler(w, r)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestJobSubmitValidationAtCoordinator: a batch the coordinator cannot
+// route (empty, unparseable, bad config) is rejected locally without
+// consuming a backend attempt.
+func TestJobSubmitValidationAtCoordinator(t *testing.T) {
+	var hits int
+	b := newFakeJobBackend(t, func(w http.ResponseWriter, r *http.Request) { hits++ })
+	c := newTestCoordinator(t, []string{b.URL}, nil)
+	for _, body := range [][]byte{
+		[]byte("{nope"),
+		[]byte(`{"jobs": []}`),
+		[]byte(`{"jobs": [{"source": "X", "config": {"kind": "psychic"}}]}`),
+	} {
+		code, _, data := coordReq(c, http.MethodPost, "/v1/jobs", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("status = %d, body %s", code, data)
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("invalid batches reached a backend %d times", hits)
+	}
+	if code, _, _ := coordReq(c, http.MethodPut, "/v1/jobs", nil); code != http.StatusMethodNotAllowed {
+		t.Error("PUT /v1/jobs must 405")
+	}
+}

@@ -101,14 +101,17 @@ func TestClusterChaosSoak(t *testing.T) {
 		workload[i] = b
 	}
 	invalidBody, _ := json.Marshal(serve.AnalyzeRequest{Source: "PROGRAM P\nCALL NOPE(1)\nEND\n"}) // 422
-	malformedBody := []byte("{definitely not json")                                               // 400
+	malformedBody := []byte("{definitely not json")                                                // 400
 
 	// The reference answers come from one untouched backend before any
 	// fault is armed: what a client of a healthy single node would see.
 	reference := make([][]byte, len(workload))
 	var invalidRef []byte
 	{
-		ref := serve.New(serveCfg)
+		ref, err := serve.New(serveCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -156,7 +159,11 @@ func TestClusterChaosSoak(t *testing.T) {
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
-		n.s = serve.New(serveCfg)
+		ns, err := serve.New(serveCfg)
+		if err != nil {
+			return err
+		}
+		n.s = ns
 		go n.s.Serve(l)
 		return nil
 	}
@@ -166,7 +173,11 @@ func TestClusterChaosSoak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		n := &node{addr: l.Addr().String(), s: serve.New(serveCfg)}
+		ns, err := serve.New(serveCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := &node{addr: l.Addr().String(), s: ns}
 		go n.s.Serve(l)
 		nodes[i] = n
 		urls = append(urls, "http://"+n.addr)
@@ -255,7 +266,7 @@ func TestClusterChaosSoak(t *testing.T) {
 	}()
 
 	// --- Clients ------------------------------------------------------
-	allowed := map[int]bool{200: true, 400: true, 422: true, 503: true}
+	allowed := map[int]bool{200: true, 400: true, 422: true, 429: true, 503: true}
 	var okValid, failValid, total atomic.Int64
 	firstFailure := make(chan string, 1)
 	reject := func(format string, args ...interface{}) {

@@ -27,6 +27,10 @@ type Stats struct {
 	DeadlineFails int64 `json:"deadline_fails"`
 	Abandoned     int64 `json:"abandoned"`
 
+	JobSubmits    int64 `json:"job_submits"`
+	JobLookups    int64 `json:"job_lookups"`
+	JobBroadcasts int64 `json:"job_broadcasts"`
+
 	Reroutes      int64 `json:"reroutes"`
 	HedgesStarted int64 `json:"hedges_started"`
 	HedgesWon     int64 `json:"hedges_won"`
@@ -64,6 +68,9 @@ func (c *Coordinator) Stats() Stats {
 		Unavailable:   c.stats.unavailable.Load(),
 		DeadlineFails: c.stats.deadlineFails.Load(),
 		Abandoned:     c.stats.abandoned.Load(),
+		JobSubmits:    c.stats.jobSubmits.Load(),
+		JobLookups:    c.stats.jobLookups.Load(),
+		JobBroadcasts: c.stats.jobBroadcasts.Load(),
 		Reroutes:      c.stats.reroutes.Load(),
 		HedgesStarted: c.stats.hedgesStarted.Load(),
 		HedgesWon:     c.stats.hedgesWon.Load(),

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobManifest hammers the job-submission decode path: the manifest
+// JSON is the only input the WAL journals verbatim, so everything the
+// submit handler derives from it — config translation, fingerprinting,
+// the re-marshalled spec the executor will decode after a crash — must
+// hold together for arbitrary bytes, and a spec that validates once
+// must round-trip through its journaled form to the same fingerprint.
+func FuzzJobManifest(f *testing.F) {
+	for _, seed := range []string{
+		`{"jobs":[{"source":"PROGRAM P\nINTEGER I\nI = 1\nCALL Q(I)\nEND\nSUBROUTINE Q(N)\nINTEGER N\nPRINT *, N\nEND\n"}]}`,
+		`{"tenant":"team-a","ttl_ms":60000,"jobs":[{"filename":"a.f","source":"PROGRAM P\nEND\n","config":{"kind":"polynomial","complete":true,"max_solver_steps":32},"want":{"jump_functions":true,"transformed":true}}]}`,
+		`{"jobs":[{"source":"PROGRAM P\nEND\n","config":{"kind":"literal","gated":true,"max_rounds":2,"max_jf_expr_size":64},"timeout_ms":100}]}`,
+		`{"jobs":[]}`,
+		`{"jobs":[{"source":"X","config":{"kind":"psychic"}}]}`,
+		`{"tenant":"","jobs":[{"source":""},{"source":"PROGRAM P\nEND\n"}]}`,
+		`{"ttl_ms":-5,"jobs":[{"filename":"../../etc/passwd","source":"PROGRAM P\nEND\n"}]}`,
+		`[1,2,3]`,
+		`{"jobs": [{"source": 42}]}`,
+		`{`,
+		``,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req JobSubmitRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // rejected at the handler's decode step
+		}
+		for i := range req.Jobs {
+			jr := &req.Jobs[i]
+			cfg, err := jr.Config.ToIPCP()
+			if err != nil {
+				continue // rejected at the handler's validation step
+			}
+			if jr.Filename == "" {
+				jr.Filename = "request.f"
+			}
+			fp := fingerprintJob(jr, cfg)
+			if fp == "" {
+				t.Fatalf("job %d: accepted spec produced an empty fingerprint", i)
+			}
+			// The journaled form is json.Marshal(jr); the executor decodes
+			// it after a crash. It must stay decodable and must fingerprint
+			// identically, or replay would re-run under a different
+			// identity than the one acknowledged.
+			spec, err := json.Marshal(jr)
+			if err != nil {
+				t.Fatalf("job %d: accepted spec does not journal: %v", i, err)
+			}
+			var back AnalyzeRequest
+			if err := json.Unmarshal(spec, &back); err != nil {
+				t.Fatalf("job %d: journaled spec does not decode: %v", i, err)
+			}
+			bcfg, err := back.Config.ToIPCP()
+			if err != nil {
+				t.Fatalf("job %d: journaled config no longer validates: %v", i, err)
+			}
+			if got := fingerprintJob(&back, bcfg); got != fp {
+				t.Fatalf("job %d: fingerprint changed across the journal round-trip: %q != %q", i, got, fp)
+			}
+		}
+	})
+}

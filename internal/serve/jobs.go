@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/ipcp"
+)
+
+// This file fronts internal/jobs with the service's HTTP surface:
+//
+//	POST   /v1/jobs             submit a batch; 202 with one ack per job
+//	GET    /v1/jobs?tenant=     list retained jobs
+//	GET    /v1/jobs/{id}        poll one job's state
+//	GET    /v1/jobs/{id}/result replay the stored result bytes verbatim
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/watch       NDJSON stream of state changes
+//
+// The endpoints exist only when Config.JobsDir is set; otherwise they
+// answer 404. Submissions are validated (JSON shape, config enums)
+// before journaling so the WAL never holds a spec the executor cannot
+// decode, and every ack is written to the fsync'd WAL before the 202
+// leaves the process.
+//
+// Result bytes are served by a dedicated endpoint instead of being
+// embedded in the status JSON deliberately: re-encoding a stored body
+// inside another document (json.Marshal compacts/re-indents embedded
+// RawMessage) would break the byte-identity guarantee that a job's
+// result is exactly what the synchronous endpoint would have
+// returned.
+
+// JobSubmitRequest is the POST /v1/jobs body: a batch of analysis
+// requests sharing a tenant and TTL. Each entry is exactly a
+// /v1/analyze request body.
+type JobSubmitRequest struct {
+	// Tenant attributes the batch for fair queueing and quotas
+	// (default "default").
+	Tenant string `json:"tenant"`
+	// TTLMs bounds each job's total lifetime — queued and running —
+	// in milliseconds (0 = server default; capped at the server max).
+	TTLMs int `json:"ttl_ms"`
+	// Jobs is the batch (at least one entry).
+	Jobs []AnalyzeRequest `json:"jobs"`
+}
+
+// JobSubmitResponse is the 202 body: one ack per submitted job, in
+// submission order.
+type JobSubmitResponse struct {
+	Tenant string     `json:"tenant"`
+	Jobs   []jobs.Ack `json:"jobs"`
+}
+
+// JobListResponse is the GET /v1/jobs body.
+type JobListResponse struct {
+	Jobs []jobs.JobView `json:"jobs"`
+}
+
+// handleJobs serves POST (submit) and GET (list) on /v1/jobs.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		s.writeError(w, http.StatusNotFound, "not-found", "job API disabled (start with a jobs directory)")
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleJobSubmit(w, r)
+	case http.MethodGet:
+		s.writeJSON(w, http.StatusOK, JobListResponse{Jobs: s.jobs.List(r.URL.Query().Get("tenant"))})
+	default:
+		s.stats.badRequests.Add(1)
+		w.Header().Set("Allow", "POST, GET")
+		s.writeError(w, http.StatusMethodNotAllowed, "method", "POST or GET required")
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.stats.drainRejects.Add(1)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.DrainTimeout))
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var req JobSubmitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", "batch must contain at least one job")
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = jobs.DefaultTenant
+	}
+	// Validate every entry before journaling anything: the batch is
+	// accepted or rejected whole, and the WAL never holds a spec the
+	// executor cannot decode.
+	subs := make([]jobs.Submission, len(req.Jobs))
+	for i := range req.Jobs {
+		jr := &req.Jobs[i]
+		cfg, err := jr.Config.ToIPCP()
+		if err != nil {
+			s.stats.badRequests.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad-request",
+				"job "+strconv.Itoa(i)+": "+err.Error())
+			return
+		}
+		if jr.Filename == "" {
+			jr.Filename = "request.f"
+		}
+		spec, err := json.Marshal(jr)
+		if err != nil {
+			s.stats.badRequests.Add(1)
+			s.writeError(w, http.StatusBadRequest, "bad-request", "job "+strconv.Itoa(i)+": "+err.Error())
+			return
+		}
+		subs[i] = jobs.Submission{
+			Spec:        spec,
+			Fingerprint: fingerprintJob(jr, cfg),
+			TTL:         time.Duration(req.TTLMs) * time.Millisecond,
+		}
+	}
+	acks, err := s.jobs.Submit(req.Tenant, subs)
+	if err != nil {
+		var qe *jobs.QuotaError
+		switch {
+		case errors.As(err, &qe):
+			s.stats.shed.Add(1)
+			w.Header().Set("Retry-After", retryAfter(qe.RetryAfter))
+			s.writeError(w, http.StatusTooManyRequests, "shed", qe.Error())
+		case errors.Is(err, jobs.ErrDraining):
+			s.stats.drainRejects.Add(1)
+			w.Header().Set("Retry-After", retryAfter(s.cfg.DrainTimeout))
+			s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		default:
+			s.writeError(w, http.StatusServiceUnavailable, "internal", err.Error())
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, JobSubmitResponse{Tenant: req.Tenant, Jobs: acks})
+}
+
+// fingerprintJob derives the idempotency fingerprint for one job. The
+// base is ipcp.Fingerprint over (filename, source, memo-relevant
+// config); the want flags are folded in because they change the
+// response bytes without changing the analysis.
+func fingerprintJob(jr *AnalyzeRequest, cfg ipcp.Config) string {
+	fp := ipcp.Fingerprint(jr.Filename, jr.Source, cfg)
+	var want string
+	if jr.Want.JumpFunctions {
+		want += "+jf"
+	}
+	if jr.Want.Transformed {
+		want += "+tx"
+	}
+	return fp + want
+}
+
+// handleJobByID routes /v1/jobs/{id} and /v1/jobs/{id}/result.
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		s.writeError(w, http.StatusNotFound, "not-found", "job API disabled (start with a jobs directory)")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		s.writeError(w, http.StatusNotFound, "not-found", "missing job id")
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		v, ok := s.jobs.Get(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "not-found", "unknown job "+id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, v)
+	case sub == "" && r.Method == http.MethodDelete:
+		v, ok := s.jobs.Cancel(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "not-found", "unknown job "+id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, v)
+	case sub == "result" && r.Method == http.MethodGet:
+		s.handleJobResult(w, id)
+	default:
+		s.stats.badRequests.Add(1)
+		w.Header().Set("Allow", "GET, DELETE")
+		s.writeError(w, http.StatusMethodNotAllowed, "method", "GET or DELETE required")
+	}
+}
+
+// handleJobResult replays a done job's stored bytes verbatim — the
+// exactly-once-observable read path. Non-done terminal states get an
+// attributed error; non-terminal jobs get 409 so pollers can
+// distinguish "not yet" from "never".
+func (s *Server) handleJobResult(w http.ResponseWriter, id string) {
+	v, body, ok := s.jobs.Result(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "not-found", "unknown job "+id)
+		return
+	}
+	switch v.State {
+	case jobs.StateDone:
+		s.writeRaw(w, v.Code, body)
+	case jobs.StatePoisoned:
+		s.writeError(w, http.StatusServiceUnavailable, v.Class,
+			"job poisoned after "+strconv.Itoa(v.Attempts)+" attempts: "+v.Error)
+	case jobs.StateExpired:
+		s.writeError(w, http.StatusGone, "expired", "job deadline passed before completion")
+	case jobs.StateCanceled:
+		s.writeError(w, http.StatusGone, "canceled", "job was canceled")
+	default:
+		s.writeError(w, http.StatusConflict, "pending", "job is "+string(v.State)+"; poll again later")
+	}
+}
+
+// handleJobsWatch streams job state changes as NDJSON (one compact
+// JobView per line) until every watched job is terminal or the client
+// goes away. A line is emitted for each job's current state on
+// connect, then once per transition.
+func (s *Server) handleJobsWatch(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		s.writeError(w, http.StatusNotFound, "not-found", "job API disabled (start with a jobs directory)")
+		return
+	}
+	if r.Method != http.MethodGet {
+		s.stats.badRequests.Add(1)
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "method", "GET required")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, "internal", "streaming unsupported")
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	ch, stop := s.jobs.Subscribe()
+	defer stop()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	sent := make(map[string]jobs.State)
+	for {
+		views := s.jobs.List(tenant)
+		allTerminal := len(views) > 0
+		for _, v := range views {
+			if sent[v.ID] != v.State {
+				line, err := json.Marshal(v)
+				if err != nil {
+					continue
+				}
+				if _, err := w.Write(append(line, '\n')); err != nil {
+					return
+				}
+				sent[v.ID] = v.State
+			}
+			if !v.State.Terminal() {
+				allTerminal = false
+			}
+		}
+		fl.Flush()
+		if allTerminal || len(views) == 0 {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		case <-time.After(500 * time.Millisecond):
+			// Fallback poll so a missed coalesced signal cannot wedge
+			// the stream.
+		}
+	}
+}
+
+// jobExecutor adapts the Server's analysis path to jobs.Executor. One
+// attempt is exactly one synchronous-request execution at the
+// attempt's rung of the degradation ladder: attempt 0 runs the
+// requested config, attempt n runs degradeConfig applied n times —
+// the same chain the synchronous retry ladder walks — so a job result
+// is byte-identical to what a synchronous request (with the same
+// retry count) would have returned. Job attempts do not consume the
+// synchronous path's worker slots or settle its circuit breaker: the
+// job subsystem has its own worker budget and its own failure
+// containment (the retry ladder and poison quarantine).
+type jobExecutor struct {
+	s *Server
+}
+
+func (e jobExecutor) Execute(ctx context.Context, spec json.RawMessage, attempt int) jobs.ExecOutcome {
+	s := e.s
+	var req AnalyzeRequest
+	if err := json.Unmarshal(spec, &req); err != nil {
+		// Unreachable for journaled specs (submit validates first);
+		// terminal so a damaged spec cannot retry forever.
+		return jobs.ExecOutcome{Code: http.StatusBadRequest,
+			Body: renderJSON(ErrorResponse{Error: ErrorBody{Class: "bad-request", Message: "invalid job spec: " + err.Error()}})}
+	}
+	cfg, err := req.Config.ToIPCP()
+	if err != nil {
+		return jobs.ExecOutcome{Code: http.StatusBadRequest,
+			Body: renderJSON(ErrorResponse{Error: ErrorBody{Class: "bad-request", Message: err.Error()}})}
+	}
+	cfg.Parallelism = s.cfg.AnalysisParallelism
+	cfg.FailFast = true
+	cfg.Cache = s.memo
+	if req.Filename == "" {
+		req.Filename = "request.f"
+	}
+	for i := 0; i < attempt; i++ {
+		cfg = degradeConfig(cfg)
+	}
+	key := resultKey(req.Filename, req.Source, cfg, req.Want)
+	if attempt == 0 && s.results != nil {
+		if body, ok := s.results.get(key); ok {
+			return jobs.ExecOutcome{Code: http.StatusOK, Body: body}
+		}
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := ipcp.AnalyzeContext(actx, req.Filename, req.Source, cfg)
+	if err != nil {
+		class, retryable, userFault := classify(err)
+		if userFault {
+			// Program diagnostics are a verdict, not a failure: the job
+			// is done, and the body is byte-identical to the
+			// synchronous 422.
+			return jobs.ExecOutcome{Code: http.StatusUnprocessableEntity,
+				Body: renderJSON(ErrorResponse{Error: ErrorBody{Class: "input", Message: err.Error()}})}
+		}
+		s.recordFailureClass(err)
+		if class == "exhausted:deadline" {
+			// For a synchronous request the deadline is the whole
+			// request's clock, so classify marks it non-retryable. Here
+			// only this attempt's slice died; whether the job itself is
+			// out of time is the manager's TTL decision.
+			retryable = true
+		}
+		return jobs.ExecOutcome{Class: class, Err: err.Error(), Retryable: retryable}
+	}
+	body, degraded := s.renderResult(&req, cfg, res, attempt)
+	s.observeLatency(time.Since(start))
+	if attempt == 0 && !degraded && s.results != nil {
+		s.results.put(key, body)
+	}
+	return jobs.ExecOutcome{Code: http.StatusOK, Body: body}
+}
+
+// JobsEnabled reports whether the durable job API is active.
+func (s *Server) JobsEnabled() bool { return s.jobs != nil }
+
+// JobStats snapshots the job subsystem's counters (nil when disabled).
+func (s *Server) JobStats() *jobs.Stats {
+	if s.jobs == nil {
+		return nil
+	}
+	st := s.jobs.Stats()
+	return &st
+}

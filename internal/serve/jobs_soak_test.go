@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/jobs"
+)
+
+// TestJobsCrashSoak is the durable-queue acceptance harness: a batch
+// of jobs is acknowledged once, then the server is hard-killed
+// (Close — the WAL is left exactly as kill -9 would leave it) and
+// rebooted on the same directory several times while the batch is
+// still executing. The crash-safety claims under test:
+//
+//   - every acknowledged job reaches a terminal state — no job is
+//     lost, no matter which crash interrupted it where;
+//   - every completed job's stored result is byte-identical to what
+//     the synchronous endpoint answers for the same request, replay
+//     and re-execution included (exactly-once-observable);
+//   - jobs whose every attempt fails land in poison quarantine with
+//     an attributed error class instead of retrying forever;
+//   - resubmitting the batch after the dust settles dedupes onto the
+//     surviving jobs rather than re-running them.
+//
+// The default run does 3 kill/reboot cycles; `make soak-jobs` scales
+// it up via IPCP_JOBS_SOAK_KILLS.
+func TestJobsCrashSoak(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	// Stretch each analysis so kills land mid-batch, not after it.
+	remove := guard.Set("solve", func() error {
+		time.Sleep(300 * time.Microsecond)
+		return nil
+	})
+	defer remove()
+
+	kills := 3
+	if v := os.Getenv("IPCP_JOBS_SOAK_KILLS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("IPCP_JOBS_SOAK_KILLS: bad value %q", v)
+		}
+		kills = n
+	}
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	jcfg := Config{JobsDir: dir, JobWorkers: 2}
+
+	// The workload: clean analyses, deterministic 422 verdicts, and
+	// poison pills whose solver budget can never suffice, so every
+	// attempt fails transiently until quarantine.
+	type spec struct {
+		req  AnalyzeRequest
+		kind string // ok | input | poison
+	}
+	var specs []spec
+	for i := 0; i < 18; i++ {
+		specs = append(specs, spec{AnalyzeRequest{Source: uniqueJobSrc(100 + i)}, "ok"})
+	}
+	for i := 0; i < 3; i++ {
+		specs = append(specs, spec{AnalyzeRequest{
+			Source: "PROGRAM P\nCALL NOPE(" + strconv.Itoa(i) + ")\nEND\n"}, "input"})
+	}
+	for i := 0; i < 3; i++ {
+		// Two call sites force at least two jump-function evaluations, so
+		// a one-step solver budget exhausts at every rung of the
+		// degradation ladder (degradeConfig never relaxes the budget).
+		specs = append(specs, spec{AnalyzeRequest{
+			Source: "PROGRAM P\nINTEGER I\nI = " + strconv.Itoa(200+i) +
+				"\nCALL Q(I)\nCALL Q(I)\nEND\nSUBROUTINE Q(N)\nINTEGER N\nPRINT *, N\nEND\n",
+			Config: RequestConfig{MaxSolverSteps: 1}}, "poison"})
+	}
+
+	// Single-shot synchronous reference answers, from a jobless server.
+	ref := newTestServer(Config{})
+	refCode := make([]int, len(specs))
+	refBody := make([][]byte, len(specs))
+	for i, sp := range specs {
+		if sp.kind == "poison" {
+			continue
+		}
+		refCode[i], _, refBody[i] = postAnalyze(t, ref, sp.req)
+	}
+
+	// Boot 1: submit the whole batch, get the only acks there will be.
+	s, err := New(jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := JobSubmitRequest{Jobs: make([]AnalyzeRequest, len(specs))}
+	for i, sp := range specs {
+		batch.Jobs[i] = sp.req
+	}
+	acks := submitJobs(t, s, batch)
+	if len(acks.Jobs) != len(specs) {
+		t.Fatalf("acked %d of %d jobs", len(acks.Jobs), len(specs))
+	}
+
+	// Kill/reboot cycles while the batch executes.
+	for k := 0; k < kills; k++ {
+		time.Sleep(time.Duration(3+rng.Intn(7)) * time.Millisecond)
+		if err := s.Close(); err != nil {
+			t.Fatalf("kill %d: %v", k, err)
+		}
+		s, err = New(jcfg)
+		if err != nil {
+			t.Fatalf("reboot %d: the WAL a crash left behind must replay: %v", k, err)
+		}
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Jobs == nil || st.Jobs.WAL.ReplayedRecords == 0 {
+		t.Fatalf("final boot replayed nothing — the kills never interrupted anything: %+v", st.Jobs)
+	}
+
+	// Every acked job must reach a terminal state on the final boot.
+	for i, ack := range acks.Jobs {
+		v := waitJobTerminal(t, s, ack.ID)
+		switch specs[i].kind {
+		case "ok", "input":
+			if v.State != jobs.StateDone || v.Code != refCode[i] {
+				t.Fatalf("job %d (%s): %+v, want done with code %d", i, specs[i].kind, v, refCode[i])
+			}
+			code, _, body := doReq(s, http.MethodGet, "/v1/jobs/"+ack.ID+"/result", nil)
+			if code != refCode[i] || !bytes.Equal(body, refBody[i]) {
+				t.Fatalf("job %d (%s): result diverged from the synchronous reference\njob:  %d %s\nsync: %d %s",
+					i, specs[i].kind, code, body, refCode[i], refBody[i])
+			}
+		case "poison":
+			if v.State != jobs.StatePoisoned {
+				t.Fatalf("job %d (poison): %+v, want poisoned", i, v)
+			}
+			if v.Class == "" || v.Attempts < 1 {
+				t.Fatalf("job %d (poison): quarantine must attribute the failure: %+v", i, v)
+			}
+		}
+	}
+
+	// Resubmission dedupes onto the done jobs; the poisoned ones are
+	// eligible for a fresh try by design.
+	again := submitJobs(t, s, batch)
+	for i, ack := range again.Jobs {
+		if specs[i].kind == "poison" {
+			continue
+		}
+		if !ack.Deduped || ack.ID != acks.Jobs[i].ID {
+			t.Fatalf("job %d (%s): resubmit minted a new job: %+v", i, specs[i].kind, ack)
+		}
+	}
+
+	st := s.Stats().Jobs
+	if st.Poisoned != 3 || st.Done < int64(len(specs)-3) {
+		t.Fatalf("final counters: %+v", st)
+	}
+	var decoded map[string]interface{}
+	raw, _ := json.Marshal(st)
+	if err := json.Unmarshal(raw, &decoded); err != nil || decoded["wal"] == nil {
+		t.Fatalf("jobs stats must serialize with a wal block: %v %s", err, raw)
+	}
+	t.Logf("soak: %d kills, %d jobs, %d done, %d poisoned, %d retries, %d WAL records replayed on final boot",
+		kills, len(specs), st.Done, st.Poisoned, st.Retries, st.WAL.ReplayedRecords)
+}

@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/jobs"
+	"repro/ipcp"
+)
+
+// jobsTestServer is newTestServer with the durable job API enabled in
+// a per-test temp directory; the manager is crash-killed on cleanup so
+// its workers never outlive the test.
+func jobsTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.JobsDir == "" {
+		cfg.JobsDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sleep = func(ctx context.Context, d time.Duration) {}
+	t.Cleanup(func() { s.jobs.Kill() })
+	return s
+}
+
+func doReq(s *Server, method, path string, body []byte) (int, http.Header, []byte) {
+	r := httptest.NewRequest(method, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w.Code, w.Header(), w.Body.Bytes()
+}
+
+func submitJobs(t *testing.T, s *Server, req JobSubmitRequest) JobSubmitResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, data := doReq(s, http.MethodPost, "/v1/jobs", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", code, data)
+	}
+	var resp JobSubmitResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, data)
+	}
+	return resp
+}
+
+// waitJobTerminal polls GET /v1/jobs/{id} until the job reaches a
+// terminal state.
+func waitJobTerminal(t *testing.T, s *Server, id string) jobs.JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _, data := doReq(s, http.MethodGet, "/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: status = %d, body %s", id, code, data)
+		}
+		var v jobs.JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatalf("poll %s: %v\n%s", id, err, data)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, v.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// uniqueJobSrc yields a valid program whose fingerprint differs per n,
+// so tests control dedupe explicitly.
+func uniqueJobSrc(n int) string {
+	return fmt.Sprintf("PROGRAM P\nINTEGER I\nI = %d\nCALL Q(I)\nEND\nSUBROUTINE Q(N)\nINTEGER N\nPRINT *, N\nEND\n", n)
+}
+
+// TestJobsDisabledWithoutDir: without a jobs directory every job
+// endpoint answers 404 so probes cannot mistake "absent" for "empty".
+func TestJobsDisabledWithoutDir(t *testing.T) {
+	s := newTestServer(Config{})
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/abc", "/v1/jobs/abc/result", "/v1/jobs/watch"} {
+		code, _, body := doReq(s, http.MethodGet, path, nil)
+		if code != http.StatusNotFound {
+			t.Errorf("GET %s: status = %d, body %s", path, code, body)
+		}
+		if eb := decodeError(t, body); eb.Class != "not-found" {
+			t.Errorf("GET %s: class = %q", path, eb.Class)
+		}
+	}
+}
+
+// TestJobSubmitPollResult: the core exactly-once-observable contract
+// at the HTTP layer. A submitted batch acks every job, each reaches a
+// terminal state, and /result replays bytes identical to what the
+// synchronous endpoint returns for the same request — including the
+// 422 verdict for a program with diagnostics.
+func TestJobSubmitPollResult(t *testing.T) {
+	s := jobsTestServer(t, Config{})
+	badSrc := "PROGRAM P\nCALL NOPE(1)\nEND\n"
+
+	resp := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{
+		{Source: okSrc},
+		{Source: badSrc},
+	}})
+	if len(resp.Jobs) != 2 || resp.Tenant != jobs.DefaultTenant {
+		t.Fatalf("acks: %+v", resp)
+	}
+	if resp.Jobs[0].ID == resp.Jobs[1].ID {
+		t.Fatalf("distinct jobs shared an ID: %+v", resp.Jobs)
+	}
+
+	ok := waitJobTerminal(t, s, resp.Jobs[0].ID)
+	if ok.State != jobs.StateDone || ok.Code != http.StatusOK {
+		t.Fatalf("ok job: %+v", ok)
+	}
+	bad := waitJobTerminal(t, s, resp.Jobs[1].ID)
+	if bad.State != jobs.StateDone || bad.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("diagnostic job must be done with the 422 verdict: %+v", bad)
+	}
+
+	// Byte identity against the synchronous reference.
+	code, _, jobBody := doReq(s, http.MethodGet, "/v1/jobs/"+resp.Jobs[0].ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result status = %d, body %s", code, jobBody)
+	}
+	syncCode, _, syncBody := postAnalyze(t, s, AnalyzeRequest{Source: okSrc})
+	if syncCode != http.StatusOK || !bytes.Equal(jobBody, syncBody) {
+		t.Fatalf("job result differs from synchronous bytes:\njob:  %s\nsync: %s", jobBody, syncBody)
+	}
+	code, _, jobBody = doReq(s, http.MethodGet, "/v1/jobs/"+resp.Jobs[1].ID+"/result", nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("422 result status = %d, body %s", code, jobBody)
+	}
+	syncCode, _, syncBody = postAnalyze(t, s, AnalyzeRequest{Source: badSrc})
+	if syncCode != http.StatusUnprocessableEntity || !bytes.Equal(jobBody, syncBody) {
+		t.Fatalf("job 422 differs from synchronous bytes:\njob:  %s\nsync: %s", jobBody, syncBody)
+	}
+
+	// List and stats see both jobs.
+	code, _, data := doReq(s, http.MethodGet, "/v1/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list status = %d", code)
+	}
+	var list JobListResponse
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Jobs) != 2 {
+		t.Fatalf("list: %v\n%s", err, data)
+	}
+	st := s.Stats()
+	if st.Jobs == nil || st.Jobs.Submitted != 2 || st.Jobs.Done != 2 {
+		t.Fatalf("/statsz jobs block: %+v", st.Jobs)
+	}
+}
+
+// TestJobSubmitValidation: a batch is validated whole before anything
+// is journaled — bad entries reject the batch with a 400 naming the
+// offending index, and nothing is enqueued.
+func TestJobSubmitValidation(t *testing.T) {
+	s := jobsTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"bad JSON", []byte("{nope")},
+		{"empty batch", mustJSONBody(t, JobSubmitRequest{})},
+		{"bad config enum", mustJSONBody(t, JobSubmitRequest{Jobs: []AnalyzeRequest{
+			{Source: okSrc},
+			{Source: okSrc, Config: RequestConfig{Kind: "psychic"}},
+		}})},
+	}
+	for _, tc := range cases {
+		code, _, body := doReq(s, http.MethodPost, "/v1/jobs", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, body %s", tc.name, code, body)
+		}
+	}
+	if code, hdr, _ := doReq(s, http.MethodPut, "/v1/jobs", nil); code != http.StatusMethodNotAllowed || hdr.Get("Allow") == "" {
+		t.Errorf("PUT: status = %d, Allow = %q", code, hdr.Get("Allow"))
+	}
+	if st := s.jobs.Stats(); st.Submitted != 0 {
+		t.Fatalf("rejected batches must journal nothing: %+v", st)
+	}
+}
+
+// TestJobDedupe: resubmitting a spec already queued, running, or done
+// returns the original job's ack (Deduped) instead of re-running it —
+// within a batch and across batches.
+func TestJobDedupe(t *testing.T) {
+	s := jobsTestServer(t, Config{})
+	resp := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{
+		{Source: okSrc},
+		{Source: okSrc},
+	}})
+	if resp.Jobs[1].ID != resp.Jobs[0].ID || !resp.Jobs[1].Deduped {
+		t.Fatalf("in-batch duplicate not deduped: %+v", resp.Jobs)
+	}
+	waitJobTerminal(t, s, resp.Jobs[0].ID)
+	again := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{{Source: okSrc}}})
+	if again.Jobs[0].ID != resp.Jobs[0].ID || !again.Jobs[0].Deduped {
+		t.Fatalf("cross-batch duplicate not deduped: %+v", again.Jobs)
+	}
+	if st := s.jobs.Stats(); st.Submitted != 1 || st.Deduped != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestJobQuota429: a tenant past its queued-jobs quota gets a whole-
+// batch 429 with class "shed" and a Retry-After of at least one second
+// — never 0, which would invite a tight retry loop.
+func TestJobQuota429(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	release := make(chan struct{})
+	remove := guard.Set("solve", func() error {
+		<-release
+		return nil
+	})
+	defer remove()
+	defer close(release)
+
+	s := jobsTestServer(t, Config{JobWorkers: 1, JobQuota: ipcp.TenantQuota{MaxQueued: 1}})
+
+	// First job occupies the worker; second fills the queue quota.
+	a := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{{Source: uniqueJobSrc(1)}}})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _, data := doReq(s, http.MethodGet, "/v1/jobs/"+a.Jobs[0].ID, nil)
+		var v jobs.JobView
+		if code == http.StatusOK {
+			json.Unmarshal(data, &v)
+		}
+		if v.State == jobs.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running: %s", data)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{{Source: uniqueJobSrc(2)}}})
+
+	body := mustJSONBody(t, JobSubmitRequest{Jobs: []AnalyzeRequest{{Source: uniqueJobSrc(3)}}})
+	code, hdr, data := doReq(s, http.MethodPost, "/v1/jobs", body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", code, data)
+	}
+	if eb := decodeError(t, data); eb.Class != "shed" {
+		t.Fatalf("class = %q, body %s", eb.Class, data)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
+	}
+	if st := s.jobs.Stats(); st.QuotaRejections != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestJobCancelEndpoint: DELETE cancels a queued job, its result
+// endpoint answers 410, and unknown IDs answer 404.
+func TestJobCancelEndpoint(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	release := make(chan struct{})
+	remove := guard.Set("solve", func() error {
+		<-release
+		return nil
+	})
+	defer remove()
+	defer close(release)
+
+	s := jobsTestServer(t, Config{JobWorkers: 1})
+	parked := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{{Source: uniqueJobSrc(10)}}})
+	_ = parked
+	queued := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{{Source: uniqueJobSrc(11)}}})
+
+	code, _, data := doReq(s, http.MethodDelete, "/v1/jobs/"+queued.Jobs[0].ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel status = %d, body %s", code, data)
+	}
+	var v jobs.JobView
+	if err := json.Unmarshal(data, &v); err != nil || v.State != jobs.StateCanceled {
+		t.Fatalf("cancel view: %v\n%s", err, data)
+	}
+	code, _, data = doReq(s, http.MethodGet, "/v1/jobs/"+queued.Jobs[0].ID+"/result", nil)
+	if code != http.StatusGone {
+		t.Fatalf("canceled result status = %d, body %s", code, data)
+	}
+	if eb := decodeError(t, data); eb.Class != "canceled" {
+		t.Fatalf("class = %q", eb.Class)
+	}
+	if code, _, _ := doReq(s, http.MethodDelete, "/v1/jobs/no-such-job", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown cancel status = %d", code)
+	}
+}
+
+// TestJobsWatch: the NDJSON stream emits each job's states and closes
+// once everything it watches is terminal; every line is a JobView.
+func TestJobsWatch(t *testing.T) {
+	s := jobsTestServer(t, Config{})
+	resp := submitJobs(t, s, JobSubmitRequest{Jobs: []AnalyzeRequest{
+		{Source: uniqueJobSrc(20)},
+		{Source: uniqueJobSrc(21)},
+	}})
+	code, hdr, data := doReq(s, http.MethodGet, "/v1/jobs/watch", nil)
+	if code != http.StatusOK {
+		t.Fatalf("watch status = %d, body %s", code, data)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	final := map[string]jobs.State{}
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var v jobs.JobView
+		if err := json.Unmarshal(line, &v); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, line)
+		}
+		final[v.ID] = v.State
+	}
+	for _, ack := range resp.Jobs {
+		if st := final[ack.ID]; !st.Terminal() {
+			t.Fatalf("watch ended with job %s in state %q", ack.ID, st)
+		}
+	}
+}
+
+// TestShedRetryAfterFloor (satellite): even when the latency EWMA is
+// tiny — a warm cache makes analyses take microseconds — a shed client
+// is never told "Retry-After: 0". The floor holds end to end: header
+// on a real shed response, and the derivation itself.
+func TestShedRetryAfterFloor(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	entered := make(chan struct{}, 2)
+	release := make(chan struct{})
+	remove := guard.Set("solve", func() error {
+		entered <- struct{}{}
+		<-release
+		return nil
+	})
+	defer remove()
+
+	s := newTestServer(Config{MaxConcurrency: 1, QueueDepth: 1})
+	// Sub-millisecond EWMA: the unfloored estimate (2 rounds x 50µs)
+	// would round to 0 seconds.
+	s.stats.latencyEWMA.Store(int64(50 * time.Microsecond))
+	if d := s.shedBackoff(); d < time.Second {
+		t.Fatalf("shedBackoff() = %v with tiny EWMA, want >= 1s", d)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			postAnalyze(t, s, AnalyzeRequest{Source: uniqueJobSrc(30 + n)})
+		}(i)
+	}
+	<-entered
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 2", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, hdr, body := postAnalyze(t, s, AnalyzeRequest{Source: uniqueJobSrc(99)})
+	close(release)
+	wg.Wait()
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", code, body)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", hdr.Get("Retry-After"))
+	}
+}
+
+// TestDrainServesParkedQueuedRequests (satellite): requests that were
+// admitted and are waiting for a worker slot — parked in the queue,
+// not in flight — when the drain begins must still be served, while
+// requests arriving after the flip are refused with class "draining".
+func TestDrainServesParkedQueuedRequests(t *testing.T) {
+	t.Setenv(guard.EnvFailPoints, "1")
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	remove := guard.Set("solve", func() error {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+		return nil
+	})
+	defer remove()
+
+	s := newTestServer(Config{MaxConcurrency: 1, QueueDepth: 2})
+	codes := make([]int, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			code, _, _ := postAnalyze(t, s, AnalyzeRequest{Source: uniqueJobSrc(40 + n)})
+			codes[n] = code
+		}(i)
+	}
+	// One request is in flight (parked in the analyzer); the other two
+	// are queued waiting for the worker slot.
+	<-entered
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued = %d, want 3", s.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.BeginDrain()
+	// New arrivals are refused immediately...
+	code, _, body := postAnalyze(t, s, AnalyzeRequest{Source: uniqueJobSrc(50)})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d, body %s", code, body)
+	}
+	if eb := decodeError(t, body); eb.Class != "draining" {
+		t.Fatalf("post-drain class = %q", eb.Class)
+	}
+	// ...but the parked requests all complete once the worker frees up.
+	close(release)
+	wg.Wait()
+	for n, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("parked request %d: status = %d, want 200", n, code)
+		}
+	}
+	st := s.Stats()
+	if st.OK != 3 || st.DrainRejects != 1 {
+		t.Fatalf("stats after drain: ok=%d drainRejects=%d", st.OK, st.DrainRejects)
+	}
+}
+
+func mustJSONBody(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/pipeline"
 	"repro/ipcp"
 )
@@ -105,6 +106,21 @@ type Config struct {
 	// endpoints expose internals and cost memory, so they are strictly
 	// opt-in (the binary's -pprof flag).
 	EnablePprof bool
+
+	// JobsDir enables the durable batch/async job API (/v1/jobs): the
+	// write-ahead log lives here and is replayed on startup, so a crash
+	// mid-batch loses no acknowledged job. Empty disables the job API
+	// (its endpoints answer 404).
+	JobsDir string
+	// JobWorkers is the number of concurrent job executions (default
+	// max(1, MaxConcurrency/2) — async work shares the machine with
+	// synchronous requests but must not be able to monopolize it).
+	JobWorkers int
+	// JobPolicy tunes job retries, TTLs, and retention; JobQuota is the
+	// default per-tenant quota and JobTenants pins per-tenant overrides.
+	JobPolicy  ipcp.JobPolicy
+	JobQuota   ipcp.TenantQuota
+	JobTenants map[string]ipcp.TenantQuota
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +169,12 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheBytes == 0 {
 		c.ResultCacheBytes = 32 << 20
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = c.MaxConcurrency / 2
+		if c.JobWorkers < 1 {
+			c.JobWorkers = 1
+		}
+	}
 	return c
 }
 
@@ -165,9 +187,14 @@ type Server struct {
 	draining atomic.Bool
 	breaker  *Breaker
 	started  time.Time
-	http     *http.Server
-	memo     *ipcp.Cache  // nil when AnalysisCacheBytes < 0
-	results  *resultCache // nil when ResultCacheBytes < 0
+	// http is published by Serve and read by Shutdown/Close; atomic
+	// because a supervisor may restart Serve in a fresh goroutine and
+	// later shut the server down from another, with no other
+	// synchronization between the two.
+	http    atomic.Pointer[http.Server]
+	memo    *ipcp.Cache   // nil when AnalysisCacheBytes < 0
+	results *resultCache  // nil when ResultCacheBytes < 0
+	jobs    *jobs.Manager // nil when JobsDir is empty
 	// reqPL runs the per-request analysis phase through the shared pass
 	// manager, with the retry/degrade ladder attached as middleware.
 	reqPL *pipeline.Pipeline[*reqState]
@@ -206,8 +233,12 @@ type serverStats struct {
 	phaseAgg    map[string]*PhaseLatency
 }
 
-// New returns a Server over cfg (zero-value fields defaulted).
-func New(cfg Config) *Server {
+// New returns a Server over cfg (zero-value fields defaulted). The
+// only failure mode is the durable job subsystem: when cfg.JobsDir is
+// set, its write-ahead log is opened and replayed here, and a damaged
+// log refuses to start rather than silently dropping acknowledged
+// jobs.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -234,13 +265,30 @@ func New(cfg Config) *Server {
 	s.stats.panicsPhase = make(map[string]int64)
 	s.stats.phaseAgg = make(map[string]*PhaseLatency)
 	s.reqPL = pipeline.New[*reqState]().Use(s.retrying())
-	return s
+	if cfg.JobsDir != "" {
+		m, err := jobs.New(jobs.Config{
+			Dir:          cfg.JobsDir,
+			Executor:     jobExecutor{s},
+			Workers:      cfg.JobWorkers,
+			Policy:       cfg.JobPolicy,
+			DefaultQuota: cfg.JobQuota,
+			Tenants:      cfg.JobTenants,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = m
+	}
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/watch", s.handleJobsWatch)
+	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
@@ -257,8 +305,9 @@ func (s *Server) Handler() http.Handler {
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a graceful shutdown, like net/http.
 func (s *Server) Serve(l net.Listener) error {
-	s.http = &http.Server{Handler: s.Handler()}
-	return s.http.Serve(l)
+	hs := &http.Server{Handler: s.Handler()}
+	s.http.Store(hs)
+	return hs.Serve(l)
 }
 
 // BeginDrain flips the server to draining without closing anything:
@@ -269,28 +318,49 @@ func (s *Server) Serve(l net.Listener) error {
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Shutdown drains the server: new work is refused (readyz flips, 503s
-// with class "draining"), in-flight requests get up to DrainTimeout to
-// finish, then connections are closed.
+// with class "draining", job submissions rejected), in-flight requests
+// and running job attempts get up to DrainTimeout to finish, and the
+// job queue is checkpointed — queued jobs survive to the next boot
+// instead of being discarded. Connections close last.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
-	if s.http == nil {
-		return nil
-	}
 	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
 	defer cancel()
-	return s.http.Shutdown(dctx)
+	var httpErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if hs := s.http.Load(); hs != nil {
+			httpErr = hs.Shutdown(dctx)
+		}
+	}()
+	var jobsErr error
+	if s.jobs != nil {
+		jobsErr = s.jobs.Drain(dctx)
+	}
+	<-done
+	if httpErr != nil {
+		return httpErr
+	}
+	return jobsErr
 }
 
 // Close abruptly terminates the server: the listener and every active
-// connection are closed without waiting for in-flight work. It exists
-// for chaos harnesses that need to kill a backend mid-request the way
-// a crashed process would; production shutdown is Shutdown.
+// connection are closed without waiting for in-flight work, and the
+// job subsystem is crash-killed (no checkpoint — on-disk state is
+// exactly what kill -9 would leave). It exists for chaos harnesses
+// that need to kill a backend mid-request the way a crashed process
+// would; production shutdown is Shutdown.
 func (s *Server) Close() error {
 	s.draining.Store(true)
-	if s.http == nil {
+	if s.jobs != nil {
+		s.jobs.Kill()
+	}
+	hs := s.http.Load()
+	if hs == nil {
 		return nil
 	}
-	return s.http.Close()
+	return hs.Close()
 }
 
 // ---------------------------------------------------------------------
@@ -410,6 +480,10 @@ type StatsSnapshot struct {
 	// replayed responses. Either is absent when that cache is disabled.
 	AnalysisCache *CacheCounters `json:"analysis_cache,omitempty"`
 	ResultCache   *CacheCounters `json:"result_cache,omitempty"`
+	// Jobs is the durable job subsystem's counter block (queue depths,
+	// per-tenant counters, WAL fsync latency, poison count). Absent
+	// when the job API is disabled.
+	Jobs *jobs.Stats `json:"jobs,omitempty"`
 }
 
 // PhaseLatency is one phase's latency aggregate across every 200
@@ -502,6 +576,10 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.results != nil {
 		rc := s.results.counters()
 		snap.ResultCache = &rc
+	}
+	if s.jobs != nil {
+		js := s.jobs.Stats()
+		snap.Jobs = &js
 	}
 	return snap
 }
@@ -625,7 +703,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // worker retires one about every EWMA-latency interval. Before any
 // request has completed (no latency signal yet) it falls back to 1s;
 // the estimate is capped at 30s so a latency spike cannot tell clients
-// to go away for minutes.
+// to go away for minutes, and floored at 1s: "Retry-After: 0" reads as
+// "retry immediately" and turns shedding into a tight retry loop, so
+// the floor is enforced here at derivation (and again in retryAfter's
+// rendering) so no path can emit it.
 func (s *Server) shedBackoff() time.Duration {
 	ewma := time.Duration(s.stats.latencyEWMA.Load())
 	if ewma <= 0 {
@@ -636,6 +717,9 @@ func (s *Server) shedBackoff() time.Duration {
 	d := time.Duration(rounds) * ewma
 	if d > 30*time.Second {
 		d = 30 * time.Second
+	}
+	if d < time.Second {
+		d = time.Second
 	}
 	return d
 }
@@ -801,6 +885,26 @@ func (s *Server) recordFailureClass(err error) {
 // "ok", no retries, no degradations — in the result cache so identical
 // requests replay identical bytes.
 func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipcp.Config, res *ipcp.Result, retries int, key string) {
+	body, degraded := s.renderResult(req, cfg, res, retries)
+	if degraded {
+		s.stats.degraded.Add(1)
+	} else {
+		s.stats.ok.Add(1)
+	}
+	if s.results != nil && !degraded {
+		s.results.put(key, body)
+	}
+	s.writeRaw(w, http.StatusOK, body)
+}
+
+// renderResult builds the 200 body for one finished analysis — the
+// single rendering path shared by the synchronous handler and the job
+// executor, which is what makes an async job's stored result
+// byte-identical to the synchronous response for the same request. It
+// folds per-phase latencies and degradation counters into /statsz but
+// leaves response-disposition counters (ok/degraded, caching, writing)
+// to the caller.
+func (s *Server) renderResult(req *AnalyzeRequest, cfg ipcp.Config, res *ipcp.Result, retries int) (body []byte, degraded bool) {
 	resp := AnalyzeResponse{
 		Status:        "ok",
 		Config:        describeConfig(cfg),
@@ -824,11 +928,6 @@ func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipc
 	}
 	if len(res.Degradations) > 0 || retries > 0 {
 		resp.Status = "degraded"
-	}
-	if resp.Status == "degraded" {
-		s.stats.degraded.Add(1)
-	} else {
-		s.stats.ok.Add(1)
 	}
 	s.stats.mu.Lock()
 	for _, d := range res.Degradations {
@@ -856,11 +955,7 @@ func (s *Server) writeResult(w http.ResponseWriter, req *AnalyzeRequest, cfg ipc
 	if req.Want.Transformed {
 		resp.Transformed = res.TransformedSource()
 	}
-	body := renderJSON(resp)
-	if s.results != nil && resp.Status == "ok" {
-		s.results.put(key, body)
-	}
-	s.writeRaw(w, http.StatusOK, body)
+	return renderJSON(resp), resp.Status == "degraded"
 }
 
 // describeConfig names the configuration a response was served at.

@@ -28,7 +28,10 @@ END
 // newTestServer returns a Server with fast retries and no real backoff
 // sleeps, suitable for direct handler-level tests.
 func newTestServer(cfg Config) *Server {
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	s.sleep = func(ctx context.Context, d time.Duration) {}
 	return s
 }
@@ -234,7 +237,10 @@ func TestRetryThenSuccess(t *testing.T) {
 	defer remove()
 
 	var slept atomic.Int64
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.sleep = func(ctx context.Context, d time.Duration) {
 		if d <= 0 {
 			panic("non-positive backoff")
@@ -272,7 +278,10 @@ func TestRetriesExhaustedTripBreaker(t *testing.T) {
 	t.Setenv(guard.EnvFailPoints, "1")
 	remove := guard.Set("solve", func() error { panic("persistent fault") })
 
-	s := New(Config{MaxRetries: 1, BreakerThreshold: 2, BreakerProbes: 1, BreakerCooldown: time.Minute})
+	s, err := New(Config{MaxRetries: 1, BreakerThreshold: 2, BreakerProbes: 1, BreakerCooldown: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.sleep = func(ctx context.Context, d time.Duration) {}
 	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
 	s.breaker.now = clk.now

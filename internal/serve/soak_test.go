@@ -58,7 +58,7 @@ func TestChaosSoak(t *testing.T) {
 	// outlast the breaker cooldown (~80ms), so an open breaker gets its
 	// probe while the fault is still hot (reopen) and after it moves on
 	// (close).
-	s := New(Config{
+	s, err := New(Config{
 		MaxConcurrency:   2,
 		QueueDepth:       2,
 		RequestTimeout:   2 * time.Second,
@@ -70,6 +70,9 @@ func TestChaosSoak(t *testing.T) {
 		BreakerCooldown:  80 * time.Millisecond,
 		BreakerProbes:    1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -1,0 +1,47 @@
+package ipcp
+
+import "time"
+
+// TenantQuota is one tenant's share of the durable batch/job subsystem
+// (the /v1/jobs API served by ipcp-serve and proxied by ipcp-coord).
+// Scheduling across tenants is weighted fair queueing: a tenant with
+// Weight 3 is dispatched three jobs for every one job of a Weight-1
+// tenant while both have work queued, and an idle tenant's unused share
+// is redistributed — weights bound interference, they never strand
+// capacity. The zero value of each field selects the server's default.
+type TenantQuota struct {
+	// Weight is the tenant's fair-queueing weight (default 1).
+	Weight int
+	// MaxQueued caps the tenant's jobs waiting for a worker; a batch
+	// that would exceed it is rejected whole with 429 + Retry-After
+	// (default 1024).
+	MaxQueued int
+	// MaxInFlight caps the tenant's jobs running at once, so one
+	// tenant's burst cannot occupy every worker (default: the job
+	// worker count).
+	MaxInFlight int
+}
+
+// JobPolicy tunes how the job subsystem executes and retains jobs. The
+// zero value of each field selects the documented default.
+type JobPolicy struct {
+	// MaxAttempts is how many times a job may fail transiently before
+	// it is quarantined in the poison state with its attributed error
+	// (default 3). Each retry re-runs the analysis one step down the
+	// sound degradation chain, exactly like the synchronous retry
+	// ladder.
+	MaxAttempts int
+	// DefaultTTL is the deadline granted to a job whose submission
+	// carries no ttl_ms (default 10m); MaxTTL caps what a submission
+	// may ask for (default 1h). A job that is still queued or running
+	// past its deadline moves to the expired state.
+	DefaultTTL time.Duration
+	MaxTTL     time.Duration
+	// Retention is how long terminal jobs (done, poisoned, expired,
+	// canceled) stay pollable before they are pruned (default 30m).
+	// Within the window, resubmitting an identical program for the
+	// same tenant returns the existing job instead of re-executing —
+	// the fingerprint-keyed idempotency that makes crash re-execution
+	// exactly-once-observable.
+	Retention time.Duration
+}
