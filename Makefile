@@ -20,12 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Smoke-fuzz the native targets: the two analysis fuzzers are seeded
-# from internal/core/testdata/*.f; the job-manifest fuzzer is seeded
-# with handwritten batch JSON. All must stay crash-free.
+# Smoke-fuzz the native targets: the analysis fuzzers are seeded from
+# internal/core/testdata/*.f (FuzzSessionDelta additionally checks that
+# any session edit sequence matches a cold analysis of the final text);
+# the job-manifest fuzzer is seeded with handwritten batch JSON. All
+# must stay crash-free.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) ./ipcp
+	$(GO) test -run='^$$' -fuzz=FuzzSessionDelta -fuzztime=$(FUZZTIME) ./ipcp
 	$(GO) test -run='^$$' -fuzz=FuzzJobManifest -fuzztime=$(FUZZTIME) ./internal/serve
 
 # The full gate: what CI (and a pre-commit run) should pass. race runs

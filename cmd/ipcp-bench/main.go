@@ -25,11 +25,13 @@
 //   - With -baseline, the allocs/op of table2/analyze-serial must not
 //     grow more than 10% over the committed baseline.
 //   - The incremental-analysis exhibits must show their designed wins
-//     (warm-identical >= 5x over cold, warm-one-edit >= 2x); skipped
-//     under -quick, whose short runs are too noisy to gate on.
+//     (warm-identical >= 5x over cold, warm-one-edit >= 2x, and the
+//     session delta edit >= 5x over warm-one-edit); skipped under
+//     -quick, whose short runs are too noisy to gate on.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jump"
 	"repro/internal/lattice"
+	"repro/internal/memo"
 	"repro/internal/parser"
 	"repro/internal/report"
 	"repro/internal/sem"
@@ -273,26 +276,35 @@ func gateAllocs(stdout io.Writer, path string, cur *Baseline) error {
 
 // gateMemo asserts the incremental-analysis exhibits deliver their
 // designed wins: a warm identical re-analysis at least 5x cheaper than
-// a cold one, and re-analysis after one edited unit at least 2x.
+// a cold one, re-analysis after one edited unit at least 2x, and a
+// session delta edit of the same one-unit change at least 5x cheaper
+// again than the cache-keyed warm-one-edit path — the session's whole
+// reason to exist is closing the warm-one-edit/warm-identical gap.
 func gateMemo(stdout io.Writer, base *Baseline) error {
 	cold := findExhibit(base, "memo/cold")
 	warm := findExhibit(base, "memo/warm-identical")
 	edit := findExhibit(base, "memo/warm-one-edit")
-	if cold == nil || warm == nil || edit == nil {
+	delta := findExhibit(base, "memo/warm-one-edit-delta")
+	if cold == nil || warm == nil || edit == nil || delta == nil {
 		return fmt.Errorf("memo gate: exhibits missing")
 	}
-	if warm.NsPerOp <= 0 || edit.NsPerOp <= 0 {
+	if warm.NsPerOp <= 0 || edit.NsPerOp <= 0 || delta.NsPerOp <= 0 {
 		return fmt.Errorf("memo gate: degenerate timings")
 	}
 	warmX := cold.NsPerOp / warm.NsPerOp
 	editX := cold.NsPerOp / edit.NsPerOp
+	deltaX := edit.NsPerOp / delta.NsPerOp
 	if warmX < 5 {
 		return fmt.Errorf("memo gate: warm-identical only %.2fx faster than cold (need >= 5x)", warmX)
 	}
 	if editX < 2 {
 		return fmt.Errorf("memo gate: warm-one-edit only %.2fx faster than cold (need >= 2x)", editX)
 	}
-	fmt.Fprintf(stdout, "memo gate passed: warm-identical %.1fx, warm-one-edit %.1fx over cold\n", warmX, editX)
+	if deltaX < 5 {
+		return fmt.Errorf("memo gate: warm-one-edit-delta only %.2fx faster than warm-one-edit (need >= 5x)", deltaX)
+	}
+	fmt.Fprintf(stdout, "memo gate passed: warm-identical %.1fx, warm-one-edit %.1fx over cold, delta edit %.1fx over warm-one-edit\n",
+		warmX, editX, deltaX)
 	return nil
 }
 
@@ -449,6 +461,120 @@ func memoExhibits() ([]Exhibit, error) {
 		}
 		return nil
 	}))
+	return out, nil
+}
+
+// sessionExhibits measures the compiler-daemon session path.
+//
+// memo/warm-one-edit-delta is the same scenario as memo/warm-one-edit —
+// one novel statement in spec77's last unit, re-analyzed — expressed as
+// a delta edit against a resident session instead of a whole-text
+// re-submission against the SHA-keyed cache: no re-splitting, no
+// re-hashing, re-parse of exactly one unit, artifact invalidation
+// limited to the edited unit's transitive callers, and value-context
+// replay for the procedures propagation revisits with unchanged
+// incoming tuples.
+//
+// session/edit-blast-radius-{1,n} ablate the invalidation itself on a
+// synthetic linear call chain MAIN -> C1 -> … -> Cdepth: an edit to
+// MAIN (no callers) invalidates one unit, an edit to the deepest
+// callee invalidates the entire transitive-caller chain. The spread
+// between the two is what blast-radius invalidation buys over
+// rebuild-everything.
+func sessionExhibits() ([]Exhibit, error) {
+	spec, ok := suite.ByName("spec77")
+	if !ok {
+		return nil, fmt.Errorf("no suite program spec77")
+	}
+	src := suite.Source(spec)
+	cfg := ipcp.Config{Kind: ipcp.Polynomial, UseMOD: true, UseReturnJFs: true, Parallelism: 1}
+	ctx := context.Background()
+
+	s, err := ipcp.OpenSession(ctx, "spec77.f", src, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("session open: %w", err)
+	}
+	chunks, ok := memo.Split("spec77.f", src)
+	if !ok || len(chunks) != s.NumUnits() {
+		return nil, fmt.Errorf("spec77 split: %d chunks vs %d session units", len(chunks), s.NumUnits())
+	}
+	last := len(chunks) - 1
+	seq := 0
+	deltaEdit := func() error {
+		seq++
+		info, err := s.Edit(ctx, []ipcp.UnitEdit{{Op: "replace", Index: last, Text: editUnit(chunks[last].Text, seq)}})
+		if err != nil {
+			return err
+		}
+		if !info.FastPath {
+			return fmt.Errorf("session edit fell off the fast path")
+		}
+		return nil
+	}
+	if err := deltaEdit(); err != nil {
+		return nil, fmt.Errorf("memo/warm-one-edit-delta: %w", err)
+	}
+	var out []Exhibit
+	out = append(out, bench("memo/warm-one-edit-delta", int64(len(src)), func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := deltaEdit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+
+	const depth = 16
+	var b strings.Builder
+	mainText := func(k int) string {
+		return fmt.Sprintf("PROGRAM MAIN\nINTEGER K\nK = %d\nCALL C1(K, 2)\nEND\n\n", k)
+	}
+	leafText := func(extra int) string {
+		return fmt.Sprintf("SUBROUTINE C%d(A, B)\nINTEGER A, B\nPRINT *, A + B + %d\nEND\n", depth, extra)
+	}
+	b.WriteString(mainText(1000))
+	for i := 1; i < depth; i++ {
+		fmt.Fprintf(&b, "SUBROUTINE C%d(A, B)\nINTEGER A, B\nCALL C%d(A + 1, B)\nEND\n\n", i, i+1)
+	}
+	b.WriteString(leafText(0))
+	chain, err := ipcp.OpenSession(ctx, "chain.f", b.String(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("chain session open: %w", err)
+	}
+	blastEdit := func(name string, index int, text func(int) string, wantBlast int) func() error {
+		return func() error {
+			seq++
+			info, err := chain.Edit(ctx, []ipcp.UnitEdit{{Op: "replace", Index: index, Text: text(seq)}})
+			if err != nil {
+				return err
+			}
+			if !info.FastPath || info.UnitsInvalidated != wantBlast {
+				return fmt.Errorf("%s: fast=%t blast=%d (want fast, blast %d)", name, info.FastPath, info.UnitsInvalidated, wantBlast)
+			}
+			return nil
+		}
+	}
+	srcLen := int64(b.Len())
+	for _, bx := range []struct {
+		name string
+		edit func() error
+	}{
+		{"session/edit-blast-radius-1", blastEdit("blast-1", 0, mainText, 1)},
+		{"session/edit-blast-radius-n", blastEdit("blast-n", depth, leafText, depth+1)},
+	} {
+		if err := bx.edit(); err != nil {
+			return nil, fmt.Errorf("%s: %w", bx.name, err)
+		}
+		edit := bx.edit
+		out = append(out, bench(bx.name, srcLen, func(n int) error {
+			for i := 0; i < n; i++ {
+				if err := edit(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	}
 	return out, nil
 }
 
@@ -620,6 +746,14 @@ func measure(stderr io.Writer) (*Baseline, error) {
 		return nil, err
 	}
 	base.Exhibits = append(base.Exhibits, memos...)
+
+	// Compiler-daemon sessions: the delta-edit counterpart of the memo
+	// exhibits, plus the blast-radius ablation.
+	sessions, err := sessionExhibits()
+	if err != nil {
+		return nil, err
+	}
+	base.Exhibits = append(base.Exhibits, sessions...)
 
 	// §4 solver ablation: worklist vs binding graph per jump-function
 	// kind, over prebuilt jump functions.

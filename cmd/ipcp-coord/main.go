@@ -14,15 +14,22 @@
 //	GET  /v1/jobs/{id}      owner-routed poll (fleet-wide search on a miss);
 //	                        /result relays the owner's bytes verbatim
 //	GET  /v1/jobs/watch     NDJSON aggregation of the fleet's job states
+//	POST /v1/sessions       route a compiler-daemon session open by its
+//	                        program's fingerprint; the winner owns the session
+//	POST /v1/sessions/{id}/edit   owner-routed delta edit (relayed verbatim)
+//	GET  /v1/sessions/{id}/result owner-routed result fetch
 //	GET  /healthz           liveness (always 200 while the process runs)
 //	GET  /readyz            readiness (503 while draining or with no healthy backend)
 //	GET  /statsz            routing counters plus every backend's health and stats
 //
 // Job submissions require backends started with -jobs-dir; the
-// coordinator holds no durable state of its own — job ownership is
-// re-learned by broadcast after a coordinator restart, and when the
-// whole fleet sheds or drains, the backends' own Retry-After hints are
-// relayed to clients unchanged.
+// coordinator holds no durable state of its own — job and session
+// ownership is re-learned by broadcast after a coordinator restart,
+// and when the whole fleet sheds or drains, the backends' own
+// Retry-After hints are relayed to clients unchanged. A session lives
+// in one backend's memory, so losing that backend orphans it: edits
+// answer a retryable 503 while the owner is unreachable (404 once it
+// is authoritatively gone), and the client re-opens on a survivor.
 //
 // Flags tune the fault-tolerance machinery:
 //
@@ -143,6 +150,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if st.JobSubmits > 0 || st.JobLookups > 0 {
 		fmt.Fprintf(stdout, "ipcp-coord: jobs %d batches routed, %d lookups (%d fleet-wide searches)\n",
 			st.JobSubmits, st.JobLookups, st.JobBroadcasts)
+	}
+	if st.SessionOpens > 0 || st.SessionLookups > 0 {
+		fmt.Fprintf(stdout, "ipcp-coord: sessions %d opened, %d owner-routed lookups (%d fleet-wide searches)\n",
+			st.SessionOpens, st.SessionLookups, st.SessionBroadcasts)
 	}
 	return 0
 }

@@ -8,6 +8,10 @@
 // Endpoints:
 //
 //	POST /v1/analyze        analyze an F77s program (JSON in, JSON out)
+//	POST /v1/sessions       open a compiler-daemon session (delta edits)
+//	POST /v1/sessions/{id}/edit   apply unit deltas, re-analyze incrementally
+//	GET  /v1/sessions/{id}/result current analysis result (byte-identical
+//	                              to /v1/analyze for equal text and config)
 //	POST /v1/jobs           submit a durable batch (with -jobs-dir)
 //	GET  /v1/jobs/{id}      poll a job; /result replays its exact bytes
 //	GET  /v1/jobs/watch     NDJSON stream of job state changes
@@ -31,6 +35,9 @@
 //	-parallel 1                 per-request analysis worker count
 //	-analysis-cache 67108864    incremental-analysis cache byte budget (0 disables)
 //	-result-cache 33554432      whole-response result cache byte budget (0 disables)
+//	-sessions 32                resident compiler-daemon sessions (0 disables)
+//	-session-bytes 268435456    session memory budget (LRU eviction past it)
+//	-session-ttl 10m            idle-session expiry
 //	-pprof                      register net/http/pprof under /debug/pprof/ (off by default)
 //
 // The durable batch/async job API (write-ahead-logged queue with
@@ -93,6 +100,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		resultCache = fs.Int64("result-cache", 32<<20, "whole-response result cache byte budget (0 disables)")
 		pprofOn     = fs.Bool("pprof", false, "register net/http/pprof handlers under /debug/pprof/")
 
+		sessions     = fs.Int("sessions", 32, "resident compiler-daemon sessions (0 disables /v1/sessions)")
+		sessionBytes = fs.Int64("session-bytes", 256<<20, "session memory budget in bytes (LRU eviction past it)")
+		sessionTTL   = fs.Duration("session-ttl", 10*time.Minute, "idle-session expiry")
+
 		jobsDir       = fs.String("jobs-dir", "", "durable job WAL directory (empty disables /v1/jobs)")
 		jobsWorkers   = fs.Int("jobs-workers", 0, "concurrent job executions (0 = concurrency/2)")
 		jobsAttempts  = fs.Int("jobs-attempts", 3, "transient failures before a job is poisoned")
@@ -121,6 +132,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		AnalysisCacheBytes:  disabledIfZero(*memoCache),
 		ResultCacheBytes:    disabledIfZero(*resultCache),
 		EnablePprof:         *pprofOn,
+		SessionLimit:        disabledIfZeroInt(*sessions),
+		SessionBytes:        *sessionBytes,
+		SessionTTL:          *sessionTTL,
 		JobsDir:             *jobsDir,
 		JobWorkers:          *jobsWorkers,
 		JobPolicy: ipcp.JobPolicy{
@@ -180,6 +194,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "ipcp-serve: result cache %d hits / %d misses, analysis cache %d hits / %d misses\n",
 			st.ResultCache.Hits, st.ResultCache.Misses, st.AnalysisCache.Hits, st.AnalysisCache.Misses)
 	}
+	if st.Sessions != nil {
+		fmt.Fprintf(stdout, "ipcp-serve: sessions %d opened (%d edits, %d fast, %d rebuilds, %d contexts reused; %d evicted, %d expired)\n",
+			st.Sessions.Opens, st.Sessions.Edits, st.Sessions.FastEdits, st.Sessions.FullRebuilds,
+			st.Sessions.ContextsReused, st.Sessions.EvictedLRU+st.Sessions.EvictedBytes, st.Sessions.ExpiredTTL)
+	}
 	if st.Jobs != nil {
 		fmt.Fprintf(stdout, "ipcp-serve: jobs %d submitted (%d done, %d poisoned, %d expired, %d canceled; %d checkpointed for next boot)\n",
 			st.Jobs.Submitted, st.Jobs.Done, st.Jobs.Poisoned, st.Jobs.Expired, st.Jobs.Canceled, st.Jobs.Queued)
@@ -190,6 +209,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // disabledIfZero maps the flag convention (0 = off) onto the Config
 // convention (negative = off, 0 = default).
 func disabledIfZero(n int64) int64 {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+func disabledIfZeroInt(n int) int {
 	if n == 0 {
 		return -1
 	}

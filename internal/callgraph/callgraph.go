@@ -61,6 +61,36 @@ func Build(prog *sem.Program) *Graph {
 	return g
 }
 
+// BuildReuse is Build with per-procedure CFG reuse: procedures present
+// in reuse keep their already-built CFG (and therefore their *CallSite
+// identities); only absent procedures get a fresh cfg.Build. Everything
+// downstream — edge wiring, SCC numbering, recursion marking — is
+// recomputed from scratch, so the resulting Graph is indistinguishable
+// from Build's for equal bodies. Sessions use this to rebuild the call
+// graph after a one-unit edit without re-walking every unchanged body.
+func BuildReuse(prog *sem.Program, reuse map[*sem.Procedure]*cfg.Graph) *Graph {
+	g := &Graph{Prog: prog, Nodes: make(map[string]*Node)}
+	for _, p := range prog.Order {
+		c := reuse[p]
+		if c == nil {
+			c = cfg.Build(prog, p)
+		}
+		n := &Node{Proc: p, CFG: c}
+		n.Out = n.CFG.Sites
+		g.Nodes[p.Name] = n
+		g.Order = append(g.Order, n)
+	}
+	for _, n := range g.Order {
+		for _, site := range n.Out {
+			if callee, ok := g.Nodes[site.Callee]; ok {
+				callee.In = append(callee.In, site)
+			}
+		}
+	}
+	g.computeSCCs()
+	return g
+}
+
 // Callee resolves a site's target node.
 func (g *Graph) Callee(site *cfg.CallSite) *Node { return g.Nodes[site.Callee] }
 

@@ -209,6 +209,10 @@ type coordStats struct {
 	jobSubmits    atomic.Int64 // POST /v1/jobs received
 	jobLookups    atomic.Int64 // per-job GET/DELETE received
 	jobBroadcasts atomic.Int64 // lookups that needed a fleet-wide search
+
+	sessionOpens      atomic.Int64 // POST /v1/sessions received
+	sessionLookups    atomic.Int64 // per-session edit/result/DELETE received
+	sessionBroadcasts atomic.Int64 // lookups that needed a fleet-wide search
 }
 
 // New validates cfg and returns a Coordinator with its health checkers
@@ -277,6 +281,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", c.handleJobs)
 	mux.HandleFunc("/v1/jobs/watch", c.handleJobsWatch)
 	mux.HandleFunc("/v1/jobs/", c.handleJobByID)
+	mux.HandleFunc("/v1/sessions", c.handleSessions)
+	mux.HandleFunc("/v1/sessions/", c.handleSessionByID)
 	mux.HandleFunc("/healthz", c.handleHealthz)
 	mux.HandleFunc("/readyz", c.handleReadyz)
 	mux.HandleFunc("/statsz", c.handleStatsz)

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/ipcp"
+)
+
+// newSessionBackend starts a real ipcp-serve with the session API at
+// its defaults, served over a real socket.
+func newSessionBackend(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		_ = s.Close()
+	})
+	return s, srv
+}
+
+const sessionClusterSrc = `PROGRAM MAIN
+CALL TOP(8, 3)
+END
+
+SUBROUTINE TOP(N, M)
+INTEGER N, M
+CALL LEAF(N, M)
+END
+
+SUBROUTINE LEAF(N, M)
+INTEGER N, M
+PRINT *, N + M
+END
+`
+
+const sessionClusterLeafEdit = "SUBROUTINE LEAF(N, M)\nINTEGER N, M\nPRINT *, N * M\nEND\n"
+
+func openSessionViaCoord(t *testing.T, c *Coordinator) serve.OpenSessionResponse {
+	t.Helper()
+	body, _ := json.Marshal(serve.OpenSessionRequest{Filename: "prog.f", Source: sessionClusterSrc})
+	code, _, data := coordReq(c, http.MethodPost, "/v1/sessions", body)
+	if code != http.StatusOK {
+		t.Fatalf("open: %d %s", code, data)
+	}
+	var resp serve.OpenSessionResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("open body: %v\n%s", err, data)
+	}
+	return resp
+}
+
+// TestSessionRoutedThroughCoordinator: a session opened through the
+// coordinator lands on one backend; edits and result fetches follow it
+// there and the relayed bytes are the backend's own. After coordinator
+// amnesia the owner is re-learned by broadcast.
+func TestSessionRoutedThroughCoordinator(t *testing.T) {
+	_, b1 := newSessionBackend(t)
+	_, b2 := newSessionBackend(t)
+	c := newTestCoordinator(t, []string{b1.URL, b2.URL}, nil)
+
+	open := openSessionViaCoord(t, c)
+	owner := c.owner(open.ID)
+	if owner == nil {
+		t.Fatal("open did not record a session owner")
+	}
+
+	edit, _ := json.Marshal(serve.SessionEditRequest{Edits: []ipcp.UnitEdit{{Op: "replace", Index: 2, Text: sessionClusterLeafEdit}}})
+	code, _, data := coordReq(c, http.MethodPost, "/v1/sessions/"+open.ID+"/edit", edit)
+	if code != http.StatusOK {
+		t.Fatalf("edit: %d %s", code, data)
+	}
+	var er serve.SessionEditResponse
+	if err := json.Unmarshal(data, &er); err != nil || !er.Info.FastPath {
+		t.Fatalf("edit response: %v\n%s", err, data)
+	}
+
+	code, _, viaCoord := coordReq(c, http.MethodGet, "/v1/sessions/"+open.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, viaCoord)
+	}
+	direct, err := http.Get(owner.url + "/v1/sessions/" + open.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBody := new(bytes.Buffer)
+	directBody.ReadFrom(direct.Body)
+	direct.Body.Close()
+	if !bytes.Equal(viaCoord, directBody.Bytes()) {
+		t.Fatalf("coordinator rewrote the result:\nvia:    %s\ndirect: %s", viaCoord, directBody.Bytes())
+	}
+
+	// The session result equals a cold /v1/analyze of the edited text,
+	// through the coordinator, byte for byte.
+	edited := strings.Replace(sessionClusterSrc, "PRINT *, N + M", "PRINT *, N * M", 1)
+	code, _, cold := coordReq(c, http.MethodPost, "/v1/analyze", analyzeBody(t, "prog.f", edited))
+	if code != http.StatusOK {
+		t.Fatalf("cold analyze: %d %s", code, cold)
+	}
+	if !bytes.Equal(viaCoord, cold) {
+		t.Fatalf("session result != cold analyze through coordinator:\nsession: %s\ncold:    %s", viaCoord, cold)
+	}
+
+	// Amnesia: the owner map is memory-only; a fresh coordinator (or one
+	// that restarted) re-learns it from the broadcast.
+	c.ownerMu.Lock()
+	c.owners = make(map[string]ownerRec)
+	c.ownerMu.Unlock()
+	code, _, data = coordReq(c, http.MethodGet, "/v1/sessions/"+open.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("amnesiac result: %d %s", code, data)
+	}
+	if got := c.owner(open.ID); got == nil || got.url != owner.url {
+		t.Fatal("broadcast hit did not re-learn the owner")
+	}
+
+	st := c.Stats()
+	if st.SessionOpens != 1 || st.SessionLookups < 3 || st.SessionBroadcasts == 0 {
+		t.Fatalf("session counters: %+v", st)
+	}
+
+	// Unknown IDs resolve to 404 after the fleet denies them.
+	if code, _, _ := coordReq(c, http.MethodGet, "/v1/sessions/s-missing-0/result", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: %d, want 404", code)
+	}
+	// Close through the coordinator.
+	if code, _, data := coordReq(c, http.MethodDelete, "/v1/sessions/"+open.ID, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d %s", code, data)
+	}
+	if code, _, _ := coordReq(c, http.MethodGet, "/v1/sessions/"+open.ID+"/result", nil); code != http.StatusNotFound {
+		t.Fatalf("result after close: %d, want 404", code)
+	}
+}
+
+// TestSessionChaosOwnerKilled (satellite): kill the backend that owns
+// a session mid-flight. The coordinator must surface a well-formed,
+// retryable error for the orphaned ID — not a hang, not a garbled
+// body — and a re-opened session on the survivors must converge to a
+// result byte-identical to a cold analysis of the same final text.
+func TestSessionChaosOwnerKilled(t *testing.T) {
+	s1, b1 := newSessionBackend(t)
+	s2, b2 := newSessionBackend(t)
+	c := newTestCoordinator(t, []string{b1.URL, b2.URL}, nil)
+
+	open := openSessionViaCoord(t, c)
+	owner := c.owner(open.ID)
+	if owner == nil {
+		t.Fatal("no owner recorded")
+	}
+
+	// One successful edit before the crash.
+	edit, _ := json.Marshal(serve.SessionEditRequest{Edits: []ipcp.UnitEdit{{Op: "replace", Index: 2, Text: sessionClusterLeafEdit}}})
+	if code, _, data := coordReq(c, http.MethodPost, "/v1/sessions/"+open.ID+"/edit", edit); code != http.StatusOK {
+		t.Fatalf("pre-kill edit: %d %s", code, data)
+	}
+
+	// Hard-kill the owner.
+	if owner.url == b1.URL {
+		b1.CloseClientConnections()
+		b1.Close()
+		_ = s1.Close()
+	} else {
+		b2.CloseClientConnections()
+		b2.Close()
+		_ = s2.Close()
+	}
+
+	// The orphaned session's edit fails retryably: 503, the documented
+	// error shape, class "unavailable". The survivor was asked (it
+	// answers 404 — IDs are fleet-unique) before the coordinator gave up.
+	code, _, data := coordReq(c, http.MethodPost, "/v1/sessions/"+open.ID+"/edit", edit)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-kill edit: %d %s", code, data)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Error.Class != "unavailable" {
+		t.Fatalf("post-kill error body: %v\n%s", err, data)
+	}
+	if st := c.Stats(); st.SessionBroadcasts == 0 {
+		t.Fatalf("kill did not trigger a broadcast: %+v", st)
+	}
+
+	// Recovery: re-open (failover routes around the corpse), replay the
+	// edit, and the result must be byte-identical to a cold analysis of
+	// the final text on the surviving backend.
+	reopened := openSessionViaCoord(t, c)
+	if reopened.ID == open.ID {
+		t.Fatal("re-opened session reused the dead session's ID")
+	}
+	if code, _, data := coordReq(c, http.MethodPost, "/v1/sessions/"+reopened.ID+"/edit", edit); code != http.StatusOK {
+		t.Fatalf("replayed edit: %d %s", code, data)
+	}
+	code, _, viaCoord := coordReq(c, http.MethodGet, "/v1/sessions/"+reopened.ID+"/result", nil)
+	if code != http.StatusOK {
+		t.Fatalf("recovered result: %d %s", code, viaCoord)
+	}
+	edited := strings.Replace(sessionClusterSrc, "PRINT *, N + M", "PRINT *, N * M", 1)
+	code, _, cold := coordReq(c, http.MethodPost, "/v1/analyze", analyzeBody(t, "prog.f", edited))
+	if code != http.StatusOK {
+		t.Fatalf("cold analyze after kill: %d %s", code, cold)
+	}
+	if !bytes.Equal(viaCoord, cold) {
+		t.Fatalf("recovered session diverged from cold analysis:\nsession: %s\ncold:    %s", viaCoord, cold)
+	}
+}
+
+// TestSessionCoordValidation: bodies the coordinator cannot route are
+// rejected locally; method misuse 405s.
+func TestSessionCoordValidation(t *testing.T) {
+	var hits int
+	b := newFakeJobBackend(t, func(w http.ResponseWriter, r *http.Request) { hits++ })
+	c := newTestCoordinator(t, []string{b.URL}, nil)
+	for _, body := range [][]byte{
+		[]byte("{nope"),
+		[]byte(`{"source": "X", "config": {"kind": "psychic"}}`),
+	} {
+		if code, _, data := coordReq(c, http.MethodPost, "/v1/sessions", body); code != http.StatusBadRequest {
+			t.Errorf("status = %d, body %s", code, data)
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("invalid opens reached a backend %d times", hits)
+	}
+	if code, _, _ := coordReq(c, http.MethodPut, "/v1/sessions", nil); code != http.StatusMethodNotAllowed {
+		t.Error("PUT /v1/sessions must 405")
+	}
+	if code, _, _ := coordReq(c, http.MethodPut, "/v1/sessions/s-1-1/edit", nil); code != http.StatusMethodNotAllowed {
+		t.Error("PUT /v1/sessions/{id}/edit must 405")
+	}
+}

@@ -31,6 +31,10 @@ type Stats struct {
 	JobLookups    int64 `json:"job_lookups"`
 	JobBroadcasts int64 `json:"job_broadcasts"`
 
+	SessionOpens      int64 `json:"session_opens"`
+	SessionLookups    int64 `json:"session_lookups"`
+	SessionBroadcasts int64 `json:"session_broadcasts"`
+
 	Reroutes      int64 `json:"reroutes"`
 	HedgesStarted int64 `json:"hedges_started"`
 	HedgesWon     int64 `json:"hedges_won"`
@@ -58,26 +62,29 @@ type BackendStats struct {
 // Stats snapshots the coordinator's counters and fleet view.
 func (c *Coordinator) Stats() Stats {
 	s := Stats{
-		UptimeSeconds: time.Since(c.started).Seconds(),
-		Draining:      c.draining.Load(),
-		Requests:      c.stats.requests.Load(),
-		OK:            c.stats.ok.Load(),
-		InputErrors:   c.stats.inputErrors.Load(),
-		BadRequests:   c.stats.badRequests.Load(),
-		DrainRejects:  c.stats.drainRejects.Load(),
-		Unavailable:   c.stats.unavailable.Load(),
-		DeadlineFails: c.stats.deadlineFails.Load(),
-		Abandoned:     c.stats.abandoned.Load(),
-		JobSubmits:    c.stats.jobSubmits.Load(),
-		JobLookups:    c.stats.jobLookups.Load(),
-		JobBroadcasts: c.stats.jobBroadcasts.Load(),
-		Reroutes:      c.stats.reroutes.Load(),
-		HedgesStarted: c.stats.hedgesStarted.Load(),
-		HedgesWon:     c.stats.hedgesWon.Load(),
-		HedgesLost:    c.stats.hedgesLost.Load(),
-		BreakerSkips:  c.stats.breakerSkips.Load(),
-		SlotSkips:     c.stats.slotSkips.Load(),
-		HedgeDelayMs:  float64(c.hedgeDelay()) / float64(time.Millisecond),
+		UptimeSeconds:     time.Since(c.started).Seconds(),
+		Draining:          c.draining.Load(),
+		Requests:          c.stats.requests.Load(),
+		OK:                c.stats.ok.Load(),
+		InputErrors:       c.stats.inputErrors.Load(),
+		BadRequests:       c.stats.badRequests.Load(),
+		DrainRejects:      c.stats.drainRejects.Load(),
+		Unavailable:       c.stats.unavailable.Load(),
+		DeadlineFails:     c.stats.deadlineFails.Load(),
+		Abandoned:         c.stats.abandoned.Load(),
+		JobSubmits:        c.stats.jobSubmits.Load(),
+		JobLookups:        c.stats.jobLookups.Load(),
+		JobBroadcasts:     c.stats.jobBroadcasts.Load(),
+		SessionOpens:      c.stats.sessionOpens.Load(),
+		SessionLookups:    c.stats.sessionLookups.Load(),
+		SessionBroadcasts: c.stats.sessionBroadcasts.Load(),
+		Reroutes:          c.stats.reroutes.Load(),
+		HedgesStarted:     c.stats.hedgesStarted.Load(),
+		HedgesWon:         c.stats.hedgesWon.Load(),
+		HedgesLost:        c.stats.hedgesLost.Load(),
+		BreakerSkips:      c.stats.breakerSkips.Load(),
+		SlotSkips:         c.stats.slotSkips.Load(),
+		HedgeDelayMs:      float64(c.hedgeDelay()) / float64(time.Millisecond),
 	}
 	for _, b := range c.backends {
 		healthy := b.healthy.Load()

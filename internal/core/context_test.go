@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/jump"
+	"repro/internal/sem"
+)
+
+// mapContextMemo is a minimal thread-safe ContextMemo for tests (the
+// production store lives in internal/memo, which this package cannot
+// import).
+type mapContextMemo struct {
+	mu     sync.Mutex
+	recs   map[*sem.Procedure]map[string]*ContextRecord
+	hits   int
+	stores int
+}
+
+func newMapContextMemo() *mapContextMemo {
+	return &mapContextMemo{recs: make(map[*sem.Procedure]map[string]*ContextRecord)}
+}
+
+func (m *mapContextMemo) Lookup(p *sem.Procedure, key string) (*ContextRecord, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.recs[p][key]
+	if ok {
+		m.hits++
+	}
+	return rec, ok
+}
+
+func (m *mapContextMemo) Store(p *sem.Procedure, key string, rec *ContextRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recs[p] == nil {
+		m.recs[p] = make(map[string]*ContextRecord)
+	}
+	m.recs[p][key] = rec
+	m.stores++
+}
+
+// analysisFingerprint flattens everything propagation-derived that the
+// public result surfaces: the VAL solution, every CONSTANTS set, and
+// the substitution count.
+func analysisFingerprint(a *Analysis) string {
+	var b strings.Builder
+	b.WriteString(a.Vals.String())
+	for _, p := range a.Prog.Order {
+		for _, c := range a.Constants(p) {
+			fmt.Fprintf(&b, "%s:%s ref=%t;", p.Name, c, c.Referenced)
+		}
+	}
+	fmt.Fprintf(&b, "subst=%d", a.Substitute().Total)
+	return b.String()
+}
+
+// TestValueContextEquivalence proves that propagation with a value-
+// context memo — both the recording pass and a fully warmed replay pass
+// — produces identical solutions, statistics, and substitution counts
+// to the memo-free solver, across every jump-function kind, both
+// solvers, and serial/parallel construction. The warmed pass re-solves
+// the same program, so every non-self-recursive step replays from the
+// memo.
+func TestValueContextEquivalence(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.f"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata: %v", err)
+	}
+	kinds := []jump.Kind{jump.Literal, jump.Intraprocedural, jump.PassThrough, jump.Polynomial}
+	solvers := []SolverKind{SolverWorklist, SolverBinding}
+	for _, file := range files {
+		srcBytes, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+		for _, kind := range kinds {
+			for _, solver := range solvers {
+				for _, par := range []int{1, 4} {
+					name := filepath.Base(file) + "/" + kind.String() + "/" + solver.String()
+					if par > 1 {
+						name += "/par"
+					}
+					t.Run(name, func(t *testing.T) {
+						cfg := configFor(kind)
+						cfg.Solver = solver
+						cfg.Parallelism = par
+						cold := analyzeSrc(t, src, cfg)
+						want := analysisFingerprint(cold)
+						wantStats := cold.Stats
+
+						memo := newMapContextMemo()
+						cfg.Contexts = memo
+						recording := analyzeSrc(t, src, cfg)
+						if got := analysisFingerprint(recording); got != want {
+							t.Fatalf("recording pass diverged:\ngot  %q\nwant %q", got, want)
+						}
+						if recording.Stats != wantStats {
+							t.Fatalf("recording stats = %+v, want %+v", recording.Stats, wantStats)
+						}
+
+						// The warmed pass must re-solve the same procedure
+						// identities for the memo keys to match.
+						warmed, err := AnalyzeProgramErr(context.Background(), recording.Prog, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := analysisFingerprint(warmed); got != want {
+							t.Fatalf("warmed pass diverged:\ngot  %q\nwant %q", got, want)
+						}
+						if warmed.Stats != wantStats {
+							t.Fatalf("warmed stats = %+v, want %+v", warmed.Stats, wantStats)
+						}
+						if solver == SolverWorklist && memo.stores > 0 && memo.hits == 0 {
+							t.Fatalf("warmed worklist pass took no context hits (%d stores)", memo.stores)
+						}
+						if solver == SolverBinding && memo.hits+memo.stores > 0 {
+							t.Fatalf("binding solver consulted the context memo (%d hits, %d stores)", memo.hits, memo.stores)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestValueContextCompleteDisabled proves complete propagation never
+// consults the memo (its per-round pruning changes the site set).
+func TestValueContextCompleteDisabled(t *testing.T) {
+	srcBytes, err := os.ReadFile(filepath.Join("testdata", "classic.f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := configFor(jump.Polynomial)
+	cfg.Complete = true
+	memo := newMapContextMemo()
+	cfg.Contexts = memo
+	a := analyzeSrc(t, string(srcBytes), cfg)
+	if a == nil {
+		t.Fatal("no analysis")
+	}
+	if memo.hits+memo.stores > 0 {
+		t.Fatalf("complete propagation consulted the context memo (%d hits, %d stores)", memo.hits, memo.stores)
+	}
+}

@@ -95,6 +95,13 @@ type Config struct {
 	// solve). It does not participate in memo cache keys: the fingerprint
 	// layer hashes an explicit field list.
 	Trace *pipeline.Trace
+	// Contexts, when non-nil, memoizes per-procedure propagation steps
+	// by value context — (procedure, incoming lattice row) — so the
+	// worklist solver can replay a step whose inputs repeat instead of
+	// re-evaluating its jump functions. Consulted only where reuse is
+	// provably equivalent (see context.go); it does not participate in
+	// memo cache keys for the same reason as Trace.
+	Contexts ContextMemo
 }
 
 // MemoHooks is the driver-side interface of an incremental-analysis

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/guard"
+	"repro/internal/jump"
 	"repro/internal/lattice"
 	"repro/internal/sem"
 	"repro/internal/symbolic"
@@ -70,15 +71,48 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 		push(p)
 	}
 
+	// Value-context memoization (see context.go). Disabled in complete
+	// propagation, whose per-round pruning changes the site set between
+	// solves. Procedures with a self-call site never consult the memo:
+	// their evaluation environment can change mid-step.
+	ctxm := a.Config.Contexts
+	useCtx := ctxm != nil && !a.Config.Complete
+	var selfRef []bool
+	var keyBuf []byte
+	if useCtx {
+		selfRef = make([]bool, len(a.Prog.Order))
+		for pi, p := range a.Prog.Order {
+			if pf := a.Funcs.Procs[p]; pf != nil {
+				for _, site := range pf.Sites {
+					if site.Callee == p {
+						selfRef[pi] = true
+						break
+					}
+				}
+			}
+		}
+	}
+
 	for head := 0; head < len(work); head++ {
 		if err := chk.Check("solve"); err != nil {
 			return nil, err
 		}
 		p := work[head]
-		inWork[a.Prog.ProcIndex(p)] = false
+		pi := a.Prog.ProcIndex(p)
+		inWork[pi] = false
 
 		pf := a.Funcs.Procs[p]
 		if pf == nil {
+			continue
+		}
+		if useCtx && !selfRef[pi] {
+			var key string
+			key, keyBuf = ctxKey(vals, pi, keyBuf)
+			if rec, ok := ctxm.Lookup(p, key); ok {
+				a.replayContext(vals, rec, push)
+				continue
+			}
+			ctxm.Store(p, key, a.stepRecording(vals, pf, push))
 			continue
 		}
 		env := vals.envFor(p)
@@ -104,6 +138,45 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 		}
 	}
 	return vals, nil
+}
+
+// stepRecording is the worklist solver's pop body with contribution
+// recording: identical evaluations, lowerings, and pushes to the plain
+// path, plus a ContextRecord of the step for the context memo. Only
+// called for procedures without self-call sites, whose environment is
+// fixed for the duration of the step.
+func (a *Analysis) stepRecording(vals *Values, pf *jump.ProcFunctions, push func(*sem.Procedure)) *ContextRecord {
+	rec := &ContextRecord{}
+	env := vals.envFor(pf.Proc)
+	for _, site := range pf.Sites {
+		if site.Dead {
+			continue
+		}
+		q := site.Callee
+		for j, jf := range site.Formals {
+			v := a.evalJF(jf, env)
+			rec.Evals++
+			if !v.IsTop() {
+				rec.Contribs = append(rec.Contribs, ContextContrib{Callee: q, Formal: j, Value: v})
+			}
+			if vals.LowerFormal(q, j, v) {
+				a.Stats.Lowerings++
+				push(q)
+			}
+		}
+		for _, g := range a.Prog.Globals() {
+			v := a.evalJF(site.Globals[g], env)
+			rec.Evals++
+			if !v.IsTop() {
+				rec.Contribs = append(rec.Contribs, ContextContrib{Callee: q, Global: g, Value: v})
+			}
+			if vals.LowerGlobal(q, g, v) {
+				a.Stats.Lowerings++
+				push(q)
+			}
+		}
+	}
+	return rec
 }
 
 // ---------------------------------------------------------------------

@@ -85,6 +85,13 @@ func entryFP(p *sem.Procedure, env map[ssa.Var]int64) string {
 	return strings.Join(parts, ",")
 }
 
+// EntryFP exposes entryFP to the session subsystem, whose in-place
+// substitution reuse is gated on the same discipline as the
+// content-addressed cache: a procedure's stored substitution decisions
+// are valid only while its constant entry environment fingerprints
+// identically.
+func EntryFP(p *sem.Procedure, env map[ssa.Var]int64) string { return entryFP(p, env) }
+
 // globalsFP fingerprints the program's COMMON layout: every global's
 // key (block#index), canonical name, type, and array-ness, in the
 // program's canonical order. Return and forward jump functions range

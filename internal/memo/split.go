@@ -28,6 +28,30 @@ type chunk struct {
 	text      string // raw text, headers through pre-next-header lines
 }
 
+// Chunk is the exported form of chunk: one program unit's contiguous
+// source slice. Concatenating a split's chunk texts in order
+// reproduces the input exactly.
+type Chunk struct {
+	File      string
+	StartLine int // 1-based line of the chunk's first line
+	Text      string
+}
+
+// Split exposes unit splitting to the session subsystem, which applies
+// per-unit deltas against exactly these boundaries. ok is false when
+// the text has no recognizable unit header.
+func Split(file, src string) ([]Chunk, bool) {
+	cs, ok := splitUnits(file, src)
+	if !ok {
+		return nil, false
+	}
+	out := make([]Chunk, len(cs))
+	for i, c := range cs {
+		out[i] = Chunk{File: c.file, StartLine: c.startLine, Text: c.text}
+	}
+	return out, true
+}
+
 // splitUnits splits F77s source text at program-unit boundaries. A new
 // unit begins at each non-comment line whose first token is PROGRAM,
 // SUBROUTINE, or [type] FUNCTION — these are reserved keywords in F77s,

@@ -107,6 +107,16 @@ type Config struct {
 	// opt-in (the binary's -pprof flag).
 	EnablePprof bool
 
+	// SessionLimit caps resident compiler-daemon sessions (default 32).
+	// Negative disables the session API (its endpoints answer 404).
+	SessionLimit int
+	// SessionBytes bounds the estimated retained size of all resident
+	// sessions (default 256 MiB); the least-recently-used session is
+	// evicted when either bound is exceeded.
+	SessionBytes int64
+	// SessionTTL expires sessions idle longer than this (default 10m).
+	SessionTTL time.Duration
+
 	// JobsDir enables the durable batch/async job API (/v1/jobs): the
 	// write-ahead log lives here and is replayed on startup, so a crash
 	// mid-batch loses no acknowledged job. Empty disables the job API
@@ -169,6 +179,15 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheBytes == 0 {
 		c.ResultCacheBytes = 32 << 20
 	}
+	if c.SessionLimit == 0 {
+		c.SessionLimit = 32
+	}
+	if c.SessionBytes == 0 {
+		c.SessionBytes = 256 << 20
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
 	if c.JobWorkers <= 0 {
 		c.JobWorkers = c.MaxConcurrency / 2
 		if c.JobWorkers < 1 {
@@ -191,10 +210,11 @@ type Server struct {
 	// because a supervisor may restart Serve in a fresh goroutine and
 	// later shut the server down from another, with no other
 	// synchronization between the two.
-	http    atomic.Pointer[http.Server]
-	memo    *ipcp.Cache   // nil when AnalysisCacheBytes < 0
-	results *resultCache  // nil when ResultCacheBytes < 0
-	jobs    *jobs.Manager // nil when JobsDir is empty
+	http     atomic.Pointer[http.Server]
+	memo     *ipcp.Cache     // nil when AnalysisCacheBytes < 0
+	results  *resultCache    // nil when ResultCacheBytes < 0
+	jobs     *jobs.Manager   // nil when JobsDir is empty
+	sessions *sessionManager // nil when SessionLimit < 0
 	// reqPL runs the per-request analysis phase through the shared pass
 	// manager, with the retry/degrade ladder attached as middleware.
 	reqPL *pipeline.Pipeline[*reqState]
@@ -253,6 +273,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ResultCacheBytes > 0 {
 		s.results = newResultCache(cfg.ResultCacheBytes)
 	}
+	if cfg.SessionLimit > 0 {
+		s.sessions = newSessionManager(cfg.SessionLimit, cfg.SessionBytes, cfg.SessionTTL)
+	}
 	s.sleep = func(ctx context.Context, d time.Duration) {
 		t := time.NewTimer(d)
 		defer t.Stop()
@@ -286,6 +309,8 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSessionByID)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/watch", s.handleJobsWatch)
 	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
@@ -484,6 +509,10 @@ type StatsSnapshot struct {
 	// per-tenant counters, WAL fsync latency, poison count). Absent
 	// when the job API is disabled.
 	Jobs *jobs.Stats `json:"jobs,omitempty"`
+	// Sessions is the compiler-daemon session block: resident sessions,
+	// eviction counters, and per-session edit/reuse statistics. Absent
+	// when the session API is disabled.
+	Sessions *SessionCounters `json:"sessions,omitempty"`
 }
 
 // PhaseLatency is one phase's latency aggregate across every 200
@@ -580,6 +609,10 @@ func (s *Server) Stats() StatsSnapshot {
 	if s.jobs != nil {
 		js := s.jobs.Stats()
 		snap.Jobs = &js
+	}
+	if s.sessions != nil {
+		sc := s.sessions.counters()
+		snap.Sessions = &sc
 	}
 	return snap
 }

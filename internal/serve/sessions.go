@@ -1,0 +1,556 @@
+package serve
+
+// The session API: stateful compiler-daemon sessions over HTTP.
+//
+//	POST   /v1/sessions             open a session (runs the first analysis)
+//	POST   /v1/sessions/{id}/edit   apply unit deltas, re-analyze incrementally
+//	GET    /v1/sessions/{id}/result fetch the current analysis result
+//	DELETE /v1/sessions/{id}        close the session
+//
+// A session's /result body is rendered by the same renderResult as
+// POST /v1/analyze, so for equal program text and configuration the
+// two are byte-identical — the equivalence the session test suite and
+// the CI sessions-smoke job assert.
+//
+// Sessions are resident state, so the manager bounds them three ways:
+// a session-count limit and a byte budget, both enforced LRU (the
+// least-recently-touched session is evicted first), and a TTL that
+// expires idle sessions. Every eviction is counted in /statsz.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/ipcp"
+)
+
+// OpenSessionRequest is the POST /v1/sessions body. Config and Want
+// have /v1/analyze semantics; Want is fixed at open so /result bodies
+// stay comparable across edits.
+type OpenSessionRequest struct {
+	Filename string        `json:"filename"`
+	Source   string        `json:"source"`
+	Config   RequestConfig `json:"config"`
+	Want     RequestWant   `json:"want"`
+}
+
+// OpenSessionResponse is the 200 body for a successful open.
+type OpenSessionResponse struct {
+	ID          string `json:"id"`
+	Units       int    `json:"units"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// SessionEditRequest is the POST /v1/sessions/{id}/edit body.
+type SessionEditRequest struct {
+	Edits []ipcp.UnitEdit `json:"edits"`
+}
+
+// SessionEditResponse is the 200 body for a successful edit.
+type SessionEditResponse struct {
+	ID          string        `json:"id"`
+	Info        ipcp.EditInfo `json:"info"`
+	Fingerprint string        `json:"fingerprint"`
+}
+
+// SessionCounters is the /statsz sessions block.
+type SessionCounters struct {
+	Active   int   `json:"active"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+	Limit    int   `json:"limit"`
+
+	Opens        int64 `json:"opens"`
+	OpenFailures int64 `json:"open_failures"`
+	Closed       int64 `json:"closed"`
+	EvictedLRU   int64 `json:"evicted_lru"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	ExpiredTTL   int64 `json:"expired_ttl"`
+
+	Edits            int64 `json:"edits"`
+	FastEdits        int64 `json:"fast_edits"`
+	FullRebuilds     int64 `json:"full_rebuilds"`
+	UnitsInvalidated int64 `json:"units_invalidated"`
+	ContextsReused   int64 `json:"contexts_reused"`
+	JumpReused       int64 `json:"jump_reused"`
+	SubstReused      int64 `json:"subst_reused"`
+	DeltaBytes       int64 `json:"delta_bytes"`
+
+	// PerSession reports each resident session's own counters.
+	PerSession map[string]SessionStatsJSON `json:"per_session,omitempty"`
+}
+
+// SessionStatsJSON is one resident session's /statsz entry.
+type SessionStatsJSON struct {
+	Units            int     `json:"units"`
+	Bytes            int64   `json:"bytes"`
+	IdleSeconds      float64 `json:"idle_seconds"`
+	Edits            int64   `json:"edits"`
+	FastEdits        int64   `json:"fast_edits"`
+	FullRebuilds     int64   `json:"full_rebuilds"`
+	UnitsInvalidated int64   `json:"units_invalidated"`
+	ContextHits      uint64  `json:"context_hits"`
+	ContextMisses    uint64  `json:"context_misses"`
+	JumpReused       int64   `json:"jump_reused"`
+	SubstReused      int64   `json:"subst_reused"`
+	DeltaBytes       int64   `json:"delta_bytes"`
+}
+
+// sessionEntry is one resident session plus the request shape its
+// /result bodies are rendered with.
+type sessionEntry struct {
+	id       string
+	sess     *ipcp.Session
+	cfg      ipcp.Config
+	req      *AnalyzeRequest // filename + want, for renderResult
+	created  time.Time
+	lastUsed time.Time // guarded by the manager's mu
+	bytes    int64     // last MemoryBytes estimate, guarded by mu
+}
+
+// sessionManager owns the resident sessions and their budgets.
+type sessionManager struct {
+	limit    int
+	maxBytes int64
+	ttl      time.Duration
+	tag      string // per-boot random component of every session ID
+
+	mu      sync.Mutex
+	seq     int64
+	entries map[string]*sessionEntry
+
+	opens        int64
+	openFailures int64
+	closed       int64
+	evictedLRU   int64
+	evictedBytes int64
+	expiredTTL   int64
+
+	edits            int64
+	fastEdits        int64
+	fullRebuilds     int64
+	unitsInvalidated int64
+	contextsReused   int64
+	jumpReused       int64
+	substReused      int64
+	deltaBytes       int64
+}
+
+func newSessionManager(limit int, maxBytes int64, ttl time.Duration) *sessionManager {
+	return &sessionManager{
+		limit:    limit,
+		maxBytes: maxBytes,
+		ttl:      ttl,
+		tag:      sessionInstanceTag(),
+		entries:  make(map[string]*sessionEntry),
+	}
+}
+
+// sessionInstanceTag is the random per-boot component folded into
+// every session ID. Sessions are memory-resident, so sequence numbers
+// alone repeat across restarts and across backends — but a coordinator
+// fronting several backends resolves an unknown ID by broadcast, which
+// is only sound if an ID can name at most one live session fleet-wide.
+func sessionInstanceTag() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: uniqueness degrades to per-process, never fails open.
+		return fmt.Sprintf("%08x", os.Getpid())
+	}
+	return fmt.Sprintf("%08x", b)
+}
+
+// expireLocked evicts sessions idle past the TTL. Called with mu held.
+func (m *sessionManager) expireLocked(now time.Time) {
+	for id, e := range m.entries {
+		if now.Sub(e.lastUsed) > m.ttl {
+			delete(m.entries, id)
+			m.expiredTTL++
+		}
+	}
+}
+
+// enforceLocked evicts least-recently-used sessions until both the
+// count limit and the byte budget hold. keep is never evicted (it is
+// the session just touched). Called with mu held.
+func (m *sessionManager) enforceLocked(keep *sessionEntry) {
+	for {
+		var total int64
+		for _, e := range m.entries {
+			total += e.bytes
+		}
+		overCount := len(m.entries) > m.limit
+		overBytes := total > m.maxBytes
+		if !overCount && !overBytes {
+			return
+		}
+		var victim *sessionEntry
+		for _, e := range m.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUsed.Before(victim.lastUsed) {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // only the kept session remains; budgets cannot bind it
+		}
+		delete(m.entries, victim.id)
+		if overCount {
+			m.evictedLRU++
+		} else {
+			m.evictedBytes++
+		}
+	}
+}
+
+// add registers a fresh session, assigns its ID, and enforces budgets.
+func (m *sessionManager) add(e *sessionEntry) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	m.expireLocked(now)
+	m.seq++
+	e.id = fmt.Sprintf("s-%s-%d", m.tag, m.seq)
+	e.created, e.lastUsed = now, now
+	e.bytes = e.sess.MemoryBytes()
+	m.entries[e.id] = e
+	m.opens++
+	m.enforceLocked(e)
+	return e.id
+}
+
+// lookup fetches a session and marks it used (which also shields it
+// from eviction while the caller works on it).
+func (m *sessionManager) lookup(id string) *sessionEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked(time.Now())
+	e := m.entries[id]
+	if e != nil {
+		e.lastUsed = time.Now()
+	}
+	return e
+}
+
+// afterEdit folds one edit outcome into the aggregate counters,
+// refreshes the session's byte estimate, and re-enforces budgets.
+func (m *sessionManager) afterEdit(e *sessionEntry, info ipcp.EditInfo, nEdits int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.edits += int64(nEdits)
+	if info.FastPath {
+		m.fastEdits++
+	} else {
+		m.fullRebuilds++
+	}
+	m.unitsInvalidated += int64(info.UnitsInvalidated)
+	m.contextsReused += int64(info.ContextsReused)
+	m.jumpReused += int64(info.JumpReused)
+	m.substReused += int64(info.SubstReused)
+	m.deltaBytes += int64(info.DeltaBytes)
+	if _, live := m.entries[e.id]; live {
+		e.lastUsed = time.Now()
+		e.bytes = e.sess.MemoryBytes()
+		m.enforceLocked(e)
+	}
+}
+
+// remove closes a session explicitly.
+func (m *sessionManager) remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[id]; !ok {
+		return false
+	}
+	delete(m.entries, id)
+	m.closed++
+	return true
+}
+
+func (m *sessionManager) openFailed() {
+	m.mu.Lock()
+	m.openFailures++
+	m.mu.Unlock()
+}
+
+// counters snapshots the /statsz block.
+func (m *sessionManager) counters() SessionCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	m.expireLocked(now)
+	c := SessionCounters{
+		Active:   len(m.entries),
+		MaxBytes: m.maxBytes,
+		Limit:    m.limit,
+
+		Opens:        m.opens,
+		OpenFailures: m.openFailures,
+		Closed:       m.closed,
+		EvictedLRU:   m.evictedLRU,
+		EvictedBytes: m.evictedBytes,
+		ExpiredTTL:   m.expiredTTL,
+
+		Edits:            m.edits,
+		FastEdits:        m.fastEdits,
+		FullRebuilds:     m.fullRebuilds,
+		UnitsInvalidated: m.unitsInvalidated,
+		ContextsReused:   m.contextsReused,
+		JumpReused:       m.jumpReused,
+		SubstReused:      m.substReused,
+		DeltaBytes:       m.deltaBytes,
+	}
+	if len(m.entries) > 0 {
+		c.PerSession = make(map[string]SessionStatsJSON, len(m.entries))
+		for id, e := range m.entries {
+			st := e.sess.Stats()
+			c.Bytes += e.bytes
+			c.PerSession[id] = SessionStatsJSON{
+				Units:            e.sess.NumUnits(),
+				Bytes:            e.bytes,
+				IdleSeconds:      now.Sub(e.lastUsed).Seconds(),
+				Edits:            st.Edits,
+				FastEdits:        st.FastEdits,
+				FullRebuilds:     st.FullRebuilds,
+				UnitsInvalidated: st.UnitsInvalidated,
+				ContextHits:      st.ContextHits,
+				ContextMisses:    st.ContextMisses,
+				JumpReused:       st.JumpReused,
+				SubstReused:      st.SubstReused,
+				DeltaBytes:       st.DeltaBytes,
+			}
+		}
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+
+// handleSessions serves POST /v1/sessions (open).
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "handler-panic", fmt.Sprint(rec))
+		}
+	}()
+	if s.sessions == nil {
+		s.writeError(w, http.StatusNotFound, "bad-request", "session API disabled")
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.stats.badRequests.Add(1)
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "method", "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.stats.drainRejects.Add(1)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.DrainTimeout))
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var req OpenSessionRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	cfg, err := req.Config.ToIPCP()
+	if err != nil {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	cfg.Parallelism = s.cfg.AnalysisParallelism
+	cfg.FailFast = true
+	if req.Filename == "" {
+		req.Filename = "request.f"
+	}
+
+	// Opening runs a full analysis; take a worker slot like /v1/analyze.
+	release, ok := s.acquireWorker(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	sess, err := ipcp.OpenSession(ctx, req.Filename, req.Source, cfg)
+	if err != nil {
+		s.sessions.openFailed()
+		s.writeSessionError(w, err)
+		return
+	}
+	e := &sessionEntry{
+		sess: sess,
+		cfg:  cfg,
+		req:  &AnalyzeRequest{Filename: req.Filename, Want: req.Want},
+	}
+	id := s.sessions.add(e)
+	s.writeJSON(w, http.StatusOK, OpenSessionResponse{
+		ID:          id,
+		Units:       sess.NumUnits(),
+		Fingerprint: sess.Fingerprint(),
+	})
+}
+
+// handleSessionByID routes /v1/sessions/{id}[/edit|/result].
+func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.writeError(w, http.StatusServiceUnavailable, "handler-panic", fmt.Sprint(rec))
+		}
+	}()
+	if s.sessions == nil {
+		s.writeError(w, http.StatusNotFound, "bad-request", "session API disabled")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	id, verb := rest, ""
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		id, verb = rest[:i], rest[i+1:]
+	}
+	if id == "" {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", "missing session id")
+		return
+	}
+	e := s.sessions.lookup(id)
+	if e == nil {
+		s.writeError(w, http.StatusNotFound, "not-found", "unknown session "+id)
+		return
+	}
+	switch {
+	case verb == "edit" && r.Method == http.MethodPost:
+		s.handleSessionEdit(w, r, e)
+	case verb == "result" && r.Method == http.MethodGet:
+		s.handleSessionResult(w, e)
+	case verb == "" && r.Method == http.MethodDelete:
+		s.sessions.remove(id)
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "closed", "id": id})
+	default:
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusMethodNotAllowed, "method", "unsupported session operation")
+		return
+	}
+}
+
+func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request, e *sessionEntry) {
+	if s.draining.Load() {
+		s.stats.drainRejects.Add(1)
+		w.Header().Set("Retry-After", retryAfter(s.cfg.DrainTimeout))
+		s.writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	var req SessionEditRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", "invalid JSON body: "+err.Error())
+		return
+	}
+	release, ok := s.acquireWorker(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	info, err := e.sess.Edit(ctx, req.Edits)
+	if err == nil || !errors.Is(err, ipcp.ErrBadEdit) {
+		// Invalid edits leave the session untouched; everything else —
+		// including an edit that broke the program — changed it.
+		s.sessions.afterEdit(e, info, len(req.Edits))
+	}
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SessionEditResponse{
+		ID:          e.id,
+		Info:        info,
+		Fingerprint: e.sess.Fingerprint(),
+	})
+}
+
+func (s *Server) handleSessionResult(w http.ResponseWriter, e *sessionEntry) {
+	res, err := e.sess.Result()
+	if err != nil {
+		s.writeSessionError(w, err)
+		return
+	}
+	// Same rendering path as POST /v1/analyze: for equal text and
+	// configuration the bodies are byte-identical.
+	bodyBytes, degraded := s.renderResult(e.req, e.cfg, res, 0)
+	if degraded {
+		s.stats.degraded.Add(1)
+	} else {
+		s.stats.ok.Add(1)
+	}
+	s.writeRaw(w, http.StatusOK, bodyBytes)
+}
+
+// acquireWorker applies the same admission control as /v1/analyze to a
+// session request: bounded queue, shed with Retry-After, abandonment
+// detection. The returned release must be called when the work is done.
+func (s *Server) acquireWorker(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.queued.Add(1) > int64(s.cfg.MaxConcurrency+s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.stats.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfter(s.shedBackoff()))
+		s.writeError(w, http.StatusTooManyRequests, "shed", "work queue full")
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		s.stats.abandoned.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "canceled", "client went away while queued")
+		return nil, false
+	}
+	s.inFlight.Add(1)
+	return func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+		s.queued.Add(-1)
+	}, true
+}
+
+// writeSessionError maps a session failure onto the service's error
+// contract: invalid edits are 400s, program diagnostics are 422s, and
+// budget/deadline/internal failures are 503s with the breaker classes.
+func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ipcp.ErrBadEdit) {
+		s.stats.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	class, _, userFault := classify(err)
+	if userFault {
+		s.stats.inputErrors.Add(1)
+		s.writeError(w, http.StatusUnprocessableEntity, "input", err.Error())
+		return
+	}
+	s.recordFailureClass(err)
+	if class == "exhausted:deadline" {
+		s.stats.deadline.Add(1)
+	} else {
+		s.stats.internal.Add(1)
+	}
+	s.writeError(w, http.StatusServiceUnavailable, class, err.Error())
+}

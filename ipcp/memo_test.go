@@ -314,8 +314,8 @@ func TestCacheUnderDegradation(t *testing.T) {
 // cache.
 func TestCacheFallbackOnErrors(t *testing.T) {
 	cases := []string{
-		"",                         // empty
-		"      GARBAGE\n",          // no unit header
+		"",                // empty
+		"      GARBAGE\n", // no unit header
 		"      PROGRAM P\n      X = UNDEFVAR(1,\n      END\n", // parse error
 		"      PROGRAM P\n      CALL NOSUCH(1)\n      END\n",  // sem error (undefined subroutine)
 	}
