@@ -20,12 +20,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Smoke-fuzz the native targets: the analysis fuzzers are seeded from
+# Smoke-fuzz the native targets: FuzzDomainLaws throws arbitrary
+# element vectors at every registered abstract domain's lattice laws
+# (meet commutativity/associativity/idempotence, ⊤/⊥ identities,
+# widening descent); the analysis fuzzers are seeded from
 # internal/core/testdata/*.f (FuzzSessionDelta additionally checks that
 # any session edit sequence matches a cold analysis of the final text);
 # the job-manifest fuzzer is seeded with handwritten batch JSON. All
 # must stay crash-free.
 fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDomainLaws -fuzztime=$(FUZZTIME) ./internal/domain
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/parser
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=$(FUZZTIME) ./ipcp
 	$(GO) test -run='^$$' -fuzz=FuzzSessionDelta -fuzztime=$(FUZZTIME) ./ipcp

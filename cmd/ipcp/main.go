@@ -14,6 +14,8 @@
 //	-ret=false                                  disable return jump functions
 //	-complete                                   iterate with dead code elimination
 //	-solver worklist|binding                    propagation algorithm
+//	-domain const|interval|parity|taint|cond-const
+//	                                            abstract domain to propagate
 //	-transform                                  print the transformed source
 //	-stats                                      print solver statistics
 //	-trace                                      print per-phase timing to stderr
@@ -36,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/ipcp"
@@ -67,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 		gated     = fs.Bool("gated", false, "gated-SSA jump functions (subsumes -complete in one round; extension)")
 		doClone   = fs.Bool("clone", false, "procedure cloning guided by constants (extension)")
 		solver    = fs.String("solver", "worklist", "solver: worklist|binding")
+		domName   = fs.String("domain", "", "abstract domain: "+strings.Join(ipcp.Domains(), "|")+" (default const)")
 		transform = fs.Bool("transform", false, "print the transformed source")
 		jumps     = fs.Bool("jumps", false, "print the constructed jump functions")
 		stats     = fs.Bool("stats", false, "print solver statistics")
@@ -106,6 +110,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 		Complete: *complete, Gated: *gated,
 		Budget:      ipcp.Budget{MaxSolverSteps: *maxSteps, MaxRounds: *maxRounds, MaxJFExprSize: *maxExpr},
 		Parallelism: *parallel,
+		Domain:      *domName,
 	}
 	switch *jf {
 	case "literal":
@@ -179,6 +184,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (status int) 
 
 	fmt.Fprintf(stdout, "configuration: %s jump functions, MOD=%v, return JFs=%v, complete=%v\n",
 		cfg.Kind, cfg.UseMOD, cfg.UseReturnJFs, cfg.Complete)
+	if dom := res.Domain(); dom != "const" {
+		fmt.Fprintf(stdout, "domain: %s\n", dom)
+		for _, proc := range res.Procedures() {
+			fs := res.FactsOf(proc)
+			if len(fs) == 0 {
+				continue
+			}
+			fmt.Fprintf(stdout, "FACTS(%s):", proc)
+			for _, f := range fs {
+				tag := ""
+				if f.IsGlobal {
+					tag = fmt.Sprintf(" [/%s/]", f.Block)
+				}
+				fmt.Fprintf(stdout, " (%s, %s)%s", f.Name, f.Value, tag)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
 	total := 0
 	for _, proc := range res.Procedures() {
 		ks := res.ConstantsOf(proc)

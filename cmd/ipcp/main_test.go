@@ -156,3 +156,36 @@ func TestCLIJumpDump(t *testing.T) {
 		t.Errorf("missing return jump function:\n%s", s)
 	}
 }
+
+func TestCLIDomainFlag(t *testing.T) {
+	bin := buildCLI(t)
+	src := `PROGRAM MAIN
+CALL S(3)
+CALL S(7)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	file := filepath.Join(t.TempDir(), "ranges.f")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-domain", "interval", file).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ipcp -domain interval: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "domain: interval") || !strings.Contains(s, "FACTS(S): (N, [3,7])") {
+		t.Errorf("interval output missing facts:\n%s", s)
+	}
+
+	out, err = exec.Command(bin, "-domain", "bogus", file).CombinedOutput()
+	if err == nil {
+		t.Fatalf("ipcp -domain bogus succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), `unknown domain "bogus"`) {
+		t.Errorf("bogus-domain diagnostic = %q", out)
+	}
+}

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"strconv"
-
-	"repro/internal/lattice"
+	"repro/internal/domain"
 	"repro/internal/sem"
 )
 
@@ -47,8 +45,9 @@ type ContextMemo interface {
 
 // ContextRecord is one recorded propagation step: the work it costs
 // (jump-function evaluations, for statistics and budget accounting) and
-// the lattice contributions it pushes into callees. ⊤ contributions are
-// omitted — ⊤ is the meet identity, so they can never change a cell.
+// the abstract contributions it pushes into callees. ⊤ contributions
+// are omitted — ⊤ is the meet identity, so they can never change a
+// cell.
 type ContextRecord struct {
 	Evals    int
 	Contribs []ContextContrib
@@ -59,34 +58,22 @@ type ContextContrib struct {
 	Callee *sem.Procedure
 	Formal int            // formal index; ignored when Global is set
 	Global *sem.GlobalVar // nil for formal contributions
-	Value  lattice.Value
+	Value  domain.Elem
 }
 
 // ctxKey renders procedure pi's incoming VAL row — its formal row then
-// its global row — as a canonical byte string: 'T' for ⊤, 'B' for ⊥,
-// and 'C' followed by the decimal constant, each cell ';'-terminated.
-// buf is reused across calls to keep the per-pop allocation at one
-// string.
+// its global row — as a canonical byte string via the domain's
+// injective cell encoding (for the constant domain: 'T' for ⊤, 'B' for
+// ⊥, and 'C' followed by the decimal constant, each cell
+// ';'-terminated, exactly the pre-generalization format). buf is reused
+// across calls to keep the per-pop allocation at one string.
 func ctxKey(vals *Values, pi int, buf []byte) (string, []byte) {
 	buf = buf[:0]
-	appendCell := func(v lattice.Value) {
-		switch {
-		case v.IsTop():
-			buf = append(buf, 'T')
-		case v.IsBottom():
-			buf = append(buf, 'B')
-		default:
-			c, _ := v.IsConst()
-			buf = append(buf, 'C')
-			buf = strconv.AppendInt(buf, c, 10)
-		}
-		buf = append(buf, ';')
-	}
 	for _, v := range vals.formalRow(pi) {
-		appendCell(v)
+		buf = vals.dom.AppendKey(buf, v)
 	}
 	for _, v := range vals.globalRow(pi) {
-		appendCell(v)
+		buf = vals.dom.AppendKey(buf, v)
 	}
 	return string(buf), buf
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/callgraph"
 	"repro/internal/dce"
+	"repro/internal/domain"
 	"repro/internal/guard"
 	"repro/internal/intra"
 	"repro/internal/jump"
@@ -61,6 +62,16 @@ func (s SolverKind) String() string {
 // Config selects an experimental configuration.
 type Config struct {
 	Jump jump.Config
+	// Domain selects the abstract domain to propagate — the monotone-
+	// framework instance supplying the element lattice and transfer
+	// function (package domain). nil selects the constant-propagation
+	// domain, preserving the original analyzer exactly. The domain is
+	// memo-relevant at the whole-program level (it is folded into
+	// memo.ProgramFingerprint and the service result cache) but NOT into
+	// jump-function cache keys: jump functions are symbolic expressions,
+	// built identically for every domain, so those artifacts are shared
+	// across domains by design.
+	Domain domain.Domain
 	// Complete iterates propagation with dead-code elimination
 	// (Table 3's "Complete Propagation").
 	Complete bool
@@ -197,7 +208,12 @@ type Analysis struct {
 
 	builder *symbolic.Builder
 	chk     *guard.Checker
+	dom     domain.Domain // resolved domain; never nil
 }
+
+// Domain returns the analysis's resolved abstract domain (never nil;
+// the constant domain when Config.Domain was nil).
+func (a *Analysis) Domain() domain.Domain { return a.dom }
 
 // Degraded reports whether any budget axis forced the analysis below
 // its requested configuration.
@@ -231,6 +247,13 @@ func AnalyzeProgramContext(ctx context.Context, prog *sem.Program, cfgg Config) 
 func AnalyzeProgramErr(ctx context.Context, prog *sem.Program, cfgg Config) (*Analysis, error) {
 	if cfgg.MaxRounds <= 0 {
 		cfgg.MaxRounds = 4
+	}
+	// A pruning domain (conditional constant propagation) requests the
+	// complete-propagation loop regardless of Config.Complete; normalize
+	// here so degradation, memo gating, and round accounting all see one
+	// consistent flag.
+	if cfgg.Domain != nil && cfgg.Domain.Prunes() {
+		cfgg.Complete = true
 	}
 	if cfgg.FailFast {
 		return analyzeAttempt(ctx, prog, cfgg)
@@ -278,6 +301,9 @@ func degrade(c Config) (Config, bool) {
 // describeConfig names a configuration for degradation warnings.
 func describeConfig(c Config) string {
 	s := c.Jump.Kind.String()
+	if name := domain.NameOf(c.Domain); name != "const" {
+		s = name + "/" + s
+	}
 	if c.Jump.Gated {
 		s += "+gated"
 	}
@@ -418,6 +444,7 @@ func analyzeAttempt(ctx context.Context, prog *sem.Program, cfgg Config) (*Analy
 		Prog:    prog,
 		builder: symbolic.NewBuilder(),
 		chk:     chk,
+		dom:     resolveDomain(cfgg),
 	}
 	if cfgg.Budget.MaxExprSize > 0 {
 		a.builder.SetMaxSize(cfgg.Budget.MaxExprSize)
@@ -496,6 +523,7 @@ func bottomAnalysis(prog *sem.Program, cfgg Config) *Analysis {
 		Config:  cfgg,
 		Prog:    prog,
 		builder: symbolic.NewBuilder(),
+		dom:     resolveDomain(cfgg),
 	}
 	if cfgg.Hooks != nil {
 		a.Graph, a.Mod = cfgg.Hooks.Graph()
@@ -511,8 +539,17 @@ func bottomAnalysis(prog *sem.Program, cfgg Config) *Analysis {
 		Returns: make(map[*sem.Procedure]*intra.ReturnSummary),
 		Procs:   make(map[*sem.Procedure]*jump.ProcFunctions),
 	}
-	a.Vals = BottomValues(prog)
+	a.Vals = BottomValues(prog, a.dom)
 	return a
+}
+
+// resolveDomain maps the config's domain selector to a concrete
+// instance: nil means the constant domain.
+func resolveDomain(c Config) domain.Domain {
+	if c.Domain != nil {
+		return c.Domain
+	}
+	return domain.Const()
 }
 
 func (a *Analysis) solve(init map[*sem.GlobalVar]lattice.Value, chk *guard.Checker) (*Values, error) {
@@ -581,6 +618,43 @@ func (a *Analysis) Constants(p *sem.Procedure) []Constant {
 		if c, ok := a.Vals.Global(p, g).IsConst(); ok {
 			out = append(out, Constant{Proc: p, Name: g.Name, FormalIndex: -1, Global: g, Value: c,
 				Referenced: a.Mod.GRef(p, g)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fact is one proven abstract fact of a non-constant domain: a formal
+// or global whose VAL entry is a Mid element (strictly between ⊤ and
+// ⊥), rendered through the domain's Format. For the constant domain
+// Facts and Constants coincide (every Mid element is a constant).
+type Fact struct {
+	Proc        *sem.Procedure
+	Name        string
+	FormalIndex int            // -1 for globals
+	Global      *sem.GlobalVar // nil for formals
+	// Value is the domain's rendering, e.g. "[1,10]", "even", "clean".
+	Value string
+}
+
+// Facts returns the domain facts proven on every entry to p, sorted by
+// name — the generic counterpart of Constants.
+func (a *Analysis) Facts(p *sem.Procedure) []Fact {
+	var out []Fact
+	for i, f := range p.Formals {
+		if f.IsArray || f.Type != ast.TypeInteger {
+			continue
+		}
+		if e := a.Vals.FormalElem(p, i); e.L == domain.LevelMid {
+			out = append(out, Fact{Proc: p, Name: f.Name, FormalIndex: i, Value: a.dom.Format(e)})
+		}
+	}
+	for _, g := range a.Prog.Globals() {
+		if g.IsArray || g.Type != ast.TypeInteger {
+			continue
+		}
+		if e := a.Vals.GlobalElem(p, g); e.L == domain.LevelMid {
+			out = append(out, Fact{Proc: p, Name: g.Name, FormalIndex: -1, Global: g, Value: a.dom.Format(e)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -701,26 +775,38 @@ func constOfLiteral(e ast.Expr) lattice.Value {
 // ---------------------------------------------------------------------
 // VAL sets
 
-// Values holds VAL(p) for every procedure: one lattice value per formal
-// parameter and per (procedure, global) pair. Storage is dense — two
-// flat slices indexed by the program's sealed procedure and global
-// indices (sem.Program.ProcIndex / GlobalIndex) — so a whole solution
-// is three allocations and the solver's meets walk contiguous memory
-// instead of chasing per-procedure maps.
+// Values holds VAL(p) for every procedure: one abstract element of the
+// analysis's domain per formal parameter and per (procedure, global)
+// pair. Storage is dense — two flat slices indexed by the program's
+// sealed procedure and global indices (sem.Program.ProcIndex /
+// GlobalIndex) — so a whole solution is three allocations and the
+// solver's meets walk contiguous memory instead of chasing
+// per-procedure maps. (The zero domain.Elem is ⊤ for every domain,
+// which is what keeps the fresh-solution cost at three allocations.)
+//
+// For domains of unbounded height (Widens), Values also carries one
+// descent counter per cell: after domain.WidenThreshold plain meets, a
+// cell's lowering is routed through Domain.Widen, restoring the
+// finite-descent property both solvers' termination relies on.
 type Values struct {
 	prog  *sem.Program
+	dom   domain.Domain
 	nGlob int
 	// formalOff has len(Order)+1 entries; procedure i's formal row is
 	// formals[formalOff[i]:formalOff[i+1]].
 	formalOff []int32
-	formals   []lattice.Value
+	formals   []domain.Elem
 	// globals is the dense VAL matrix: globals[i*nGlob+j] is
 	// VAL(Order[i])[Globals()[j]].
-	globals []lattice.Value
+	globals []domain.Elem
+	// fCnt/gCnt are per-cell descent counters, allocated only for
+	// widening domains (nil otherwise, costing constant-domain runs
+	// nothing).
+	fCnt, gCnt []uint8
 }
 
-// NewValues returns the all-⊤ initial VAL sets.
-func NewValues(prog *sem.Program) *Values {
+// NewValues returns the all-⊤ initial VAL sets over dom.
+func NewValues(prog *sem.Program, dom domain.Domain) *Values {
 	order := prog.Order
 	gs := prog.Globals()
 	off := make([]int32, len(order)+1)
@@ -730,99 +816,144 @@ func NewValues(prog *sem.Program) *Values {
 		total += len(p.Formals)
 	}
 	off[len(order)] = int32(total)
-	// The zero lattice.Value is ⊤, so fresh slices need no init pass.
-	return &Values{
+	// The zero domain.Elem is ⊤, so fresh slices need no init pass.
+	v := &Values{
 		prog:      prog,
+		dom:       dom,
 		nGlob:     len(gs),
 		formalOff: off,
-		formals:   make([]lattice.Value, total),
-		globals:   make([]lattice.Value, len(order)*len(gs)),
+		formals:   make([]domain.Elem, total),
+		globals:   make([]domain.Elem, len(order)*len(gs)),
 	}
+	if dom.Widens() {
+		v.fCnt = make([]uint8, total)
+		v.gCnt = make([]uint8, len(order)*len(gs))
+	}
+	return v
 }
 
 // BottomValues returns the all-⊥ VAL sets: the trivially sound
-// "no constants anywhere" solution used when every budget fallback has
-// been spent.
-func BottomValues(prog *sem.Program) *Values {
-	v := NewValues(prog)
+// "no facts anywhere" solution used when every budget fallback has been
+// spent.
+func BottomValues(prog *sem.Program, dom domain.Domain) *Values {
+	v := NewValues(prog, dom)
+	bot := dom.Bottom()
 	for i := range v.formals {
-		v.formals[i] = lattice.BottomValue()
+		v.formals[i] = bot
 	}
 	for i := range v.globals {
-		v.globals[i] = lattice.BottomValue()
+		v.globals[i] = bot
 	}
 	return v
 }
 
 // formalRow returns procedure pi's formal row.
-func (v *Values) formalRow(pi int) []lattice.Value {
+func (v *Values) formalRow(pi int) []domain.Elem {
 	return v.formals[v.formalOff[pi]:v.formalOff[pi+1]]
 }
 
 // globalRow returns procedure pi's global row.
-func (v *Values) globalRow(pi int) []lattice.Value {
+func (v *Values) globalRow(pi int) []domain.Elem {
 	return v.globals[pi*v.nGlob : (pi+1)*v.nGlob]
 }
 
-// Formal returns VAL(p)[formal i].
-func (v *Values) Formal(p *sem.Procedure, i int) lattice.Value {
+// FormalElem returns VAL(p)[formal i] as a raw domain element.
+func (v *Values) FormalElem(p *sem.Procedure, i int) domain.Elem {
 	pi := v.prog.ProcIndex(p)
 	if pi < 0 {
-		return lattice.BottomValue()
+		return v.dom.Bottom()
 	}
 	fs := v.formalRow(pi)
 	if i < 0 || i >= len(fs) {
-		return lattice.BottomValue()
+		return v.dom.Bottom()
 	}
 	return fs[i]
 }
 
-// Global returns VAL(p)[g] (⊤ when p or g is unknown, matching the
-// never-called procedure's value).
-func (v *Values) Global(p *sem.Procedure, g *sem.GlobalVar) lattice.Value {
+// GlobalElem returns VAL(p)[g] as a raw domain element (⊤ when p or g
+// is unknown, matching the never-called procedure's value).
+func (v *Values) GlobalElem(p *sem.Procedure, g *sem.GlobalVar) domain.Elem {
 	pi, gi := v.prog.ProcIndex(p), v.prog.GlobalIndex(g)
 	if pi < 0 || gi < 0 {
-		return lattice.TopValue()
+		return domain.Top()
 	}
 	return v.globals[pi*v.nGlob+gi]
 }
 
-// LowerFormal meets a new value into VAL(p)[i], reporting change.
-func (v *Values) LowerFormal(p *sem.Procedure, i int, nv lattice.Value) bool {
+// Formal returns VAL(p)[formal i] in the constant view: the
+// lattice.Value every non-generic consumer (substitution, cloning,
+// CONSTANTS) understands. Exact for the constant domain; for other
+// domains a Mid element maps to a constant only when the domain proves
+// a single value (e.g. a singleton interval).
+func (v *Values) Formal(p *sem.Procedure, i int) lattice.Value {
+	return domain.ToLattice(v.dom, v.FormalElem(p, i))
+}
+
+// Global returns VAL(p)[g] in the constant view.
+func (v *Values) Global(p *sem.Procedure, g *sem.GlobalVar) lattice.Value {
+	return domain.ToLattice(v.dom, v.GlobalElem(p, g))
+}
+
+// LowerFormal meets a new element into VAL(p)[i], reporting change.
+func (v *Values) LowerFormal(p *sem.Procedure, i int, nv domain.Elem) bool {
 	pi := v.prog.ProcIndex(p)
 	if pi < 0 {
 		return false
 	}
-	fs := v.formalRow(pi)
-	if i < 0 || i >= len(fs) {
+	if i < 0 || int(v.formalOff[pi])+i >= int(v.formalOff[pi+1]) {
 		return false
 	}
-	return lowerCell(&fs[i], nv)
+	return v.lowerFormalAt(pi, i, nv)
 }
 
-// LowerGlobal meets a new value into VAL(p)[g], reporting change.
-func (v *Values) LowerGlobal(p *sem.Procedure, g *sem.GlobalVar, nv lattice.Value) bool {
+// LowerGlobal meets a new element into VAL(p)[g], reporting change.
+func (v *Values) LowerGlobal(p *sem.Procedure, g *sem.GlobalVar, nv domain.Elem) bool {
 	pi, gi := v.prog.ProcIndex(p), v.prog.GlobalIndex(g)
 	if pi < 0 || gi < 0 {
 		return false
 	}
-	return lowerCell(&v.globals[pi*v.nGlob+gi], nv)
+	return v.lowerGlobalAt(pi, gi, nv)
 }
 
 // lowerFormalAt and lowerGlobalAt are the solver-internal index-based
 // variants (no identity lookups in the inner loop).
-func (v *Values) lowerFormalAt(pi, i int, nv lattice.Value) bool {
-	return lowerCell(&v.formals[int(v.formalOff[pi])+i], nv)
+func (v *Values) lowerFormalAt(pi, i int, nv domain.Elem) bool {
+	idx := int(v.formalOff[pi]) + i
+	var cnt *uint8
+	if v.fCnt != nil {
+		cnt = &v.fCnt[idx]
+	}
+	return v.lowerCell(&v.formals[idx], cnt, nv)
 }
 
-func (v *Values) lowerGlobalAt(pi, gi int, nv lattice.Value) bool {
-	return lowerCell(&v.globals[pi*v.nGlob+gi], nv)
+func (v *Values) lowerGlobalAt(pi, gi int, nv domain.Elem) bool {
+	idx := pi*v.nGlob + gi
+	var cnt *uint8
+	if v.gCnt != nil {
+		cnt = &v.gCnt[idx]
+	}
+	return v.lowerCell(&v.globals[idx], cnt, nv)
 }
 
-func lowerCell(cell *lattice.Value, nv lattice.Value) bool {
-	m := lattice.Meet(*cell, nv)
+// lowerCell meets nv into a cell, reporting change. For widening
+// domains the cell's descent counter decides when a plain meet becomes
+// a widen: the first WidenThreshold descents are exact (so small
+// bounded loops converge precisely), after which Widen accelerates the
+// remaining descents to a finite number.
+func (v *Values) lowerCell(cell *domain.Elem, cnt *uint8, nv domain.Elem) bool {
+	m := v.dom.Meet(*cell, nv)
 	if m == *cell {
 		return false
+	}
+	if cnt != nil {
+		if *cnt >= domain.WidenThreshold {
+			m = v.dom.Widen(*cell, m)
+			if m == *cell {
+				return false
+			}
+		} else {
+			*cnt++
+		}
 	}
 	*cell = m
 	return true
@@ -847,18 +978,21 @@ func (v *Values) Equal(o *Values) bool {
 }
 
 // EntryEnv adapts VAL(p) to the intra engine's entry environment: only
-// constants are included.
+// elements that prove a single constant are included (for the constant
+// domain, exactly the constants; for intervals, the singleton ranges;
+// parity and taint prove values, not constants, and contribute
+// nothing — their substitution is purely intraprocedural).
 func (v *Values) EntryEnv(p *sem.Procedure) map[ssa.Var]int64 {
 	env := make(map[ssa.Var]int64)
 	for i, f := range p.Formals {
-		if c, ok := v.Formal(p, i).IsConst(); ok {
+		if c, ok := v.dom.ConstOf(v.FormalElem(p, i)); ok {
 			env[ssa.VarOf(f)] = c
 		}
 	}
 	if pi := v.prog.ProcIndex(p); pi >= 0 {
 		gs := v.prog.Globals()
 		for gi, val := range v.globalRow(pi) {
-			if c, ok := val.IsConst(); ok {
+			if c, ok := v.dom.ConstOf(val); ok {
 				env[ssa.GlobalVar(gs[gi])] = c
 			}
 		}
@@ -867,33 +1001,33 @@ func (v *Values) EntryEnv(p *sem.Procedure) map[ssa.Var]int64 {
 }
 
 // envFor builds the jump-function evaluation environment from VAL(p).
-func (v *Values) envFor(p *sem.Procedure) symbolic.Env {
+func (v *Values) envFor(p *sem.Procedure) domain.Env {
 	return v.envAt(v.prog.ProcIndex(p))
 }
 
 // envAt is envFor by sealed procedure index: the caller's identity is
 // resolved once, so each leaf evaluation is two slice reads.
-func (v *Values) envAt(pi int) symbolic.Env {
-	return func(leaf *symbolic.Expr) lattice.Value {
+func (v *Values) envAt(pi int) domain.Env {
+	return func(leaf *symbolic.Expr) domain.Elem {
 		switch leaf.Op {
 		case symbolic.OpParam:
 			// The leaf's symbol belongs to the caller.
 			if pi < 0 {
-				return lattice.BottomValue()
+				return v.dom.Bottom()
 			}
 			fs := v.formalRow(pi)
 			if i := leaf.Param.FormalIndex; i >= 0 && i < len(fs) {
 				return fs[i]
 			}
-			return lattice.BottomValue()
+			return v.dom.Bottom()
 		case symbolic.OpGlobal:
 			gi := v.prog.GlobalIndex(leaf.Global)
 			if pi < 0 || gi < 0 {
-				return lattice.TopValue()
+				return domain.Top()
 			}
 			return v.globals[pi*v.nGlob+gi]
 		}
-		return lattice.BottomValue()
+		return v.dom.Bottom()
 	}
 }
 
@@ -910,12 +1044,12 @@ func (v *Values) String() string {
 		fmt.Fprintf(&b, "%s:", p.Name)
 		fs := v.formalRow(pi)
 		for i, f := range p.Formals {
-			fmt.Fprintf(&b, " %s=%s", f.Name, fs[i])
+			fmt.Fprintf(&b, " %s=%s", f.Name, v.dom.Format(fs[i]))
 		}
 		row := v.globalRow(pi)
 		for _, gi := range byKey {
 			if val := row[gi]; !val.IsTop() {
-				fmt.Fprintf(&b, " %s=%s", gs[gi].Key(), val)
+				fmt.Fprintf(&b, " %s=%s", gs[gi].Key(), v.dom.Format(val))
 			}
 		}
 		b.WriteByte('\n')

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/jump"
+)
+
+// mustDomain resolves a registered domain by name.
+func mustDomain(t *testing.T, name string) domain.Domain {
+	t.Helper()
+	d, err := domain.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// factFor returns the rendered fact for formal i of proc name, or "".
+func factFor(a *Analysis, name string, i int) string {
+	for _, f := range a.Facts(a.Prog.Procs[name]) {
+		if f.FormalIndex == i {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// TestIntervalWideningTerminates is the acceptance demo for widening:
+// the recursive chain R(N+1) makes VAL(R)[N] descend [1,1] ⊒ [1,2] ⊒
+// [1,3] ⊒ … — with the shallow constant lattice every cell lowers at
+// most twice, but the interval lattice has no finite descent and the
+// naive fixed point would iterate ~2^63 times. The widening hook caps
+// the descent, so this test terminating at all (in milliseconds, under
+// both solvers) is the point. A formal the loop never disturbs keeps
+// its exact singleton range through the widened fixed point.
+func TestIntervalWideningTerminates(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL R(1, 5)
+END
+SUBROUTINE R(N, K)
+INTEGER N, K
+CALL R(N + 1, K)
+END
+`
+	for _, solver := range []SolverKind{SolverWorklist, SolverBinding} {
+		cfg := configFor(jump.Polynomial)
+		cfg.Domain = mustDomain(t, "interval")
+		cfg.Solver = solver
+		a := analyzeSrc(t, src, cfg)
+		// The unbounded counter widens and then degrades to ⊥ (its
+		// incremented range crosses the infinity sentinel).
+		if e := a.Vals.FormalElem(a.Prog.Procs["R"], 0); e.L != domain.LevelBottom {
+			t.Errorf("%v: R.N = %s, want ⊥ after widening", solver, a.Vals.Formal(a.Prog.Procs["R"], 0))
+		}
+		if got := factFor(a, "R", 1); got != "[5,5]" {
+			t.Errorf("%v: R.K fact = %q, want [5,5]", solver, got)
+		}
+	}
+}
+
+// TestIntervalWideningKeepsStableBound: when the re-evaluated transfer
+// still fits under the widened range, the half-open bound survives as a
+// proven fact instead of collapsing to ⊥. The naive fixed point would
+// converge to the exact [1,10] here — widening trades that precision
+// for the termination the previous test depends on.
+func TestIntervalWideningKeepsStableBound(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL R(1)
+END
+SUBROUTINE R(N)
+INTEGER N
+CALL R(MIN(N, 9) + 1)
+END
+`
+	for _, solver := range []SolverKind{SolverWorklist, SolverBinding} {
+		cfg := configFor(jump.Polynomial)
+		cfg.Domain = mustDomain(t, "interval")
+		cfg.Solver = solver
+		a := analyzeSrc(t, src, cfg)
+		if got := factFor(a, "R", 0); got != "[1,+inf]" {
+			t.Errorf("%v: R.N fact = %q, want [1,+inf]", solver, got)
+		}
+	}
+}
+
+// TestIntervalHullAtMerge: two call sites meet to the convex hull — a
+// ranged fact where the constant domain reports ⊥.
+func TestIntervalHullAtMerge(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL S(3)
+CALL S(7)
+END
+SUBROUTINE S(N)
+INTEGER N
+CALL T(N * 2)
+END
+SUBROUTINE T(M)
+INTEGER M
+PRINT *, M
+END
+`
+	cfg := configFor(jump.Polynomial)
+	a := analyzeSrc(t, src, cfg)
+	wantBottom(t, formalVal(a, "S", 0), "const: S.N")
+
+	cfg.Domain = mustDomain(t, "interval")
+	a = analyzeSrc(t, src, cfg)
+	if got := factFor(a, "S", 0); got != "[3,7]" {
+		t.Errorf("interval: S.N fact = %q, want [3,7]", got)
+	}
+	if got := factFor(a, "T", 0); got != "[6,14]" {
+		t.Errorf("interval: T.M fact = %q, want [6,14]", got)
+	}
+}
+
+// TestParityFacts: call sites passing 4 and 10 disagree as constants
+// but agree on parity; an odd third site kills the fact.
+func TestParityFacts(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL S(4)
+CALL S(10)
+CALL T(4)
+CALL T(7)
+END
+SUBROUTINE S(N)
+INTEGER N
+CALL U(N + 3)
+END
+SUBROUTINE T(N)
+INTEGER N
+PRINT *, N
+END
+SUBROUTINE U(M)
+INTEGER M
+PRINT *, M
+END
+`
+	cfg := configFor(jump.Polynomial)
+	cfg.Domain = mustDomain(t, "parity")
+	for _, solver := range []SolverKind{SolverWorklist, SolverBinding} {
+		cfg.Solver = solver
+		a := analyzeSrc(t, src, cfg)
+		if got := factFor(a, "S", 0); got != "even" {
+			t.Errorf("%v: S.N fact = %q, want even", solver, got)
+		}
+		// even + 3 is odd, propagated through the jump function.
+		if got := factFor(a, "U", 0); got != "odd" {
+			t.Errorf("%v: U.M fact = %q, want odd", solver, got)
+		}
+		if got := factFor(a, "T", 0); got != "" {
+			t.Errorf("%v: T.N fact = %q, want none (parities clash)", solver, got)
+		}
+	}
+}
+
+// TestTaintFacts: READ is the taint source (an opaque leaf); values
+// derived only from program constants stay provably clean.
+func TestTaintFacts(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER X
+READ *, X
+CALL S(X)
+CALL T(40 + 2)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+SUBROUTINE T(M)
+INTEGER M
+CALL S(M * M)
+END
+`
+	cfg := configFor(jump.Polynomial)
+	cfg.Domain = mustDomain(t, "taint")
+	a := analyzeSrc(t, src, cfg)
+	// S receives the READ value at one site: tainted (⊥), no fact.
+	if e := a.Vals.FormalElem(a.Prog.Procs["S"], 0); e.L != domain.LevelBottom {
+		t.Errorf("S.N = %s, want tainted", cfg.Domain.Format(e))
+	}
+	if got := factFor(a, "T", 0); got != "clean" {
+		t.Errorf("T.M fact = %q, want clean", got)
+	}
+}
+
+// TestCondConstMatchesComplete: the cond-const domain is constant
+// propagation with branch pruning folded in as a domain property — it
+// must find exactly what Config.Complete finds on the paper's Table 3
+// shape, including the extra propagation round.
+func TestCondConstMatchesComplete(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER N
+N = 1
+CALL S(N)
+END
+SUBROUTINE S(K)
+INTEGER K, M
+IF (K .EQ. 1) THEN
+  M = 5
+ELSE
+  M = 6
+ENDIF
+CALL T(M)
+END
+SUBROUTINE T(J)
+INTEGER J
+PRINT *, J
+END
+`
+	cond := configFor(jump.Polynomial)
+	cond.Domain = mustDomain(t, "cond-const")
+	a := analyzeSrc(t, src, cond)
+	wantConst(t, formalVal(a, "T", 0), 5, "cond-const: T.J (else arm dead)")
+	if a.Stats.Rounds < 2 {
+		t.Errorf("cond-const rounds = %d, want >= 2", a.Stats.Rounds)
+	}
+
+	complete := configFor(jump.Polynomial)
+	complete.Complete = true
+	b := analyzeSrc(t, src, complete)
+	for _, p := range []string{"S", "T"} {
+		for i := range a.Prog.Procs[p].Formals {
+			if got, want := formalVal(a, p, i), formalVal(b, p, i); got != want {
+				t.Errorf("%s formal %d: cond-const %v != complete %v", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestExplicitConstDomainIsDefault: naming the constant domain must be
+// indistinguishable from leaving Config.Domain nil — same facts, same
+// rendered VAL table.
+func TestExplicitConstDomainIsDefault(t *testing.T) {
+	src := `PROGRAM MAIN
+INTEGER G
+COMMON /C/ G
+G = 3
+CALL S(2, 9)
+END
+SUBROUTINE S(N, M)
+INTEGER N, M, G
+COMMON /C/ G
+PRINT *, N + M + G
+END
+`
+	for _, kind := range []jump.Kind{jump.Literal, jump.Intraprocedural, jump.PassThrough, jump.Polynomial} {
+		implicit := analyzeSrc(t, src, configFor(kind))
+		cfg := configFor(kind)
+		cfg.Domain = domain.Const()
+		explicit := analyzeSrc(t, src, cfg)
+		if implicit.Vals.String() != explicit.Vals.String() {
+			t.Errorf("%v: explicit const domain VAL differs from default:\n%s\nvs\n%s",
+				kind, explicit.Vals.String(), implicit.Vals.String())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/domain"
 	"repro/internal/guard"
 	"repro/internal/jump"
 	"repro/internal/lattice"
@@ -8,22 +9,23 @@ import (
 	"repro/internal/symbolic"
 )
 
-// evalJF evaluates a forward jump function under the caller's VAL set.
-// A nil jump function is the constant-⊥ function. Each evaluation is
-// accounted to the attempt's checker atomically, so the step budget
-// stays correct if a future solver fans evaluations out.
-func (a *Analysis) evalJF(jf *symbolic.Expr, env symbolic.Env) lattice.Value {
+// evalJF evaluates a forward jump function under the caller's VAL set,
+// through the analysis domain's transfer function. A nil jump function
+// is the constant-⊥ function. Each evaluation is accounted to the
+// attempt's checker atomically, so the step budget stays correct if a
+// future solver fans evaluations out.
+func (a *Analysis) evalJF(jf *symbolic.Expr, env domain.Env) domain.Elem {
 	a.Stats.JFEvaluations++
 	a.chk.Add(1)
 	if jf == nil {
-		return lattice.BottomValue()
+		return a.dom.Bottom()
 	}
-	return symbolic.Eval(jf, env)
+	return a.dom.Eval(jf, env)
 }
 
 // seed installs the main program's initial environment: formals are
-// nonexistent, and each global starts at its DATA-statement value (or ⊥
-// for uninitialized storage).
+// nonexistent, and each global starts at the domain's abstraction of
+// its DATA-statement value (or ⊥ for uninitialized storage).
 func (a *Analysis) seed(vals *Values, init map[*sem.GlobalVar]lattice.Value) {
 	main := a.Prog.Main
 	if main == nil {
@@ -34,7 +36,7 @@ func (a *Analysis) seed(vals *Values, init map[*sem.GlobalVar]lattice.Value) {
 		if !ok {
 			v = lattice.BottomValue()
 		}
-		if vals.LowerGlobal(main, g, v) {
+		if vals.LowerGlobal(main, g, domain.OfLattice(a.dom, v)) {
 			a.Stats.Lowerings++
 		}
 	}
@@ -53,7 +55,7 @@ func (a *Analysis) solveWorklist(init map[*sem.GlobalVar]lattice.Value, chk *gua
 	if err := guard.Inject("solve"); err != nil {
 		return nil, err
 	}
-	vals := NewValues(a.Prog)
+	vals := NewValues(a.Prog, a.dom)
 	a.seed(vals, init)
 
 	inWork := make([]bool, len(a.Prog.Order))
@@ -252,7 +254,7 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 	if err := guard.Inject("solve"); err != nil {
 		return nil, err
 	}
-	vals := NewValues(a.Prog)
+	vals := NewValues(a.Prog, a.dom)
 	order := a.Prog.Order
 	gs := a.Prog.Globals()
 	lay := newBindingLayout(a.Prog)
@@ -321,7 +323,7 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 
 	// One evaluation environment per caller; each closure reads the live
 	// VAL state, so building them up front is safe.
-	envs := make([]symbolic.Env, len(order))
+	envs := make([]domain.Env, len(order))
 	for i := range order {
 		envs[i] = vals.envAt(i)
 	}
@@ -329,7 +331,7 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 	// Worklist of lowered slots.
 	work := make([]int32, 0, len(order))
 	inWork := make([]bool, lay.numSlots())
-	lower := func(s int32, v lattice.Value) {
+	lower := func(s int32, v domain.Elem) {
 		pi := findProc(lay.base, s)
 		sub := int(s - lay.base[pi])
 		nf := len(order[pi].Formals)
@@ -356,7 +358,7 @@ func (a *Analysis) solveBinding(init map[*sem.GlobalVar]lattice.Value, chk *guar
 			if !ok {
 				v = lattice.BottomValue()
 			}
-			lower(lay.globalSlot(mi, gi), v)
+			lower(lay.globalSlot(mi, gi), domain.OfLattice(a.dom, v))
 		}
 	}
 

@@ -1,0 +1,111 @@
+package domain
+
+import (
+	"strconv"
+
+	"repro/internal/symbolic"
+)
+
+// constDomain is the paper's constant-propagation lattice (Figure 1)
+// re-expressed as the first registered instance of the monotone
+// framework: ⊤ over all integer constants over ⊥, with Mid elements
+// storing the constant in A. Its transfer function reproduces
+// symbolic.Eval exactly, so the generic engine's output is
+// byte-identical to the pre-generalization analyzer.
+type constDomain struct {
+	name   string
+	prunes bool
+}
+
+func (d constDomain) Name() string          { return d.name }
+func (constDomain) Bottom() Elem            { return Elem{L: LevelBottom} }
+func (constDomain) FromConst(c int64) Elem  { return Elem{L: LevelMid, A: c} }
+func (constDomain) Widens() bool            { return false }
+func (constDomain) Widen(_, next Elem) Elem { return next }
+func (d constDomain) Prunes() bool          { return d.prunes }
+
+// Meet implements Figure 1: ⊤ is identity, ⊥ absorbs, equal constants
+// meet to themselves, distinct constants to ⊥.
+func (d constDomain) Meet(x, y Elem) Elem {
+	switch {
+	case x.L == LevelTop:
+		return y
+	case y.L == LevelTop:
+		return x
+	case x.L == LevelBottom || y.L == LevelBottom:
+		return d.Bottom()
+	case x.A == y.A:
+		return x
+	default:
+		return d.Bottom()
+	}
+}
+
+func (d constDomain) Eval(e *symbolic.Expr, env Env) Elem { return evalExpr(d, e, env) }
+
+// Unop folds negation and absolute value over constants, passing ⊤ and
+// ⊥ through unchanged — exactly symbolic.Eval's OpNeg/OpAbs cases
+// (including two's-complement wrap on -MinInt64).
+func (constDomain) Unop(op symbolic.Op, x Elem) Elem {
+	if x.L != LevelMid {
+		return x
+	}
+	c := x.A
+	switch op {
+	case symbolic.OpNeg:
+		c = -c
+	case symbolic.OpAbs:
+		if c < 0 {
+			c = -c
+		}
+	}
+	return Elem{L: LevelMid, A: c}
+}
+
+// Binop folds two constants through the FORTRAN integer semantics of
+// symbolic.IntBinop; undefined results (division by zero) are ⊥.
+func (d constDomain) Binop(op symbolic.Op, x, y Elem) Elem {
+	if v, ok := symbolic.IntBinop(op, x.A, y.A); ok {
+		return Elem{L: LevelMid, A: v}
+	}
+	return d.Bottom()
+}
+
+// Cmp decides a comparison only when both sides are constants,
+// mirroring symbolic.EvalBool.
+func (constDomain) Cmp(op symbolic.Op, x, y Elem) (bool, bool) {
+	if x.L == LevelMid && y.L == LevelMid {
+		return symbolic.IntCompare(op, x.A, y.A), true
+	}
+	return false, false
+}
+
+func (x constDomain) ConstOf(e Elem) (int64, bool) {
+	return e.A, e.L == LevelMid
+}
+
+func (constDomain) Format(x Elem) string {
+	switch x.L {
+	case LevelTop:
+		return "⊤"
+	case LevelBottom:
+		return "⊥"
+	default:
+		return strconv.FormatInt(x.A, 10)
+	}
+}
+
+// AppendKey keeps the pre-generalization value-context cell encoding:
+// 'T', 'B', or 'C' followed by the decimal constant, ';'-terminated.
+func (constDomain) AppendKey(buf []byte, x Elem) []byte {
+	switch x.L {
+	case LevelTop:
+		buf = append(buf, 'T')
+	case LevelBottom:
+		buf = append(buf, 'B')
+	default:
+		buf = append(buf, 'C')
+		buf = strconv.AppendInt(buf, x.A, 10)
+	}
+	return append(buf, ';')
+}

@@ -1,0 +1,257 @@
+// Package domain generalizes the analysis core into a monotone-
+// framework engine. The paper's constant-propagation lattice, jump
+// functions, and propagation are one instance of a user-specifiable
+// monotone dataflow framework: jump-function *construction* is purely
+// symbolic and domain-independent (package jump builds the same
+// expressions no matter what is being propagated), while jump-function
+// *evaluation* — the transfer function — and the meet are supplied by a
+// Domain. Every registered domain therefore inherits the entire
+// production stack for free: both solvers, parallelism, the memo layer,
+// value contexts, sessions, the fleet service, and the bench gates.
+//
+// A Domain supplies:
+//
+//   - the element type (Elem, a fixed-size value: every abstract value
+//     of every shipped domain fits a level tag plus two int64 payloads,
+//     so the solver's dense VAL slices stay flat and allocation-free);
+//   - ⊤ and ⊥ and the meet operator;
+//   - the transfer function Eval, interpreting a symbolic jump function
+//     over abstract values;
+//   - a widening hook for domains of unbounded height (intervals),
+//     which the solvers invoke after a per-cell descent threshold so
+//     fixed points terminate where naive iteration would not;
+//   - ConstOf, the bridge back to the constant world: elements that
+//     are provably a single integer feed substitution, branch pruning,
+//     and entry environments exactly like propagated constants.
+//
+// The constant domain is the first registered instance; its Eval
+// mirrors symbolic.Eval operation for operation, so analyses through
+// the generic engine are byte-identical to the pre-generalization
+// analyzer (asserted by TestConstDomainMatchesSymbolicEval and the
+// golden/parallel suites in internal/core).
+package domain
+
+import (
+	"repro/internal/lattice"
+	"repro/internal/symbolic"
+)
+
+// Level classifies an abstract element. Every domain uses the same
+// three-way split so the solvers can short-circuit uniformly: ⊤ is the
+// optimistic initial value, ⊥ the fully degraded one, and Mid carries
+// the domain-specific payload (a constant, an interval, a parity, a
+// cleanliness proof).
+type Level int8
+
+const (
+	LevelTop    Level = iota // no information yet (optimistic)
+	LevelMid                 // a domain-specific fact (payload in A, B)
+	LevelBottom              // no fact provable
+)
+
+// Elem is an element of a domain's lattice. The zero Elem is ⊤ for
+// every domain — the dense VAL slices in the solver rely on this, so a
+// fresh solution is still three allocations. Payload meaning is
+// per-domain: the constant domain stores the constant in A; intervals
+// store [A, B]; parity stores A ∈ {0, 1}; taint uses no payload.
+type Elem struct {
+	L    Level
+	A, B int64
+}
+
+// Top returns ⊤ (the zero Elem, for every domain).
+func Top() Elem { return Elem{} }
+
+// IsTop reports whether x is ⊤.
+func (x Elem) IsTop() bool { return x.L == LevelTop }
+
+// IsBottom reports whether x is ⊥.
+func (x Elem) IsBottom() bool { return x.L == LevelBottom }
+
+// Env supplies abstract values for Param and Global leaves during jump
+// function evaluation — the generic counterpart of symbolic.Env.
+type Env func(leaf *symbolic.Expr) Elem
+
+// Domain is one instance of the monotone framework. Implementations
+// must be stateless values (they are embedded in configs, compared for
+// identity, and shared across goroutines without synchronization).
+type Domain interface {
+	// Name is the stable identifier used by the public API's domain
+	// selector, the service wire format, and the program fingerprint.
+	Name() string
+	// Bottom returns ⊥. (⊤ is the zero Elem for every domain.)
+	Bottom() Elem
+	// FromConst abstracts an integer constant.
+	FromConst(c int64) Elem
+	// Meet returns x ∧ y. It must be commutative, associative, and
+	// idempotent, with ⊤ as identity and ⊥ absorbing (the lattice laws
+	// fuzzed by FuzzDomainLaws).
+	Meet(x, y Elem) Elem
+	// Eval is the transfer function: it interprets a symbolic jump
+	// function under an environment of abstract values. A monotone Eval
+	// (lower inputs never raise the output) is required for the solvers'
+	// fixed points to be sound.
+	Eval(e *symbolic.Expr, env Env) Elem
+	// ConstOf reports whether x proves a single integer value, which
+	// then feeds substitution, entry environments, and branch pruning.
+	ConstOf(x Elem) (int64, bool)
+	// Widens reports whether the domain has unbounded descending chains
+	// and therefore needs the solvers' widening hook.
+	Widens() bool
+	// Widen accelerates convergence: called instead of a plain meet
+	// once a VAL cell has descended widenThreshold times, it must
+	// return an element ≤ next from which only finitely many further
+	// descents are possible. Domains with Widens() == false never see
+	// this call.
+	Widen(old, next Elem) Elem
+	// Prunes reports whether the domain requests complete propagation
+	// (iterated propagate → prove branches dead → rebuild → propagate),
+	// as conditional constant propagation does.
+	Prunes() bool
+	// Format renders an element for human output. The constant domain's
+	// rendering is byte-identical to lattice.Value.String.
+	Format(x Elem) string
+	// AppendKey appends a canonical, injective encoding of x for value-
+	// context keys. The constant domain's encoding is byte-identical to
+	// the pre-generalization ctxKey cells.
+	AppendKey(buf []byte, x Elem) []byte
+}
+
+// arith is the internal op set each shipped domain implements; the
+// shared evaluator evalExpr composes these into a full transfer
+// function with exactly the control flow of symbolic.Eval.
+type arith interface {
+	Bottom() Elem
+	FromConst(c int64) Elem
+	Meet(x, y Elem) Elem
+	// Unop applies OpNeg or OpAbs to any element (including ⊤/⊥).
+	Unop(op symbolic.Op, x Elem) Elem
+	// Binop applies an arithmetic operator to two Mid elements.
+	Binop(op symbolic.Op, x, y Elem) Elem
+	// Cmp decides a relational operator over two elements, reporting
+	// whether the truth value is determined.
+	Cmp(op symbolic.Op, x, y Elem) (bool, bool)
+}
+
+// evalExpr is the generic transfer function. Its structure mirrors
+// symbolic.Eval exactly — same optimistic SCCP convention (⊥ inputs
+// dominate, then ⊤ short-circuits, then the domain folds), same opaque
+// and boolean handling, same γ treatment — so that the constant
+// domain's instance reproduces the pre-generalization analyzer bit for
+// bit while other domains reinterpret only the leaf and fold steps.
+// The type parameter keeps each domain's instantiation monomorphic:
+// boxing the domain struct into an interface here would allocate on
+// every solver evaluation, the delta-edit hot path.
+func evalExpr[D arith](d D, e *symbolic.Expr, env Env) Elem {
+	switch e.Op {
+	case symbolic.OpConst:
+		return d.FromConst(e.K)
+	case symbolic.OpBool, symbolic.OpOpaque:
+		// Opaque values (READ input, unanalyzable calls) are the frontier
+		// of every domain: ⊥ for constants and intervals, tainted for
+		// taint. Boolean-valued expressions are never integer facts.
+		return d.Bottom()
+	case symbolic.OpParam, symbolic.OpGlobal:
+		return env(e)
+	case symbolic.OpNeg, symbolic.OpAbs:
+		return d.Unop(e.Op, evalExpr(d, e.Args[0], env))
+	case symbolic.OpNot, symbolic.OpAnd, symbolic.OpOr,
+		symbolic.OpEq, symbolic.OpNe, symbolic.OpLt, symbolic.OpLe, symbolic.OpGt, symbolic.OpGe:
+		return d.Bottom()
+	case symbolic.OpGamma:
+		if v, ok := evalBool(d, e.Args[0], env); ok {
+			if v {
+				return evalExpr(d, e.Args[1], env)
+			}
+			return evalExpr(d, e.Args[2], env)
+		}
+		// Predicate unknown: the value is the meet of both arms.
+		return d.Meet(evalExpr(d, e.Args[1], env), evalExpr(d, e.Args[2], env))
+	default: // binary arithmetic
+		x := evalExpr(d, e.Args[0], env)
+		y := evalExpr(d, e.Args[1], env)
+		if x.L == LevelBottom || y.L == LevelBottom {
+			return d.Bottom()
+		}
+		if x.L == LevelTop || y.L == LevelTop {
+			return Elem{}
+		}
+		return d.Binop(e.Op, x, y)
+	}
+}
+
+// evalBool mirrors symbolic.EvalBool with the comparison leaves decided
+// by the domain (the constant domain compares constants; intervals can
+// decide comparisons between disjoint ranges).
+func evalBool[D arith](d D, e *symbolic.Expr, env Env) (bool, bool) {
+	switch e.Op {
+	case symbolic.OpBool:
+		return e.B, true
+	case symbolic.OpNot:
+		if v, ok := evalBool(d, e.Args[0], env); ok {
+			return !v, true
+		}
+	case symbolic.OpAnd:
+		l, lok := evalBool(d, e.Args[0], env)
+		r, rok := evalBool(d, e.Args[1], env)
+		switch {
+		case lok && !l:
+			return false, true
+		case rok && !r:
+			return false, true
+		case lok && rok:
+			return l && r, true
+		}
+	case symbolic.OpOr:
+		l, lok := evalBool(d, e.Args[0], env)
+		r, rok := evalBool(d, e.Args[1], env)
+		switch {
+		case lok && l:
+			return true, true
+		case rok && r:
+			return true, true
+		case lok && rok:
+			return l || r, true
+		}
+	case symbolic.OpEq, symbolic.OpNe, symbolic.OpLt, symbolic.OpLe, symbolic.OpGt, symbolic.OpGe:
+		x := evalExpr(d, e.Args[0], env)
+		y := evalExpr(d, e.Args[1], env)
+		return d.Cmp(e.Op, x, y)
+	}
+	return false, false
+}
+
+// WidenThreshold is the per-cell descent count after which the solvers
+// route a lowering through Domain.Widen instead of a plain meet. Three
+// plain descents let small loops (the common `I = I + 1` bounded by a
+// constant test) converge exactly before widening clamps the moving
+// bound to ±∞.
+const WidenThreshold = 3
+
+// OfLattice abstracts a constant-propagation lattice value into d. It
+// is the seeding bridge: DATA-statement initializations are syntactic
+// constants regardless of domain.
+func OfLattice(d Domain, v lattice.Value) Elem {
+	if c, ok := v.IsConst(); ok {
+		return d.FromConst(c)
+	}
+	if v.IsTop() {
+		return Elem{}
+	}
+	return d.Bottom()
+}
+
+// ToLattice concretizes x into the constant-propagation lattice: the
+// constant view every non-constant consumer (substitution metrics,
+// procedure cloning, CONSTANTS sets) understands. Mid elements that do
+// not prove a single integer are ⊥ from the constant world's point of
+// view. For the constant domain the round trip is the identity.
+func ToLattice(d Domain, x Elem) lattice.Value {
+	if c, ok := d.ConstOf(x); ok {
+		return lattice.ConstValue(c)
+	}
+	if x.IsTop() {
+		return lattice.TopValue()
+	}
+	return lattice.BottomValue()
+}

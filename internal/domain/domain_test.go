@@ -1,0 +1,351 @@
+package domain
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/sem"
+	"repro/internal/symbolic"
+)
+
+// elems generates a representative element corpus for a domain: the
+// extremes, abstractions of a constant sample, and meets of those (which
+// for the interval domain produces genuine multi-point ranges).
+func elems(d Domain) []Elem {
+	consts := []int64{-9, -2, -1, 0, 1, 2, 3, 7, 1 << 40, math.MinInt64 + 1, math.MaxInt64 - 1}
+	out := []Elem{Top(), d.Bottom()}
+	for _, c := range consts {
+		out = append(out, d.FromConst(c))
+	}
+	n := len(out)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, d.Meet(out[i], out[j]))
+		}
+	}
+	return out
+}
+
+// leq is the lattice order induced by the meet: x ⊑ y iff x ∧ y = x.
+func leq(d Domain, x, y Elem) bool { return d.Meet(x, y) == x }
+
+// checkLaws asserts the semilattice laws over a set of elements. Shared
+// by the deterministic corpus test and the fuzz target.
+func checkLaws(t *testing.T, d Domain, es []Elem) {
+	t.Helper()
+	for _, x := range es {
+		if got := d.Meet(x, x); got != x {
+			t.Fatalf("%s: meet not idempotent: %s ∧ %s = %s", d.Name(), d.Format(x), d.Format(x), d.Format(got))
+		}
+		if got := d.Meet(Top(), x); got != x {
+			t.Fatalf("%s: ⊤ not identity: ⊤ ∧ %s = %s", d.Name(), d.Format(x), d.Format(got))
+		}
+		if got := d.Meet(d.Bottom(), x); got != d.Bottom() {
+			t.Fatalf("%s: ⊥ not absorbing: ⊥ ∧ %s = %s", d.Name(), d.Format(x), d.Format(got))
+		}
+		for _, y := range es {
+			xy := d.Meet(x, y)
+			if yx := d.Meet(y, x); xy != yx {
+				t.Fatalf("%s: meet not commutative: %s ∧ %s = %s but reversed %s",
+					d.Name(), d.Format(x), d.Format(y), d.Format(xy), d.Format(yx))
+			}
+			if !leq(d, xy, x) || !leq(d, xy, y) {
+				t.Fatalf("%s: meet not a lower bound: %s ∧ %s = %s",
+					d.Name(), d.Format(x), d.Format(y), d.Format(xy))
+			}
+			for _, z := range es {
+				if l, r := d.Meet(d.Meet(x, y), z), d.Meet(x, d.Meet(y, z)); l != r {
+					t.Fatalf("%s: meet not associative over (%s, %s, %s): %s vs %s",
+						d.Name(), d.Format(x), d.Format(y), d.Format(z), d.Format(l), d.Format(r))
+				}
+			}
+		}
+	}
+}
+
+func TestLatticeLaws(t *testing.T) {
+	for _, name := range Names() {
+		d, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { checkLaws(t, d, elems(d)) })
+	}
+}
+
+// TestWidenDescends asserts the widening contract: Widen(old, next) is
+// always ≤ next (sound acceleration, never a raise), and for widening
+// domains repeated widen steps reach a fixed element (termination).
+func TestWidenDescends(t *testing.T) {
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		es := elems(d)
+		for _, old := range es {
+			for _, next := range es {
+				w := d.Widen(old, next)
+				if !leq(d, w, next) {
+					t.Fatalf("%s: Widen(%s, %s) = %s is not ≤ next", name, d.Format(old), d.Format(next), d.Format(w))
+				}
+			}
+		}
+		if !d.Widens() {
+			continue
+		}
+		// Simulate an endless descent (the loop counter pattern): widening
+		// must pin every cell after a bounded number of steps.
+		cur := d.FromConst(0)
+		for i := int64(1); i < 200; i++ {
+			next := d.Meet(cur, d.FromConst(i))
+			if next == cur {
+				break
+			}
+			cur = d.Widen(cur, next)
+			if i > 10 && cur != d.Widen(cur, d.Meet(cur, d.FromConst(i+1))) {
+				t.Fatalf("%s: widening did not stabilize a descending chain by step %d (at %s)", name, i, d.Format(cur))
+			}
+		}
+	}
+}
+
+// TestRegistry pins the registered set (the public domain selector
+// surface) and the nil/empty defaults.
+func TestRegistry(t *testing.T) {
+	want := []string{"cond-const", "const", "interval", "parity", "taint"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	if d, err := Lookup(""); err != nil || d.Name() != "const" {
+		t.Fatalf("Lookup(\"\") = %v, %v; want const", d, err)
+	}
+	if _, err := Lookup("no-such-domain"); err == nil {
+		t.Fatal("Lookup of unknown domain did not fail")
+	}
+	if NameOf(nil) != "const" {
+		t.Fatalf("NameOf(nil) = %q", NameOf(nil))
+	}
+	cc, _ := Lookup("cond-const")
+	if !cc.Prunes() || Const().Prunes() {
+		t.Fatal("Prunes(): cond-const must prune, const must not")
+	}
+	iv, _ := Lookup("interval")
+	if !iv.Widens() || Const().Widens() {
+		t.Fatal("Widens(): interval must widen, const must not")
+	}
+}
+
+// randExpr builds a random jump-function expression over two formal
+// leaves. The builder hash-conses and folds, so the result exercises
+// exactly the shapes real jump functions take, including γ nodes.
+func randExpr(r *rand.Rand, b *symbolic.Builder, leaves []*symbolic.Expr, depth int) *symbolic.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return b.Const(r.Int63n(21) - 10)
+		case 1:
+			return b.Opaque(int64(r.Intn(3)))
+		default:
+			return leaves[r.Intn(len(leaves))]
+		}
+	}
+	ops := []symbolic.Op{
+		symbolic.OpAdd, symbolic.OpSub, symbolic.OpMul, symbolic.OpDiv,
+		symbolic.OpMod, symbolic.OpMax, symbolic.OpMin, symbolic.OpPow,
+	}
+	switch r.Intn(8) {
+	case 0:
+		return b.Neg(randExpr(r, b, leaves, depth-1))
+	case 1:
+		return b.Abs(randExpr(r, b, leaves, depth-1))
+	case 2:
+		cond := b.Binary(
+			[]symbolic.Op{symbolic.OpEq, symbolic.OpNe, symbolic.OpLt, symbolic.OpLe, symbolic.OpGt, symbolic.OpGe}[r.Intn(6)],
+			randExpr(r, b, leaves, depth-1), randExpr(r, b, leaves, depth-1))
+		return b.Gamma(cond, randExpr(r, b, leaves, depth-1), randExpr(r, b, leaves, depth-1))
+	default:
+		return b.Binary(ops[r.Intn(len(ops))],
+			randExpr(r, b, leaves, depth-1), randExpr(r, b, leaves, depth-1))
+	}
+}
+
+// TestConstDomainMatchesSymbolicEval is the byte-identity keystone: the
+// constant domain's transfer function agrees with symbolic.Eval on
+// every expression and environment, so analyses routed through the
+// generic engine reproduce the pre-generalization analyzer exactly.
+func TestConstDomainMatchesSymbolicEval(t *testing.T) {
+	d := Const()
+	r := rand.New(rand.NewSource(42))
+	b := symbolic.NewBuilder()
+	leaves := []*symbolic.Expr{
+		b.ParamLeaf(&sem.Symbol{Name: "X", Kind: sem.SymFormal, FormalIndex: 0}),
+		b.ParamLeaf(&sem.Symbol{Name: "Y", Kind: sem.SymFormal, FormalIndex: 1}),
+	}
+	vals := []lattice.Value{
+		lattice.TopValue(), lattice.BottomValue(),
+		lattice.ConstValue(0), lattice.ConstValue(1), lattice.ConstValue(2), lattice.ConstValue(-7),
+	}
+	for i := 0; i < 5000; i++ {
+		e := randExpr(r, b, leaves, 4)
+		vx, vy := vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]
+		lenv := func(leaf *symbolic.Expr) lattice.Value {
+			if leaf == leaves[0] {
+				return vx
+			}
+			return vy
+		}
+		denv := func(leaf *symbolic.Expr) Elem { return OfLattice(d, lenv(leaf)) }
+		want := symbolic.Eval(e, lenv)
+		got := ToLattice(d, d.Eval(e, denv))
+		if got != want {
+			t.Fatalf("expr #%d (%v): const domain eval = %s, symbolic.Eval = %s (env X=%s Y=%s)",
+				i, e, got, want, vx, vy)
+		}
+	}
+}
+
+// TestTransferMonotone checks transfer monotonicity for γ-free
+// expressions: pointwise-lower environments never raise the output.
+// (γ nodes follow the optimistic SCCP convention — an undecided
+// predicate meets both arms — which trades strict monotonicity for
+// precision; the solvers stay sound because every evaluation is met
+// into its target cell.)
+func TestTransferMonotone(t *testing.T) {
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			b := symbolic.NewBuilder()
+			leaves := []*symbolic.Expr{
+				b.ParamLeaf(&sem.Symbol{Name: "X", Kind: sem.SymFormal, FormalIndex: 0}),
+				b.ParamLeaf(&sem.Symbol{Name: "Y", Kind: sem.SymFormal, FormalIndex: 1}),
+			}
+			es := elems(d)
+			for i := 0; i < 2000; i++ {
+				var e *symbolic.Expr
+				for {
+					e = randExpr(r, b, leaves, 3)
+					if !containsGamma(e) {
+						break
+					}
+				}
+				hx, hy := es[r.Intn(len(es))], es[r.Intn(len(es))]
+				// Lower each input by meeting something else into it.
+				lx, ly := d.Meet(hx, es[r.Intn(len(es))]), d.Meet(hy, es[r.Intn(len(es))])
+				high := d.Eval(e, func(l *symbolic.Expr) Elem {
+					if l == leaves[0] {
+						return hx
+					}
+					return hy
+				})
+				low := d.Eval(e, func(l *symbolic.Expr) Elem {
+					if l == leaves[0] {
+						return lx
+					}
+					return ly
+				})
+				if !leq(d, low, high) {
+					t.Fatalf("%s: transfer not monotone on %v: env(%s,%s) → %s but lower env(%s,%s) → %s",
+						name, e, d.Format(hx), d.Format(hy), d.Format(high),
+						d.Format(lx), d.Format(ly), d.Format(low))
+				}
+			}
+		})
+	}
+}
+
+func containsGamma(e *symbolic.Expr) bool {
+	if e.Op == symbolic.OpGamma {
+		return true
+	}
+	for _, a := range e.Args {
+		if a != nil && containsGamma(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConstOfAgreesWithFormat sanity-checks the constant bridge on the
+// corpus: ConstOf singletons round-trip through FromConst.
+func TestConstOfAgreesWithFormat(t *testing.T) {
+	for _, name := range Names() {
+		d, _ := Lookup(name)
+		for _, x := range elems(d) {
+			if c, ok := d.ConstOf(x); ok {
+				if y := d.Meet(x, d.FromConst(c)); y != x {
+					t.Fatalf("%s: ConstOf(%s) = %d but FromConst does not refine it", name, d.Format(x), c)
+				}
+			}
+		}
+		if _, ok := d.ConstOf(Top()); ok {
+			t.Fatalf("%s: ConstOf(⊤) succeeded", name)
+		}
+		if _, ok := d.ConstOf(d.Bottom()); ok {
+			t.Fatalf("%s: ConstOf(⊥) succeeded", name)
+		}
+	}
+}
+
+// decodeElems turns fuzz bytes into elements of d: a stream of 17-byte
+// records (tag + two int64 payloads) built from the domain's own
+// constructors, so every decoded element is a legitimate lattice point.
+func decodeElems(d Domain, data []byte) []Elem {
+	var out []Elem
+	for len(data) >= 17 && len(out) < 12 {
+		tag := data[0]
+		a := int64(binary.LittleEndian.Uint64(data[1:9]))
+		b := int64(binary.LittleEndian.Uint64(data[9:17]))
+		data = data[17:]
+		switch tag % 4 {
+		case 0:
+			out = append(out, Top())
+		case 1:
+			out = append(out, d.Bottom())
+		case 2:
+			out = append(out, d.FromConst(a))
+		default:
+			out = append(out, d.Meet(d.FromConst(a), d.FromConst(b)))
+		}
+	}
+	return out
+}
+
+// FuzzDomainLaws fuzzes the lattice laws for every registered domain at
+// once (wired into `make fuzz` and the CI fuzz smoke).
+func FuzzDomainLaws(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 3*17)
+	for _, rec := range [][2]int64{{0, 0}, {5, -5}, {math.MaxInt64, math.MinInt64}} {
+		var buf [17]byte
+		buf[0] = 3
+		binary.LittleEndian.PutUint64(buf[1:9], uint64(rec[0]))
+		binary.LittleEndian.PutUint64(buf[9:17], uint64(rec[1]))
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range Names() {
+			d, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			es := append(decodeElems(d, data), Top(), d.Bottom())
+			checkLaws(t, d, es)
+			for _, x := range es {
+				for _, y := range es {
+					if w := d.Widen(x, d.Meet(x, y)); !leq(d, w, d.Meet(x, y)) {
+						t.Fatalf("%s: widen raised %s ∧ %s", name, d.Format(x), d.Format(y))
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,340 @@
+package domain
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/symbolic"
+)
+
+// Interval/range propagation: Mid elements are closed ranges [A, B]
+// with math.MinInt64/MaxInt64 as the -∞/+∞ sentinels. The meet is the
+// convex hull, so the lattice has unbounded descending chains
+// ([0,0] ≥ [0,1] ≥ [0,2] ≥ …) and the domain declares Widens: once a
+// VAL cell has descended WidenThreshold times, the solvers widen any
+// still-moving bound straight to its infinity, which restores the
+// finite-descent property the paper's propagation bound relies on.
+// The all-integers range [-∞, +∞] is normalized to ⊥.
+type intervalDomain struct{}
+
+const (
+	negInf = math.MinInt64
+	posInf = math.MaxInt64
+)
+
+func (intervalDomain) Name() string { return "interval" }
+func (intervalDomain) Bottom() Elem { return Elem{L: LevelBottom} }
+func (intervalDomain) FromConst(c int64) Elem {
+	return mkRange(c, c)
+}
+func (intervalDomain) Widens() bool { return true }
+func (intervalDomain) Prunes() bool { return false }
+
+// mkRange normalizes a bound pair: the universal range is ⊥.
+func mkRange(lo, hi int64) Elem {
+	if lo == negInf && hi == posInf {
+		return Elem{L: LevelBottom}
+	}
+	return Elem{L: LevelMid, A: lo, B: hi}
+}
+
+// Meet is the convex hull (interval join in the analysis order used
+// here, where "lower" means "less precise").
+func (d intervalDomain) Meet(x, y Elem) Elem {
+	switch {
+	case x.L == LevelTop:
+		return y
+	case y.L == LevelTop:
+		return x
+	case x.L == LevelBottom || y.L == LevelBottom:
+		return d.Bottom()
+	}
+	lo, hi := x.A, x.B
+	if y.A < lo {
+		lo = y.A
+	}
+	if y.B > hi {
+		hi = y.B
+	}
+	return mkRange(lo, hi)
+}
+
+// Widen jumps any bound that is still descending to its infinity, so a
+// cell widens at most twice after the threshold — termination on loops
+// (e.g. a recursive CALL R(N+1) chain) that plain interval iteration
+// would descend forever.
+func (intervalDomain) Widen(old, next Elem) Elem {
+	if old.L != LevelMid || next.L != LevelMid {
+		return next
+	}
+	lo, hi := next.A, next.B
+	if lo < old.A {
+		lo = negInf
+	}
+	if hi > old.B {
+		hi = posInf
+	}
+	return mkRange(lo, hi)
+}
+
+func (d intervalDomain) Eval(e *symbolic.Expr, env Env) Elem { return evalExpr(d, e, env) }
+
+// Interval arithmetic must agree with the wrapping two's-complement
+// semantics of the concrete machine (and of symbolic.IntBinop, which
+// the singleton fold path uses): a range result is returned only when
+// no point of the operand box can wrap — any overflow, or any infinite
+// bound feeding an additive or multiplicative operator, degrades the
+// whole result to ⊥. Saturating instead would be unsound (the wrapped
+// concrete value escapes the saturated range) and non-monotone against
+// the wrap-exact singleton fold.
+
+func (d intervalDomain) Unop(op symbolic.Op, x Elem) Elem {
+	if x.L != LevelMid {
+		return x
+	}
+	switch op {
+	case symbolic.OpNeg:
+		if !isFinite(x.A) || !isFinite(x.B) {
+			return d.Bottom()
+		}
+		return mkRange(-x.B, -x.A)
+	case symbolic.OpAbs:
+		if x.A >= 0 {
+			return x
+		}
+		if !isFinite(x.A) || !isFinite(x.B) {
+			return d.Bottom()
+		}
+		if x.B <= 0 {
+			return mkRange(-x.B, -x.A)
+		}
+		hi := -x.A
+		if x.B > hi {
+			hi = x.B
+		}
+		return mkRange(0, hi)
+	}
+	return d.Bottom()
+}
+
+func (d intervalDomain) Binop(op symbolic.Op, x, y Elem) Elem {
+	// Singleton × singleton folds exactly through the FORTRAN integer
+	// semantics (wrap included), for every operator the constant domain
+	// supports.
+	if x.A == x.B && y.A == y.B && isFinite(x.A) && isFinite(y.A) {
+		if v, ok := symbolic.IntBinop(op, x.A, y.A); ok {
+			return mkRange(v, v)
+		}
+		return d.Bottom()
+	}
+	switch op {
+	case symbolic.OpAdd:
+		if lo, ok := addChecked(x.A, y.A); ok {
+			if hi, ok2 := addChecked(x.B, y.B); ok2 {
+				return mkRange(lo, hi)
+			}
+		}
+	case symbolic.OpSub:
+		if lo, ok := subChecked(x.A, y.B); ok {
+			if hi, ok2 := subChecked(x.B, y.A); ok2 {
+				return mkRange(lo, hi)
+			}
+		}
+	case symbolic.OpMul:
+		return mulRange(d, x, y)
+	case symbolic.OpMax:
+		lo, hi := x.A, x.B
+		if y.A > lo {
+			lo = y.A
+		}
+		if y.B > hi {
+			hi = y.B
+		}
+		return mkRange(lo, hi)
+	case symbolic.OpMin:
+		lo, hi := x.A, x.B
+		if y.A < lo {
+			lo = y.A
+		}
+		if y.B < hi {
+			hi = y.B
+		}
+		return mkRange(lo, hi)
+	}
+	// Div/Pow/Mod over non-singleton ranges: no useful bound is cheap
+	// and sound (divisor ranges containing zero, sign flips), so give ⊥.
+	// Add/Sub/Mul also land here when a bound is infinite or a corner
+	// overflows.
+	return d.Bottom()
+}
+
+// Cmp decides comparisons between disjoint or ordered ranges — a
+// precision win over the constant domain, and still sound: the answer
+// holds for every concretization of both ranges.
+func (intervalDomain) Cmp(op symbolic.Op, x, y Elem) (bool, bool) {
+	if x.L != LevelMid || y.L != LevelMid {
+		return false, false
+	}
+	switch op {
+	case symbolic.OpEq:
+		if x.A == x.B && y.A == y.B && x.A == y.A {
+			return true, true
+		}
+		if x.B < y.A || y.B < x.A {
+			return false, true
+		}
+	case symbolic.OpNe:
+		if x.B < y.A || y.B < x.A {
+			return true, true
+		}
+		if x.A == x.B && y.A == y.B && x.A == y.A {
+			return false, true
+		}
+	case symbolic.OpLt:
+		if x.B < y.A {
+			return true, true
+		}
+		if x.A >= y.B {
+			return false, true
+		}
+	case symbolic.OpLe:
+		if x.B <= y.A {
+			return true, true
+		}
+		if x.A > y.B {
+			return false, true
+		}
+	case symbolic.OpGt:
+		if x.A > y.B {
+			return true, true
+		}
+		if x.B <= y.A {
+			return false, true
+		}
+	case symbolic.OpGe:
+		if x.A >= y.B {
+			return true, true
+		}
+		if x.B < y.A {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// ConstOf: a finite singleton range proves a constant, so interval
+// analysis feeds substitution and branch pruning wherever it proves a
+// variable single-valued.
+func (intervalDomain) ConstOf(x Elem) (int64, bool) {
+	if x.L == LevelMid && x.A == x.B && isFinite(x.A) {
+		return x.A, true
+	}
+	return 0, false
+}
+
+func (intervalDomain) Format(x Elem) string {
+	switch x.L {
+	case LevelTop:
+		return "⊤"
+	case LevelBottom:
+		return "⊥"
+	}
+	return "[" + boundString(x.A) + "," + boundString(x.B) + "]"
+}
+
+func boundString(b int64) string {
+	switch b {
+	case negInf:
+		return "-inf"
+	case posInf:
+		return "+inf"
+	}
+	return strconv.FormatInt(b, 10)
+}
+
+func (intervalDomain) AppendKey(buf []byte, x Elem) []byte {
+	switch x.L {
+	case LevelTop:
+		buf = append(buf, 'T')
+	case LevelBottom:
+		buf = append(buf, 'B')
+	default:
+		buf = append(buf, 'R')
+		buf = strconv.AppendInt(buf, x.A, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, x.B, 10)
+	}
+	return append(buf, ';')
+}
+
+// isFinite reports whether a bound is an actual integer rather than an
+// infinity sentinel. (The two extreme int64 values are conservatively
+// treated as infinite; FromConst of those yields a range arithmetic
+// refuses to fold, which is sound.)
+func isFinite(b int64) bool { return b != negInf && b != posInf }
+
+// addChecked adds two finite bounds, failing on sentinels or overflow.
+func addChecked(a, b int64) (int64, bool) {
+	if !isFinite(a) || !isFinite(b) {
+		return 0, false
+	}
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// subChecked subtracts two finite bounds, failing on sentinels or
+// overflow.
+func subChecked(a, b int64) (int64, bool) {
+	if !isFinite(a) || !isFinite(b) {
+		return 0, false
+	}
+	s := a - b
+	if (a >= 0 && b < 0 && s < 0) || (a < 0 && b > 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulChecked multiplies two finite bounds, failing on sentinels or
+// overflow.
+func mulChecked(a, b int64) (int64, bool) {
+	if !isFinite(a) || !isFinite(b) {
+		return 0, false
+	}
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || p == negInf || p == posInf {
+		return 0, false
+	}
+	return p, true
+}
+
+// mulRange is the classic four-corner interval product; the maximal
+// |product| over a box is attained at a corner, so if every corner is
+// overflow-free the whole box is wrap-free and the hull is exact.
+func mulRange(d intervalDomain, x, y Elem) Elem {
+	var c [4]int64
+	pairs := [4][2]int64{{x.A, y.A}, {x.A, y.B}, {x.B, y.A}, {x.B, y.B}}
+	for i, p := range pairs {
+		v, ok := mulChecked(p[0], p[1])
+		if !ok {
+			return d.Bottom()
+		}
+		c[i] = v
+	}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return mkRange(lo, hi)
+}

@@ -1,0 +1,105 @@
+package domain
+
+import "repro/internal/symbolic"
+
+// Parity propagation: Mid elements record A ∈ {0, 1} (even, odd). The
+// domain is finite (height 2, like the constant lattice) so no
+// widening is needed, and it demonstrates that an instance can be
+// *more* precise than constants on some programs: N and N+2 meet to a
+// common parity where the constant domain gives ⊥.
+type parityDomain struct{}
+
+const (
+	parityEven = 0
+	parityOdd  = 1
+)
+
+func (parityDomain) Name() string { return "parity" }
+func (parityDomain) Bottom() Elem { return Elem{L: LevelBottom} }
+
+// FromConst abstracts by the low bit; c&1 is correct for negatives in
+// two's complement (-3 & 1 == 1).
+func (parityDomain) FromConst(c int64) Elem { return Elem{L: LevelMid, A: c & 1} }
+
+func (parityDomain) Widens() bool            { return false }
+func (parityDomain) Widen(_, next Elem) Elem { return next }
+func (parityDomain) Prunes() bool            { return false }
+
+func (d parityDomain) Meet(x, y Elem) Elem {
+	switch {
+	case x.L == LevelTop:
+		return y
+	case y.L == LevelTop:
+		return x
+	case x.L == LevelBottom || y.L == LevelBottom:
+		return d.Bottom()
+	case x.A == y.A:
+		return x
+	default:
+		return d.Bottom()
+	}
+}
+
+func (d parityDomain) Eval(e *symbolic.Expr, env Env) Elem { return evalExpr(d, e, env) }
+
+// Unop: negation and absolute value preserve parity.
+func (parityDomain) Unop(_ symbolic.Op, x Elem) Elem { return x }
+
+func (d parityDomain) Binop(op symbolic.Op, x, y Elem) Elem {
+	switch op {
+	case symbolic.OpAdd, symbolic.OpSub:
+		// x ± y ≡ x + y (mod 2).
+		return Elem{L: LevelMid, A: (x.A + y.A) & 1}
+	case symbolic.OpMul:
+		// Odd exactly when both factors are odd.
+		return Elem{L: LevelMid, A: x.A & y.A}
+	case symbolic.OpMax, symbolic.OpMin:
+		if x.A == y.A {
+			return x
+		}
+	}
+	// Div truncates, Pow and Mod depend on magnitudes: no parity fact.
+	return d.Bottom()
+}
+
+// Cmp: differing parity proves inequality; nothing else is decidable.
+func (parityDomain) Cmp(op symbolic.Op, x, y Elem) (bool, bool) {
+	if x.L != LevelMid || y.L != LevelMid || x.A == y.A {
+		return false, false
+	}
+	switch op {
+	case symbolic.OpEq:
+		return false, true
+	case symbolic.OpNe:
+		return true, true
+	}
+	return false, false
+}
+
+// ConstOf: parity never proves a single value.
+func (parityDomain) ConstOf(Elem) (int64, bool) { return 0, false }
+
+func (parityDomain) Format(x Elem) string {
+	switch x.L {
+	case LevelTop:
+		return "⊤"
+	case LevelBottom:
+		return "⊥"
+	}
+	if x.A == parityOdd {
+		return "odd"
+	}
+	return "even"
+}
+
+func (parityDomain) AppendKey(buf []byte, x Elem) []byte {
+	switch x.L {
+	case LevelTop:
+		buf = append(buf, 'T')
+	case LevelBottom:
+		buf = append(buf, 'B')
+	default:
+		buf = append(buf, 'P', byte('0'+x.A))
+	}
+	return append(buf, ';')
+}

@@ -1,0 +1,67 @@
+package domain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The registry maps stable names to Domain instances. Registration
+// happens in this file only, at package initialization, so lookup needs
+// no locking and Names is deterministic.
+var registry = map[string]Domain{}
+
+func register(d Domain) {
+	if _, dup := registry[d.Name()]; dup {
+		panic(fmt.Sprintf("domain: duplicate registration of %q", d.Name()))
+	}
+	registry[d.Name()] = d
+}
+
+func init() {
+	register(constDomain{name: "const"})
+	// cond-const is conditional (branch-pruning) constant propagation
+	// run interprocedurally: the constant domain with Prunes() set, which
+	// the driver honors by running the complete-propagation loop
+	// (propagate → prove branches dead → rebuild jump functions →
+	// propagate) regardless of Config.Complete.
+	register(constDomain{name: "cond-const", prunes: true})
+	register(intervalDomain{})
+	register(parityDomain{})
+	register(taintDomain{})
+}
+
+// Const returns the default domain: the paper's constant-propagation
+// lattice.
+func Const() Domain { return registry["const"] }
+
+// Lookup resolves a domain selector. The empty string selects the
+// constant domain, preserving the pre-generalization meaning of every
+// existing config.
+func Lookup(name string) (Domain, error) {
+	if name == "" {
+		return Const(), nil
+	}
+	if d, ok := registry[name]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("domain: unknown domain %q (have %v)", name, Names())
+}
+
+// Names lists the registered domains in sorted (deterministic) order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NameOf names a possibly-nil domain for fingerprints and wire
+// formats: nil is the constant domain.
+func NameOf(d Domain) string {
+	if d == nil {
+		return "const"
+	}
+	return d.Name()
+}

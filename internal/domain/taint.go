@@ -1,0 +1,69 @@
+package domain
+
+import "repro/internal/symbolic"
+
+// Interprocedural taint: Mid means "clean" — every value reaching this
+// formal or global derives from program constants alone. ⊥ means
+// possibly tainted: influenced by external input. The taint sources are
+// exactly the opaque leaves of the jump functions (READ statements and
+// other unanalyzable producers map to OpOpaque, which the generic
+// evaluator sends to ⊥), so the analysis needs no extra instrumentation
+// in the front end: the same jump functions that carry constants carry
+// the dependency structure taint needs. Any arithmetic over clean
+// inputs stays clean; anything touched by a tainted input is tainted.
+type taintDomain struct{}
+
+func (taintDomain) Name() string         { return "taint" }
+func (taintDomain) Bottom() Elem         { return Elem{L: LevelBottom} }
+func (taintDomain) FromConst(int64) Elem { return Elem{L: LevelMid} }
+func (taintDomain) Widens() bool         { return false }
+func (taintDomain) Widen(_, n Elem) Elem { return n }
+func (taintDomain) Prunes() bool         { return false }
+
+func (d taintDomain) Meet(x, y Elem) Elem {
+	switch {
+	case x.L == LevelTop:
+		return y
+	case y.L == LevelTop:
+		return x
+	case x.L == LevelBottom || y.L == LevelBottom:
+		return d.Bottom()
+	default:
+		return x // clean ∧ clean
+	}
+}
+
+func (d taintDomain) Eval(e *symbolic.Expr, env Env) Elem { return evalExpr(d, e, env) }
+
+// Unop and Binop: functions of clean values are clean (the generic
+// evaluator has already routed tainted operands to ⊥).
+func (taintDomain) Unop(_ symbolic.Op, x Elem) Elem     { return x }
+func (taintDomain) Binop(_ symbolic.Op, _, _ Elem) Elem { return Elem{L: LevelMid} }
+
+// Cmp: cleanliness never decides a comparison's truth value.
+func (taintDomain) Cmp(symbolic.Op, Elem, Elem) (bool, bool) { return false, false }
+
+// ConstOf: clean proves provenance, not a value.
+func (taintDomain) ConstOf(Elem) (int64, bool) { return 0, false }
+
+func (taintDomain) Format(x Elem) string {
+	switch x.L {
+	case LevelTop:
+		return "⊤"
+	case LevelBottom:
+		return "tainted"
+	}
+	return "clean"
+}
+
+func (taintDomain) AppendKey(buf []byte, x Elem) []byte {
+	switch x.L {
+	case LevelTop:
+		buf = append(buf, 'T')
+	case LevelBottom:
+		buf = append(buf, 'B')
+	default:
+		buf = append(buf, 'U')
+	}
+	return append(buf, ';')
+}

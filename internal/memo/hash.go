@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/sem"
 	"repro/internal/ssa"
 )
@@ -30,11 +31,11 @@ func hashStrings(parts ...string) string {
 // ProgramFingerprint content-addresses a whole analysis request — the
 // exact source files plus the configuration axes that select which
 // memoized artifacts the analysis can reuse (jump-function kind, MOD,
-// return jump functions, full substitution, gating, completeness, and
-// the expression-size budget). Axes that never change the cached
-// artifacts — parallelism, solver choice, step/round budgets,
-// fail-fast, the cache handle itself — are deliberately excluded, so
-// requests differing only in those hash identically.
+// return jump functions, full substitution, gating, completeness, the
+// expression-size budget, and the abstract domain). Axes that never
+// change the cached artifacts — parallelism, solver choice, step/round
+// budgets, fail-fast, the cache handle itself — are deliberately
+// excluded, so requests differing only in those hash identically.
 //
 // The fingerprint is the natural routing key for a fleet of analysis
 // servers: sending equal fingerprints to the same backend maximizes
@@ -56,7 +57,10 @@ func ProgramFingerprint(files []File, c core.Config) string {
 // and parallelism are deliberately excluded: none of them changes the
 // expressions built (parallel construction is bit-identical by the
 // repo's standing guarantee, and the deadline can only abort a build —
-// aborted builds are never cached).
+// aborted builds are never cached). The abstract domain is excluded
+// too: jump-function construction is symbolic and domain-independent,
+// so the cached expressions are shared across domains by design — only
+// their evaluation (the solver's transfer step) is per-domain.
 func jumpFP(c core.Config) string {
 	return fmt.Sprintf("k=%d;mod=%t;ret=%t;fs=%t;g=%t;mx=%d",
 		c.Jump.Kind, c.Jump.UseMOD, c.Jump.UseReturnJFs,
@@ -64,9 +68,12 @@ func jumpFP(c core.Config) string {
 }
 
 // substFP fingerprints the configuration axes the substitution pass
-// reads, beyond the entry environments (fingerprinted separately).
+// reads, beyond the entry environments (fingerprinted separately). The
+// domain is included: two domains can prove the same constant entry
+// environment yet drive pruning and dead-site marking differently, so
+// substitution decisions are never shared across domains.
 func substFP(c core.Config) string {
-	return jumpFP(c) + fmt.Sprintf(";prune=%t", c.Complete)
+	return jumpFP(c) + fmt.Sprintf(";prune=%t;dom=%s", c.Complete, domain.NameOf(c.Domain))
 }
 
 // entryFP renders one procedure's constant entry environment as a

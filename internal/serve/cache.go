@@ -66,8 +66,9 @@ func resultKey(filename, source string, cfg ipcp.Config, want RequestWant) strin
 	}
 	put(filename)
 	put(source)
-	put(fmt.Sprintf("k=%d;mod=%t;ret=%t;c=%t;g=%t;s=%d;b=%d,%d,%d;jf=%t;tr=%t",
+	put(fmt.Sprintf("k=%d;mod=%t;ret=%t;c=%t;g=%t;s=%d;d=%s;b=%d,%d,%d;jf=%t;tr=%t",
 		cfg.Kind, cfg.UseMOD, cfg.UseReturnJFs, cfg.Complete, cfg.Gated, cfg.Solver,
+		cfg.Domain,
 		cfg.Budget.MaxSolverSteps, cfg.Budget.MaxRounds, cfg.Budget.MaxJFExprSize,
 		want.JumpFunctions, want.Transformed))
 	return string(h.Sum(nil))

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/domain"
 	"repro/internal/jobs"
 	"repro/internal/pipeline"
 	"repro/ipcp"
@@ -413,6 +414,9 @@ type RequestConfig struct {
 	Complete bool   `json:"complete"`
 	Gated    bool   `json:"gated"`
 	Solver   string `json:"solver"` // worklist | binding
+	// Domain: abstract domain to propagate — const (default) |
+	// interval | parity | taint | cond-const.
+	Domain string `json:"domain"`
 
 	MaxSolverSteps int `json:"max_solver_steps"`
 	MaxRounds      int `json:"max_rounds"`
@@ -434,6 +438,17 @@ type ConstantJSON struct {
 	Referenced bool   `json:"referenced"`
 }
 
+// FactJSON is one abstract-domain fact: the named parameter or COMMON
+// variable satisfies Value ("[1,10]", "even", "clean", …) on every
+// entry to its procedure. Populated only for non-constant domains —
+// for the constant domains, facts and constants coincide.
+type FactJSON struct {
+	Name   string `json:"name"`
+	Value  string `json:"value"`
+	Global bool   `json:"global,omitempty"`
+	Block  string `json:"block,omitempty"`
+}
+
 // DegradationJSON is one graceful-degradation step the analysis took.
 type DegradationJSON struct {
 	Axis   string `json:"axis"`
@@ -448,7 +463,12 @@ type AnalyzeResponse struct {
 	Config        string                    `json:"config"` // configuration actually served
 	Retries       int                       `json:"retries"`
 	Constants     map[string][]ConstantJSON `json:"constants"`
-	Substitutions int                       `json:"substitutions"`
+	// Domain and Facts report abstract-domain results; both are absent
+	// for the default constant domain, keeping its responses
+	// byte-identical to earlier wire versions.
+	Domain        string                `json:"domain,omitempty"`
+	Facts         map[string][]FactJSON `json:"facts,omitempty"`
+	Substitutions int                   `json:"substitutions"`
 	Degradations  []DegradationJSON         `json:"degradations,omitempty"`
 	Warnings      []string                  `json:"warnings,omitempty"`
 	JFEvaluations int                       `json:"jf_evaluations"`
@@ -959,6 +979,17 @@ func (s *Server) renderResult(req *AnalyzeRequest, cfg ipcp.Config, res *ipcp.Re
 		}
 		resp.Constants[proc] = out
 	}
+	if d := res.Domain(); d != "const" {
+		resp.Domain = d
+		resp.Facts = make(map[string][]FactJSON)
+		for proc, fs := range res.Facts() {
+			out := make([]FactJSON, 0, len(fs))
+			for _, f := range fs {
+				out = append(out, FactJSON{Name: f.Name, Value: f.Value, Global: f.IsGlobal, Block: f.Block})
+			}
+			resp.Facts[proc] = out
+		}
+	}
 	if len(res.Degradations) > 0 || retries > 0 {
 		resp.Status = "degraded"
 	}
@@ -999,6 +1030,9 @@ func describeConfig(c ipcp.Config) string {
 	}
 	if c.Complete {
 		name += "+complete"
+	}
+	if c.Domain != "" && c.Domain != "const" {
+		name = c.Domain + "/" + name
 	}
 	return name
 }
@@ -1071,6 +1105,15 @@ func (rc RequestConfig) ToIPCP() (ipcp.Config, error) {
 		cfg.Solver = ipcp.BindingGraph
 	default:
 		return cfg, fmt.Errorf("unknown solver %q", rc.Solver)
+	}
+	cfg.Domain = rc.Domain
+	if _, err := domain.Lookup(rc.Domain); err != nil {
+		return cfg, err
+	}
+	if rc.Domain == "" {
+		// Canonicalize so "" and "const" — the same configuration —
+		// share one result-cache key and one routing fingerprint.
+		cfg.Domain = "const"
 	}
 	cfg.Budget = ipcp.Budget{
 		MaxSolverSteps: rc.MaxSolverSteps,

@@ -24,9 +24,15 @@ func IntPow(a, b int64) (int64, bool) {
 			return 0, true
 		}
 	}
-	r := int64(1)
-	for i := int64(0); i < b; i++ {
-		r *= a
+	// Square-and-multiply with two's-complement wraparound: identical
+	// results to the naive repeated product for every input, but O(log b)
+	// time, so a huge propagated exponent cannot stall an evaluation.
+	r, base := int64(1), a
+	for e := b; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			r *= base
+		}
+		base *= base
 	}
 	return r, true
 }

@@ -1,0 +1,112 @@
+package ipcp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const domSrc = `PROGRAM MAIN
+CALL S(3)
+CALL S(7)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+
+func TestAnalyzeDomainSelector(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Domain = "interval"
+	res, err := Analyze("p.f", domSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domain() != "interval" {
+		t.Fatalf("Domain() = %q, want interval", res.Domain())
+	}
+	facts := res.FactsOf("S")
+	if len(facts) != 1 || facts[0].Name != "N" || facts[0].Value != "[3,7]" {
+		t.Fatalf("FactsOf(S) = %+v, want N = [3,7]", facts)
+	}
+	if all := res.Facts(); len(all["S"]) != 1 {
+		t.Fatalf("Facts() = %+v, want an S entry", all)
+	}
+}
+
+func TestAnalyzeDomainDefaultFactsMatchConstants(t *testing.T) {
+	src := `PROGRAM MAIN
+CALL S(5)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	res, err := Analyze("p.f", src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domain() != "const" {
+		t.Fatalf("Domain() = %q, want const", res.Domain())
+	}
+	facts := res.FactsOf("S")
+	if len(facts) != 1 || facts[0].Value != "5" {
+		t.Fatalf("FactsOf(S) = %+v, want N = 5", facts)
+	}
+}
+
+func TestAnalyzeUnknownDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Domain = "octagon"
+	if _, err := Analyze("p.f", domSrc, cfg); err == nil || !strings.Contains(err.Error(), "octagon") {
+		t.Fatalf("Analyze with unknown domain: err = %v, want unknown-domain error", err)
+	}
+	if _, err := OpenSession(context.Background(), "p.f", domSrc, cfg); err == nil {
+		t.Fatal("OpenSession with unknown domain: want error")
+	}
+}
+
+func TestDomainsListsRegistry(t *testing.T) {
+	names := Domains()
+	want := map[string]bool{"const": false, "interval": false, "parity": false, "taint": false, "cond-const": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Domains() missing %q (got %v)", n, names)
+		}
+	}
+}
+
+// TestSessionDomain: delta-edit sessions carry the domain through
+// re-analysis.
+func TestSessionDomain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Domain = "parity"
+	src := `PROGRAM MAIN
+CALL S(4)
+CALL S(10)
+END
+SUBROUTINE S(N)
+INTEGER N
+PRINT *, N
+END
+`
+	s, err := OpenSession(context.Background(), "p.f", src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := res.FactsOf("S")
+	if len(facts) != 1 || facts[0].Value != "even" {
+		t.Fatalf("session FactsOf(S) = %+v, want N = even", facts)
+	}
+}

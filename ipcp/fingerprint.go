@@ -18,8 +18,10 @@ import (
 // MaxSolverSteps/MaxRounds budgets (results are byte-identical across
 // all of them, per this package's standing guarantees). Everything
 // else — source text, filename, Kind, UseMOD, UseReturnJFs,
-// FullSubstitution, Complete, Gated, and the MaxJFExprSize budget —
-// contributes to the key.
+// FullSubstitution, Complete, Gated, Domain, and the MaxJFExprSize
+// budget — contributes to the key. This is the exhaustive
+// memo-relevance partition of Config: a field is in exactly one of the
+// two lists above.
 func Fingerprint(filename, src string, cfg Config) string {
 	return FingerprintFiles([]SourceFile{{Name: filename, Src: src}}, cfg)
 }

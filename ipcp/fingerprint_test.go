@@ -97,6 +97,23 @@ func TestFingerprintSensitiveToProgramAndConfig(t *testing.T) {
 	c = base
 	c.Budget.MaxJFExprSize = 9
 	check("expr-size", Fingerprint("p.f", fpSrc, c))
+	for _, dom := range []string{"interval", "parity", "taint", "cond-const"} {
+		c = base
+		c.Domain = dom
+		check("domain-"+dom, Fingerprint("p.f", fpSrc, c))
+	}
+}
+
+// TestFingerprintDomainDefaultIsConst: the empty selector and the
+// explicit constant domain are the same configuration, so they must
+// route identically.
+func TestFingerprintDomainDefaultIsConst(t *testing.T) {
+	base := DefaultConfig()
+	c := base
+	c.Domain = "const"
+	if got, want := Fingerprint("p.f", fpSrc, c), Fingerprint("p.f", fpSrc, base); got != want {
+		t.Fatalf("explicit const domain changed the fingerprint: %s vs %s", got, want)
+	}
 }
 
 // TestFingerprintFilesMatchesSingle: the single-file convenience and

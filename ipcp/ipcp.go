@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/interp"
 	"repro/internal/jump"
 	"repro/internal/parser"
@@ -108,6 +109,17 @@ type Config struct {
 	Gated bool
 	// Solver selects the propagation algorithm.
 	Solver Solver
+	// Domain selects the abstract domain the monotone framework
+	// propagates. The empty string (and "const") is the paper's
+	// constant-propagation lattice; Domains() lists the others:
+	// "interval" (ranges with widening), "parity" (even/odd), "taint"
+	// (input-dependence), and "cond-const" (constant propagation with
+	// branch pruning folded in, equivalent to Complete). Unknown names
+	// are an error at Analyze time. The domain is memo-relevant at the
+	// whole-program level — it contributes to Fingerprint and to the
+	// analysis-service result cache — but jump-function construction is
+	// symbolic and shared across domains.
+	Domain string
 	// Budget bounds the analysis's resource consumption; the zero value
 	// is unlimited. On exhaustion the analysis degrades soundly rather
 	// than failing (see Result.Degradations).
@@ -160,8 +172,22 @@ func (c Config) internal() core.Config {
 	if c.Solver == BindingGraph {
 		out.Solver = core.SolverBinding
 	}
+	if d, err := domain.Lookup(c.Domain); err == nil {
+		out.Domain = d
+	}
 	return out
 }
+
+// validate rejects configurations internal() cannot represent; today
+// that is only an unregistered domain name.
+func (c Config) validate() error {
+	_, err := domain.Lookup(c.Domain)
+	return err
+}
+
+// Domains lists the registered abstract domain names, sorted; any of
+// them is a valid Config.Domain.
+func Domains() []string { return domain.Names() }
 
 // Constant is one entry of a CONSTANTS(p) set: the named parameter or
 // COMMON variable always holds Value on entry to Procedure.
@@ -282,6 +308,60 @@ func convertConstants(in []core.Constant) []Constant {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fact is one abstract-domain fact: the named parameter or COMMON
+// variable satisfies Value (the domain's rendering, e.g. "[1,10]",
+// "even", "clean") on every entry to Procedure. For the constant
+// domains, facts coincide with Constants.
+type Fact struct {
+	Procedure string
+	Name      string
+	Value     string
+	// IsGlobal marks COMMON variables (Name is the canonical member
+	// name; Block its COMMON block).
+	IsGlobal bool
+	Block    string
+}
+
+// Domain reports the abstract domain the analysis ran under.
+func (r *Result) Domain() string {
+	return r.analysis.Domain().Name()
+}
+
+// FactsOf returns the domain facts proven on every entry to the named
+// procedure, sorted by name — the generic counterpart of ConstantsOf
+// (nil if the procedure does not exist or nothing was proven).
+func (r *Result) FactsOf(procedure string) []Fact {
+	p := r.analysis.Prog.Procs[strings.ToUpper(procedure)]
+	if p == nil {
+		return nil
+	}
+	return convertFacts(r.analysis.Facts(p))
+}
+
+// Facts returns every procedure's proven domain facts.
+func (r *Result) Facts() map[string][]Fact {
+	out := make(map[string][]Fact)
+	for _, p := range r.analysis.Prog.Order {
+		if fs := convertFacts(r.analysis.Facts(p)); len(fs) > 0 {
+			out[p.Name] = fs
+		}
+	}
+	return out
+}
+
+func convertFacts(in []core.Fact) []Fact {
+	var out []Fact
+	for _, f := range in {
+		pf := Fact{Procedure: f.Proc.Name, Name: f.Name, Value: f.Value}
+		if f.Global != nil {
+			pf.IsGlobal = true
+			pf.Block = f.Global.Block
+		}
+		out = append(out, pf)
+	}
 	return out
 }
 

@@ -125,6 +125,9 @@ var analyzePipeline = pipeline.New(
 // runAnalysis drives one analysis through the pipeline and stamps the
 // result with the trace. The caller holds the recoverInternal barrier.
 func runAnalysis(ctx context.Context, files []SourceFile, multi bool, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	st := &pipeState{cfg: cfg, files: files, multi: multi, trace: pipeline.NewTrace()}
 	if err := analyzePipeline.Run(ctx, st); err != nil {
 		return nil, err

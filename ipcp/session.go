@@ -90,6 +90,9 @@ func sessionError(err error) error {
 // diagnostics.
 func OpenSession(ctx context.Context, filename, src string, cfg Config) (s *Session, err error) {
 	defer recoverInternal(&err)
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	inner, err := session.Open(ctx, filename, src, cfg.internal())
 	if err != nil {
 		return nil, sessionError(err)
